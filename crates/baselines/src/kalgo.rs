@@ -1,0 +1,188 @@
+//! K-Algo: Kaul et al.'s on-the-fly approximate geodesic algorithm
+//! (§4.2.2, after [19]).
+//!
+//! The best-known non-oracle baseline: no per-pair precomputation — each
+//! query runs a (virtual-source) Dijkstra over the Steiner graph `G_ε`
+//! between the two query points, so query time scales with `N` instead of
+//! `h`. The Steiner graph itself is built once (that one-off cost and the
+//! graph's size are what the paper's building-time/size plots show for
+//! K-Algo).
+
+use geodesic::heap::MinHeap;
+use geodesic::steiner::{GraphStop, NodeId, SteinerGraph};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use terrain::locate::FaceLocator;
+use terrain::poi::SurfacePoint;
+use terrain::{FaceId, TerrainMesh, VertexId};
+
+/// The on-the-fly baseline.
+pub struct KAlgo {
+    mesh: Arc<TerrainMesh>,
+    graph: Arc<SteinerGraph>,
+    locator: FaceLocator,
+    setup_time: Duration,
+}
+
+impl KAlgo {
+    /// Builds the Steiner graph once; queries run on demand.
+    pub fn new(mesh: Arc<TerrainMesh>, points_per_edge: usize) -> Self {
+        let t0 = Instant::now();
+        let graph = Arc::new(SteinerGraph::with_points_per_edge(mesh.clone(), points_per_edge));
+        let locator = FaceLocator::build(&mesh);
+        Self { mesh, graph, locator, setup_time: t0.elapsed() }
+    }
+
+    /// Approximate geodesic distance between arbitrary surface points: a
+    /// virtual-source Dijkstra seeded with the Steiner neighbourhood of
+    /// `s`, terminated once no queued label can improve the best completed
+    /// path into `t`'s neighbourhood.
+    pub fn distance(&self, s: &SurfacePoint, t: &SurfacePoint) -> f64 {
+        let ns = self.neighborhood(s.face);
+        let nt = self.neighborhood(t.face);
+        let n = self.graph.n_nodes();
+
+        // Exit costs |q − t| for target nodes.
+        let mut exit = vec![f64::INFINITY; n];
+        for &q in &nt {
+            exit[q as usize] = self.graph.position(q).dist(t.pos);
+        }
+
+        let mut best = if s.face == t.face { s.pos.dist(t.pos) } else { f64::INFINITY };
+        let mut dist = vec![f64::INFINITY; n];
+        let mut heap: MinHeap<NodeId> = MinHeap::with_capacity(ns.len() * 2);
+        for &p in &ns {
+            let d = s.pos.dist(self.graph.position(p));
+            if d < dist[p as usize] {
+                dist[p as usize] = d;
+                heap.push(d, p);
+            }
+        }
+        while let Some((key, v)) = heap.pop() {
+            if key > dist[v as usize] {
+                continue;
+            }
+            if key >= best {
+                break; // no queued path can beat the best completed one
+            }
+            let e = exit[v as usize];
+            if e.is_finite() && key + e < best {
+                best = key + e;
+            }
+            for (u, w) in self.graph.neighbors(v) {
+                let nd = key + w;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    heap.push(nd, u);
+                }
+            }
+        }
+        best
+    }
+
+    /// V2V query: vertex-to-vertex Dijkstra on `G_ε`.
+    pub fn distance_vertices(&self, a: VertexId, b: VertexId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        self.graph.dijkstra(a, GraphStop::Targets(&[b])).dist[b as usize]
+    }
+
+    /// Query by x–y projection; `None` outside the footprint.
+    pub fn distance_xy(&self, a: (f64, f64), b: (f64, f64)) -> Option<f64> {
+        let (fa, pa) = self.locator.locate(&self.mesh, a.0, a.1)?;
+        let (fb, pb) = self.locator.locate(&self.mesh, b.0, b.1)?;
+        Some(self.distance(
+            &SurfacePoint { face: fa, pos: pa },
+            &SurfacePoint { face: fb, pos: pb },
+        ))
+    }
+
+    fn neighborhood(&self, f: FaceId) -> Vec<NodeId> {
+        let mut out = self.graph.face_nodes(f);
+        for e in self.mesh.face_edges(f) {
+            if let Some(g) = self.mesh.other_face(e, f) {
+                out.extend(self.graph.face_nodes(g));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// One-off setup (Steiner graph + locator) time.
+    pub fn setup_time(&self) -> Duration {
+        self.setup_time
+    }
+
+    /// Persistent state size (graph + locator) — what K-Algo keeps between
+    /// queries.
+    pub fn storage_bytes(&self) -> usize {
+        self.graph.storage_bytes() + self.locator.storage_bytes()
+    }
+
+    pub fn graph(&self) -> &Arc<SteinerGraph> {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terrain::gen::{diamond_square, Heightfield};
+    use terrain::poi::sample_uniform;
+
+    #[test]
+    fn flat_grid_close_to_euclidean() {
+        let mesh = Arc::new(Heightfield::flat(5, 5, 1.0, 1.0).to_mesh());
+        let k = KAlgo::new(mesh, 2);
+        let d = k.distance_xy((0.2, 0.5), (3.8, 3.1)).unwrap();
+        let exact = ((3.8f64 - 0.2).powi(2) + (3.1f64 - 0.5).powi(2)).sqrt();
+        assert!(d >= exact - 1e-9 && d <= exact * 1.2, "{d} vs {exact}");
+    }
+
+    #[test]
+    fn matches_sp_oracle_answers() {
+        // Same graph, same query scheme — the on-the-fly search must return
+        // exactly what the precomputed index returns.
+        let mesh = Arc::new(diamond_square(3, 0.6, 5).to_mesh());
+        let k = KAlgo::new(mesh.clone(), 1);
+        let sp = crate::sp_oracle::SpOracle::build(mesh.clone(), 1, usize::MAX, 1).unwrap();
+        let pois = sample_uniform(&mesh, 6, 7);
+        for i in 0..6 {
+            for j in 0..6 {
+                let a = k.distance(&pois[i], &pois[j]);
+                let b = sp.distance(&pois[i], &pois[j]);
+                assert!((a - b).abs() < 1e-4, "({i},{j}): kalgo {a} vs sp {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn v2v_matches_graph() {
+        let mesh = Arc::new(diamond_square(3, 0.5, 9).to_mesh());
+        let k = KAlgo::new(mesh.clone(), 1);
+        for (a, b) in [(0u32, 80u32), (7, 33)] {
+            assert!((k.distance_vertices(a, b) - k.graph().distance(a, b)).abs() < 1e-12);
+        }
+        assert_eq!(k.distance_vertices(4, 4), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let mesh = Arc::new(diamond_square(3, 0.6, 11).to_mesh());
+        let k = KAlgo::new(mesh, 2);
+        let a = (1.0, 2.0);
+        let b = (6.0, 5.5);
+        let ab = k.distance_xy(a, b).unwrap();
+        let ba = k.distance_xy(b, a).unwrap();
+        assert!((ab - ba).abs() < 1e-9, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn same_point_zero() {
+        let mesh = Arc::new(Heightfield::flat(4, 4, 1.0, 1.0).to_mesh());
+        let k = KAlgo::new(mesh, 1);
+        assert!(k.distance_xy((1.5, 1.5), (1.5, 1.5)).unwrap().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks of the pipelines behind the paper's figures,
+//! at reduced sizes: oracle construction across ε (Figures 8/13/14),
+//! query latency per method (the query-time panels of every figure), and
+//! A2A queries (Figure 12).
+//!
+//! The figure binaries in `src/bin/` regenerate the actual series; these
+//! benches track regressions in the same code paths.
+
+use bench::setup::{a2a_query_coords, query_pairs, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use se_oracle::oracle::BuildConfig;
+use se_oracle::p2p::{EngineKind, P2POracle};
+use se_oracle::A2AOracle;
+use std::hint::black_box;
+use terrain::gen::Preset;
+
+fn workload() -> Workload {
+    Workload::preset(Preset::SfSmall, 0.15, 40)
+}
+
+/// Figures 8(a)/13(a)/14(a): oracle construction time as ε varies.
+fn bench_build_eps(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("build/eps");
+    g.sample_size(10);
+    for &eps in &[0.25, 0.1] {
+        g.bench_with_input(BenchmarkId::new("SE-exact", eps), &eps, |b, &eps| {
+            b.iter(|| {
+                P2POracle::build(
+                    &w.mesh,
+                    &w.pois,
+                    eps,
+                    EngineKind::Exact,
+                    &BuildConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("SE-steiner", eps), &eps, |b, &eps| {
+            b.iter(|| {
+                P2POracle::build(
+                    &w.mesh,
+                    &w.pois,
+                    eps,
+                    EngineKind::Steiner { points_per_edge: 2 },
+                    &BuildConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The query-time panels: SE's O(h) probe vs the baselines' work.
+fn bench_query_methods(c: &mut Criterion) {
+    let w = workload();
+    let eps = 0.1;
+    let se = P2POracle::build(&w.mesh, &w.pois, eps, EngineKind::Exact, &BuildConfig::default())
+        .unwrap();
+    let sp = baselines::SpOracle::build(w.mesh.clone(), 2, usize::MAX, 2).unwrap();
+    let kalgo = baselines::KAlgo::new(w.mesh.clone(), 2);
+    let pairs = query_pairs(w.pois.len(), 64, 0xBE);
+
+    let mut g = c.benchmark_group("query/method");
+    g.bench_function("SE", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            black_box(se.distance(s, t))
+        })
+    });
+    g.bench_function("SP-Oracle", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            black_box(sp.distance(&w.pois[s], &w.pois[t]))
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("K-Algo", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            black_box(kalgo.distance(&w.pois[s], &w.pois[t]))
+        })
+    });
+    g.finish();
+}
+
+/// Figure 12(d): A2A query latency.
+fn bench_a2a_query(c: &mut Criterion) {
+    let w = Workload::preset(Preset::SfSmall, 0.12, 8);
+    let oracle =
+        A2AOracle::build(w.mesh.clone(), 0.2, Some(1), &BuildConfig::default()).unwrap();
+    let coords = a2a_query_coords(&w.mesh, 64, 0xA2A);
+    c.bench_function("query/a2a", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (p, q) = coords[i % coords.len()];
+            i += 1;
+            black_box(oracle.distance_xy(p, q))
+        })
+    });
+}
+
+criterion_group!(benches, bench_build_eps, bench_query_methods, bench_a2a_query);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Minimal command-line parsing shared by the figure binaries.
+
+/// Common experiment options.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Multiplier on the default mesh sizes.
+    pub scale: f64,
+    /// Shrink everything for a smoke run.
+    pub quick: bool,
+    /// Worker threads for parallelizable construction phases.
+    pub threads: usize,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self { scale: 1.0, quick: false, threads: default_threads() }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`; exits with usage on malformed input.
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = args.next().and_then(|s| s.parse().ok());
+                    match v {
+                        Some(s) if s > 0.0 => out.scale = s,
+                        _ => usage_exit("--scale needs a positive number"),
+                    }
+                }
+                "--threads" => {
+                    let v = args.next().and_then(|s| s.parse().ok());
+                    match v {
+                        Some(t) if t >= 1 => out.threads = t,
+                        _ => usage_exit("--threads needs a positive integer"),
+                    }
+                }
+                "--quick" => out.quick = true,
+                "--help" | "-h" => usage_exit(""),
+                other => usage_exit(&format!("unknown argument '{other}'")),
+            }
+        }
+        if out.quick {
+            out.scale *= 0.25;
+        }
+        out
+    }
+}
+
+fn usage_exit(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--scale <f64>] [--threads <n>] [--quick]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

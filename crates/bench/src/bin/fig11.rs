@@ -1,0 +1,63 @@
+//! Figure 11: Effect of n on the SF dataset (V2V distance queries).
+//!
+//! V2V: "the original POIs are discarded, and we treat all vertices as
+//! POIs", so n = N. The paper sweeps sub-regions of a higher-resolution SF
+//! tile; we sweep the preset resolution. Series: SE, SP-Oracle, K-Algo.
+
+use bench::methods::{run_kalgo_v2v, run_se_v2v, run_sp_oracle_v2v, SeSetup};
+use bench::setup::{query_pairs, Workload};
+use bench::table::{megabytes, millis, secs, Table};
+use bench::BenchArgs;
+use se_oracle::p2p::EngineKind;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let n_queries = if args.quick { 25 } else { 100 };
+    println!("Fig 11 — SF: V2V sweep (n = N)\n");
+
+    let mut table = Table::new(
+        "Fig 11: effect of n on SF (V2V)",
+        &["n=N", "method", "build(s)", "size(MB)", "query(ms)"],
+    );
+    let m = 1;
+    // Paper: n = N ∈ {60k..180k}; defaults 600..3000 (×scale) — V2V
+    // builds one bounded SSAD per tree node over *every vertex*, the
+    // heaviest regime per site.
+    for &rel in &[0.03, 0.06, 0.1, 0.15] {
+        let w = Workload::preset(terrain::gen::Preset::SanFrancisco, rel * args.scale, 5);
+        let n = w.mesh.n_vertices();
+        let pairs = query_pairs(n, n_queries, 0xF21);
+
+        let setup = SeSetup {
+            engine: EngineKind::Steiner { points_per_edge: m },
+            threads: args.threads,
+            ..Default::default()
+        };
+        let se = run_se_v2v("SE", w.mesh.clone(), 0.1, setup, &pairs, None);
+        let sp = run_sp_oracle_v2v(
+            w.mesh.clone(),
+            m,
+            2 * 1024 * 1024 * 1024,
+            args.threads,
+            &pairs,
+            None,
+        );
+        let k = run_kalgo_v2v(w.mesh.clone(), m, &pairs, None);
+
+        for r in [Some(se), sp, Some(k)].into_iter().flatten() {
+            table.row(vec![
+                n.to_string(),
+                r.method,
+                secs(r.build),
+                megabytes(r.size_bytes),
+                millis(r.query_avg),
+            ]);
+        }
+    }
+    table.print();
+    table.save_csv("fig11");
+    println!(
+        "shape check (paper): SE build/size ≥1 order below SP-Oracle; SE \
+         query 2-3 orders below SP-Oracle and 5-6 below K-Algo."
+    );
+}

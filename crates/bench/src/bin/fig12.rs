@@ -1,0 +1,108 @@
+//! Figure 12: A2A queries and P2P queries with n > N, on low-resolution
+//! BearHead.
+//!
+//! Panels (a) building time, (b) oracle size, (c) P2P query time with
+//! n > N, (d) A2A query time — all against ε. The oracle under test is the
+//! POI-independent Steiner-point SE of Appendix C (which serves both
+//! workloads with the same index, hence identical build/size, as the paper
+//! notes), compared to SP-Oracle and K-Algo.
+
+use bench::methods::{run_a2a, run_kalgo, run_sp_oracle, MethodReport};
+use bench::setup::{a2a_query_coords, query_pairs, Workload};
+use bench::table::{megabytes, millis, secs, Table};
+use bench::BenchArgs;
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let w = Workload::preset(terrain::gen::Preset::BearHeadLow, 0.04 * args.scale, 10);
+    let n_queries = if args.quick { 15 } else { 50 };
+    println!(
+        "Fig 12 — BH-low: N = {} vertices; A2A + P2P(n > N)\n",
+        w.mesh.n_vertices()
+    );
+
+    // n > N POI set for panel (c): 2N POIs (paper: 1M POIs on 150k
+    // vertices).
+    let locator = terrain::locate::FaceLocator::build(&w.mesh);
+    let many_pois = terrain::poi::sample_clustered(
+        &w.mesh,
+        &locator,
+        2 * w.mesh.n_vertices(),
+        8,
+        0.1,
+        0xF22,
+    );
+    let p2p_pairs = query_pairs(many_pois.len(), n_queries, 0xF23);
+    let a2a_coords = a2a_query_coords(&w.mesh, n_queries, 0xF24);
+
+    let mut table = Table::new(
+        "Fig 12: A2A and P2P (n > N) on BH-low",
+        &["eps", "method", "build(s)", "size(MB)", "P2P-query(ms)", "A2A-query(ms)"],
+    );
+
+    for &eps in &[0.05, 0.1, 0.15, 0.2, 0.25] {
+        let m = geodesic::steiner::points_per_edge_for_epsilon(eps).min(3);
+        // SE (Appendix C oracle): build once, measure both query kinds.
+        let (mut se_report, oracle) =
+            run_a2a(w.mesh.clone(), eps, Some(m), args.threads, &a2a_coords);
+        let a2a_ms = millis(se_report.query_avg);
+        // P2P with n > N re-uses the same oracle: query arbitrary POIs.
+        let t0 = Instant::now();
+        for &(a, b) in &p2p_pairs {
+            std::hint::black_box(oracle.distance(&many_pois[a], &many_pois[b]));
+        }
+        se_report.query_avg = t0.elapsed() / p2p_pairs.len() as u32;
+        push_row(&mut table, eps, &se_report, millis(se_report.query_avg), a2a_ms);
+
+        // SP-Oracle: same index answers both query kinds.
+        if let Some(sp) = run_sp_oracle(
+            w.mesh.clone(),
+            &many_pois,
+            m,
+            1024 * 1024 * 1024,
+            args.threads,
+            &p2p_pairs,
+            None,
+        ) {
+            let sp_oracle =
+                baselines::SpOracle::build(w.mesh.clone(), m, usize::MAX, args.threads)
+                    .expect("rebuilt within budget");
+            let t0 = Instant::now();
+            for &(a, b) in &a2a_coords {
+                std::hint::black_box(sp_oracle.distance_xy(a, b));
+            }
+            let a2a = t0.elapsed() / a2a_coords.len() as u32;
+            push_row(&mut table, eps, &sp, millis(sp.query_avg), millis(a2a));
+        }
+
+        // K-Algo on both workloads.
+        let k = run_kalgo(w.mesh.clone(), &many_pois, m, &p2p_pairs, None);
+        let kalgo = baselines::KAlgo::new(w.mesh.clone(), m);
+        let t0 = Instant::now();
+        for &(a, b) in &a2a_coords {
+            std::hint::black_box(kalgo.distance_xy(a, b));
+        }
+        let a2a = t0.elapsed() / a2a_coords.len() as u32;
+        push_row(&mut table, eps, &k, millis(k.query_avg), millis(a2a));
+    }
+    table.print();
+    table.save_csv("fig12");
+    println!(
+        "shape check (paper): build/size identical between the two workloads \
+         for each oracle (same POI-independent index); SE queries are orders \
+         of magnitude faster than SP-Oracle/K-Algo; A2A is slower than P2P \
+         lookup for SE because of the |N(s)|·|N(t)| neighbourhood scan."
+    );
+}
+
+fn push_row(table: &mut Table, eps: f64, r: &MethodReport, p2p_ms: String, a2a_ms: String) {
+    table.row(vec![
+        format!("{eps}"),
+        r.method.clone(),
+        secs(r.build),
+        megabytes(r.size_bytes),
+        p2p_ms,
+        a2a_ms,
+    ]);
+}

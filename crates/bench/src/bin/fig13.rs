@@ -1,0 +1,10 @@
+//! Figure 13: Effect of ε on the BearHead dataset (P2P distance queries)
+//! — SE vs K-Algo (SP-Oracle exceeds the memory budget at this scale in
+//! the paper and is omitted, as here).
+
+use bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    bench::figures::eps_sweep_p2p(terrain::gen::Preset::BearHead, 0.15, 100, &args, "fig13");
+}

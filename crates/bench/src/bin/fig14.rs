@@ -1,0 +1,9 @@
+//! Figure 14: Effect of ε on the EaglePeak dataset (P2P distance queries)
+//! — SE vs K-Algo.
+
+use bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    bench::figures::eps_sweep_p2p(terrain::gen::Preset::EaglePeak, 0.15, 100, &args, "fig14");
+}

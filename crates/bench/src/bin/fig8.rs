@@ -1,0 +1,78 @@
+//! Figure 8: Effect of ε on the smaller SF dataset (P2P distance queries).
+//!
+//! Panels (a) building time, (b) oracle size, (c) query time, (d) error,
+//! for SE(Greedy), SE(Random), SE-Naive, SP-Oracle and K-Algo over
+//! ε ∈ {0.05, 0.1, 0.15, 0.2, 0.25}. The paper uses the "smaller version
+//! of the SF dataset" (1k vertices, 60 POIs) precisely because SE-Naive
+//! and SP-Oracle are only feasible there.
+
+use bench::methods::{run_kalgo, run_se, run_sp_oracle, SeSetup};
+use bench::setup::{exact_pair_distances, query_pairs, Workload};
+use bench::table::{megabytes, millis, secs, Table};
+use bench::BenchArgs;
+use se_oracle::oracle::ConstructionMethod;
+use se_oracle::p2p::EngineKind;
+use se_oracle::tree::SelectionStrategy;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let w = Workload::preset(terrain::gen::Preset::SfSmall, args.scale, 60);
+    let n_queries = if args.quick { 25 } else { 100 };
+    let pairs = query_pairs(w.pois.len(), n_queries, 0xF18);
+    println!(
+        "Fig 8 — SF-small: N = {} vertices, n = {} POIs, {} queries\n",
+        w.mesh.n_vertices(),
+        w.pois.len(),
+        pairs.len()
+    );
+    let exact = exact_pair_distances(&w.mesh, &w.pois, &pairs);
+
+    let mut table = Table::new(
+        "Fig 8: effect of ε on SF-small (P2P)",
+        &["eps", "method", "build(s)", "size(MB)", "query(ms)", "avg-err", "max-err"],
+    );
+
+    for &eps in &[0.05, 0.1, 0.15, 0.2, 0.25] {
+        let mut reports = Vec::new();
+        for (label, strategy, method) in [
+            ("SE(Greedy)", SelectionStrategy::Greedy, ConstructionMethod::Efficient),
+            ("SE(Random)", SelectionStrategy::Random, ConstructionMethod::Efficient),
+            ("SE-Naive", SelectionStrategy::Random, ConstructionMethod::Naive),
+        ] {
+            let setup = SeSetup {
+                engine: EngineKind::Exact,
+                strategy,
+                method,
+                threads: args.threads,
+            };
+            reports.push(run_se(label, &w.mesh, &w.pois, eps, setup, &pairs, Some(&exact)));
+        }
+        let m = geodesic::steiner::points_per_edge_for_epsilon(eps).min(6);
+        if let Some(sp) = run_sp_oracle(
+            w.mesh.clone(),
+            &w.pois,
+            m,
+            8 * 1024 * 1024 * 1024,
+            args.threads,
+            &pairs,
+            Some(&exact),
+        ) {
+            reports.push(sp);
+        }
+        reports.push(run_kalgo(w.mesh.clone(), &w.pois, m, &pairs, Some(&exact)));
+
+        for r in reports {
+            table.row(vec![
+                format!("{eps}"),
+                r.method,
+                secs(r.build),
+                megabytes(r.size_bytes),
+                millis(r.query_avg),
+                format!("{:.5}", r.avg_err),
+                format!("{:.5}", r.max_err),
+            ]);
+        }
+    }
+    table.print();
+    table.save_csv("fig8");
+}

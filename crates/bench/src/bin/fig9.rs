@@ -1,0 +1,71 @@
+//! Figure 9: Effect of n on the SF dataset (P2P distance queries).
+//!
+//! Panels (a) building time, (b) oracle size, (c) query time for SE,
+//! SP-Oracle and K-Algo. The paper sweeps n ∈ {60k..180k} on the 170k-
+//! vertex SF tile, synthesising extra POIs from a Normal fit of the
+//! existing ones (§5.2.1) — reproduced here (scaled down) with
+//! `terrain::poi::scale_pois`.
+
+use bench::methods::{run_kalgo, run_se, run_sp_oracle, SeSetup};
+use bench::setup::{query_pairs, Workload};
+use bench::table::{megabytes, millis, secs, Table};
+use bench::BenchArgs;
+use se_oracle::p2p::EngineKind;
+use terrain::locate::FaceLocator;
+use terrain::poi::scale_pois;
+
+fn main() {
+    let args = BenchArgs::parse();
+    // Default 0.25×SF ≈ 5k vertices; POI counts keep the paper's 60..180
+    // series (in units instead of thousands, preserving n ≤ N).
+    let w = Workload::preset(terrain::gen::Preset::SanFrancisco, 0.25 * args.scale, 60);
+    let locator = FaceLocator::build(&w.mesh);
+    println!("Fig 9 — SF: N = {} vertices; n sweep\n", w.mesh.n_vertices());
+
+    let mut table = Table::new(
+        "Fig 9: effect of n on SF (P2P)",
+        &["n", "method", "build(s)", "size(MB)", "query(ms)"],
+    );
+    let n_queries = if args.quick { 25 } else { 100 };
+    // Construction engine: Steiner graph (all three methods share the same
+    // substrate; SE's ε error is measured against exact in Fig 8).
+    let m = 2;
+
+    for &n in &[60usize, 90, 120, 150, 180] {
+        let pois = scale_pois(&w.mesh, &locator, &w.pois, n, 0x919 + n as u64);
+        let pairs = query_pairs(pois.len(), n_queries, 0xF19);
+
+        let setup = SeSetup {
+            engine: EngineKind::Steiner { points_per_edge: m },
+            threads: args.threads,
+            ..Default::default()
+        };
+        let se = run_se("SE", &w.mesh, &pois, 0.1, setup, &pairs, None);
+        let sp = run_sp_oracle(
+            w.mesh.clone(),
+            &pois,
+            m,
+            6 * 1024 * 1024 * 1024,
+            args.threads,
+            &pairs,
+            None,
+        );
+        let k = run_kalgo(w.mesh.clone(), &pois, m, &pairs, None);
+
+        for r in [Some(se), sp, Some(k)].into_iter().flatten() {
+            table.row(vec![
+                n.to_string(),
+                r.method,
+                secs(r.build),
+                megabytes(r.size_bytes),
+                millis(r.query_avg),
+            ]);
+        }
+    }
+    table.print();
+    table.save_csv("fig9");
+    println!(
+        "shape check (paper): SE build/size grow ~linearly with n and stay well \
+         below SP-Oracle; SE query is orders of magnitude below K-Algo."
+    );
+}

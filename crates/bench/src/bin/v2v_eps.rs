@@ -1,0 +1,9 @@
+//! §5.2.2's V2V ε experiment on the smaller SF dataset: SE vs K-Algo with
+//! every vertex treated as a POI.
+
+use bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    bench::figures::eps_sweep_v2v(&args, "v2v_eps");
+}

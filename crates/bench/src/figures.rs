@@ -1,0 +1,88 @@
+//! Shared figure drivers (the ε-sweep layout used by Figs 8, 13, 14 and
+//! the V2V ε experiment of §5.2.2).
+
+use crate::methods::{run_kalgo, run_kalgo_v2v, run_se, run_se_v2v, SeSetup};
+use crate::setup::{query_pairs, Workload};
+use crate::table::{megabytes, millis, secs, Table};
+use crate::BenchArgs;
+use se_oracle::p2p::EngineKind;
+use terrain::gen::Preset;
+
+/// The ε-sweep of Figs 13/14: SE vs K-Algo on a full-size preset (the
+/// paper drops SP-Oracle here — its index exceeds the memory budget).
+pub fn eps_sweep_p2p(preset: Preset, rel_scale: f64, n_pois: usize, args: &BenchArgs, csv: &str) {
+    let w = Workload::preset(preset, rel_scale * args.scale, n_pois);
+    let n_queries = if args.quick { 25 } else { 100 };
+    let pairs = query_pairs(w.pois.len(), n_queries, 0xF13);
+    println!(
+        "{csv} — {}: N = {} vertices, n = {} POIs\n",
+        w.name,
+        w.mesh.n_vertices(),
+        w.pois.len()
+    );
+
+    let mut table = Table::new(
+        format!("{csv}: effect of ε on {} (P2P)", w.name),
+        &["eps", "method", "build(s)", "size(MB)", "query(ms)"],
+    );
+    for &eps in &[0.05, 0.1, 0.15, 0.2, 0.25] {
+        let m = geodesic::steiner::points_per_edge_for_epsilon(eps).min(3);
+        let setup = SeSetup {
+            engine: EngineKind::Steiner { points_per_edge: m },
+            threads: args.threads,
+            ..Default::default()
+        };
+        let se = run_se("SE", &w.mesh, &w.pois, eps, setup, &pairs, None);
+        let k = run_kalgo(w.mesh.clone(), &w.pois, m, &pairs, None);
+        for r in [se, k] {
+            table.row(vec![
+                format!("{eps}"),
+                r.method,
+                secs(r.build),
+                megabytes(r.size_bytes),
+                millis(r.query_avg),
+            ]);
+        }
+    }
+    table.print();
+    table.save_csv(csv);
+    println!(
+        "shape check (paper): SE query time is orders of magnitude below \
+         K-Algo at every ε; build grows as ε shrinks."
+    );
+}
+
+/// The §5.2.2 V2V ε-sweep on SF-small.
+pub fn eps_sweep_v2v(args: &BenchArgs, csv: &str) {
+    let w = Workload::preset(Preset::SfSmall, 0.5 * args.scale, 5);
+    let n = w.mesh.n_vertices();
+    let n_queries = if args.quick { 25 } else { 100 };
+    let pairs = query_pairs(n, n_queries, 0xF25);
+    println!("{csv} — SF-small V2V: n = N = {n}\n");
+
+    let mut table = Table::new(
+        format!("{csv}: effect of ε on SF-small (V2V)"),
+        &["eps", "method", "build(s)", "size(MB)", "query(ms)"],
+    );
+    for &eps in &[0.05, 0.1, 0.15, 0.2, 0.25] {
+        let m = geodesic::steiner::points_per_edge_for_epsilon(eps).min(3);
+        let setup = SeSetup {
+            engine: EngineKind::Steiner { points_per_edge: m },
+            threads: args.threads,
+            ..Default::default()
+        };
+        let se = run_se_v2v("SE", w.mesh.clone(), eps, setup, &pairs, None);
+        let k = run_kalgo_v2v(w.mesh.clone(), m, &pairs, None);
+        for r in [se, k] {
+            table.row(vec![
+                format!("{eps}"),
+                r.method,
+                secs(r.build),
+                megabytes(r.size_bytes),
+                millis(r.query_avg),
+            ]);
+        }
+    }
+    table.print();
+    table.save_csv(csv);
+}

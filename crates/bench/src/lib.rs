@@ -1,0 +1,23 @@
+//! Experiment harness regenerating every table and figure of *Distance
+//! Oracle on Terrain Surface* (SIGMOD 2017).
+//!
+//! Each figure/table has a binary in `src/bin/` printing the same
+//! rows/series the paper reports (`cargo run --release -p bench --bin
+//! fig8`, …); shared workload construction, measurement and table
+//! formatting live here. Criterion microbenchmarks of the same pipelines
+//! are under `benches/`.
+//!
+//! All binaries accept:
+//!
+//! * `--scale <f64>` — multiplies the default mesh sizes (reach for the
+//!   paper's full N with patience and RAM);
+//! * `--quick` — shrink everything for a smoke run (used by CI and
+//!   `cargo bench` wrappers).
+
+pub mod args;
+pub mod figures;
+pub mod methods;
+pub mod setup;
+pub mod table;
+
+pub use args::BenchArgs;

@@ -1,0 +1,332 @@
+//! Timed method runners producing uniform per-method reports.
+
+use baselines::{KAlgo, SpOracle};
+use se_oracle::oracle::{BuildConfig, ConstructionMethod};
+use se_oracle::p2p::{EngineKind, P2POracle};
+use se_oracle::tree::SelectionStrategy;
+use se_oracle::A2AOracle;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use terrain::poi::SurfacePoint;
+use terrain::TerrainMesh;
+
+/// One method's measurements for one experiment point — the quantities on
+/// the paper's four axes (building time, oracle size, query time, error).
+#[derive(Debug, Clone)]
+pub struct MethodReport {
+    pub method: String,
+    pub build: Duration,
+    pub size_bytes: usize,
+    /// Mean per-query latency.
+    pub query_avg: Duration,
+    /// Mean/max relative error vs. the supplied exact distances (NaN when
+    /// no reference was supplied).
+    pub avg_err: f64,
+    pub max_err: f64,
+}
+
+fn error_stats(answers: &[f64], exact: Option<&[f64]>) -> (f64, f64) {
+    let Some(exact) = exact else {
+        return (f64::NAN, f64::NAN);
+    };
+    let mut sum = 0.0;
+    let mut max: f64 = 0.0;
+    let mut count = 0usize;
+    for (&a, &e) in answers.iter().zip(exact) {
+        if e > 0.0 && e.is_finite() {
+            let err = (a - e).abs() / e;
+            sum += err;
+            max = max.max(err);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        (0.0, 0.0)
+    } else {
+        (sum / count as f64, max)
+    }
+}
+
+/// Times a query loop, repeating it until it has run for at least ~50 ms
+/// (or `max_reps`), and returns (answers-from-first-rep, avg latency).
+fn time_queries<F: FnMut(usize) -> f64>(
+    n_queries: usize,
+    max_reps: u32,
+    mut run: F,
+) -> (Vec<f64>, Duration) {
+    let mut answers = Vec::with_capacity(n_queries);
+    let t0 = Instant::now();
+    for q in 0..n_queries {
+        answers.push(run(q));
+    }
+    let first = t0.elapsed();
+    let mut total = first;
+    let mut reps = 1u32;
+    while total < Duration::from_millis(50) && reps < max_reps {
+        let t = Instant::now();
+        for q in 0..n_queries {
+            std::hint::black_box(run(q));
+        }
+        total += t.elapsed();
+        reps += 1;
+    }
+    (answers, total / (reps * n_queries as u32))
+}
+
+/// SE configuration for [`run_se`].
+#[derive(Debug, Clone, Copy)]
+pub struct SeSetup {
+    pub engine: EngineKind,
+    pub strategy: SelectionStrategy,
+    pub method: ConstructionMethod,
+    pub threads: usize,
+}
+
+impl Default for SeSetup {
+    fn default() -> Self {
+        Self {
+            engine: EngineKind::Exact,
+            strategy: SelectionStrategy::Random,
+            method: ConstructionMethod::Efficient,
+            threads: 1,
+        }
+    }
+}
+
+/// Builds and measures an SE oracle (P2P).
+pub fn run_se(
+    label: &str,
+    mesh: &TerrainMesh,
+    pois: &[SurfacePoint],
+    eps: f64,
+    setup: SeSetup,
+    pairs: &[(usize, usize)],
+    exact: Option<&[f64]>,
+) -> MethodReport {
+    let cfg = BuildConfig {
+        strategy: setup.strategy,
+        method: setup.method,
+        threads: setup.threads,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let oracle =
+        P2POracle::build(mesh, pois, eps, setup.engine, &cfg).expect("SE construction");
+    let build = t0.elapsed();
+    let (answers, query_avg) =
+        time_queries(pairs.len(), 10_000, |q| oracle.distance(pairs[q].0, pairs[q].1));
+    let (avg_err, max_err) = error_stats(&answers, exact);
+    MethodReport {
+        method: label.to_string(),
+        build,
+        size_bytes: oracle.storage_bytes(),
+        query_avg,
+        avg_err,
+        max_err,
+    }
+}
+
+/// Builds and measures an SE oracle in V2V mode.
+pub fn run_se_v2v(
+    label: &str,
+    mesh: Arc<TerrainMesh>,
+    eps: f64,
+    setup: SeSetup,
+    pairs: &[(usize, usize)],
+    exact: Option<&[f64]>,
+) -> MethodReport {
+    let cfg = BuildConfig {
+        strategy: setup.strategy,
+        method: setup.method,
+        threads: setup.threads,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let oracle = P2POracle::build_v2v(mesh, eps, setup.engine, &cfg).expect("SE V2V");
+    let build = t0.elapsed();
+    let (answers, query_avg) =
+        time_queries(pairs.len(), 10_000, |q| oracle.distance(pairs[q].0, pairs[q].1));
+    let (avg_err, max_err) = error_stats(&answers, exact);
+    MethodReport {
+        method: label.to_string(),
+        build,
+        size_bytes: oracle.storage_bytes(),
+        query_avg,
+        avg_err,
+        max_err,
+    }
+}
+
+/// Builds and measures SP-Oracle; `None` when the all-pairs index exceeds
+/// `budget_bytes` (reported like the paper's out-of-memory series).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sp_oracle(
+    mesh: Arc<TerrainMesh>,
+    pois: &[SurfacePoint],
+    points_per_edge: usize,
+    budget_bytes: usize,
+    threads: usize,
+    pairs: &[(usize, usize)],
+    exact: Option<&[f64]>,
+) -> Option<MethodReport> {
+    let oracle = match SpOracle::build(mesh, points_per_edge, budget_bytes, threads) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("  SP-Oracle skipped: {e}");
+            return None;
+        }
+    };
+    let (answers, query_avg) = time_queries(pairs.len(), 1_000, |q| {
+        oracle.distance(&pois[pairs[q].0], &pois[pairs[q].1])
+    });
+    let (avg_err, max_err) = error_stats(&answers, exact);
+    Some(MethodReport {
+        method: "SP-Oracle".into(),
+        build: oracle.build_time(),
+        size_bytes: oracle.storage_bytes(),
+        query_avg,
+        avg_err,
+        max_err,
+    })
+}
+
+/// Measures SP-Oracle in V2V mode (matrix lookups).
+pub fn run_sp_oracle_v2v(
+    mesh: Arc<TerrainMesh>,
+    points_per_edge: usize,
+    budget_bytes: usize,
+    threads: usize,
+    pairs: &[(usize, usize)],
+    exact: Option<&[f64]>,
+) -> Option<MethodReport> {
+    let oracle = match SpOracle::build(mesh, points_per_edge, budget_bytes, threads) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("  SP-Oracle skipped: {e}");
+            return None;
+        }
+    };
+    let (answers, query_avg) = time_queries(pairs.len(), 10_000, |q| {
+        oracle.distance_vertices(pairs[q].0 as u32, pairs[q].1 as u32)
+    });
+    let (avg_err, max_err) = error_stats(&answers, exact);
+    Some(MethodReport {
+        method: "SP-Oracle".into(),
+        build: oracle.build_time(),
+        size_bytes: oracle.storage_bytes(),
+        query_avg,
+        avg_err,
+        max_err,
+    })
+}
+
+/// Measures K-Algo (on-the-fly; build = one-off Steiner graph setup).
+pub fn run_kalgo(
+    mesh: Arc<TerrainMesh>,
+    pois: &[SurfacePoint],
+    points_per_edge: usize,
+    pairs: &[(usize, usize)],
+    exact: Option<&[f64]>,
+) -> MethodReport {
+    let k = KAlgo::new(mesh, points_per_edge);
+    let (answers, query_avg) =
+        time_queries(pairs.len(), 2, |q| k.distance(&pois[pairs[q].0], &pois[pairs[q].1]));
+    let (avg_err, max_err) = error_stats(&answers, exact);
+    MethodReport {
+        method: "K-Algo".into(),
+        build: k.setup_time(),
+        size_bytes: k.storage_bytes(),
+        query_avg,
+        avg_err,
+        max_err,
+    }
+}
+
+/// Measures K-Algo in V2V mode.
+pub fn run_kalgo_v2v(
+    mesh: Arc<TerrainMesh>,
+    points_per_edge: usize,
+    pairs: &[(usize, usize)],
+    exact: Option<&[f64]>,
+) -> MethodReport {
+    let k = KAlgo::new(mesh, points_per_edge);
+    let (answers, query_avg) = time_queries(pairs.len(), 2, |q| {
+        k.distance_vertices(pairs[q].0 as u32, pairs[q].1 as u32)
+    });
+    let (avg_err, max_err) = error_stats(&answers, exact);
+    MethodReport {
+        method: "K-Algo".into(),
+        build: k.setup_time(),
+        size_bytes: k.storage_bytes(),
+        query_avg,
+        avg_err,
+        max_err,
+    }
+}
+
+/// Builds and measures the A2A oracle of Appendix C on coordinate queries.
+pub fn run_a2a(
+    mesh: Arc<TerrainMesh>,
+    eps: f64,
+    points_per_edge: Option<usize>,
+    threads: usize,
+    coords: &[((f64, f64), (f64, f64))],
+) -> (MethodReport, A2AOracle) {
+    let cfg = BuildConfig { threads, ..Default::default() };
+    let t0 = Instant::now();
+    let oracle = A2AOracle::build(mesh, eps, points_per_edge, &cfg).expect("A2A oracle");
+    let build = t0.elapsed();
+    let (_, query_avg) = time_queries(coords.len(), 100, |q| {
+        oracle.distance_xy(coords[q].0, coords[q].1).unwrap_or(f64::NAN)
+    });
+    (
+        MethodReport {
+            method: "SE (A2A)".into(),
+            build,
+            size_bytes: oracle.storage_bytes(),
+            query_avg,
+            avg_err: f64::NAN,
+            max_err: f64::NAN,
+        },
+        oracle,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{exact_pair_distances, query_pairs, Workload};
+    use terrain::gen::Preset;
+
+    #[test]
+    fn se_report_is_consistent() {
+        let w = Workload::preset(Preset::SfSmall, 0.15, 12);
+        let pairs = query_pairs(w.pois.len(), 20, 3);
+        let exact = exact_pair_distances(&w.mesh, &w.pois, &pairs);
+        let eps = 0.2;
+        let r = run_se("SE", &w.mesh, &w.pois, eps, SeSetup::default(), &pairs, Some(&exact));
+        assert!(r.size_bytes > 0);
+        assert!(r.query_avg > Duration::ZERO);
+        assert!(r.max_err <= eps + 1e-9, "error {} above ε", r.max_err);
+        assert!(r.avg_err <= r.max_err);
+    }
+
+    #[test]
+    fn kalgo_and_sp_agree_on_shared_graph() {
+        let w = Workload::preset(Preset::SfSmall, 0.15, 10);
+        let pairs = query_pairs(w.pois.len(), 10, 5);
+        let sp = run_sp_oracle(w.mesh.clone(), &w.pois, 1, usize::MAX, 1, &pairs, None)
+            .expect("within budget");
+        let k = run_kalgo(w.mesh.clone(), &w.pois, 1, &pairs, None);
+        // SP-Oracle precomputes, K-Algo searches — same substrate, so the
+        // size relation must hold the paper's way:
+        assert!(sp.size_bytes > k.size_bytes);
+    }
+
+    #[test]
+    fn sp_budget_produces_none() {
+        let w = Workload::preset(Preset::SfSmall, 0.15, 5);
+        let pairs = query_pairs(5, 5, 7);
+        assert!(run_sp_oracle(w.mesh.clone(), &w.pois, 2, 1000, 1, &pairs, None).is_none());
+    }
+}

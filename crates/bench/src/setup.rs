@@ -1,0 +1,137 @@
+//! Workload construction shared by the experiment binaries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use terrain::gen::Preset;
+use terrain::locate::FaceLocator;
+use terrain::poi::{dedup_pois, sample_clustered, SurfacePoint};
+use terrain::TerrainMesh;
+
+/// A dataset: terrain + POI set (the paper's Table 2 rows).
+pub struct Workload {
+    pub name: &'static str,
+    pub mesh: Arc<TerrainMesh>,
+    pub pois: Vec<SurfacePoint>,
+}
+
+impl Workload {
+    /// Builds a preset dataset with clustered POIs (OSM-extract stand-in).
+    pub fn preset(preset: Preset, scale: f64, n_pois: usize) -> Self {
+        let mesh = Arc::new(preset.mesh(scale));
+        let locator = FaceLocator::build(&mesh);
+        let raw = sample_clustered(&mesh, &locator, n_pois, 6, 0.08, preset.seed() ^ 0xB0B);
+        let pois = dedup_pois(&raw, 1e-9);
+        Self { name: preset.name(), mesh, pois }
+    }
+}
+
+/// `count` random ordered POI-index pairs (the paper's "100 queries ...
+/// randomly sampling two POIs").
+pub fn query_pairs(n_pois: usize, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (rng.random_range(0..n_pois), rng.random_range(0..n_pois)))
+        .collect()
+}
+
+/// `count` random coordinate pairs inside the terrain footprint (the
+/// paper's A2A query generation, §5.1).
+pub fn a2a_query_coords(
+    mesh: &TerrainMesh,
+    count: usize,
+    seed: u64,
+) -> Vec<((f64, f64), (f64, f64))> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = mesh.stats();
+    let (lo, hi) = s.bbox;
+    let pick = move |rng: &mut StdRng| {
+        (rng.random_range(lo.x..hi.x), rng.random_range(lo.y..hi.y))
+    };
+    (0..count).map(|_| (pick(&mut rng), pick(&mut rng))).collect()
+}
+
+/// Exact geodesic distances for the query pairs, via the exact engine on
+/// the POI-refined mesh. Grouped per source to reuse SSAD runs.
+pub fn exact_pair_distances(
+    mesh: &TerrainMesh,
+    pois: &[SurfacePoint],
+    pairs: &[(usize, usize)],
+) -> Vec<f64> {
+    use geodesic::engine::{GeodesicEngine, Stop};
+    use geodesic::ich::IchEngine;
+    use terrain::refine::insert_surface_points;
+
+    let refined = insert_surface_points(mesh, pois, None).expect("refinement");
+    let engine = IchEngine::new(Arc::new(refined.mesh));
+    let verts = &refined.poi_vertices;
+
+    // Group queries by source POI.
+    let mut by_source: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+    for (qi, &(s, _)) in pairs.iter().enumerate() {
+        by_source.entry(s).or_default().push(qi);
+    }
+    let mut out = vec![f64::NAN; pairs.len()];
+    for (&s, queries) in &by_source {
+        let targets: Vec<u32> = queries.iter().map(|&qi| verts[pairs[qi].1]).collect();
+        let r = engine.ssad(verts[s], Stop::Targets(&targets));
+        for &qi in queries {
+            out[qi] = r.dist[verts[pairs[qi].1] as usize];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_with_requested_pois() {
+        let w = Workload::preset(Preset::SfSmall, 0.3, 30);
+        assert_eq!(w.pois.len(), 30);
+        assert!(w.mesh.n_vertices() > 100);
+    }
+
+    #[test]
+    fn query_pairs_in_range_and_deterministic() {
+        let a = query_pairs(10, 50, 3);
+        let b = query_pairs(10, 50, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(s, t)| s < 10 && t < 10));
+    }
+
+    #[test]
+    fn exact_distances_match_direct_queries() {
+        use geodesic::engine::GeodesicEngine;
+        use geodesic::ich::IchEngine;
+        use terrain::gen::Heightfield;
+        use terrain::poi::sample_uniform;
+        use terrain::refine::insert_surface_points;
+
+        let mesh = Heightfield::flat(5, 5, 1.0, 1.0).to_mesh();
+        let pois = sample_uniform(&mesh, 6, 1);
+        let pairs = query_pairs(6, 10, 7);
+        let exact = exact_pair_distances(&mesh, &pois, &pairs);
+
+        let refined = insert_surface_points(&mesh, &pois, None).unwrap();
+        let eng = IchEngine::new(Arc::new(refined.mesh));
+        for (qi, &(s, t)) in pairs.iter().enumerate() {
+            let d = eng.distance(refined.poi_vertices[s], refined.poi_vertices[t]);
+            assert!((exact[qi] - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn a2a_coords_inside_bbox() {
+        let w = Workload::preset(Preset::SfSmall, 0.2, 5);
+        let coords = a2a_query_coords(&w.mesh, 20, 5);
+        let s = w.mesh.stats();
+        for &((x1, y1), (x2, y2)) in &coords {
+            for (x, y) in [(x1, y1), (x2, y2)] {
+                assert!(x >= s.bbox.0.x && x <= s.bbox.1.x);
+                assert!(y >= s.bbox.0.y && y <= s.bbox.1.y);
+            }
+        }
+    }
+}

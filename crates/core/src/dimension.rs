@@ -1,0 +1,297 @@
+//! Largest-capacity-dimension estimation (Appendix A).
+//!
+//! The paper's Theorem 2/3 bounds are parameterized by β, the largest
+//! capacity dimension of the POI set under the geodesic metric:
+//! `β = max_{p, r} 0.5·log₂( M(r/2, B(p,r)) / M(2r, B(p,r)) )` with
+//! `M(2r, B(p,r)) = 2`, where `M(r', S)` is the `r'`-packing number. The
+//! paper reports β ∈ [1.3, 1.5] on its terrains; this estimator lets the
+//! experiment harness report the same quantity for ours.
+//!
+//! Packing numbers are estimated with greedy maximal packings (a standard
+//! 2-approximation); ball membership and pairwise distances use the
+//! supplied [`SiteSpace`], so callers choose the accuracy/cost trade-off
+//! via their engine. Ball samples are capped to keep the SSAD count
+//! bounded.
+
+use geodesic::sitespace::SiteSpace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for [`estimate_beta`].
+#[derive(Debug, Clone, Copy)]
+pub struct BetaOptions {
+    /// Number of ball centers sampled.
+    pub centers: usize,
+    /// Radii tried per center, geometrically spaced in `(0, r_max]`.
+    pub radii_per_center: usize,
+    /// Cap on ball members used for the packing (larger balls are
+    /// subsampled; packing numbers only shrink, so the estimate stays a
+    /// lower bound).
+    pub max_ball: usize,
+    pub seed: u64,
+}
+
+impl Default for BetaOptions {
+    fn default() -> Self {
+        Self { centers: 6, radii_per_center: 3, max_ball: 48, seed: 0xBE7A }
+    }
+}
+
+/// Result of a β estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaEstimate {
+    /// The estimated largest capacity dimension.
+    pub beta: f64,
+    /// Balls actually examined (non-trivial ones).
+    pub balls: usize,
+}
+
+/// Estimates the largest capacity dimension of the sites in `space`.
+pub fn estimate_beta(space: &dyn SiteSpace, opts: &BetaOptions) -> BetaEstimate {
+    let n = space.n_sites();
+    if n < 3 {
+        return BetaEstimate { beta: 0.0, balls: 0 };
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut beta: f64 = 0.0;
+    let mut balls = 0usize;
+
+    for _ in 0..opts.centers {
+        let p = rng.random_range(0..n);
+        let all = space.all_distances(p);
+        let r_max = all.iter().cloned().filter(|d| d.is_finite()).fold(0.0, f64::max);
+        if r_max <= 0.0 {
+            continue;
+        }
+        for k in 0..opts.radii_per_center {
+            // Radii r_max/2, r_max/4, ... — the scales where balls are
+            // non-trivial but proper subsets.
+            let r = r_max / (1u64 << (k + 1)) as f64;
+            // Ball members by distance from p (exact: these are geodesic
+            // distances from the SSAD above).
+            let mut members: Vec<usize> =
+                (0..n).filter(|&s| all[s] <= r).collect();
+            if members.len() < 3 {
+                continue;
+            }
+            if members.len() > opts.max_ball {
+                // Deterministic subsample.
+                for i in (1..members.len()).rev() {
+                    members.swap(i, rng.random_range(0..=i));
+                }
+                members.truncate(opts.max_ball);
+            }
+            // Greedy (r/2)-packing of the ball.
+            let m_half = greedy_packing(space, &members, r / 2.0);
+            balls += 1;
+            // Definition 1: capacity dimension of B(p, r) is
+            // 0.5·log2(M(r/2)/M(2r)) with M(2r) = 2.
+            let dim = 0.5 * ((m_half as f64) / 2.0).log2();
+            beta = beta.max(dim);
+        }
+    }
+    BetaEstimate { beta, balls }
+}
+
+/// Options for [`estimate_theta`].
+#[derive(Debug, Clone, Copy)]
+pub struct ThetaOptions {
+    /// Number of center vertices sampled.
+    pub centers: usize,
+    /// Radii tried per center, geometrically spaced below the reach.
+    pub radii_per_center: usize,
+    /// Minimum half-ball population for a sample to count (tiny balls make
+    /// the ratio meaningless).
+    pub min_half_ball: usize,
+    pub seed: u64,
+}
+
+impl Default for ThetaOptions {
+    fn default() -> Self {
+        Self { centers: 6, radii_per_center: 3, min_half_ball: 8, seed: 0x7EE7 }
+    }
+}
+
+/// Result of a θ estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThetaEstimate {
+    /// The estimated vertex-growth exponent.
+    pub theta: f64,
+    /// Ball pairs actually examined.
+    pub samples: usize,
+}
+
+/// Estimates the terrain's vertex-growth parameter θ of the paper's
+/// Lemma 12: the largest θ such that every disk `D(c, r)` holds at least
+/// `2^θ ×` the vertices of `D(c, r/2)`. The construction-time analysis
+/// `O(N log²N / ε^{2β})` needs θ ≥ β, which the paper verifies
+/// empirically — [`estimate_theta`] lets the harness report the same
+/// check for our terrains (θ ≈ 2 on quasi-planar surfaces, since vertex
+/// counts grow with disk area).
+///
+/// The estimate takes the minimum growth ratio over sampled `(c, r)`
+/// pairs, mirroring the universal quantifier in the definition.
+pub fn estimate_theta(
+    engine: &dyn geodesic::engine::GeodesicEngine,
+    opts: &ThetaOptions,
+) -> ThetaEstimate {
+    use geodesic::engine::Stop;
+    let nv = engine.mesh().n_vertices();
+    if nv < 8 {
+        return ThetaEstimate { theta: 0.0, samples: 0 };
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut theta = f64::INFINITY;
+    let mut samples = 0usize;
+    for _ in 0..opts.centers {
+        let c = rng.random_range(0..nv as u32);
+        let dist = engine.ssad(c, Stop::Exhaust).dist;
+        let r_max = dist.iter().cloned().filter(|d| d.is_finite()).fold(0.0, f64::max);
+        if r_max <= 0.0 {
+            continue;
+        }
+        // Start below the full reach: at r ≈ r_max the outer disk
+        // saturates the bounded terrain and the growth ratio reflects the
+        // boundary, not the surface. Lemma 12 applies θ to the bounded
+        // SSAD expansions at intermediate scales, so those are what we
+        // sample.
+        for k in 1..=opts.radii_per_center {
+            let r = r_max / (1u64 << k) as f64;
+            if r / 2.0 >= r_max {
+                continue; // the half disk already covers the whole reach
+            }
+            let n_r = dist.iter().filter(|&&d| d <= r).count();
+            let n_half = dist.iter().filter(|&&d| d <= r / 2.0).count();
+            if n_half < opts.min_half_ball {
+                continue;
+            }
+            samples += 1;
+            theta = theta.min((n_r as f64 / n_half as f64).log2());
+        }
+    }
+    if samples == 0 {
+        return ThetaEstimate { theta: 0.0, samples };
+    }
+    ThetaEstimate { theta, samples }
+}
+
+/// Size of a greedy maximal `sep`-separated subset of `members`.
+fn greedy_packing(space: &dyn SiteSpace, members: &[usize], sep: f64) -> usize {
+    let mut chosen: Vec<usize> = Vec::new();
+    // Distances from each chosen site to all candidates, computed lazily
+    // one SSAD-equivalent (`sites_within`) per chosen site would also work;
+    // pairwise `distance` keeps the space interface minimal here because
+    // packing sets are small.
+    for &cand in members {
+        let ok = chosen.iter().all(|&c| space.distance(c, cand) >= sep);
+        if ok {
+            chosen.push(cand);
+        }
+    }
+    chosen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodesic::dijkstra::EdgeGraphEngine;
+    use geodesic::ich::IchEngine;
+    use geodesic::sitespace::VertexSiteSpace;
+    use std::sync::Arc;
+    use terrain::gen::{diamond_square, Heightfield};
+
+    #[test]
+    fn flat_plane_beta_near_planar_bound() {
+        // Appendix A: on a 2-D plane β ≤ 1.3 (from the 12-circle packing
+        // bound). A greedy estimate on a flat grid must land at or below
+        // ~1.3 and clearly above 0.
+        let mesh = Arc::new(Heightfield::flat(17, 17, 1.0, 1.0).to_mesh());
+        let sites: Vec<u32> = (0..mesh.n_vertices() as u32).collect();
+        let sp = VertexSiteSpace::new(Arc::new(IchEngine::new(mesh)), sites);
+        let est = estimate_beta(&sp, &BetaOptions { centers: 4, ..Default::default() });
+        assert!(est.balls > 0);
+        assert!(est.beta > 0.5, "beta {} too small", est.beta);
+        assert!(est.beta <= 1.35, "beta {} above planar bound", est.beta);
+    }
+
+    #[test]
+    fn fractal_terrain_beta_in_paper_band() {
+        // The paper reports β ∈ [1.3, 1.5] on real terrain; a greedy
+        // estimate is a lower bound, so assert a slightly wider band.
+        let mesh = Arc::new(diamond_square(4, 0.65, 5).to_mesh());
+        let sites: Vec<u32> = (0..mesh.n_vertices() as u32).collect();
+        let sp = VertexSiteSpace::new(Arc::new(EdgeGraphEngine::new(mesh)), sites);
+        let est = estimate_beta(&sp, &BetaOptions::default());
+        assert!(est.beta > 0.6 && est.beta < 1.8, "beta {}", est.beta);
+    }
+
+    #[test]
+    fn tiny_site_sets_are_zero() {
+        let mesh = Arc::new(Heightfield::flat(3, 3, 1.0, 1.0).to_mesh());
+        let sp = VertexSiteSpace::new(Arc::new(IchEngine::new(mesh)), vec![0, 8]);
+        let est = estimate_beta(&sp, &BetaOptions::default());
+        assert_eq!(est.beta, 0.0);
+        assert_eq!(est.balls, 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mesh = Arc::new(diamond_square(3, 0.6, 9).to_mesh());
+        let sites: Vec<u32> = (0..mesh.n_vertices() as u32).step_by(3).collect();
+        let sp = VertexSiteSpace::new(Arc::new(EdgeGraphEngine::new(mesh)), sites);
+        let a = estimate_beta(&sp, &BetaOptions::default());
+        let b = estimate_beta(&sp, &BetaOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn theta_on_flat_grid_is_area_like() {
+        // Vertex counts on a plane grow with disk area: doubling the
+        // radius roughly quadruples the count, so θ sits near 2 (boundary
+        // truncation pulls the minimum down a little).
+        let mesh = Arc::new(Heightfield::flat(21, 21, 1.0, 1.0).to_mesh());
+        let eng = EdgeGraphEngine::new(mesh);
+        let est = estimate_theta(&eng, &ThetaOptions::default());
+        assert!(est.samples > 0);
+        assert!(est.theta > 0.8, "theta {} too small for a plane", est.theta);
+        assert!(est.theta < 2.5, "theta {} above planar growth", est.theta);
+    }
+
+    #[test]
+    fn theta_at_least_beta_on_terrain() {
+        // The paper's Lemma 12 analysis relies on the empirical
+        // observation θ ≥ β. That observation is about *exact* geodesics —
+        // graph metrics inflate some distances and can push β above the
+        // band — so verify it with the exact engine on a moderate terrain.
+        let mesh = Arc::new(diamond_square(4, 0.5, 5).to_mesh());
+        let eng = Arc::new(IchEngine::new(mesh.clone()));
+        let est_t = estimate_theta(eng.as_ref(), &ThetaOptions::default());
+        let sites: Vec<u32> = (0..mesh.n_vertices() as u32).collect();
+        let sp = VertexSiteSpace::new(eng, sites);
+        let est_b = estimate_beta(&sp, &BetaOptions::default());
+        assert!(
+            est_t.theta >= est_b.beta - 0.3,
+            "theta {} far below beta {}",
+            est_t.theta,
+            est_b.beta
+        );
+    }
+
+    #[test]
+    fn theta_degenerate_inputs() {
+        let mesh = Arc::new(Heightfield::flat(2, 2, 1.0, 1.0).to_mesh());
+        let eng = EdgeGraphEngine::new(mesh);
+        let est = estimate_theta(&eng, &ThetaOptions::default());
+        assert_eq!(est.theta, 0.0);
+        assert_eq!(est.samples, 0);
+    }
+
+    #[test]
+    fn theta_deterministic() {
+        let mesh = Arc::new(diamond_square(3, 0.5, 11).to_mesh());
+        let eng = EdgeGraphEngine::new(mesh);
+        let a = estimate_theta(&eng, &ThetaOptions::default());
+        let b = estimate_theta(&eng, &ThetaOptions::default());
+        assert_eq!(a, b);
+    }
+}

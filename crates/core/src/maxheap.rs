@@ -1,0 +1,92 @@
+//! A lazily-revalidated max-heap keyed by `usize` counts.
+//!
+//! The greedy point-selection strategy keeps cells ordered by how many
+//! uncovered POIs they contain; counts only decrease, so stale heap entries
+//! are discarded at pop time by re-checking against the live count.
+
+use std::collections::BinaryHeap;
+
+/// Max-heap of `(count, item)` with lazy deletion.
+#[derive(Debug, Clone)]
+pub struct LazyMaxHeap<T> {
+    heap: BinaryHeap<(usize, T)>,
+}
+
+impl<T: Ord + Copy> LazyMaxHeap<T> {
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new() }
+    }
+
+    /// Inserts `item` with priority `count`.
+    pub fn push(&mut self, count: usize, item: T) {
+        self.heap.push((count, item));
+    }
+
+    /// Pops the item with the largest *live* count, where `live` reports the
+    /// current count of an item. Entries whose recorded count is stale are
+    /// re-inserted with their live count (if still positive) and skipped.
+    pub fn pop_valid(&mut self, live: impl Fn(&T) -> usize) -> Option<T> {
+        while let Some((recorded, item)) = self.heap.pop() {
+            let actual = live(&item);
+            if actual == 0 {
+                continue;
+            }
+            if actual == recorded {
+                return Some(item);
+            }
+            // Stale: requeue with the fresh count and keep looking. The
+            // requeued entry is exact, so it is returned if it surfaces
+            // again — no infinite loop.
+            self.heap.push((actual, item));
+        }
+        None
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T: Ord + Copy> Default for LazyMaxHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn pops_largest_live_count() {
+        let mut counts: HashMap<u32, usize> = [(1, 5), (2, 9), (3, 2)].into();
+        let mut h = LazyMaxHeap::new();
+        for (&k, &c) in &counts {
+            h.push(c, k);
+        }
+        assert_eq!(h.pop_valid(|k| counts[k]), Some(2));
+        // Decay item 2's count below item 1's: now 1 should win.
+        counts.insert(2, 1);
+        h.push(9, 2); // stale entry
+        assert_eq!(h.pop_valid(|k| counts[k]), Some(1));
+    }
+
+    #[test]
+    fn skips_emptied_items() {
+        let counts: HashMap<u32, usize> = [(1, 0), (2, 0), (3, 4)].into();
+        let mut h = LazyMaxHeap::new();
+        h.push(7, 1);
+        h.push(3, 2);
+        h.push(4, 3);
+        assert_eq!(h.pop_valid(|k| counts[k]), Some(3));
+        assert_eq!(h.pop_valid(|k| counts[k]), None);
+    }
+
+    #[test]
+    fn empty_heap_returns_none() {
+        let mut h: LazyMaxHeap<u32> = LazyMaxHeap::new();
+        assert_eq!(h.pop_valid(|_| 1), None);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! P2P and V2V front-ends: from a terrain mesh and a POI set to a queryable
+//! SE oracle.
+//!
+//! POIs are arbitrary surface points (§2); this module inserts them into
+//! the mesh as vertices (an isometric refinement), merges co-located POIs
+//! (the paper's §2 preprocessing step), picks a geodesic engine, and builds
+//! the [`SeOracle`] over the resulting vertex sites. V2V queries (§5.2.2)
+//! are the special case `P = V` with no refinement.
+
+use crate::oracle::{BuildConfig, BuildError, SeOracle};
+use geodesic::dijkstra::EdgeGraphEngine;
+use geodesic::engine::GeodesicEngine;
+use geodesic::ich::IchEngine;
+use geodesic::sitespace::VertexSiteSpace;
+use geodesic::steiner::{SteinerEngine, SteinerGraph};
+use std::sync::Arc;
+use terrain::poi::SurfacePoint;
+use terrain::refine::insert_surface_points;
+use terrain::{MeshError, TerrainMesh, VertexId};
+
+/// Which geodesic backend the oracle construction uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Exact continuous Dijkstra (faithful to the paper's SSAD).
+    Exact,
+    /// Mesh-edge Dijkstra (fast upper-bound approximation).
+    EdgeGraph,
+    /// Steiner-graph Dijkstra with `points_per_edge` Steiner points.
+    Steiner { points_per_edge: usize },
+}
+
+/// Errors from the P2P/V2V front-end.
+#[derive(Debug)]
+pub enum P2PError {
+    /// No POIs supplied.
+    NoPois,
+    /// Mesh refinement produced an invalid mesh (should not happen on
+    /// valid inputs).
+    Refine(MeshError),
+    Build(BuildError),
+}
+
+impl std::fmt::Display for P2PError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            P2PError::NoPois => write!(f, "POI set is empty"),
+            P2PError::Refine(e) => write!(f, "mesh refinement failed: {e}"),
+            P2PError::Build(e) => write!(f, "oracle construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for P2PError {}
+
+/// A P2P (or V2V) distance oracle: SE over POIs realised as mesh vertices.
+pub struct P2POracle {
+    mesh: Arc<TerrainMesh>,
+    engine: Arc<dyn GeodesicEngine>,
+    oracle: SeOracle,
+    /// Vertex realising each input POI.
+    poi_vertices: Vec<VertexId>,
+    /// Site index for each input POI (co-located POIs share a site).
+    site_of_poi: Vec<usize>,
+    /// Vertex of each site.
+    site_vertices: Vec<VertexId>,
+}
+
+impl P2POracle {
+    /// Builds a P2P oracle: refine mesh at the POIs, merge duplicates,
+    /// construct SE with error parameter `eps`.
+    pub fn build(
+        mesh: &TerrainMesh,
+        pois: &[SurfacePoint],
+        eps: f64,
+        engine: EngineKind,
+        cfg: &BuildConfig,
+    ) -> Result<Self, P2PError> {
+        if pois.is_empty() {
+            return Err(P2PError::NoPois);
+        }
+        let refined = insert_surface_points(mesh, pois, None).map_err(P2PError::Refine)?;
+        Self::from_vertices(Arc::new(refined.mesh), refined.poi_vertices, eps, engine, cfg)
+    }
+
+    /// Builds a V2V oracle: every mesh vertex is a POI, no refinement
+    /// ("the original POIs are discarded, and we treat all vertices as
+    /// POIs", §5.2.2).
+    pub fn build_v2v(
+        mesh: Arc<TerrainMesh>,
+        eps: f64,
+        engine: EngineKind,
+        cfg: &BuildConfig,
+    ) -> Result<Self, P2PError> {
+        let verts: Vec<VertexId> = (0..mesh.n_vertices() as VertexId).collect();
+        Self::from_vertices(mesh, verts, eps, engine, cfg)
+    }
+
+    fn from_vertices(
+        mesh: Arc<TerrainMesh>,
+        poi_vertices: Vec<VertexId>,
+        eps: f64,
+        engine: EngineKind,
+        cfg: &BuildConfig,
+    ) -> Result<Self, P2PError> {
+        // Merge co-located POIs: distinct sites in first-appearance order.
+        let mut site_of_vertex = std::collections::HashMap::new();
+        let mut site_vertices: Vec<VertexId> = Vec::new();
+        let mut site_of_poi = Vec::with_capacity(poi_vertices.len());
+        for &v in &poi_vertices {
+            let site = *site_of_vertex.entry(v).or_insert_with(|| {
+                site_vertices.push(v);
+                site_vertices.len() - 1
+            });
+            site_of_poi.push(site);
+        }
+
+        let engine: Arc<dyn GeodesicEngine> = match engine {
+            EngineKind::Exact => Arc::new(IchEngine::new(mesh.clone())),
+            EngineKind::EdgeGraph => Arc::new(EdgeGraphEngine::new(mesh.clone())),
+            EngineKind::Steiner { points_per_edge } => Arc::new(SteinerEngine::new(
+                SteinerGraph::with_points_per_edge(mesh.clone(), points_per_edge),
+            )),
+        };
+        let space = VertexSiteSpace::new(engine.clone(), site_vertices.clone());
+        let oracle = SeOracle::build(&space, eps, cfg).map_err(P2PError::Build)?;
+        Ok(Self { mesh, engine, oracle, poi_vertices, site_of_poi, site_vertices })
+    }
+
+    /// ε-approximate geodesic distance between POIs `a` and `b`
+    /// (input-order indices).
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        self.oracle.distance(self.site_of_poi[a], self.site_of_poi[b])
+    }
+
+    /// Geodesic distance computed by the underlying engine (exact when the
+    /// engine is [`EngineKind::Exact`]) — used for error measurements.
+    pub fn engine_distance(&self, a: usize, b: usize) -> f64 {
+        self.engine.distance(self.poi_vertices[a], self.poi_vertices[b])
+    }
+
+    /// Number of input POIs.
+    pub fn n_pois(&self) -> usize {
+        self.poi_vertices.len()
+    }
+
+    /// Number of distinct sites after merging co-located POIs.
+    pub fn n_sites(&self) -> usize {
+        self.site_vertices.len()
+    }
+
+    /// The underlying SE oracle.
+    pub fn oracle(&self) -> &SeOracle {
+        &self.oracle
+    }
+
+    /// The (refined) mesh the oracle lives on.
+    pub fn mesh(&self) -> &Arc<TerrainMesh> {
+        &self.mesh
+    }
+
+    /// The engine used for construction.
+    pub fn engine(&self) -> &Arc<dyn GeodesicEngine> {
+        &self.engine
+    }
+
+    /// Vertex realising POI `i` on the refined mesh.
+    pub fn poi_vertex(&self, i: usize) -> VertexId {
+        self.poi_vertices[i]
+    }
+
+    /// Oracle size in bytes (tree + node-pair hash; matches the paper's
+    /// "oracle size" measurement).
+    pub fn storage_bytes(&self) -> usize {
+        self.oracle.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terrain::gen::{diamond_square, Heightfield};
+    use terrain::poi::sample_uniform;
+
+    #[test]
+    fn p2p_end_to_end_error_bound() {
+        let mesh = diamond_square(4, 0.6, 21).to_mesh();
+        let pois = sample_uniform(&mesh, 20, 3);
+        let eps = 0.2;
+        let o =
+            P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+                .unwrap();
+        assert_eq!(o.n_pois(), 20);
+        for a in 0..20 {
+            for b in a..20 {
+                let approx = o.distance(a, b);
+                let exact = o.engine_distance(a, b);
+                assert!(
+                    (approx - exact).abs() <= eps * exact + 1e-9,
+                    "POIs ({a},{b}): {approx} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colocated_pois_merge_to_one_site() {
+        let mesh = Heightfield::flat(5, 5, 1.0, 1.0).to_mesh();
+        let mut pois = sample_uniform(&mesh, 8, 5);
+        pois.push(pois[2]);
+        pois.push(pois[2]);
+        let o = P2POracle::build(&mesh, &pois, 0.3, EngineKind::Exact, &BuildConfig::default())
+            .unwrap();
+        assert_eq!(o.n_pois(), 10);
+        assert_eq!(o.n_sites(), 8);
+        assert_eq!(o.distance(2, 8), 0.0);
+        assert_eq!(o.distance(8, 9), 0.0);
+        // Distances through merged POIs agree.
+        assert_eq!(o.distance(0, 2), o.distance(0, 9));
+    }
+
+    #[test]
+    fn empty_pois_rejected() {
+        let mesh = Heightfield::flat(3, 3, 1.0, 1.0).to_mesh();
+        assert!(matches!(
+            P2POracle::build(&mesh, &[], 0.1, EngineKind::Exact, &BuildConfig::default()),
+            Err(P2PError::NoPois)
+        ));
+    }
+
+    #[test]
+    fn v2v_on_flat_grid_matches_euclidean_within_eps() {
+        let mesh = Arc::new(Heightfield::flat(6, 6, 1.0, 1.0).to_mesh());
+        let eps = 0.1;
+        let o = P2POracle::build_v2v(mesh.clone(), eps, EngineKind::Exact, &BuildConfig::default())
+            .unwrap();
+        assert_eq!(o.n_pois(), 36);
+        for a in 0..36usize {
+            for b in (a..36).step_by(5) {
+                let exact = mesh.vertex(a as u32).dist(mesh.vertex(b as u32));
+                let approx = o.distance(a, b);
+                assert!(
+                    (approx - exact).abs() <= eps * exact + 1e-9,
+                    "({a},{b}): {approx} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_graph_engine_still_satisfies_relative_bound() {
+        // With an approximate engine the oracle is ε-approximate w.r.t.
+        // that engine's metric.
+        let mesh = diamond_square(4, 0.6, 33).to_mesh();
+        let pois = sample_uniform(&mesh, 15, 7);
+        let eps = 0.25;
+        let o = P2POracle::build(&mesh, &pois, eps, EngineKind::EdgeGraph, &BuildConfig::default())
+            .unwrap();
+        for a in 0..15 {
+            for b in 0..15 {
+                let approx = o.distance(a, b);
+                let engine_d = o.engine_distance(a, b);
+                assert!((approx - engine_d).abs() <= eps * engine_d + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn steiner_engine_builds() {
+        let mesh = diamond_square(3, 0.6, 35).to_mesh();
+        let pois = sample_uniform(&mesh, 10, 9);
+        let o = P2POracle::build(
+            &mesh,
+            &pois,
+            0.3,
+            EngineKind::Steiner { points_per_edge: 2 },
+            &BuildConfig::default(),
+        )
+        .unwrap();
+        // Sanity: symmetric, zero diagonal, positive off-diagonal.
+        for a in 0..10 {
+            assert_eq!(o.distance(a, a), 0.0);
+            for b in 0..10 {
+                assert_eq!(o.distance(a, b), o.distance(b, a));
+                if a != b {
+                    assert!(o.distance(a, b) > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Oracle persistence: a versioned, checksummed binary image of a built
+//! [`SeOracle`].
+//!
+//! The paper's "oracle size" measurement is exactly what a deployment would
+//! write to disk: the compressed partition tree plus the node-pair set.
+//! This module serializes those two components (everything a query needs)
+//! in a flat little-endian format; the perfect hash is *rebuilt* on load
+//! from the stored entries, which costs expected `O(pairs)` — the same
+//! complexity as reading them — and keeps hash-function internals out of
+//! the format, so the on-disk layout survives hashing changes.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "SEOR"          4 bytes
+//! version u32            currently 1
+//! payload length u64
+//! payload:
+//!   eps f64
+//!   r0 f64, h u32, root u32
+//!   node count u32, then per node: center u32, layer u32, parent u32,
+//!                                  radius f64
+//!   site count u32, then leaf_of_site u32 each
+//!   pair count u64, then per pair: key u64, dist f64
+//! checksum u64           FNV-1a over the payload bytes
+//! ```
+
+use crate::ctree::{CNode, CompressedTree};
+use crate::oracle::SeOracle;
+use crate::tree::NO_NODE;
+use std::io::{self, Read, Write};
+
+const MAGIC: [u8; 4] = *b"SEOR";
+const VERSION: u32 = 1;
+/// Salt for the rebuilt perfect hash; any value works, a fixed one keeps
+/// loads deterministic.
+const REBUILD_SEED: u64 = 0x5E0A_AC1E_0F11_E5ED;
+
+/// Deserialization failures.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(io::Error),
+    /// Not an SE oracle image.
+    BadMagic([u8; 4]),
+    /// Image written by an unknown format version.
+    BadVersion(u32),
+    /// Structurally invalid image (message names the first violation).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            PersistError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt oracle image: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.at + n > self.buf.len() {
+            return Err(PersistError::Corrupt("truncated payload"));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+impl SeOracle {
+    /// Serializes the oracle to `w`.
+    pub fn save_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let t = self.tree();
+        let mut p: Vec<u8> = Vec::with_capacity(64 + 24 * t.n_nodes() + 16 * self.n_pairs());
+        p.extend_from_slice(&self.epsilon().to_le_bytes());
+        p.extend_from_slice(&t.r0.to_le_bytes());
+        p.extend_from_slice(&t.h.to_le_bytes());
+        p.extend_from_slice(&t.root.to_le_bytes());
+        p.extend_from_slice(&(t.n_nodes() as u32).to_le_bytes());
+        for n in &t.nodes {
+            p.extend_from_slice(&n.center.to_le_bytes());
+            p.extend_from_slice(&n.layer.to_le_bytes());
+            p.extend_from_slice(&n.parent.to_le_bytes());
+            p.extend_from_slice(&n.radius.to_le_bytes());
+        }
+        p.extend_from_slice(&(t.leaf_of_site.len() as u32).to_le_bytes());
+        for &leaf in &t.leaf_of_site {
+            p.extend_from_slice(&leaf.to_le_bytes());
+        }
+        p.extend_from_slice(&(self.n_pairs() as u64).to_le_bytes());
+        for (k, d) in self.pair_entries() {
+            p.extend_from_slice(&k.to_le_bytes());
+            p.extend_from_slice(&d.to_le_bytes());
+        }
+
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(p.len() as u64).to_le_bytes())?;
+        w.write_all(&p)?;
+        w.write_all(&fnv1a(&p).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Serializes to an in-memory buffer.
+    pub fn save_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.save_to(&mut out).expect("Vec<u8> writes are infallible");
+        out
+    }
+
+    /// Deserializes an oracle written by [`Self::save_to`], validating the
+    /// checksum and every structural invariant (tree shape, layer
+    /// monotonicity, leaf mapping) before returning.
+    pub fn load_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let mut head = [0u8; 16];
+        r.read_exact(&mut head)?;
+        let magic: [u8; 4] = head[0..4].try_into().expect("4 bytes");
+        if magic != MAGIC {
+            return Err(PersistError::BadMagic(magic));
+        }
+        let version = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(PersistError::BadVersion(version));
+        }
+        let len = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+        if len > (1 << 40) {
+            return Err(PersistError::Corrupt("implausible payload length"));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        let mut sum = [0u8; 8];
+        r.read_exact(&mut sum)?;
+        if u64::from_le_bytes(sum) != fnv1a(&payload) {
+            return Err(PersistError::Corrupt("checksum mismatch"));
+        }
+
+        let mut c = Cursor { buf: &payload, at: 0 };
+        let eps = c.f64()?;
+        if !(eps > 0.0 && eps.is_finite()) {
+            return Err(PersistError::Corrupt("invalid ε"));
+        }
+        let r0 = c.f64()?;
+        let h = c.u32()?;
+        let root = c.u32()?;
+        let n_nodes = c.u32()? as usize;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            nodes.push(CNode {
+                center: c.u32()?,
+                layer: c.u32()?,
+                parent: c.u32()?,
+                children: Vec::new(),
+                radius: c.f64()?,
+            });
+        }
+        let n_sites = c.u32()? as usize;
+        let mut leaf_of_site = Vec::with_capacity(n_sites);
+        for _ in 0..n_sites {
+            leaf_of_site.push(c.u32()?);
+        }
+        let n_pairs = c.u64()? as usize;
+        let mut entries = Vec::with_capacity(n_pairs);
+        for _ in 0..n_pairs {
+            entries.push((c.u64()?, c.f64()?));
+        }
+        if c.at != payload.len() {
+            return Err(PersistError::Corrupt("trailing bytes in payload"));
+        }
+
+        // Rebuild children lists and validate the tree.
+        if root as usize >= n_nodes {
+            return Err(PersistError::Corrupt("root out of range"));
+        }
+        let parents: Vec<u32> = nodes.iter().map(|n| n.parent).collect();
+        for (id, &p) in parents.iter().enumerate() {
+            if id as u32 == root {
+                if p != NO_NODE {
+                    return Err(PersistError::Corrupt("root has a parent"));
+                }
+                continue;
+            }
+            if p == NO_NODE || p as usize >= n_nodes {
+                return Err(PersistError::Corrupt("non-root node without valid parent"));
+            }
+            if nodes[p as usize].layer >= nodes[id].layer {
+                return Err(PersistError::Corrupt("parent layer not higher than child"));
+            }
+            nodes[p as usize].children.push(id as u32);
+        }
+        for (site, &leaf) in leaf_of_site.iter().enumerate() {
+            let ok = (leaf as usize) < n_nodes
+                && nodes[leaf as usize].children.is_empty()
+                && nodes[leaf as usize].center as usize == site;
+            if !ok {
+                return Err(PersistError::Corrupt("leaf_of_site mapping broken"));
+            }
+        }
+
+        let ctree = CompressedTree { nodes, root, r0, h, leaf_of_site };
+        Ok(SeOracle::from_parts(eps, ctree, entries, REBUILD_SEED))
+    }
+
+    /// Deserializes from an in-memory buffer.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = bytes;
+        Self::load_from(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::BuildConfig;
+    use geodesic::ich::IchEngine;
+    use geodesic::sitespace::VertexSiteSpace;
+    use std::sync::Arc;
+    use terrain::gen::diamond_square;
+    use terrain::poi::sample_uniform;
+    use terrain::refine::insert_surface_points;
+
+    fn oracle(n: usize, seed: u64, eps: f64) -> SeOracle {
+        let mesh = diamond_square(4, 0.6, seed).to_mesh();
+        let pois = sample_uniform(&mesh, n, seed ^ 0x9E);
+        let refined = insert_surface_points(&mesh, &pois, None).unwrap();
+        let mut sites = refined.poi_vertices.clone();
+        sites.sort_unstable();
+        sites.dedup();
+        let sp = VertexSiteSpace::new(Arc::new(IchEngine::new(Arc::new(refined.mesh))), sites);
+        SeOracle::build(&sp, eps, &BuildConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_answer() {
+        let o = oracle(25, 21, 0.15);
+        let bytes = o.save_bytes();
+        let loaded = SeOracle::load_bytes(&bytes).unwrap();
+        assert_eq!(loaded.epsilon(), o.epsilon());
+        assert_eq!(loaded.n_sites(), o.n_sites());
+        assert_eq!(loaded.n_pairs(), o.n_pairs());
+        assert_eq!(loaded.height(), o.height());
+        for s in 0..o.n_sites() {
+            for t in 0..o.n_sites() {
+                assert_eq!(loaded.distance(s, t), o.distance(s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_stable() {
+        // save(load(save(x))) == save(load(x)) — the image is canonical
+        // after one round trip.
+        let o = oracle(12, 23, 0.25);
+        let b1 = o.save_bytes();
+        let l1 = SeOracle::load_bytes(&b1).unwrap();
+        let b2 = l1.save_bytes();
+        let l2 = SeOracle::load_bytes(&b2).unwrap();
+        assert_eq!(b2, l2.save_bytes());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let o = oracle(8, 25, 0.3);
+        let mut bytes = o.save_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(SeOracle::load_bytes(&bytes), Err(PersistError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let o = oracle(8, 27, 0.3);
+        let mut bytes = o.save_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            SeOracle::load_bytes(&bytes),
+            Err(PersistError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let o = oracle(10, 29, 0.2);
+        let mut bytes = o.save_bytes();
+        let mid = 16 + (bytes.len() - 24) / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            SeOracle::load_bytes(&bytes),
+            Err(PersistError::Corrupt("checksum mismatch"))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let o = oracle(10, 31, 0.2);
+        let bytes = o.save_bytes();
+        for cut in [3usize, 15, 20, bytes.len() - 4] {
+            assert!(
+                SeOracle::load_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(SeOracle::load_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn queries_after_reload_stay_within_eps() {
+        // End-to-end: the reloaded oracle keeps the ε guarantee against
+        // freshly computed exact distances.
+        let mesh = diamond_square(4, 0.6, 33).to_mesh();
+        let pois = sample_uniform(&mesh, 15, 0x33);
+        let refined = insert_surface_points(&mesh, &pois, None).unwrap();
+        let mut sites = refined.poi_vertices.clone();
+        sites.sort_unstable();
+        sites.dedup();
+        let sp = VertexSiteSpace::new(
+            Arc::new(IchEngine::new(Arc::new(refined.mesh))),
+            sites,
+        );
+        let eps = 0.2;
+        let o = SeOracle::build(&sp, eps, &BuildConfig::default()).unwrap();
+        let loaded = SeOracle::load_bytes(&o.save_bytes()).unwrap();
+        use geodesic::sitespace::SiteSpace;
+        for s in 0..loaded.n_sites() {
+            let exact = sp.all_distances(s);
+            for t in 0..loaded.n_sites() {
+                let d = loaded.distance(s, t);
+                assert!((d - exact[t]).abs() <= eps * exact[t] + 1e-9);
+            }
+        }
+    }
+}

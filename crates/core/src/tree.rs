@@ -1,0 +1,520 @@
+//! The partition tree of §3.2: a hierarchy of geodesic disks over the POI
+//! set satisfying the Separation, Covering and Distance properties.
+//!
+//! Layer `i` consists of disks of radius `r₀/2^i` whose centers are ≥ that
+//! radius apart (Separation) and jointly cover all POIs (Covering); every
+//! descendant's center lies within twice a node's radius (Distance,
+//! Lemma 1). Construction follows the paper's top-down recipe: previous-
+//! layer centers are re-selected first, then remaining POIs are chosen by a
+//! pluggable strategy (random, or the greedy densest-cell heuristic of
+//! Implementation Detail 1) until the layer covers everything; the process
+//! stops at the first layer with `n` nodes.
+
+use geodesic::sitespace::SiteSpace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Sentinel for "no node".
+pub const NO_NODE: u32 = u32::MAX;
+
+/// Point-selection strategy for Step 2(b)(i) of the construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionStrategy {
+    /// Pick an uncovered POI uniformly at random.
+    Random,
+    /// Pick from the densest grid cell (Implementation Detail 1's grid +
+    /// B⁺-tree + max-heap bookkeeping, realised with a hash grid and a
+    /// lazy max-heap).
+    Greedy,
+}
+
+/// A node of the (original) partition tree.
+#[derive(Debug, Clone)]
+pub struct PNode {
+    /// Site index of the center (a POI).
+    pub center: u32,
+    /// Layer number (0 = root).
+    pub layer: u32,
+    /// Parent node id (`NO_NODE` for the root).
+    pub parent: u32,
+    /// Child node ids.
+    pub children: Vec<u32>,
+}
+
+/// The original (uncompressed) partition tree `T_org`.
+#[derive(Debug, Clone)]
+pub struct PartitionTree {
+    pub nodes: Vec<PNode>,
+    /// Node ids per layer.
+    pub layers: Vec<Vec<u32>>,
+    /// Root radius `r₀`.
+    pub r0: f64,
+    /// For each site, its ancestor node id at every layer `0..=h`
+    /// (row-major `site * (h+1) + layer`). Every leaf chain reaches the
+    /// root, so all entries are valid.
+    anc: Vec<u32>,
+}
+
+/// Why construction failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// No sites.
+    Empty,
+    /// Two sites coincide (geodesic distance 0) — the paper requires
+    /// duplicate POIs to be merged beforehand (§2).
+    DuplicateSites { a: usize, b: usize },
+    /// A site was unreachable from the root center (disconnected metric).
+    Unreachable { site: usize },
+    /// Exceeded the layer safety bound (ill-conditioned distances).
+    TooDeep,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "no sites to index"),
+            TreeError::DuplicateSites { a, b } => {
+                write!(f, "sites {a} and {b} coincide; merge duplicate POIs first")
+            }
+            TreeError::Unreachable { site } => {
+                write!(f, "site {site} unreachable from the root center")
+            }
+            TreeError::TooDeep => write!(f, "partition tree exceeded 64 layers"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Counters from partition-tree construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeBuildStats {
+    /// Bounded SSAD runs issued.
+    pub ssad_runs: u64,
+    /// Total nodes created.
+    pub nodes: usize,
+}
+
+impl PartitionTree {
+    /// Height `h` (layers are `0..=h`).
+    pub fn height(&self) -> u32 {
+        (self.layers.len() - 1) as u32
+    }
+
+    /// Radius of layer `i`: `r₀ / 2^i`.
+    pub fn layer_radius(&self, layer: u32) -> f64 {
+        self.r0 / (1u64 << layer) as f64
+    }
+
+    /// Radius of a node.
+    pub fn node_radius(&self, node: u32) -> f64 {
+        self.layer_radius(self.nodes[node as usize].layer)
+    }
+
+    /// Ancestor of `site`'s leaf at `layer`.
+    pub fn ancestor(&self, site: usize, layer: u32) -> u32 {
+        self.anc[site * self.layers.len() + layer as usize]
+    }
+
+    /// The leaf node of `site` (its ancestor at layer `h`).
+    pub fn leaf_of(&self, site: usize) -> u32 {
+        self.ancestor(site, self.height())
+    }
+
+    /// Builds the partition tree over `space` (Steps 1–2 of §3.2).
+    pub fn build(
+        space: &dyn SiteSpace,
+        strategy: SelectionStrategy,
+        seed: u64,
+    ) -> Result<(Self, TreeBuildStats), TreeError> {
+        let n = space.n_sites();
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = TreeBuildStats::default();
+
+        // Step 1: root = random site; r0 = farthest-site distance.
+        let root_center = rng.random_range(0..n);
+        let all = space.all_distances(root_center);
+        stats.ssad_runs += 1;
+        let mut r0 = 0.0f64;
+        for (s, &d) in all.iter().enumerate() {
+            if !d.is_finite() {
+                return Err(TreeError::Unreachable { site: s });
+            }
+            r0 = r0.max(d);
+        }
+        let mut nodes = vec![PNode { center: root_center as u32, layer: 0, parent: NO_NODE, children: Vec::new() }];
+        let mut layers: Vec<Vec<u32>> = vec![vec![0]];
+
+        if n == 1 {
+            // Single POI: the root is also the leaf.
+            let anc = vec![0u32];
+            return Ok((Self { nodes, layers, r0: 0.0, anc }, stats));
+        }
+        if r0 <= 0.0 {
+            // n > 1 but the farthest site is at distance 0: duplicates.
+            let dup = all.iter().position(|&d| d == 0.0).unwrap_or(0);
+            let other = (0..n).find(|&s| s != dup && all[s] == 0.0).unwrap_or(root_center);
+            return Err(TreeError::DuplicateSites { a: dup.min(other), b: dup.max(other) });
+        }
+
+        // Step 2: build layers until one has n nodes.
+        // site → node id in the previous layer (for parent lookup).
+        let mut prev_center_node: HashMap<u32, u32> = HashMap::new();
+        prev_center_node.insert(root_center as u32, 0);
+
+        for layer in 1..=64u32 {
+            let ri = r0 / (1u64 << layer) as f64;
+            let mut uncovered = vec![true; n];
+            let mut n_uncovered = n;
+            let mut this_layer: Vec<u32> = Vec::new();
+            let mut center_node: HashMap<u32, u32> = HashMap::with_capacity(n);
+
+            // Greedy bookkeeping (built lazily only when needed).
+            let mut grid = if strategy == SelectionStrategy::Greedy {
+                Some(DensityGrid::new(space, ri))
+            } else {
+                None
+            };
+
+            // Phase 1: re-select all previous-layer centers still uncovered.
+            // Previous centers are ≥ 2·ri apart, so none covers another and
+            // all of them are re-selected (the paper's PC set).
+            let prev_centers: Vec<u32> = layers[layer as usize - 1]
+                .iter()
+                .map(|&nid| nodes[nid as usize].center)
+                .collect();
+            let mut queue: Vec<u32> = prev_centers.clone();
+
+            while n_uncovered > 0 {
+                // Pick the next center.
+                let center = loop {
+                    if let Some(c) = queue.pop() {
+                        if uncovered[c as usize] {
+                            break Some(c);
+                        }
+                        continue;
+                    }
+                    break None;
+                };
+                let center = match center {
+                    Some(c) => c,
+                    None => match strategy {
+                        SelectionStrategy::Random => {
+                            // Uniform over uncovered sites.
+                            let k = rng.random_range(0..n_uncovered);
+                            let mut seen = 0usize;
+                            let mut pick = 0u32;
+                            for (s, &u) in uncovered.iter().enumerate() {
+                                if u {
+                                    if seen == k {
+                                        pick = s as u32;
+                                        break;
+                                    }
+                                    seen += 1;
+                                }
+                            }
+                            pick
+                        }
+                        SelectionStrategy::Greedy => {
+                            grid.as_mut().expect("greedy grid exists").pick(&uncovered, &mut rng)
+                        }
+                    },
+                };
+
+                // Step 2(b)(ii)+(iii): one bounded SSAD serves both the
+                // covering (≤ ri) and the parent search (≤ 2·ri; the
+                // Covering property of layer i−1 guarantees a previous
+                // center within 2·ri). The search radius carries a relative
+                // slack: a center can lie *exactly* on the 2·ri boundary
+                // (the farthest site sits at exactly r₀ from the root), and
+                // SSAD roundoff must not push it outside the search.
+                let near = space.sites_within(center as usize, 2.0 * ri * (1.0 + 1e-9));
+                stats.ssad_runs += 1;
+
+                let mut parent = NO_NODE;
+                let mut parent_dist = f64::INFINITY;
+                for &(s, d) in &near {
+                    if d <= ri && uncovered[s] {
+                        uncovered[s] = false;
+                        n_uncovered -= 1;
+                        if let Some(g) = grid.as_mut() {
+                            g.remove(s);
+                        }
+                    }
+                    if let Some(&pn) = prev_center_node.get(&(s as u32)) {
+                        if d < parent_dist {
+                            parent_dist = d;
+                            parent = pn;
+                        }
+                    }
+                }
+                if parent == NO_NODE {
+                    // Numeric corner beyond the slack: fall back to one
+                    // full sweep and take the globally nearest previous
+                    // center (the paper's Step (iii) verbatim).
+                    let all = space.all_distances(center as usize);
+                    stats.ssad_runs += 1;
+                    for (&c_site, &pn) in &prev_center_node {
+                        let d = all[c_site as usize];
+                        if d < parent_dist {
+                            parent_dist = d;
+                            parent = pn;
+                        }
+                    }
+                }
+                assert!(
+                    parent != NO_NODE,
+                    "covering property violated: no previous-layer center within {:.6}",
+                    2.0 * ri
+                );
+                debug_assert!(
+                    parent_dist <= 2.0 * ri * (1.0 + 1e-6),
+                    "parent at {parent_dist} violates the covering bound {}",
+                    2.0 * ri
+                );
+                debug_assert!(!uncovered[center as usize], "center must cover itself");
+
+                let nid = nodes.len() as u32;
+                nodes.push(PNode { center, layer, parent, children: Vec::new() });
+                nodes[parent as usize].children.push(nid);
+                this_layer.push(nid);
+                center_node.insert(center, nid);
+            }
+
+            let full = this_layer.len() == n;
+            layers.push(this_layer);
+            prev_center_node = center_node;
+            if full {
+                let mut tree = Self { nodes, layers, r0, anc: Vec::new() };
+                tree.fill_ancestors(n);
+                stats.nodes = tree.nodes.len();
+                return Ok((tree, stats));
+            }
+        }
+        Err(TreeError::TooDeep)
+    }
+
+    fn fill_ancestors(&mut self, n: usize) {
+        let h = self.height() as usize;
+        self.anc = vec![NO_NODE; n * (h + 1)];
+        for &leaf in &self.layers[h] {
+            let site = self.nodes[leaf as usize].center as usize;
+            let mut cur = leaf;
+            while cur != NO_NODE {
+                let layer = self.nodes[cur as usize].layer as usize;
+                self.anc[site * (h + 1) + layer] = cur;
+                cur = self.nodes[cur as usize].parent;
+            }
+        }
+        debug_assert!(self.anc.iter().all(|&a| a != NO_NODE), "incomplete ancestor table");
+    }
+}
+
+/// The greedy strategy's density grid: cells of width `O(ri)` over the x–y
+/// plane, with a lazily-revalidated max-heap over cell occupancy.
+struct DensityGrid {
+    /// cell → indices of sites originally in it (compacted lazily).
+    cells: HashMap<(i64, i64), Vec<u32>>,
+    counts: HashMap<(i64, i64), usize>,
+    heap: crate::maxheap::LazyMaxHeap<(i64, i64)>,
+    site_cell: Vec<(i64, i64)>,
+}
+
+impl DensityGrid {
+    fn new(space: &dyn SiteSpace, ri: f64) -> Self {
+        let cell = ri.max(1e-12);
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        let mut site_cell = Vec::with_capacity(space.n_sites());
+        for s in 0..space.n_sites() {
+            let p = space.site_position(s);
+            let key = ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+            cells.entry(key).or_default().push(s as u32);
+            site_cell.push(key);
+        }
+        let mut heap = crate::maxheap::LazyMaxHeap::new();
+        let mut counts = HashMap::with_capacity(cells.len());
+        for (&k, v) in &cells {
+            counts.insert(k, v.len());
+            heap.push(v.len(), k);
+        }
+        Self { cells, counts, heap, site_cell }
+    }
+
+    fn remove(&mut self, site: usize) {
+        let key = self.site_cell[site];
+        if let Some(c) = self.counts.get_mut(&key) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Picks an uncovered site from the densest non-empty cell.
+    fn pick(&mut self, uncovered: &[bool], rng: &mut StdRng) -> u32 {
+        loop {
+            let key = self
+                .heap
+                .pop_valid(|k| self.counts.get(k).copied().unwrap_or(0))
+                .expect("uncovered sites remain, so some cell is non-empty");
+            // Compact the cell to live members, pick one at random.
+            let members = self.cells.get_mut(&key).expect("cell exists");
+            members.retain(|&s| uncovered[s as usize]);
+            if members.is_empty() {
+                self.counts.insert(key, 0);
+                continue;
+            }
+            self.counts.insert(key, members.len());
+            // Re-add for future picks (count re-checked lazily).
+            self.heap.push(members.len(), key);
+            let i = rng.random_range(0..members.len());
+            return members[i];
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodesic::ich::IchEngine;
+    use geodesic::sitespace::VertexSiteSpace;
+    use std::sync::Arc;
+    use terrain::gen::diamond_square;
+
+    fn space(n_sites: usize, seed: u64) -> VertexSiteSpace {
+        let mesh = Arc::new(diamond_square(4, 0.6, seed).to_mesh());
+        let nv = mesh.n_vertices();
+        let step = nv / n_sites;
+        let sites: Vec<u32> = (0..n_sites).map(|i| (i * step) as u32).collect();
+        VertexSiteSpace::new(Arc::new(IchEngine::new(mesh)), sites)
+    }
+
+    fn check_invariants(tree: &PartitionTree, space: &dyn SiteSpace) {
+        let h = tree.height();
+        let n = space.n_sites();
+        // Leaf layer has n nodes, one per site.
+        assert_eq!(tree.layers[h as usize].len(), n);
+        let mut seen = vec![false; n];
+        for &leaf in &tree.layers[h as usize] {
+            let c = tree.nodes[leaf as usize].center as usize;
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+        // Separation: same-layer centers ≥ layer radius apart.
+        for (li, layer) in tree.layers.iter().enumerate() {
+            let ri = tree.layer_radius(li as u32);
+            for (i, &a) in layer.iter().enumerate() {
+                for &b in &layer[i + 1..] {
+                    let d = space.distance(
+                        tree.nodes[a as usize].center as usize,
+                        tree.nodes[b as usize].center as usize,
+                    );
+                    assert!(
+                        d >= ri - 1e-9,
+                        "separation violated at layer {li}: {d} < {ri}"
+                    );
+                }
+            }
+        }
+        // Distance property: every descendant center within 2·r of the node.
+        for node in 0..tree.nodes.len() as u32 {
+            let r = tree.node_radius(node);
+            let c = tree.nodes[node as usize].center as usize;
+            let mut stack = tree.nodes[node as usize].children.clone();
+            while let Some(d) = stack.pop() {
+                let dc = tree.nodes[d as usize].center as usize;
+                let dist = space.distance(c, dc);
+                assert!(dist <= 2.0 * r + 1e-9, "distance property violated: {dist} > {}", 2.0 * r);
+                stack.extend(tree.nodes[d as usize].children.iter().copied());
+            }
+        }
+        // Parent-child layers are consecutive; children lists consistent.
+        for (id, node) in tree.nodes.iter().enumerate() {
+            if node.parent != NO_NODE {
+                assert_eq!(tree.nodes[node.parent as usize].layer + 1, node.layer);
+                assert!(tree.nodes[node.parent as usize].children.contains(&(id as u32)));
+            }
+        }
+        // Ancestor table: every site has a full chain.
+        for s in 0..n {
+            for l in 0..=h {
+                let a = tree.ancestor(s, l);
+                assert_eq!(tree.nodes[a as usize].layer, l);
+            }
+            assert_eq!(tree.nodes[tree.leaf_of(s) as usize].center as usize, s);
+        }
+    }
+
+    #[test]
+    fn random_strategy_invariants() {
+        let sp = space(24, 3);
+        let (tree, stats) = PartitionTree::build(&sp, SelectionStrategy::Random, 7).unwrap();
+        assert!(stats.ssad_runs > 0);
+        check_invariants(&tree, &sp);
+    }
+
+    #[test]
+    fn greedy_strategy_invariants() {
+        let sp = space(24, 5);
+        let (tree, _) = PartitionTree::build(&sp, SelectionStrategy::Greedy, 11).unwrap();
+        check_invariants(&tree, &sp);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let sp = space(16, 9);
+        let (a, _) = PartitionTree::build(&sp, SelectionStrategy::Random, 1).unwrap();
+        let (b, _) = PartitionTree::build(&sp, SelectionStrategy::Random, 1).unwrap();
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x.center, y.center);
+            assert_eq!(x.parent, y.parent);
+        }
+    }
+
+    #[test]
+    fn single_site() {
+        let sp = space(1, 2);
+        let (tree, _) = PartitionTree::build(&sp, SelectionStrategy::Random, 0).unwrap();
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.nodes.len(), 1);
+        assert_eq!(tree.leaf_of(0), 0);
+    }
+
+    #[test]
+    fn empty_errors() {
+        let mesh = Arc::new(diamond_square(3, 0.5, 1).to_mesh());
+        let sp = VertexSiteSpace::new(Arc::new(IchEngine::new(mesh)), vec![]);
+        assert_eq!(
+            PartitionTree::build(&sp, SelectionStrategy::Random, 0).unwrap_err(),
+            TreeError::Empty
+        );
+    }
+
+    #[test]
+    fn height_bound_of_lemma_2() {
+        let sp = space(20, 13);
+        let (tree, _) = PartitionTree::build(&sp, SelectionStrategy::Random, 3).unwrap();
+        // h ≤ log2(max/min pairwise distance) + 1 (Lemma 2).
+        let n = 20;
+        let mut min_d = f64::INFINITY;
+        let mut max_d = 0.0f64;
+        for a in 0..n {
+            let all = sp.all_distances(a);
+            for b in 0..n {
+                if a != b {
+                    min_d = min_d.min(all[b]);
+                    max_d = max_d.max(all[b]);
+                }
+            }
+        }
+        let bound = (max_d / min_d).log2() + 1.0;
+        assert!(
+            (tree.height() as f64) <= bound + 1e-9,
+            "h = {} exceeds Lemma 2 bound {bound}",
+            tree.height()
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Edge-graph Dijkstra: network distance along mesh edges.
+//!
+//! The cheapest geodesic surrogate — an upper bound on the true surface
+//! distance (every edge path lies on the surface but geodesics may cross
+//! face interiors). Useful as a fast engine for large sweeps and as a
+//! sanity bound in tests: `euclidean ≤ geodesic ≤ edge-graph`.
+
+use crate::engine::{GeodesicEngine, SsadResult, SsadStats, Stop};
+use crate::heap::MinHeap;
+use std::sync::Arc;
+use terrain::{TerrainMesh, VertexId};
+
+/// Dijkstra over the mesh's vertex–edge graph.
+#[derive(Debug, Clone)]
+pub struct EdgeGraphEngine {
+    mesh: Arc<TerrainMesh>,
+}
+
+impl EdgeGraphEngine {
+    pub fn new(mesh: Arc<TerrainMesh>) -> Self {
+        Self { mesh }
+    }
+}
+
+impl GeodesicEngine for EdgeGraphEngine {
+    fn name(&self) -> &'static str {
+        "edge-graph"
+    }
+
+    fn mesh(&self) -> &TerrainMesh {
+        &self.mesh
+    }
+
+    fn ssad(&self, source: VertexId, stop: Stop<'_>) -> SsadResult {
+        let mesh = &*self.mesh;
+        let n = mesh.n_vertices();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut heap: MinHeap<VertexId> = MinHeap::with_capacity(64);
+        let mut stats = SsadStats::default();
+        dist[source as usize] = 0.0;
+        heap.push(0.0, source);
+
+        let mut watcher = StopWatcher::new(stop, &dist);
+        while let Some((key, v)) = heap.pop() {
+            if key > dist[v as usize] {
+                continue; // stale entry
+            }
+            stats.events_processed += 1;
+            stats.max_key = key;
+            if watcher.done(key, &dist) {
+                break;
+            }
+            for &e in mesh.vertex_edges(v) {
+                let edge = mesh.edge(e);
+                let u = if edge.v[0] == v { edge.v[1] } else { edge.v[0] };
+                let nd = key + mesh.edge_len(e);
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    watcher.on_relax(u, nd);
+                    heap.push(nd, u);
+                    stats.events_created += 1;
+                }
+            }
+        }
+        SsadResult { dist, stats }
+    }
+}
+
+/// Shared stop-criterion bookkeeping for label-setting searches.
+///
+/// Pops arrive in non-decreasing key order, so:
+/// * `Radius(r)`: stop once a pop's key exceeds `r` — every label `≤ r` is
+///   final;
+/// * `Targets`: stop once all targets are reached *and* the current key is
+///   at least the largest target label (labels below the key are final).
+pub(crate) struct StopWatcher<'a> {
+    stop: Stop<'a>,
+    remaining: usize,
+    is_target: Vec<bool>,
+    max_target_label: f64,
+}
+
+impl<'a> StopWatcher<'a> {
+    pub fn new(stop: Stop<'a>, dist: &[f64]) -> Self {
+        let (remaining, is_target) = match stop {
+            Stop::Targets(ts) => {
+                let mut flags = vec![false; dist.len()];
+                let mut rem = 0;
+                for &t in ts {
+                    if !flags[t as usize] {
+                        flags[t as usize] = true;
+                        if dist[t as usize].is_infinite() {
+                            rem += 1;
+                        }
+                    }
+                }
+                (rem, flags)
+            }
+            _ => (0, Vec::new()),
+        };
+        Self { stop, remaining, is_target, max_target_label: f64::INFINITY }
+    }
+
+    /// Must be called whenever a label is improved.
+    #[inline]
+    pub fn on_relax(&mut self, v: VertexId, _new_dist: f64) {
+        if !self.is_target.is_empty() && self.is_target[v as usize] && self.remaining > 0 {
+            // First time this target becomes finite. (Labels only improve,
+            // so a second improvement doesn't decrement again.)
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                self.max_target_label = f64::NEG_INFINITY; // recompute lazily in done()
+            }
+        }
+    }
+
+    /// Whether the search may stop before processing an event with `key`.
+    #[inline]
+    pub fn done(&mut self, key: f64, dist: &[f64]) -> bool {
+        match self.stop {
+            Stop::Exhaust => false,
+            Stop::Radius(r) => key > r,
+            Stop::Targets(ts) => {
+                if self.remaining > 0 {
+                    return false;
+                }
+                if self.max_target_label == f64::NEG_INFINITY {
+                    self.max_target_label =
+                        ts.iter().map(|&t| dist[t as usize]).fold(0.0, f64::max);
+                }
+                key >= self.max_target_label
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terrain::gen::Heightfield;
+
+    fn flat(n: usize) -> Arc<TerrainMesh> {
+        Arc::new(Heightfield::flat(n, n, 1.0, 1.0).to_mesh())
+    }
+
+    #[test]
+    fn distances_on_flat_grid() {
+        let m = flat(4);
+        let eng = EdgeGraphEngine::new(m.clone());
+        let r = eng.ssad(0, Stop::Exhaust);
+        // Vertex 0 at (0,0); vertex 5 at (1,1): diagonal edge may or may not
+        // exist depending on the alternating split, but the graph distance is
+        // at most 2 and at least sqrt(2).
+        assert_eq!(r.dist[0], 0.0);
+        let d5 = r.dist[5];
+        assert!(d5 >= 2f64.sqrt() - 1e-12 && d5 <= 2.0 + 1e-12, "{d5}");
+        // Far corner (3,3) = vertex 15: graph distance ≥ Euclidean.
+        assert!(r.dist[15] >= (18f64).sqrt() - 1e-12);
+        assert!(r.dist.iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn symmetric() {
+        let m = flat(5);
+        let eng = EdgeGraphEngine::new(m);
+        for (a, b) in [(0u32, 24u32), (3, 20), (7, 13)] {
+            assert!((eng.distance(a, b) - eng.distance(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn radius_stop_finalizes_ball() {
+        let m = flat(6);
+        let eng = EdgeGraphEngine::new(m);
+        let full = eng.ssad(0, Stop::Exhaust);
+        let partial = eng.ssad(0, Stop::Radius(2.5));
+        for v in 0..full.dist.len() {
+            if full.dist[v] <= 2.5 {
+                assert_eq!(full.dist[v], partial.dist[v], "vertex {v}");
+            }
+        }
+        // The search did less work than the full run.
+        assert!(partial.stats.events_processed < full.stats.events_processed);
+    }
+
+    #[test]
+    fn target_stop_is_exact() {
+        let m = flat(6);
+        let eng = EdgeGraphEngine::new(m);
+        let full = eng.ssad(7, Stop::Exhaust);
+        let targets = [0u32, 35, 17];
+        let part = eng.ssad(7, Stop::Targets(&targets));
+        for &t in &targets {
+            assert_eq!(part.dist[t as usize], full.dist[t as usize]);
+        }
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let m = flat(3);
+        let eng = EdgeGraphEngine::new(m);
+        assert_eq!(eng.distance(4, 4), 0.0);
+    }
+
+    #[test]
+    fn duplicate_targets_handled() {
+        let m = flat(4);
+        let eng = EdgeGraphEngine::new(m);
+        let targets = [5u32, 5, 5];
+        let r = eng.ssad(0, Stop::Targets(&targets));
+        assert!(r.dist[5].is_finite());
+    }
+}

@@ -1,0 +1,77 @@
+//! The engine abstraction: every geodesic backend exposes the paper's SSAD
+//! (single-source all-destination) primitive with its two stopping criteria.
+//!
+//! §3.2 Implementation Detail 2 of the paper defines both flavours: one that
+//! "executes until the search region of the algorithm covers all points in
+//! P" and one that stops once "the distance between the boundary of the
+//! search region and `p` is greater than `r`". The SE oracle is written
+//! against this trait, so it can be built with the exact continuous-Dijkstra
+//! engine (faithful, slower) or with graph-approximation engines (for
+//! large-scale sweeps).
+
+use terrain::{TerrainMesh, VertexId};
+
+/// Stopping criterion for an SSAD run.
+#[derive(Debug, Clone, Copy)]
+pub enum Stop<'a> {
+    /// Run until every listed target vertex has a final label.
+    Targets(&'a [VertexId]),
+    /// Run until every vertex within geodesic distance `r` has a final
+    /// label. Labels larger than `r` in the result are upper bounds only.
+    Radius(f64),
+    /// Propagate until exhaustion: all labels final.
+    Exhaust,
+}
+
+/// Counters describing the work an SSAD run performed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SsadStats {
+    /// Windows propagated (ICH) or queue pops (graph engines).
+    pub events_processed: u64,
+    /// Windows created (ICH) or edge relaxations (graph engines).
+    pub events_created: u64,
+    /// The largest settled key when the run stopped.
+    pub max_key: f64,
+}
+
+/// Result of an SSAD run: a dense per-vertex label array.
+#[derive(Debug, Clone)]
+pub struct SsadResult {
+    /// `dist[v]` is the geodesic distance from the source to vertex `v`.
+    /// `f64::INFINITY` if `v` was not reached before the stop criterion
+    /// fired. Under [`Stop::Radius`], labels `≤ r` are final; larger finite
+    /// labels are valid upper bounds but not necessarily tight.
+    pub dist: Vec<f64>,
+    pub stats: SsadStats,
+}
+
+impl SsadResult {
+    /// All vertices with final labels within `radius`, as `(vertex, dist)`.
+    pub fn within(&self, radius: f64) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(move |(_, &d)| d <= radius)
+            .map(|(v, &d)| (v as VertexId, d))
+    }
+}
+
+/// A geodesic-distance backend bound to one mesh.
+pub trait GeodesicEngine: Send + Sync {
+    /// Short identifier used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// The mesh this engine answers queries on.
+    fn mesh(&self) -> &TerrainMesh;
+
+    /// Runs SSAD from `source` under the given stopping criterion.
+    fn ssad(&self, source: VertexId, stop: Stop<'_>) -> SsadResult;
+
+    /// Distance between two vertices (early-terminating SSAD).
+    fn distance(&self, s: VertexId, t: VertexId) -> f64 {
+        if s == t {
+            return 0.0;
+        }
+        self.ssad(s, Stop::Targets(&[t])).dist[t as usize]
+    }
+}

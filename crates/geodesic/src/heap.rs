@@ -1,0 +1,153 @@
+//! A minimal binary min-heap keyed by `f64`.
+//!
+//! `std::collections::BinaryHeap` needs `Ord`, which `f64` lacks; wrapping in
+//! a custom struct keyed on a totally-ordered float avoids sprinkling
+//! `OrderedFloat`-style adapters through the hot loops. Keys must not be NaN
+//! (debug-asserted).
+
+/// A `(key, payload)` min-heap over finite `f64` keys.
+#[derive(Debug, Clone)]
+pub struct MinHeap<T> {
+    items: Vec<(f64, T)>,
+}
+
+impl<T> MinHeap<T> {
+    pub fn new() -> Self {
+        Self { items: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { items: Vec::with_capacity(cap) }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pushes an item. `key` must not be NaN.
+    pub fn push(&mut self, key: f64, value: T) {
+        debug_assert!(!key.is_nan(), "NaN key pushed to MinHeap");
+        self.items.push((key, value));
+        self.sift_up(self.items.len() - 1);
+    }
+
+    /// Pops the item with the smallest key.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        let out = self.items.pop();
+        if !self.items.is_empty() {
+            self.sift_down(0);
+        }
+        out
+    }
+
+    /// The smallest key without removing it.
+    pub fn peek_key(&self) -> Option<f64> {
+        self.items.first().map(|(k, _)| *k)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.items[i].0 < self.items[parent].0 {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.items.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut smallest = i;
+            if l < n && self.items[l].0 < self.items[smallest].0 {
+                smallest = l;
+            }
+            if r < n && self.items[r].0 < self.items[smallest].0 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.items.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+impl<T> Default for MinHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut h = MinHeap::new();
+        for (k, v) in [(3.0, 'c'), (1.0, 'a'), (2.0, 'b'), (0.5, 'z'), (2.5, 'y')] {
+            h.push(k, v);
+        }
+        let order: Vec<char> = std::iter::from_fn(|| h.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec!['z', 'a', 'b', 'y', 'c']);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut h = MinHeap::new();
+        h.push(5.0, 1);
+        h.push(2.0, 2);
+        assert_eq!(h.peek_key(), Some(2.0));
+        assert_eq!(h.pop(), Some((2.0, 2)));
+        assert_eq!(h.peek_key(), Some(5.0));
+    }
+
+    #[test]
+    fn duplicate_keys_all_pop() {
+        let mut h = MinHeap::new();
+        for i in 0..100 {
+            h.push(1.0, i);
+        }
+        let mut seen = [false; 100];
+        while let Some((k, v)) = h.pop() {
+            assert_eq!(k, 1.0);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_sequence_sorted() {
+        let mut h = MinHeap::new();
+        let mut x = 12345u64;
+        let mut keys = Vec::new();
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = (x >> 11) as f64 / (1u64 << 53) as f64;
+            keys.push(k);
+            h.push(k, ());
+        }
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for expected in keys {
+            assert_eq!(h.pop().unwrap().0, expected);
+        }
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Geodesic shortest-path engines on terrain surfaces.
+//!
+//! The paper's SE oracle is built on repeated SSAD (single-source
+//! all-destination) geodesic computations with bounded search regions. This
+//! crate provides three interchangeable backends behind
+//! [`engine::GeodesicEngine`]:
+//!
+//! * [`ich::IchEngine`] — **exact** continuous-Dijkstra window propagation
+//!   in the style of Chen–Han / Xin–Wang (the paper's references [6, 34]);
+//! * [`dijkstra::EdgeGraphEngine`] — network distance along mesh edges
+//!   (cheap upper bound);
+//! * [`steiner::SteinerEngine`] — Dijkstra over a Steiner-point graph
+//!   `G_ε` ([`steiner::SteinerGraph`]), the substrate shared by the
+//!   SP-Oracle and K-Algo baselines and the A2A oracle of Appendix C.
+//!
+//! [`sitespace::SiteSpace`] narrows an engine to the three primitives the
+//! oracle construction needs over its POI set.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use geodesic::engine::{GeodesicEngine, Stop};
+//! use geodesic::ich::IchEngine;
+//! use terrain::gen::Heightfield;
+//!
+//! let mesh = Arc::new(Heightfield::flat(5, 5, 1.0, 1.0).to_mesh());
+//! let engine = IchEngine::new(mesh);
+//! // Exact geodesic on a flat grid is planar Euclidean distance.
+//! let d = engine.distance(0, 24); // (0,0) to (4,4)
+//! assert!((d - 32f64.sqrt()).abs() < 1e-9);
+//! ```
+
+pub mod dijkstra;
+pub mod engine;
+pub mod heap;
+pub mod ich;
+pub mod path;
+pub mod sitespace;
+pub mod steiner;
+pub mod voronoi;
+
+pub use dijkstra::EdgeGraphEngine;
+pub use engine::{GeodesicEngine, SsadResult, SsadStats, Stop};
+pub use ich::IchEngine;
+pub use path::{shortest_path, shortest_vertex_path, trace_descent_path, SurfacePath};
+pub use sitespace::{GraphSiteSpace, SiteSpace, VertexSiteSpace};
+pub use steiner::{SteinerEngine, SteinerGraph};
+pub use voronoi::{geodesic_voronoi, VoronoiResult};

@@ -1,0 +1,539 @@
+//! Shortest-path *reconstruction*: polylines on the terrain surface.
+//!
+//! The SE oracle answers distance queries only (the paper's scope — [12]
+//! observes that "geodesic distance queries are intrinsically easier than
+//! geodesic path queries"), but several of its motivating applications
+//! (hiking routes, vehicle planning, §1.1) want the route itself. This
+//! module reconstructs approximate geodesic paths over a
+//! [`SteinerGraph`]: the returned polyline lies on the surface (every
+//! segment is an along-edge run or a face-crossing chord), so its length is
+//! always an upper bound on the true geodesic distance that converges to it
+//! as the Steiner density grows.
+//!
+//! With `m = 0` the graph degenerates to the mesh edge graph, giving the
+//! cheap network-path approximation.
+
+use crate::heap::MinHeap;
+use crate::steiner::{NodeId, SteinerGraph};
+use terrain::geom::Vec3;
+use terrain::VertexId;
+
+/// A polyline on the terrain surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfacePath {
+    /// Path points from source to destination (inclusive; `≥ 1` points —
+    /// a single point when source == destination).
+    pub points: Vec<Vec3>,
+    /// Sum of segment lengths.
+    pub length: f64,
+}
+
+impl SurfacePath {
+    /// Builds a path from its points, computing the length.
+    pub fn from_points(points: Vec<Vec3>) -> Self {
+        let length = points.windows(2).map(|w| w[0].dist(w[1])).sum();
+        Self { points, length }
+    }
+
+    /// Number of segments (`points − 1`, or 0 for a degenerate path).
+    pub fn n_segments(&self) -> usize {
+        self.points.len().saturating_sub(1)
+    }
+
+    /// The point at arc-length parameter `t ∈ [0, length]` along the path
+    /// (clamped at the ends). Useful for sampling waypoints.
+    pub fn point_at(&self, t: f64) -> Vec3 {
+        if self.points.len() == 1 || t <= 0.0 {
+            return self.points[0];
+        }
+        let mut remaining = t;
+        for w in self.points.windows(2) {
+            let seg = w[0].dist(w[1]);
+            if remaining <= seg {
+                let f = if seg > 0.0 { remaining / seg } else { 0.0 };
+                return w[0].lerp(w[1], f);
+            }
+            remaining -= seg;
+        }
+        *self.points.last().expect("non-empty path")
+    }
+
+    /// Drops interior points that are collinear with their neighbours
+    /// (within `tol` of the straight chord), shortening the representation
+    /// without changing the geometry. Along-edge Steiner chains collapse to
+    /// single segments.
+    pub fn simplify_collinear(&self, tol: f64) -> SurfacePath {
+        if self.points.len() <= 2 {
+            return self.clone();
+        }
+        let mut out = vec![self.points[0]];
+        for i in 1..self.points.len() - 1 {
+            let a = *out.last().expect("non-empty");
+            let b = self.points[i];
+            let c = self.points[i + 1];
+            let direct = a.dist(c);
+            let through = a.dist(b) + b.dist(c);
+            if through - direct > tol {
+                out.push(b);
+            }
+        }
+        out.push(*self.points.last().expect("non-empty"));
+        SurfacePath::from_points(out)
+    }
+}
+
+/// Reconstructs the shortest `s → t` path on the Steiner graph.
+///
+/// Returns `None` when `t` is unreachable (cannot happen on the connected
+/// meshes [`terrain::TerrainMesh`] validates, but the contract is explicit
+/// for forward compatibility with partial graphs).
+pub fn shortest_path(graph: &SteinerGraph, s: NodeId, t: NodeId) -> Option<SurfacePath> {
+    if s == t {
+        return Some(SurfacePath { points: vec![graph.position(s)], length: 0.0 });
+    }
+    let n = graph.n_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<NodeId> = vec![NodeId::MAX; n];
+    let mut heap: MinHeap<NodeId> = MinHeap::with_capacity(64);
+    dist[s as usize] = 0.0;
+    heap.push(0.0, s);
+    while let Some((key, v)) = heap.pop() {
+        if key > dist[v as usize] {
+            continue;
+        }
+        if v == t {
+            break;
+        }
+        for (u, w) in graph.neighbors(v) {
+            let nd = key + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                prev[u as usize] = v;
+                heap.push(nd, u);
+            }
+        }
+    }
+    if dist[t as usize].is_infinite() {
+        return None;
+    }
+    let mut nodes = vec![t];
+    let mut cur = t;
+    while cur != s {
+        cur = prev[cur as usize];
+        debug_assert_ne!(cur, NodeId::MAX, "broken predecessor chain");
+        nodes.push(cur);
+    }
+    nodes.reverse();
+    let points: Vec<Vec3> = nodes.iter().map(|&nd| graph.position(nd)).collect();
+    let path = SurfacePath::from_points(points);
+    debug_assert!((path.length - dist[t as usize]).abs() <= 1e-9 * (1.0 + path.length));
+    Some(path)
+}
+
+/// Shortest path between two mesh *vertices* (vertices keep their ids as
+/// graph nodes).
+pub fn shortest_vertex_path(
+    graph: &SteinerGraph,
+    s: VertexId,
+    t: VertexId,
+) -> Option<SurfacePath> {
+    shortest_path(graph, s as NodeId, t as NodeId)
+}
+
+/// Traces a near-exact geodesic path by steepest descent over an *exact*
+/// distance field (per-vertex labels from
+/// [`crate::engine::GeodesicEngine::ssad`] with [`crate::engine::Stop::Exhaust`]).
+///
+/// Within each face the field is interpolated linearly and the trace
+/// marches straight against its gradient, crossing edges until it reaches
+/// a face incident to the source — the classic fast-marching backtrace.
+/// Where the linear model stalls (saddle vertices, sliver faces) the trace
+/// falls back to hopping to the best-labelled neighbouring vertex, so it
+/// always terminates.
+///
+/// The polyline lies on the surface, so its length upper-bounds the true
+/// geodesic distance; with exact labels the gap is the per-face
+/// interpolation error, which vanishes on planar regions entirely.
+///
+/// # Panics
+/// Panics if `dist.len() != mesh.n_vertices()` or if the labels of
+/// `source`/`target` are not finite (run the SSAD to exhaustion first).
+pub fn trace_descent_path(
+    mesh: &terrain::TerrainMesh,
+    dist: &[f64],
+    source: VertexId,
+    target: VertexId,
+) -> SurfacePath {
+    use terrain::FaceId;
+    assert_eq!(dist.len(), mesh.n_vertices(), "label array does not match the mesh");
+    assert!(
+        dist[source as usize].is_finite() && dist[target as usize].is_finite(),
+        "source/target labels must be finite (run SSAD to exhaustion)"
+    );
+    let src_pos = mesh.vertex(source);
+    let mut pts = vec![mesh.vertex(target)];
+    if source == target {
+        return SurfacePath::from_points(pts);
+    }
+
+    // Location of the current trace point: a vertex, or a point on an edge
+    // (with the face it just came out of, to avoid bouncing back).
+    enum Loc {
+        Vertex(VertexId),
+        Edge { e: terrain::EdgeId, from: FaceId },
+    }
+    let mut loc = Loc::Vertex(target);
+    let mut pos = mesh.vertex(target);
+    let mut d_cur = dist[target as usize];
+    let scale = 1e-12 * (1.0 + d_cur.abs());
+    let max_steps = 8 * mesh.n_faces() + 64;
+
+    'outer: for _ in 0..max_steps {
+        // Candidate faces to march through.
+        let faces: Vec<FaceId> = match loc {
+            Loc::Vertex(v) => {
+                if v == source {
+                    break;
+                }
+                mesh.vertex_faces(v).to_vec()
+            }
+            Loc::Edge { e, from } => match mesh.other_face(e, from) {
+                Some(g) => vec![g],
+                None => Vec::new(), // boundary: fall through to vertex hop
+            },
+        };
+
+        // If any candidate face touches the source, finish with the
+        // in-face straight segment (faces are planar).
+        for &f in &faces {
+            if mesh.face(f).contains(&source) {
+                pts.push(src_pos);
+                break 'outer;
+            }
+        }
+
+        // March against the face gradient; keep the best strict descent.
+        let mut best: Option<(f64, Vec3, terrain::EdgeId, FaceId)> = None;
+        for &f in &faces {
+            let Some((exit_d, exit_p, exit_e)) = face_descent_exit(mesh, dist, f, pos) else {
+                continue;
+            };
+            if exit_d < d_cur - scale
+                && best.as_ref().is_none_or(|(bd, ..)| exit_d < *bd)
+            {
+                best = Some((exit_d, exit_p, exit_e, f));
+            }
+        }
+        if let Some((exit_d, exit_p, exit_e, f)) = best {
+            pts.push(exit_p);
+            pos = exit_p;
+            d_cur = exit_d;
+            loc = Loc::Edge { e: exit_e, from: f };
+            continue;
+        }
+
+        // Fallback: hop to the best-labelled nearby vertex.
+        let hop: Option<VertexId> = match loc {
+            Loc::Vertex(v) => mesh
+                .vertex_edges(v)
+                .iter()
+                .map(|&e| {
+                    let [a, b] = mesh.edge(e).v;
+                    if a == v {
+                        b
+                    } else {
+                        a
+                    }
+                })
+                .filter(|&u| dist[u as usize] < d_cur - scale)
+                .min_by(|&x, &y| dist[x as usize].total_cmp(&dist[y as usize])),
+            Loc::Edge { e, .. } => {
+                let [a, b] = mesh.edge(e).v;
+                [a, b]
+                    .into_iter()
+                    .filter(|&u| dist[u as usize] < d_cur - scale)
+                    .min_by(|&x, &y| dist[x as usize].total_cmp(&dist[y as usize]))
+            }
+        };
+        match hop {
+            Some(u) => {
+                pts.push(mesh.vertex(u));
+                pos = mesh.vertex(u);
+                d_cur = dist[u as usize];
+                loc = Loc::Vertex(u);
+                if u == source {
+                    break;
+                }
+            }
+            None => break, // numerically stuck: close the path below
+        }
+    }
+
+    if pts.last().map(|p| p.dist(src_pos) > 1e-9) == Some(true) {
+        pts.push(src_pos);
+    }
+    pts.reverse();
+    SurfacePath::from_points(pts)
+}
+
+/// Marches from `pos` against the gradient of the linear interpolant of
+/// `dist` over face `f`, returning the exit `(label, point, edge)` where
+/// the ray leaves the face. `None` when the gradient is degenerate or the
+/// ray exits through `pos` itself.
+fn face_descent_exit(
+    mesh: &terrain::TerrainMesh,
+    dist: &[f64],
+    f: terrain::FaceId,
+    pos: Vec3,
+) -> Option<(f64, Vec3, terrain::EdgeId)> {
+    let [va, vb, vc] = mesh.face(f);
+    let (pa, pb, pc) = (mesh.vertex(va), mesh.vertex(vb), mesh.vertex(vc));
+    let (da, db, dc) = (dist[va as usize], dist[vb as usize], dist[vc as usize]);
+    if !(da.is_finite() && db.is_finite() && dc.is_finite()) {
+        return None;
+    }
+
+    // Orthonormal in-face frame at pa.
+    let u = pb - pa;
+    let e1 = u.normalized()?;
+    let w = pc - pa;
+    let w_perp = w - e1 * w.dot(e1);
+    let e2 = w_perp.normalized()?;
+    let to2 = |p: Vec3| {
+        let d = p - pa;
+        (d.dot(e1), d.dot(e2))
+    };
+    let (bx, _) = to2(pb);
+    let (cx, cy) = to2(pc);
+    // Solve g·(b2) = db−da, g·(c2) = dc−da with b2 = (bx, 0).
+    if bx.abs() < 1e-300 || cy.abs() < 1e-300 {
+        return None;
+    }
+    let gx = (db - da) / bx;
+    let gy = ((dc - da) - gx * cx) / cy;
+    let norm = (gx * gx + gy * gy).sqrt();
+    if norm < 1e-300 {
+        return None;
+    }
+    let dir = (-gx / norm, -gy / norm);
+
+    let (px, py) = to2(pos);
+    // Intersect the ray with the three boundary segments.
+    let corners2 = [to2(pa), (bx, 0.0), (cx, cy)];
+    let corners3 = [pa, pb, pc];
+    let verts = [va, vb, vc];
+    let mut best: Option<(f64, f64, usize)> = None; // (ray t, seg s, side)
+    for side in 0..3 {
+        let (x0, y0) = corners2[side];
+        let (x1, y1) = corners2[(side + 1) % 3];
+        // Solve p + t·dir = a + s·(b − a).
+        let (ex, ey) = (x1 - x0, y1 - y0);
+        let det = dir.0 * (-ey) - dir.1 * (-ex);
+        if det.abs() < 1e-300 {
+            continue;
+        }
+        let (rx, ry) = (x0 - px, y0 - py);
+        let t = (rx * (-ey) - ry * (-ex)) / det;
+        let s = (dir.0 * ry - dir.1 * rx) / det;
+        let seg_len = (ex * ex + ey * ey).sqrt();
+        if t > 1e-9 * (1.0 + seg_len) && (-1e-9..=1.0 + 1e-9).contains(&s)
+            && best.is_none_or(|(bt, ..)| t < bt) {
+                best = Some((t, s.clamp(0.0, 1.0), side));
+            }
+    }
+    let (_, s, side) = best?;
+    let a3 = corners3[side];
+    let b3 = corners3[(side + 1) % 3];
+    let exit_p = a3.lerp(b3, s);
+    let d0 = dist[verts[side] as usize];
+    let d1 = dist[verts[(side + 1) % 3] as usize];
+    let exit_d = d0 + (d1 - d0) * s;
+    let e = mesh.edge_between(verts[side], verts[(side + 1) % 3])?;
+    Some((exit_d, exit_p, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steiner::GraphStop;
+    use std::sync::Arc;
+    use terrain::gen::{diamond_square, Heightfield};
+
+    fn flat_graph(m: usize) -> SteinerGraph {
+        SteinerGraph::with_points_per_edge(Arc::new(Heightfield::flat(5, 5, 1.0, 1.0).to_mesh()), m)
+    }
+
+    #[test]
+    fn path_length_matches_dijkstra_distance() {
+        let mesh = Arc::new(diamond_square(4, 0.6, 3).to_mesh());
+        let g = SteinerGraph::with_points_per_edge(mesh.clone(), 2);
+        let full = g.dijkstra(0, GraphStop::Exhaust);
+        for t in [5u32, 17, 40, (mesh.n_vertices() - 1) as u32] {
+            let p = shortest_path(&g, 0, t).unwrap();
+            assert!(
+                (p.length - full.dist[t as usize]).abs() < 1e-9,
+                "t={t}: path {} vs dijkstra {}",
+                p.length,
+                full.dist[t as usize]
+            );
+            // Endpoints are correct.
+            assert_eq!(p.points[0], g.position(0));
+            assert_eq!(*p.points.last().unwrap(), g.position(t));
+        }
+    }
+
+    #[test]
+    fn degenerate_same_node() {
+        let g = flat_graph(1);
+        let p = shortest_path(&g, 7, 7).unwrap();
+        assert_eq!(p.length, 0.0);
+        assert_eq!(p.points.len(), 1);
+        assert_eq!(p.n_segments(), 0);
+    }
+
+    #[test]
+    fn every_segment_is_short_relative_to_path() {
+        // Segments connect adjacent graph nodes; none can exceed the
+        // mesh diameter and the chain must be contiguous.
+        let g = flat_graph(2);
+        let p = shortest_vertex_path(&g, 0, 24).unwrap();
+        assert!(p.points.len() >= 2);
+        for w in p.points.windows(2) {
+            assert!(w[0].dist(w[1]) > 0.0, "zero-length segment");
+            assert!(w[0].dist(w[1]) <= 2.0, "suspiciously long hop");
+        }
+    }
+
+    #[test]
+    fn flat_path_converges_to_straight_line() {
+        let exact = 32f64.sqrt();
+        let mut prev = f64::INFINITY;
+        for m in [0usize, 1, 4] {
+            let g = flat_graph(m);
+            let p = shortest_vertex_path(&g, 0, 24).unwrap();
+            assert!(p.length >= exact - 1e-9);
+            assert!(p.length <= prev + 1e-12, "length must not grow with m");
+            prev = p.length;
+        }
+        assert!(prev < exact * 1.03, "m=4 still {prev} vs {exact}");
+    }
+
+    #[test]
+    fn point_at_interpolates() {
+        let p = SurfacePath::from_points(vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(1.0, 1.0, 0.0),
+        ]);
+        assert_eq!(p.length, 2.0);
+        assert_eq!(p.point_at(0.0), Vec3::new(0.0, 0.0, 0.0));
+        assert_eq!(p.point_at(0.5), Vec3::new(0.5, 0.0, 0.0));
+        assert_eq!(p.point_at(1.5), Vec3::new(1.0, 0.5, 0.0));
+        assert_eq!(p.point_at(99.0), Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn simplify_collapses_collinear_runs() {
+        let p = SurfacePath::from_points(vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.5, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(1.0, 1.0, 0.0),
+        ]);
+        let s = p.simplify_collinear(1e-12);
+        assert_eq!(s.points.len(), 3);
+        assert!((s.length - p.length).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descent_trace_on_flat_grid_is_straight() {
+        use crate::engine::{GeodesicEngine, Stop};
+        use crate::ich::IchEngine;
+        let mesh = Arc::new(Heightfield::flat(6, 6, 1.0, 1.0).to_mesh());
+        let eng = IchEngine::new(mesh.clone());
+        let r = eng.ssad(0, Stop::Exhaust);
+        let p = trace_descent_path(&mesh, &r.dist, 0, 35);
+        let exact = 50f64.sqrt();
+        assert!(
+            (p.length - exact).abs() < 1e-6 * exact,
+            "flat trace {} vs {exact}",
+            p.length
+        );
+        assert_eq!(p.points[0], mesh.vertex(0));
+        assert_eq!(*p.points.last().unwrap(), mesh.vertex(35));
+    }
+
+    #[test]
+    fn descent_trace_matches_tent_closed_form() {
+        use crate::engine::{GeodesicEngine, Stop};
+        use crate::ich::IchEngine;
+        let mesh = Arc::new(terrain::gen::tent(9, 9, 1.0, 1.0, 2.0).to_mesh());
+        let eng = IchEngine::new(mesh.clone());
+        let a = 4u32 * 9; // (0, 4)
+        let b = a + 8; // (8, 4)
+        let r = eng.ssad(a, Stop::Exhaust);
+        let p = trace_descent_path(&mesh, &r.dist, a, b);
+        let exact = 2.0 * 20f64.sqrt();
+        assert!(
+            (p.length - exact).abs() < 1e-4 * exact,
+            "tent trace {} vs {exact}",
+            p.length
+        );
+    }
+
+    #[test]
+    fn descent_trace_bounds_on_fractal_terrain() {
+        use crate::engine::{GeodesicEngine, Stop};
+        use crate::ich::IchEngine;
+        let mesh = Arc::new(diamond_square(4, 0.7, 31).to_mesh());
+        let eng = IchEngine::new(mesh.clone());
+        let src = 3u32;
+        let r = eng.ssad(src, Stop::Exhaust);
+        for t in [40u32, 120, 200, 280] {
+            let p = trace_descent_path(&mesh, &r.dist, src, t);
+            // The polyline is on-surface, so ≥ the exact distance; the
+            // per-face linear interpolation keeps it close.
+            assert!(
+                p.length >= r.dist[t as usize] - 1e-9,
+                "t={t}: {} below exact {}",
+                p.length,
+                r.dist[t as usize]
+            );
+            assert!(
+                p.length <= r.dist[t as usize] * 1.05 + 1e-9,
+                "t={t}: trace {} too loose vs {}",
+                p.length,
+                r.dist[t as usize]
+            );
+            assert_eq!(p.points[0], mesh.vertex(src));
+            assert_eq!(*p.points.last().unwrap(), mesh.vertex(t));
+        }
+    }
+
+    #[test]
+    fn descent_trace_degenerate_and_adjacent() {
+        use crate::engine::{GeodesicEngine, Stop};
+        use crate::ich::IchEngine;
+        let mesh = Arc::new(Heightfield::flat(4, 4, 1.0, 1.0).to_mesh());
+        let eng = IchEngine::new(mesh.clone());
+        let r = eng.ssad(5, Stop::Exhaust);
+        // Same vertex.
+        let p = trace_descent_path(&mesh, &r.dist, 5, 5);
+        assert_eq!(p.length, 0.0);
+        // Adjacent vertex: single segment.
+        let p = trace_descent_path(&mesh, &r.dist, 5, 6);
+        assert!((p.length - 1.0).abs() < 1e-9, "adjacent trace {}", p.length);
+    }
+
+    #[test]
+    fn simplified_path_keeps_length_on_real_terrain() {
+        let mesh = Arc::new(diamond_square(3, 0.7, 11).to_mesh());
+        let g = SteinerGraph::with_points_per_edge(mesh, 3);
+        let p = shortest_vertex_path(&g, 0, 60).unwrap();
+        let s = p.simplify_collinear(1e-9);
+        assert!(s.points.len() <= p.points.len());
+        assert!((s.length - p.length).abs() <= 1e-6 * (1.0 + p.length));
+        assert_eq!(s.points[0], p.points[0]);
+        assert_eq!(s.points.last(), p.points.last());
+    }
+}

@@ -1,0 +1,223 @@
+//! Site spaces: the metric interface the SE oracle is built against.
+//!
+//! The oracle's construction needs exactly three geodesic primitives over
+//! its site set `P` (§3.2/§3.5 of the paper):
+//!
+//! 1. full SSAD from a site until all sites are covered (root radius `r₀`),
+//! 2. bounded SSAD returning every site within a radius (point covering,
+//!    parent search, enhanced edges),
+//! 3. a single site-to-site distance (the naive construction).
+//!
+//! [`VertexSiteSpace`] realises these over mesh vertices with any
+//! [`GeodesicEngine`]; [`GraphSiteSpace`] realises them over Steiner-graph
+//! nodes (the A2A oracle of Appendix C builds SE over Steiner points).
+
+use crate::engine::{GeodesicEngine, Stop};
+use crate::steiner::{GraphStop, NodeId, SteinerGraph};
+use std::sync::Arc;
+use terrain::geom::Vec3;
+use terrain::VertexId;
+
+/// A finite set of sites in a geodesic metric space.
+pub trait SiteSpace: Send + Sync {
+    /// Number of sites.
+    fn n_sites(&self) -> usize;
+
+    /// Position of a site in ambient 3-space (used by heuristics such as
+    /// the greedy point-selection grid; never by distance computations).
+    fn site_position(&self, site: usize) -> Vec3;
+
+    /// Exact distances from `site` to every site within `radius`:
+    /// `(site, dist)` pairs with `dist ≤ radius`, all such sites included
+    /// (including `site` itself at distance 0).
+    fn sites_within(&self, site: usize, radius: f64) -> Vec<(usize, f64)>;
+
+    /// Distances from `site` to all sites (full SSAD).
+    fn all_distances(&self, site: usize) -> Vec<f64>;
+
+    /// Distance between two sites.
+    fn distance(&self, a: usize, b: usize) -> f64;
+}
+
+/// Sites are mesh vertices; distances come from a [`GeodesicEngine`].
+pub struct VertexSiteSpace {
+    engine: Arc<dyn GeodesicEngine>,
+    sites: Vec<VertexId>,
+}
+
+impl VertexSiteSpace {
+    /// `sites` must be distinct vertices (the oracle deduplicates POIs
+    /// first, per §2 of the paper).
+    pub fn new(engine: Arc<dyn GeodesicEngine>, sites: Vec<VertexId>) -> Self {
+        debug_assert!(
+            {
+                let mut s = sites.clone();
+                s.sort_unstable();
+                s.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate site vertices"
+        );
+        Self { engine, sites }
+    }
+
+    pub fn sites(&self) -> &[VertexId] {
+        &self.sites
+    }
+
+    pub fn engine(&self) -> &Arc<dyn GeodesicEngine> {
+        &self.engine
+    }
+}
+
+impl SiteSpace for VertexSiteSpace {
+    fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    fn site_position(&self, site: usize) -> Vec3 {
+        self.engine.mesh().vertex(self.sites[site])
+    }
+
+    fn sites_within(&self, site: usize, radius: f64) -> Vec<(usize, f64)> {
+        let r = self.engine.ssad(self.sites[site], Stop::Radius(radius));
+        self.sites
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| {
+                let d = r.dist[v as usize];
+                (d <= radius).then_some((i, d))
+            })
+            .collect()
+    }
+
+    fn all_distances(&self, site: usize) -> Vec<f64> {
+        let r = self.engine.ssad(self.sites[site], Stop::Targets(&self.sites));
+        self.sites.iter().map(|&v| r.dist[v as usize]).collect()
+    }
+
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        self.engine.distance(self.sites[a], self.sites[b])
+    }
+}
+
+/// Sites are Steiner-graph nodes; distances are graph distances.
+pub struct GraphSiteSpace {
+    graph: Arc<SteinerGraph>,
+    sites: Vec<NodeId>,
+}
+
+impl GraphSiteSpace {
+    pub fn new(graph: Arc<SteinerGraph>, sites: Vec<NodeId>) -> Self {
+        Self { graph, sites }
+    }
+
+    pub fn sites(&self) -> &[NodeId] {
+        &self.sites
+    }
+
+    pub fn graph(&self) -> &Arc<SteinerGraph> {
+        &self.graph
+    }
+}
+
+impl SiteSpace for GraphSiteSpace {
+    fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    fn site_position(&self, site: usize) -> Vec3 {
+        self.graph.position(self.sites[site])
+    }
+
+    fn sites_within(&self, site: usize, radius: f64) -> Vec<(usize, f64)> {
+        let r = self.graph.dijkstra(self.sites[site], GraphStop::Radius(radius));
+        self.sites
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| {
+                let d = r.dist[v as usize];
+                (d <= radius).then_some((i, d))
+            })
+            .collect()
+    }
+
+    fn all_distances(&self, site: usize) -> Vec<f64> {
+        let r = self.graph.dijkstra(self.sites[site], GraphStop::Targets(&self.sites));
+        self.sites.iter().map(|&v| r.dist[v as usize]).collect()
+    }
+
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        self.graph.distance(self.sites[a], self.sites[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ich::IchEngine;
+    use terrain::gen::diamond_square;
+
+    fn space() -> VertexSiteSpace {
+        let mesh = Arc::new(diamond_square(3, 0.6, 2).to_mesh());
+        let engine = Arc::new(IchEngine::new(mesh));
+        VertexSiteSpace::new(engine, vec![0, 8, 40, 72, 80, 44])
+    }
+
+    #[test]
+    fn vertex_space_consistency() {
+        let s = space();
+        assert_eq!(s.n_sites(), 6);
+        let all = s.all_distances(0);
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], 0.0);
+        for i in 1..6 {
+            assert!(all[i].is_finite());
+            assert!((s.distance(0, i) - all[i]).abs() < 1e-9, "site {i}");
+        }
+    }
+
+    #[test]
+    fn sites_within_agrees_with_all_distances() {
+        let s = space();
+        let all = s.all_distances(2);
+        let radius = all.iter().cloned().fold(0.0, f64::max) * 0.6;
+        let near = s.sites_within(2, radius);
+        for (i, d) in &near {
+            assert!((all[*i] - d).abs() < 1e-9);
+            assert!(*d <= radius);
+        }
+        // Every site within the radius appears.
+        let found: Vec<usize> = near.iter().map(|(i, _)| *i).collect();
+        for (i, &d) in all.iter().enumerate() {
+            assert_eq!(found.contains(&i), d <= radius, "site {i} at {d}");
+        }
+        // Self appears at distance 0.
+        assert!(near.iter().any(|&(i, d)| i == 2 && d == 0.0));
+    }
+
+    #[test]
+    fn graph_space_consistency() {
+        let mesh = Arc::new(diamond_square(3, 0.6, 4).to_mesh());
+        let graph = Arc::new(SteinerGraph::with_points_per_edge(mesh.clone(), 1));
+        let nv = mesh.n_vertices() as NodeId;
+        let sites = vec![0 as NodeId, 5, nv, nv + 3, nv + 10];
+        let s = GraphSiteSpace::new(graph, sites);
+        let all = s.all_distances(1);
+        for i in 0..s.n_sites() {
+            assert!((s.distance(1, i) - all[i]).abs() < 1e-9);
+        }
+        let r = all.iter().cloned().fold(0.0, f64::max) * 0.5;
+        for (i, d) in s.sites_within(1, r) {
+            assert!((all[i] - d).abs() < 1e-9 && d <= r);
+        }
+    }
+
+    #[test]
+    fn positions_match_mesh() {
+        let mesh = Arc::new(diamond_square(3, 0.6, 2).to_mesh());
+        let engine = Arc::new(IchEngine::new(mesh.clone()));
+        let s = VertexSiteSpace::new(engine, vec![3, 17]);
+        assert_eq!(s.site_position(0), mesh.vertex(3));
+        assert_eq!(s.site_position(1), mesh.vertex(17));
+    }
+}

@@ -1,0 +1,291 @@
+//! The two-level FKS perfect map.
+
+use crate::universal::{splitmix64, UniversalHash};
+
+/// Sentinel for empty second-level slots.
+const EMPTY: u32 = u32::MAX;
+
+/// A static perfect-hash map from `u64` keys to values `V`.
+///
+/// Built once from a list of distinct keys; afterwards [`PerfectMap::get`]
+/// runs in worst-case `O(1)` (two hash evaluations, one key comparison) and
+/// never collides. Construction runs in expected `O(n)`.
+///
+/// Values are stored in one contiguous `Vec<V>` in insertion order; the hash
+/// structure stores `u32` indices into it, so memory overhead is
+/// `~12 bytes × O(n)` on top of the values.
+#[derive(Debug, Clone)]
+pub struct PerfectMap<V> {
+    level1: UniversalHash,
+    /// Per-bucket second-level function, `None` for empty buckets.
+    buckets: Vec<Option<Bucket>>,
+    /// Flat second-level slot storage; each slot is an index into
+    /// `keys`/`values` or `EMPTY`.
+    slots: Vec<u32>,
+    keys: Vec<u64>,
+    values: Vec<V>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    hash: UniversalHash,
+    /// Offset of this bucket's slot range inside `slots`.
+    offset: u32,
+}
+
+impl<V> PerfectMap<V> {
+    /// Builds a perfect map over `entries`.
+    ///
+    /// # Panics
+    /// Panics if two entries share a key — the SE oracle guarantees
+    /// distinct node pairs, so a duplicate indicates a logic error upstream
+    /// and must not be masked.
+    pub fn build(entries: Vec<(u64, V)>, seed: u64) -> Self {
+        let n = entries.len();
+        let (keys, values): (Vec<u64>, Vec<V>) = entries.into_iter().unzip();
+
+        if n == 0 {
+            return Self {
+                level1: UniversalHash::from_seed(seed, 1),
+                buckets: vec![None],
+                slots: Vec::new(),
+                keys,
+                values,
+            };
+        }
+
+        // Level 1: try seeds until total second-level space is linear.
+        let m = n.max(1);
+        let mut attempt = 0u64;
+        let (level1, groups) = loop {
+            let h = UniversalHash::from_seed(splitmix64(seed ^ attempt), m);
+            let mut groups: Vec<Vec<u32>> = vec![Vec::new(); m];
+            for (i, &k) in keys.iter().enumerate() {
+                groups[h.hash(k)].push(i as u32);
+            }
+            let space: usize = groups.iter().map(|g| g.len() * g.len()).sum();
+            if space <= 4 * n {
+                break (h, groups);
+            }
+            attempt += 1;
+            assert!(
+                attempt < 64,
+                "FKS level-1 failed to find a linear-space split in 64 draws; \
+                 keys are likely duplicated"
+            );
+        };
+
+        // Level 2: per bucket, draw until injective on the bucket.
+        let mut buckets: Vec<Option<Bucket>> = vec![None; m];
+        let mut slots: Vec<u32> = Vec::new();
+        for (b, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            if group.len() >= 2 {
+                let k0 = keys[group[0] as usize];
+                for &gi in &group[1..] {
+                    assert_ne!(keys[gi as usize], k0, "duplicate key {k0:#x} in PerfectMap");
+                }
+            }
+            let size = group.len() * group.len();
+            let offset = slots.len() as u32;
+            let mut attempt = 0u64;
+            let h2 = loop {
+                let h2 = UniversalHash::from_seed(
+                    splitmix64(seed ^ (b as u64) ^ (attempt << 32) ^ 0xabcd_ef12),
+                    size,
+                );
+                if is_injective(&keys, group, &h2) {
+                    break h2;
+                }
+                attempt += 1;
+                assert!(
+                    attempt < 4096,
+                    "FKS level-2 failed on bucket of size {}; duplicate keys?",
+                    group.len()
+                );
+            };
+            slots.resize(slots.len() + size, EMPTY);
+            for &gi in group {
+                let s = h2.hash(keys[gi as usize]);
+                debug_assert_eq!(slots[offset as usize + s], EMPTY);
+                slots[offset as usize + s] = gi;
+            }
+            buckets[b] = Some(Bucket { hash: h2, offset });
+        }
+
+        Self { level1, buckets, slots, keys, values }
+    }
+
+    /// Looks up `key`, returning a reference to its value if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let b = self.buckets[self.level1.hash(key)]?;
+        let slot = self.slots[b.offset as usize + b.hash.hash(key)];
+        if slot == EMPTY || self.keys[slot as usize] != key {
+            return None;
+        }
+        Some(&self.values[slot as usize])
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the map is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates over `(key, &value)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.keys.iter().copied().zip(self.values.iter())
+    }
+
+    /// Heap bytes used by the hash structure *and* the values
+    /// (`size_of::<V>()` each; inner allocations of `V` are not followed).
+    pub fn storage_bytes(&self) -> usize {
+        self.buckets.len() * std::mem::size_of::<Option<Bucket>>()
+            + self.slots.len() * std::mem::size_of::<u32>()
+            + self.keys.len() * std::mem::size_of::<u64>()
+            + self.values.len() * std::mem::size_of::<V>()
+    }
+}
+
+fn is_injective(keys: &[u64], group: &[u32], h: &UniversalHash) -> bool {
+    // Buckets are small (expected O(1)); a stack bitset up to 64 entries
+    // covers the common case, falling back to a Vec for big buckets.
+    let size = h.range();
+    if size <= 64 {
+        let mut mask = 0u64;
+        for &gi in group {
+            let s = h.hash(keys[gi as usize]);
+            let bit = 1u64 << s;
+            if mask & bit != 0 {
+                return false;
+            }
+            mask |= bit;
+        }
+        true
+    } else {
+        let mut seen = vec![false; size];
+        for &gi in group {
+            let s = h.hash(keys[gi as usize]);
+            if seen[s] {
+                return false;
+            }
+            seen[s] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn build_random(n: usize, seed: u64) -> (PerfectMap<usize>, HashMap<u64, usize>) {
+        // Deterministic pseudo-random distinct keys.
+        let mut reference = HashMap::new();
+        let mut entries = Vec::new();
+        let mut x = seed | 1;
+        while entries.len() < n {
+            x = splitmix64(x);
+            if reference.insert(x, entries.len()).is_none() {
+                entries.push((x, entries.len()));
+            }
+        }
+        (PerfectMap::build(entries, seed), reference)
+    }
+
+    #[test]
+    fn empty_map() {
+        let map: PerfectMap<i32> = PerfectMap::build(vec![], 7);
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        assert_eq!(map.get(0), None);
+        assert_eq!(map.get(u64::MAX), None);
+    }
+
+    #[test]
+    fn single_entry() {
+        let map = PerfectMap::build(vec![(42u64, "x")], 0);
+        assert_eq!(map.get(42), Some(&"x"));
+        assert_eq!(map.get(43), None);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn all_present_none_missing() {
+        for seed in 0..5 {
+            let (map, reference) = build_random(1000, seed);
+            for (&k, &v) in &reference {
+                assert_eq!(map.get(k), Some(&v), "key {k:#x} seed {seed}");
+            }
+            // Probe keys that are not present.
+            let mut x = 0xdead_beefu64 ^ seed;
+            for _ in 0..1000 {
+                x = splitmix64(x);
+                if !reference.contains_key(&x) {
+                    assert_eq!(map.get(x), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let (map, _) = build_random(10_000, 3);
+        // Slots ≤ 4n by construction; total bytes should be well under
+        // 100 bytes/entry.
+        assert!(map.slots.len() <= 4 * 10_000);
+        assert!(map.storage_bytes() < 100 * 10_000);
+    }
+
+    #[test]
+    fn iter_returns_everything_in_order() {
+        let entries = vec![(5u64, 'a'), (9, 'b'), (1, 'c')];
+        let map = PerfectMap::build(entries.clone(), 11);
+        let collected: Vec<(u64, char)> = map.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(collected, entries);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn duplicate_keys_panic() {
+        let _ = PerfectMap::build(vec![(1u64, 0), (1u64, 1)], 0);
+    }
+
+    #[test]
+    fn adversarial_keys_sequential() {
+        // Sequential keys are a classic weak spot for multiply-shift; the
+        // retry loop must still terminate and produce a perfect map.
+        let entries: Vec<(u64, u64)> = (0..5000u64).map(|k| (k, k * 2)).collect();
+        let map = PerfectMap::build(entries, 1);
+        for k in 0..5000u64 {
+            assert_eq!(map.get(k), Some(&(k * 2)));
+        }
+        assert_eq!(map.get(5000), None);
+    }
+
+    #[test]
+    fn adversarial_keys_high_bits() {
+        let entries: Vec<(u64, u64)> = (0..3000u64).map(|k| (k << 32, k)).collect();
+        let map = PerfectMap::build(entries, 2);
+        for k in 0..3000u64 {
+            assert_eq!(map.get(k << 32), Some(&k));
+        }
+        assert_eq!(map.get(1), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Universal hashing over `u64` keys.
+//!
+//! A multiply-shift family: `h(x) = ((a·x + b) >> s) mod m` with odd random
+//! `a`. Multiply-shift is 2-approximately universal, which is all the FKS
+//! analysis needs (collision probability `O(1/m)` per pair).
+
+/// One member of a universal family of hash functions `u64 -> [0, m)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniversalHash {
+    a: u64,
+    b: u64,
+    m: u64,
+}
+
+impl UniversalHash {
+    /// Draws a member of the family from `seed` mapping into `[0, m)`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn from_seed(seed: u64, m: usize) -> Self {
+        assert!(m > 0, "hash range must be non-empty");
+        // SplitMix64 to decorrelate consecutive seeds.
+        let a = splitmix64(seed) | 1; // odd multiplier
+        let b = splitmix64(seed.wrapping_add(0x9e37_79b9_7f4a_7c15));
+        Self { a, b, m: m as u64 }
+    }
+
+    /// Hashes `key` to a bucket in `[0, m)`.
+    #[inline]
+    pub fn hash(&self, key: u64) -> usize {
+        // Mix, then reduce by multiplication (Lemire) to avoid modulo bias
+        // mattering and division cost.
+        let x = self.a.wrapping_mul(key).wrapping_add(self.b);
+        let x = x ^ (x >> 29);
+        (((x as u128) * (self.m as u128)) >> 64) as usize
+    }
+
+    /// The size of the hash range.
+    #[inline]
+    pub fn range(&self) -> usize {
+        self.m as usize
+    }
+}
+
+/// SplitMix64 step, the standard seed expander.
+#[inline]
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_range() {
+        let h = UniversalHash::from_seed(123, 17);
+        for k in 0..10_000u64 {
+            assert!(h.hash(k) < 17);
+        }
+    }
+
+    #[test]
+    fn range_one_maps_everything_to_zero() {
+        let h = UniversalHash::from_seed(5, 1);
+        for k in [0u64, 1, u64::MAX, 42] {
+            assert_eq!(h.hash(k), 0);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let h1 = UniversalHash::from_seed(1, 1024);
+        let h2 = UniversalHash::from_seed(2, 1024);
+        let diff = (0..1000u64).filter(|&k| h1.hash(k) != h2.hash(k)).count();
+        assert!(diff > 500, "families should decorrelate, got {diff}");
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let m = 64;
+        let h = UniversalHash::from_seed(99, m);
+        let mut counts = vec![0usize; m];
+        let samples = 64_000u64;
+        for k in 0..samples {
+            counts[h.hash(k.wrapping_mul(0x2545F4914F6CDD1D))] += 1;
+        }
+        let expected = samples as usize / m;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 4 && c < expected * 4,
+                "bucket {i} has {c}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_range_panics() {
+        let _ = UniversalHash::from_seed(0, 0);
+    }
+}

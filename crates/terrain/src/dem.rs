@@ -1,0 +1,373 @@
+//! ESRI ASCII grid (`.asc`) import/export for heightfields.
+//!
+//! The paper's datasets were DEM tiles from `data.geocomm.com` (long dead);
+//! USGS and most national mapping agencies still distribute DEMs in the
+//! ESRI ASCII interchange format, so supporting it lets a user run this
+//! library on the *actual* BearHead/EaglePeak quadrangles if they obtain
+//! them elsewhere. Format:
+//!
+//! ```text
+//! ncols         4
+//! nrows         3
+//! xllcorner     0.0
+//! yllcorner     0.0
+//! cellsize      30.0
+//! NODATA_value  -9999          (optional)
+//! 10.0 11.2 9.8 10.5           (rows top-to-bottom)
+//! ...
+//! ```
+
+use crate::gen::Heightfield;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from `.asc` parsing.
+#[derive(Debug)]
+pub enum DemError {
+    Io(io::Error),
+    Parse { line: usize, msg: String },
+    /// Grid smaller than 2×2 cannot triangulate.
+    TooSmall { ncols: usize, nrows: usize },
+    /// Every cell is NODATA — nothing to interpolate from.
+    AllNoData,
+}
+
+impl std::fmt::Display for DemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DemError::Io(e) => write!(f, "I/O error: {e}"),
+            DemError::Parse { line, msg } => write!(f, "ASC parse error at line {line}: {msg}"),
+            DemError::TooSmall { ncols, nrows } => {
+                write!(f, "grid {ncols}×{nrows} too small (need ≥ 2×2)")
+            }
+            DemError::AllNoData => write!(f, "grid contains only NODATA cells"),
+        }
+    }
+}
+
+impl std::error::Error for DemError {}
+
+impl From<io::Error> for DemError {
+    fn from(e: io::Error) -> Self {
+        DemError::Io(e)
+    }
+}
+
+/// Reads an ESRI ASCII grid into a [`Heightfield`].
+///
+/// `NODATA` cells are filled with the mean of their valid 8-neighbours
+/// (iterated until the grid is complete), which keeps isolated sensor
+/// dropouts from punching holes in the surface; a fully-NODATA grid is an
+/// error.
+pub fn read_asc<R: Read>(reader: R) -> Result<Heightfield, DemError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    let mut header: Vec<(String, f64)> = Vec::new();
+    let mut data_first: Option<(usize, String)> = None;
+    for (ln, line) in &mut lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let key = it.next().expect("non-empty line");
+        if key.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+            let val: f64 = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| DemError::Parse {
+                    line: ln + 1,
+                    msg: format!("header '{key}' needs a numeric value"),
+                })?;
+            header.push((key.to_ascii_lowercase(), val));
+        } else {
+            data_first = Some((ln, t.to_string()));
+            break;
+        }
+    }
+
+    let get = |name: &str| header.iter().find(|(k, _)| k == name).map(|&(_, v)| v);
+    let ncols = get("ncols").ok_or(DemError::Parse { line: 1, msg: "missing ncols".into() })?
+        as usize;
+    let nrows = get("nrows").ok_or(DemError::Parse { line: 1, msg: "missing nrows".into() })?
+        as usize;
+    if ncols < 2 || nrows < 2 {
+        return Err(DemError::TooSmall { ncols, nrows });
+    }
+    let cellsize = get("cellsize")
+        .ok_or(DemError::Parse { line: 1, msg: "missing cellsize".into() })?;
+    if !(cellsize > 0.0 && cellsize.is_finite()) {
+        return Err(DemError::Parse { line: 1, msg: "cellsize must be positive".into() });
+    }
+    let nodata = get("nodata_value");
+
+    // Collect exactly ncols × nrows values, top row first.
+    let mut vals: Vec<f64> = Vec::with_capacity(ncols * nrows);
+    let push_line = |ln: usize, text: &str, vals: &mut Vec<f64>| -> Result<(), DemError> {
+        for tok in text.split_whitespace() {
+            let v: f64 = tok.parse().map_err(|_| DemError::Parse {
+                line: ln + 1,
+                msg: format!("bad height '{tok}'"),
+            })?;
+            vals.push(v);
+        }
+        Ok(())
+    };
+    if let Some((ln, text)) = data_first {
+        push_line(ln, &text, &mut vals)?;
+    }
+    let mut last_ln = 0usize;
+    for (ln, line) in &mut lines {
+        last_ln = ln;
+        push_line(ln, &line?, &mut vals)?;
+        if vals.len() >= ncols * nrows {
+            break;
+        }
+    }
+    if vals.len() != ncols * nrows {
+        return Err(DemError::Parse {
+            line: last_ln + 1,
+            msg: format!("expected {} heights, found {}", ncols * nrows, vals.len()),
+        });
+    }
+
+    // Rows arrive top-to-bottom; Heightfield's j axis grows with y, so
+    // flip. Mark NODATA as NaN for the fill pass.
+    let is_nodata =
+        |v: f64| nodata.is_some_and(|nd| (v - nd).abs() < 1e-9) || !v.is_finite();
+    let mut hf = Heightfield::flat(ncols, nrows, cellsize, cellsize);
+    let mut holes = 0usize;
+    for j in 0..nrows {
+        for i in 0..ncols {
+            let v = vals[(nrows - 1 - j) * ncols + i];
+            if is_nodata(v) {
+                hf.set(i, j, f64::NAN);
+                holes += 1;
+            } else {
+                hf.set(i, j, v);
+            }
+        }
+    }
+    if holes == ncols * nrows {
+        return Err(DemError::AllNoData);
+    }
+    fill_nodata(&mut hf, ncols, nrows);
+    Ok(hf)
+}
+
+/// Iteratively replaces NaN cells with the mean of their valid neighbours.
+fn fill_nodata(hf: &mut Heightfield, ncols: usize, nrows: usize) {
+    loop {
+        let mut fixes: Vec<(usize, usize, f64)> = Vec::new();
+        let mut remaining = false;
+        for j in 0..nrows {
+            for i in 0..ncols {
+                if !hf.h(i, j).is_nan() {
+                    continue;
+                }
+                let mut sum = 0.0;
+                let mut cnt = 0usize;
+                for dj in -1i64..=1 {
+                    for di in -1i64..=1 {
+                        let (ni, nj) = (i as i64 + di, j as i64 + dj);
+                        if (di, dj) == (0, 0)
+                            || ni < 0
+                            || nj < 0
+                            || ni >= ncols as i64
+                            || nj >= nrows as i64
+                        {
+                            continue;
+                        }
+                        let v = hf.h(ni as usize, nj as usize);
+                        if !v.is_nan() {
+                            sum += v;
+                            cnt += 1;
+                        }
+                    }
+                }
+                if cnt > 0 {
+                    fixes.push((i, j, sum / cnt as f64));
+                } else {
+                    remaining = true;
+                }
+            }
+        }
+        if fixes.is_empty() {
+            debug_assert!(!remaining, "fill_nodata made no progress");
+            return;
+        }
+        for (i, j, v) in fixes {
+            hf.set(i, j, v);
+        }
+        if !remaining {
+            return;
+        }
+    }
+}
+
+/// Writes a [`Heightfield`] as an ESRI ASCII grid. Requires square cells
+/// (`dx == dy`), which is what [`read_asc`] produces.
+pub fn write_asc<W: Write>(hf: &Heightfield, mut w: W) -> io::Result<()> {
+    assert!(
+        (hf.dx - hf.dy).abs() <= 1e-9 * hf.dx.max(hf.dy),
+        "ESRI ASCII grids require square cells (dx = {}, dy = {})",
+        hf.dx,
+        hf.dy
+    );
+    writeln!(w, "ncols        {}", hf.nx)?;
+    writeln!(w, "nrows        {}", hf.ny)?;
+    writeln!(w, "xllcorner    0.0")?;
+    writeln!(w, "yllcorner    0.0")?;
+    writeln!(w, "cellsize     {}", hf.dx)?;
+    for j in (0..hf.ny).rev() {
+        let row: Vec<String> = (0..hf.nx).map(|i| format!("{}", hf.h(i, j))).collect();
+        writeln!(w, "{}", row.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Reads an `.asc` file from disk.
+pub fn read_asc_file<P: AsRef<Path>>(path: P) -> Result<Heightfield, DemError> {
+    read_asc(std::fs::File::open(path)?)
+}
+
+/// Writes an `.asc` file to disk.
+pub fn write_asc_file<P: AsRef<Path>>(hf: &Heightfield, path: P) -> io::Result<()> {
+    write_asc(hf, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::diamond_square;
+
+    const SAMPLE: &str = "\
+ncols         4
+nrows         3
+xllcorner     100.0
+yllcorner     200.0
+cellsize      30.0
+1 2 3 4
+5 6 7 8
+9 10 11 12
+";
+
+    #[test]
+    fn parses_sample_grid() {
+        let hf = read_asc(SAMPLE.as_bytes()).unwrap();
+        assert_eq!((hf.nx, hf.ny), (4, 3));
+        assert_eq!(hf.dx, 30.0);
+        // Top file row is the highest-y row of the heightfield.
+        assert_eq!(hf.h(0, 2), 1.0);
+        assert_eq!(hf.h(3, 2), 4.0);
+        assert_eq!(hf.h(0, 0), 9.0);
+        assert_eq!(hf.h(3, 0), 12.0);
+        // Result triangulates.
+        let mesh = hf.to_mesh();
+        assert_eq!(mesh.n_vertices(), 12);
+    }
+
+    #[test]
+    fn nodata_cells_filled_from_neighbours() {
+        let text = "\
+ncols 3
+nrows 3
+cellsize 10
+NODATA_value -9999
+1 1 1
+1 -9999 1
+1 1 1
+";
+        let hf = read_asc(text.as_bytes()).unwrap();
+        assert_eq!(hf.h(1, 1), 1.0, "hole must be filled with the neighbour mean");
+        for j in 0..3 {
+            for i in 0..3 {
+                assert!(!hf.h(i, j).is_nan());
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_nodata_region_fills_inward() {
+        let text = "\
+ncols 4
+nrows 4
+cellsize 1
+NODATA_value -1
+2 2 2 2
+2 -1 -1 2
+2 -1 -1 2
+2 2 2 2
+";
+        let hf = read_asc(text.as_bytes()).unwrap();
+        for j in 0..4 {
+            for i in 0..4 {
+                assert!((hf.h(i, j) - 2.0).abs() < 1e-9, "({i},{j}) = {}", hf.h(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            read_asc("ncols 1\nnrows 5\ncellsize 1\n0\n".as_bytes()),
+            Err(DemError::TooSmall { .. })
+        ));
+        assert!(read_asc("nrows 3\ncellsize 1\n1 2 3\n".as_bytes()).is_err());
+        assert!(read_asc("ncols 2\nnrows 2\ncellsize 0\n1 1 1 1\n".as_bytes()).is_err());
+        // Wrong value count.
+        assert!(matches!(
+            read_asc("ncols 2\nnrows 2\ncellsize 1\n1 2 3\n".as_bytes()),
+            Err(DemError::Parse { .. })
+        ));
+        // Garbage height.
+        assert!(read_asc("ncols 2\nnrows 2\ncellsize 1\n1 2 x 4\n".as_bytes()).is_err());
+        // Everything NODATA.
+        assert!(matches!(
+            read_asc(
+                "ncols 2\nnrows 2\ncellsize 1\nNODATA_value 0\n0 0 0 0\n".as_bytes()
+            ),
+            Err(DemError::AllNoData)
+        ));
+    }
+
+    #[test]
+    fn roundtrip_preserves_heights() {
+        let hf = diamond_square(3, 0.6, 5);
+        let mut buf = Vec::new();
+        write_asc(&hf, &mut buf).unwrap();
+        let back = read_asc(buf.as_slice()).unwrap();
+        assert_eq!((back.nx, back.ny), (hf.nx, hf.ny));
+        for j in 0..hf.ny {
+            for i in 0..hf.nx {
+                assert!(
+                    (back.h(i, j) - hf.h(i, j)).abs() < 1e-12,
+                    "({i},{j}): {} vs {}",
+                    back.h(i, j),
+                    hf.h(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn values_spread_across_many_lines_parse() {
+        // Writers are allowed to wrap rows arbitrarily.
+        let text = "ncols 2\nnrows 2\ncellsize 1\n1\n2\n3 4\n";
+        let hf = read_asc(text.as_bytes()).unwrap();
+        assert_eq!(hf.h(0, 1), 1.0);
+        assert_eq!(hf.h(1, 0), 4.0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("terrain-dem-test-{}.asc", std::process::id()));
+        let hf = diamond_square(2, 0.5, 9);
+        write_asc_file(&hf, &path).unwrap();
+        let back = read_asc_file(&path).unwrap();
+        assert_eq!((back.nx, back.ny), (hf.nx, hf.ny));
+        std::fs::remove_file(&path).ok();
+    }
+}

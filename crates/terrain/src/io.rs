@@ -1,0 +1,176 @@
+//! OFF-format mesh I/O.
+//!
+//! The Object File Format is the lingua franca of the geometry-processing
+//! datasets the paper draws on; supporting it lets users run the oracle on
+//! real DEM-derived meshes when they have them.
+
+use crate::geom::Vec3;
+use crate::mesh::{MeshError, TerrainMesh};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from OFF parsing.
+#[derive(Debug)]
+pub enum OffError {
+    Io(io::Error),
+    Parse { line: usize, msg: String },
+    Mesh(MeshError),
+}
+
+impl std::fmt::Display for OffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OffError::Io(e) => write!(f, "I/O error: {e}"),
+            OffError::Parse { line, msg } => write!(f, "OFF parse error at line {line}: {msg}"),
+            OffError::Mesh(e) => write!(f, "invalid mesh: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OffError {}
+
+impl From<io::Error> for OffError {
+    fn from(e: io::Error) -> Self {
+        OffError::Io(e)
+    }
+}
+
+/// Reads an OFF mesh from a reader. Triangle faces only.
+pub fn read_off<R: Read>(reader: R) -> Result<TerrainMesh, OffError> {
+    let br = BufReader::new(reader);
+    let mut tokens: Vec<(usize, String)> = Vec::new();
+    for (ln, line) in br.lines().enumerate() {
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("");
+        for tok in body.split_whitespace() {
+            tokens.push((ln + 1, tok.to_string()));
+        }
+    }
+    let mut pos = 0usize;
+    let mut next = |what: &str| -> Result<(usize, String), OffError> {
+        let t = tokens.get(pos).cloned().ok_or_else(|| OffError::Parse {
+            line: tokens.last().map_or(0, |t| t.0),
+            msg: format!("unexpected end of file, expected {what}"),
+        })?;
+        pos += 1;
+        Ok(t)
+    };
+
+    let (ln, magic) = next("OFF header")?;
+    if magic != "OFF" {
+        return Err(OffError::Parse { line: ln, msg: format!("expected 'OFF', got '{magic}'") });
+    }
+    let parse_usize = |(ln, s): (usize, String), what: &str| -> Result<usize, OffError> {
+        s.parse().map_err(|_| OffError::Parse { line: ln, msg: format!("bad {what}: '{s}'") })
+    };
+    let parse_f64 = |(ln, s): (usize, String)| -> Result<f64, OffError> {
+        s.parse().map_err(|_| OffError::Parse { line: ln, msg: format!("bad number: '{s}'") })
+    };
+    let nv = parse_usize(next("vertex count")?, "vertex count")?;
+    let nf = parse_usize(next("face count")?, "face count")?;
+    let _ne = parse_usize(next("edge count")?, "edge count")?;
+
+    let mut verts = Vec::with_capacity(nv);
+    for _ in 0..nv {
+        let x = parse_f64(next("x")?)?;
+        let y = parse_f64(next("y")?)?;
+        let z = parse_f64(next("z")?)?;
+        verts.push(Vec3::new(x, y, z));
+    }
+    let mut faces = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        let (ln, k) = next("face arity")?;
+        if k != "3" {
+            return Err(OffError::Parse {
+                line: ln,
+                msg: format!("only triangle faces supported, got arity {k}"),
+            });
+        }
+        let a = parse_usize(next("face index")?, "face index")? as u32;
+        let b = parse_usize(next("face index")?, "face index")? as u32;
+        let c = parse_usize(next("face index")?, "face index")? as u32;
+        faces.push([a, b, c]);
+    }
+    TerrainMesh::new(verts, faces).map_err(OffError::Mesh)
+}
+
+/// Writes a mesh in OFF format.
+pub fn write_off<W: Write>(mesh: &TerrainMesh, mut writer: W) -> io::Result<()> {
+    let mut s = String::new();
+    let _ = writeln!(s, "OFF");
+    let _ = writeln!(s, "{} {} {}", mesh.n_vertices(), mesh.n_faces(), mesh.n_edges());
+    for v in mesh.vertices() {
+        let _ = writeln!(s, "{} {} {}", v.x, v.y, v.z);
+    }
+    for f in mesh.faces() {
+        let _ = writeln!(s, "3 {} {} {}", f[0], f[1], f[2]);
+    }
+    writer.write_all(s.as_bytes())
+}
+
+/// Convenience: read from a file path.
+pub fn read_off_file<P: AsRef<Path>>(path: P) -> Result<TerrainMesh, OffError> {
+    read_off(std::fs::File::open(path)?)
+}
+
+/// Convenience: write to a file path.
+pub fn write_off_file<P: AsRef<Path>>(mesh: &TerrainMesh, path: P) -> io::Result<()> {
+    write_off(mesh, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::diamond_square;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let m = diamond_square(3, 0.5, 1).to_mesh();
+        let mut buf = Vec::new();
+        write_off(&m, &mut buf).unwrap();
+        let m2 = read_off(&buf[..]).unwrap();
+        assert_eq!(m.n_vertices(), m2.n_vertices());
+        assert_eq!(m.n_faces(), m2.n_faces());
+        for (a, b) in m.vertices().iter().zip(m2.vertices()) {
+            assert!(a.dist(*b) < 1e-12);
+        }
+        assert_eq!(m.faces(), m2.faces());
+    }
+
+    #[test]
+    fn parses_comments_and_whitespace() {
+        let src = "OFF # header\n# full comment line\n3 1 3\n0 0 0\n1 0 0  # inline\n0 1 0\n3 0 1 2\n";
+        let m = read_off(src.as_bytes()).unwrap();
+        assert_eq!(m.n_vertices(), 3);
+        assert_eq!(m.n_faces(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let r = read_off("PLY\n".as_bytes());
+        assert!(matches!(r, Err(OffError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_non_triangles() {
+        let src = "OFF\n4 1 4\n0 0 0\n1 0 0\n1 1 0\n0 1 0\n4 0 1 2 3\n";
+        let r = read_off(src.as_bytes());
+        assert!(matches!(r, Err(OffError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let src = "OFF\n3 1 3\n0 0 0\n1 0 0\n";
+        let r = read_off(src.as_bytes());
+        assert!(matches!(r, Err(OffError::Parse { .. })));
+    }
+
+    #[test]
+    fn surfaces_mesh_validation_errors() {
+        // Degenerate face (repeated vertex).
+        let src = "OFF\n3 1 3\n0 0 0\n1 0 0\n0 1 0\n3 0 1 1\n";
+        let r = read_off(src.as_bytes());
+        assert!(matches!(r, Err(OffError::Mesh(_))));
+    }
+}

@@ -1,0 +1,48 @@
+//! Triangulated terrain (TIN) substrate for geodesic distance oracles.
+//!
+//! This crate provides everything below the geodesic layer of the
+//! reproduction of *Distance Oracle on Terrain Surface* (Wei, Wong, Long,
+//! Mount — SIGMOD 2017):
+//!
+//! * [`mesh::TerrainMesh`] — a validated indexed triangle mesh with full
+//!   adjacency (manifold, consistently oriented, connected);
+//! * [`gen`] — synthetic terrain generation (diamond-square fractals,
+//!   Gaussian hills, closed-form test shapes) and the named dataset
+//!   [`gen::Preset`]s standing in for the paper's BearHead / EaglePeak /
+//!   San-Francisco-South DEM tiles;
+//! * [`poi`] — POI sampling (uniform, clustered, the paper's
+//!   Normal-distribution up-scaling) and de-duplication;
+//! * [`locate::FaceLocator`] — `(x, y)` → surface-point projection;
+//! * [`refine`] — inserting POIs as mesh vertices without changing the
+//!   surface;
+//! * [`simplify`] — the paper's face-centroid enlargement for Effect-of-N
+//!   sweeps;
+//! * [`io`] — OFF-format input/output;
+//! * [`dem`] — ESRI ASCII grid (`.asc`) DEM import/export.
+//!
+//! # Quick example
+//!
+//! ```
+//! use terrain::gen::Preset;
+//! use terrain::poi::sample_uniform;
+//! use terrain::refine::insert_surface_points;
+//!
+//! let mesh = Preset::SfSmall.mesh(0.2);
+//! let pois = sample_uniform(&mesh, 10, 42);
+//! let refined = insert_surface_points(&mesh, &pois, None).unwrap();
+//! assert_eq!(refined.poi_vertices.len(), 10);
+//! ```
+
+pub mod dem;
+pub mod gen;
+pub mod geom;
+pub mod io;
+pub mod locate;
+pub mod mesh;
+pub mod poi;
+pub mod refine;
+pub mod simplify;
+
+pub use geom::{Vec2, Vec3};
+pub use mesh::{Edge, EdgeId, FaceId, MeshError, MeshStats, TerrainMesh, VertexId, NO_FACE};
+pub use poi::SurfacePoint;

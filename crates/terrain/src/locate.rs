@@ -1,0 +1,175 @@
+//! Point location: projecting an `(x, y)` coordinate onto the terrain
+//! surface.
+//!
+//! Terrains are heightfield graphs, so the vertical projection hits exactly
+//! one face (up to shared edges). The paper generates A2A queries this way
+//! (§5.1: "generated a 2D coordinate (x, y) ... and then computed the point
+//! on the terrain surface whose projection on the x-y plane is (x, y)") and
+//! its POI-scaling procedure projects synthetic 2-D points the same way.
+
+use crate::geom::{barycentric_xy, Vec2, Vec3};
+use crate::mesh::{FaceId, TerrainMesh};
+
+/// A uniform-grid spatial index over face footprints for `O(1)` expected
+/// point location.
+#[derive(Debug, Clone)]
+pub struct FaceLocator {
+    min: Vec2,
+    inv_cell: f64,
+    nx: usize,
+    ny: usize,
+    /// CSR: faces overlapping each cell.
+    cell_off: Vec<u32>,
+    cell_dat: Vec<FaceId>,
+}
+
+impl FaceLocator {
+    /// Builds the index; ~1 face per cell on average.
+    pub fn build(mesh: &TerrainMesh) -> Self {
+        let s = mesh.stats();
+        let (lo, hi) = s.bbox;
+        let w = (hi.x - lo.x).max(1e-12);
+        let h = (hi.y - lo.y).max(1e-12);
+        let target_cells = mesh.n_faces().max(1);
+        let cell = (w * h / target_cells as f64).sqrt().max(1e-12);
+        let nx = ((w / cell).ceil() as usize).max(1);
+        let ny = ((h / cell).ceil() as usize).max(1);
+        let inv_cell = 1.0 / cell;
+        let min = Vec2::new(lo.x, lo.y);
+
+        let clamp_ix = |x: f64| -> usize {
+            (((x - min.x) * inv_cell) as isize).clamp(0, nx as isize - 1) as usize
+        };
+        let clamp_iy = |y: f64| -> usize {
+            (((y - min.y) * inv_cell) as isize).clamp(0, ny as isize - 1) as usize
+        };
+
+        // Count then fill (CSR) over face xy-bounding boxes.
+        let mut counts = vec![0u32; nx * ny + 1];
+        let face_range = |f: FaceId| {
+            let [a, b, c] = mesh.face_points(f);
+            let x0 = clamp_ix(a.x.min(b.x).min(c.x));
+            let x1 = clamp_ix(a.x.max(b.x).max(c.x));
+            let y0 = clamp_iy(a.y.min(b.y).min(c.y));
+            let y1 = clamp_iy(a.y.max(b.y).max(c.y));
+            (x0, x1, y0, y1)
+        };
+        for f in 0..mesh.n_faces() as FaceId {
+            let (x0, x1, y0, y1) = face_range(f);
+            for j in y0..=y1 {
+                for i in x0..=x1 {
+                    counts[j * nx + i + 1] += 1;
+                }
+            }
+        }
+        for i in 0..nx * ny {
+            counts[i + 1] += counts[i];
+        }
+        let mut dat = vec![0u32; counts[nx * ny] as usize];
+        let mut cursor = counts.clone();
+        for f in 0..mesh.n_faces() as FaceId {
+            let (x0, x1, y0, y1) = face_range(f);
+            for j in y0..=y1 {
+                for i in x0..=x1 {
+                    let c = j * nx + i;
+                    dat[cursor[c] as usize] = f;
+                    cursor[c] += 1;
+                }
+            }
+        }
+        Self { min, inv_cell, nx, ny, cell_off: counts, cell_dat: dat }
+    }
+
+    /// Finds the face whose x–y footprint contains `(x, y)` and the surface
+    /// point above it. Returns `None` outside the terrain footprint.
+    pub fn locate(&self, mesh: &TerrainMesh, x: f64, y: f64) -> Option<(FaceId, Vec3)> {
+        let ix = (((x - self.min.x) * self.inv_cell) as isize).clamp(0, self.nx as isize - 1)
+            as usize;
+        let iy = (((y - self.min.y) * self.inv_cell) as isize).clamp(0, self.ny as isize - 1)
+            as usize;
+        let cell = iy * self.nx + ix;
+        let lo = self.cell_off[cell] as usize;
+        let hi = self.cell_off[cell + 1] as usize;
+        let p = Vec2::new(x, y);
+        let mut best: Option<(FaceId, Vec3, f64)> = None;
+        for &f in &self.cell_dat[lo..hi] {
+            let [a, b, c] = mesh.face_points(f);
+            if let Some(w) = barycentric_xy(p, a.xy(), b.xy(), c.xy()) {
+                let min_w = w[0].min(w[1]).min(w[2]);
+                if min_w >= -1e-9 {
+                    let z = a.z * w[0] + b.z * w[1] + c.z * w[2];
+                    // Prefer the most interior containment (ties on shared
+                    // edges resolve deterministically).
+                    if best.is_none_or(|(_, _, bw)| min_w > bw) {
+                        best = Some((f, Vec3::new(x, y, z), min_w));
+                    }
+                }
+            }
+        }
+        best.map(|(f, p, _)| (f, p))
+    }
+
+    /// Heap bytes used by the index.
+    pub fn storage_bytes(&self) -> usize {
+        (self.cell_off.len() + self.cell_dat.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{diamond_square, Heightfield};
+
+    #[test]
+    fn locates_cell_centers_on_flat_grid() {
+        let m = Heightfield::flat(5, 5, 1.0, 1.0).to_mesh();
+        let loc = FaceLocator::build(&m);
+        for j in 0..4 {
+            for i in 0..4 {
+                let x = i as f64 + 0.3;
+                let y = j as f64 + 0.3;
+                let (f, p) = loc.locate(&m, x, y).expect("inside footprint");
+                assert!(p.z.abs() < 1e-12);
+                // The located face really contains the point.
+                let [a, b, c] = m.face_points(f);
+                let w = barycentric_xy(Vec2::new(x, y), a.xy(), b.xy(), c.xy()).unwrap();
+                assert!(w.iter().all(|&v| v >= -1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn outside_footprint_is_none() {
+        let m = Heightfield::flat(3, 3, 1.0, 1.0).to_mesh();
+        let loc = FaceLocator::build(&m);
+        assert!(loc.locate(&m, -0.5, 0.5).is_none());
+        assert!(loc.locate(&m, 0.5, 2.5).is_none());
+        assert!(loc.locate(&m, 100.0, 100.0).is_none());
+    }
+
+    #[test]
+    fn z_matches_heightfield_on_fractal() {
+        let hf = diamond_square(5, 0.6, 9);
+        let m = hf.to_mesh();
+        let loc = FaceLocator::build(&m);
+        // Grid points must hit exactly the stored height.
+        for j in [0usize, 7, 31] {
+            for i in [0usize, 13, 32] {
+                let (_, p) = loc
+                    .locate(&m, i as f64 * hf.dx, j as f64 * hf.dy)
+                    .expect("grid point on surface");
+                assert!((p.z - hf.h(i, j)).abs() < 1e-9, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_and_edge_points_resolve() {
+        let m = Heightfield::flat(3, 3, 1.0, 1.0).to_mesh();
+        let loc = FaceLocator::build(&m);
+        // Exactly on a vertex.
+        assert!(loc.locate(&m, 1.0, 1.0).is_some());
+        // Exactly on an edge.
+        assert!(loc.locate(&m, 0.5, 0.0).is_some());
+    }
+}

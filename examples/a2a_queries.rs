@@ -1,0 +1,64 @@
+//! Arbitrary-point queries (Appendix C): distances between points that are
+//! not POIs — e.g. a vehicle's live GPS position against map coordinates
+//! (§1.1's Google-camera-car / military-vehicle workload).
+//!
+//! The A2A oracle is POI-independent: it indexes Steiner points instead of
+//! POIs, so it also serves the `n > N` regime of Appendix D.
+//!
+//! Run with `cargo run --release --example a2a_queries`.
+
+use std::sync::Arc;
+use std::time::Instant;
+use terrain_oracle::prelude::*;
+
+fn main() {
+    let mesh = Arc::new(Preset::BearHeadLow.mesh(0.05));
+    let stats = mesh.stats();
+    println!("terrain: {} vertices, {} faces", stats.n_vertices, stats.n_faces);
+
+    let eps = 0.2;
+    let t0 = Instant::now();
+    let oracle = A2AOracle::build(mesh.clone(), eps, Some(1), &BuildConfig::default())
+        .expect("A2A oracle construction");
+    println!(
+        "A2A oracle built in {:.2?}: {} Steiner sites, {} node pairs, {:.1} MiB",
+        t0.elapsed(),
+        oracle.graph().n_nodes(),
+        oracle.oracle().n_pairs(),
+        oracle.storage_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // Query random coordinate pairs, the paper's A2A workload: draw (x, y)
+    // in the footprint, project to the surface.
+    let (lo, hi) = stats.bbox;
+    let mut seed = 0x5EEDu64;
+    let mut rand01 = move || {
+        // SplitMix64-based uniform in [0,1).
+        seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+    };
+
+    let t0 = Instant::now();
+    let mut answered = 0u32;
+    let mut sum = 0.0;
+    while answered < 50 {
+        let a = (lo.x + rand01() * (hi.x - lo.x), lo.y + rand01() * (hi.y - lo.y));
+        let b = (lo.x + rand01() * (hi.x - lo.x), lo.y + rand01() * (hi.y - lo.y));
+        if let Some(d) = oracle.distance_xy(a, b) {
+            sum += d;
+            answered += 1;
+        }
+    }
+    println!(
+        "{answered} A2A queries in {:.2?} (avg distance {:.0} m)",
+        t0.elapsed(),
+        sum / answered as f64
+    );
+    println!(
+        "note: A2A queries scan |N(s)|·|N(t)| Steiner pairs, so they are \
+         slower than P2P queries — the same gap the paper's Fig 12 shows"
+    );
+}

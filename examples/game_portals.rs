@@ -1,0 +1,65 @@
+//! Online 3-D game scenario from the paper's §1.1(4): a city terrain with
+//! portals (INGRESS-style), where each portal's *influence* is estimated
+//! from its geodesic distances to every other portal — plus the natural
+//! follow-up the paper's proximity applications imply: the geodesic
+//! Voronoi cell of each portal (the region of the map it controls).
+//!
+//! Run with `cargo run --release --example game_portals`.
+
+use std::sync::Arc;
+use terrain_oracle::prelude::*;
+
+fn main() {
+    // A San-Francisco-like city terrain.
+    let mesh = Arc::new(Preset::SanFrancisco.mesh(0.05));
+    println!("city terrain: {} vertices", mesh.n_vertices());
+
+    // 24 portals, clustered like real points of interest.
+    let locator = terrain::locate::FaceLocator::build(&mesh);
+    let portals = sample_clustered(&mesh, &locator, 24, 5, 0.07, 0x9A3E);
+
+    // Pairwise influence: sum of inverse geodesic distances (the paper:
+    // "for each portal, it is important to calculate the geodesic distance
+    // from this portal to each of the other portals so that the influence
+    // of this portal is estimated").
+    let eps = 0.1;
+    let oracle = P2POracle::build(&mesh, &portals, eps, EngineKind::Exact, &BuildConfig::default())
+        .expect("oracle construction");
+    let n = oracle.n_pois();
+    let mut influence: Vec<(usize, f64)> = (0..n)
+        .map(|p| {
+            let score: f64 = (0..n)
+                .filter(|&q| q != p)
+                .map(|q| 1.0 / oracle.distance(p, q).max(1.0))
+                .sum();
+            (p, score)
+        })
+        .collect();
+    influence.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("most influential portals (inverse-distance score):");
+    for &(p, s) in influence.iter().take(3) {
+        println!("  portal #{p:2}  score {s:.4}");
+    }
+
+    // Territory: geodesic Voronoi cells over the Steiner graph — one
+    // multi-source sweep instead of one SSAD per portal.
+    let graph = SteinerGraph::with_points_per_edge(oracle.mesh().clone(), 1);
+    let sites: Vec<u32> = (0..n).map(|p| oracle.poi_vertex(p)).collect();
+    let cells = geodesic_voronoi(&graph, &sites);
+    let sizes = cells.cell_sizes(n);
+    let total: usize = sizes.iter().sum();
+    assert_eq!(total, graph.n_nodes());
+    let (biggest, &max_cell) =
+        sizes.iter().enumerate().max_by_key(|&(_, &s)| s).expect("non-empty");
+    println!(
+        "territory: portal #{biggest} controls {max_cell} of {total} graph nodes ({:.1} %)",
+        100.0 * max_cell as f64 / total as f64
+    );
+
+    // Every portal controls at least its own node, and distances to cell
+    // members never exceed distances to other portals' members' owners.
+    for (p, &s) in sizes.iter().enumerate() {
+        assert!(s >= 1, "portal {p} owns nothing");
+    }
+    println!("done");
+}

@@ -1,0 +1,74 @@
+//! GIS scenario from the paper's §1.1(1): hikers planning routes between
+//! landmarks on a mountain terrain.
+//!
+//! Builds an SE oracle over clustered landmarks (huts, peaks, trailheads
+//! cluster in reality), then answers the proximity queries the paper says
+//! are built on shortest-distance queries: nearest-neighbour and
+//! range ("what can I reach within my daily hiking budget?").
+//!
+//! Run with `cargo run --release --example hiking_landmarks`.
+
+use terrain_oracle::prelude::*;
+use terrain::locate::FaceLocator;
+
+fn main() {
+    // A BearHead-like mountain terrain (scaled down for example runtime).
+    let mesh = Preset::BearHead.mesh(0.1);
+    let stats = mesh.stats();
+    println!(
+        "terrain: {} vertices over {:.1} × {:.1} km",
+        stats.n_vertices,
+        (stats.bbox.1.x - stats.bbox.0.x) / 1000.0,
+        (stats.bbox.1.y - stats.bbox.0.y) / 1000.0,
+    );
+
+    // Landmarks cluster around four "valley" hubs.
+    let locator = FaceLocator::build(&mesh);
+    let landmarks = sample_clustered(&mesh, &locator, 40, 4, 0.06, 7);
+    println!("{} landmarks in 4 clusters", landmarks.len());
+
+    let eps = 0.1;
+    let oracle = P2POracle::build(
+        &mesh,
+        &landmarks,
+        eps,
+        EngineKind::Exact,
+        &BuildConfig::default(),
+    )
+    .expect("oracle construction");
+    println!(
+        "SE(ε={eps}) ready: {} pairs, {:.1} KiB",
+        oracle.oracle().n_pairs(),
+        oracle.storage_bytes() as f64 / 1024.0
+    );
+
+    // Nearest landmark to the trailhead (landmark 0), via the proximity
+    // index's branch-and-bound over the oracle's own partition tree.
+    let idx = terrain_oracle::oracle::ProximityIndex::new(oracle.oracle());
+    let trailhead = 0usize;
+    let nearest = idx.nearest(trailhead).expect("more than one landmark");
+    println!(
+        "nearest landmark to #0: #{} at {:.0} m on foot",
+        nearest.site, nearest.distance
+    );
+
+    // Range query: everything within a 5 km hike.
+    let budget = 5_000.0;
+    let reachable = idx.range(trailhead, budget);
+    println!("{} landmarks within a {budget:.0} m hike of #0", reachable.len());
+
+    // Walking distance vs straight-line distance: terrain matters.
+    let mut max_ratio: f64 = 0.0;
+    for i in 1..landmarks.len() {
+        let geo = oracle.distance(trailhead, i);
+        let eu = landmarks[trailhead].pos.dist(landmarks[i].pos);
+        if eu > 0.0 {
+            max_ratio = max_ratio.max(geo / eu);
+        }
+    }
+    println!(
+        "largest geodesic/straight-line ratio from #0: {max_ratio:.2}× \
+         (the paper cites terrain detours up to 3×)"
+    );
+    assert!(max_ratio >= 1.0 - eps);
+}

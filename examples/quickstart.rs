@@ -1,0 +1,69 @@
+//! Quickstart: build an SE distance oracle on a synthetic terrain and
+//! answer P2P queries, comparing against exact geodesics.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use std::time::Instant;
+use terrain_oracle::prelude::*;
+
+fn main() {
+    // 1. A terrain: the "small San Francisco" stand-in preset (≈1k
+    //    vertices over a 1.4 km × 1.1 km footprint).
+    let mesh = Preset::SfSmall.mesh(1.0);
+    let stats = mesh.stats();
+    println!(
+        "terrain: {} vertices, {} faces, {:.1} m mean edge",
+        stats.n_vertices, stats.n_faces, stats.mean_edge_len
+    );
+
+    // 2. Sixty POIs, as in the paper's Fig 8 setup.
+    let pois = sample_uniform(&mesh, 60, 42);
+
+    // 3. Build SE with ε = 0.1 over the exact geodesic engine.
+    let eps = 0.1;
+    let t0 = Instant::now();
+    let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+        .expect("oracle construction");
+    println!(
+        "built SE(ε={eps}) in {:.2?}: h = {}, {} node pairs, {:.1} KiB",
+        t0.elapsed(),
+        oracle.oracle().height(),
+        oracle.oracle().n_pairs(),
+        oracle.storage_bytes() as f64 / 1024.0
+    );
+
+    // 4. Query every pair; measure the worst observed error.
+    let t0 = Instant::now();
+    let mut queries = 0u32;
+    let mut worst_err = 0.0f64;
+    for a in 0..10 {
+        for b in 0..10 {
+            let approx = oracle.distance(a, b);
+            let exact = oracle.engine_distance(a, b);
+            if exact > 0.0 {
+                worst_err = worst_err.max((approx - exact).abs() / exact);
+            }
+            queries += 1;
+        }
+    }
+    println!(
+        "{} queries in {:.2?} — worst observed error {:.4} (bound ε = {eps})",
+        queries,
+        t0.elapsed(),
+        worst_err
+    );
+    assert!(worst_err <= eps + 1e-9);
+
+    // 5. Query throughput on the oracle alone (what the paper's query-time
+    //    plots measure).
+    let t0 = Instant::now();
+    let m = 100_000u32;
+    let mut acc = 0.0;
+    for i in 0..m {
+        let a = (i % 60) as usize;
+        let b = ((i * 7 + 13) % 60) as usize;
+        acc += oracle.distance(a, b);
+    }
+    let per = t0.elapsed() / m;
+    println!("oracle query latency: {per:?}/query (checksum {acc:.1})");
+}

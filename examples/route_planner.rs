@@ -1,0 +1,70 @@
+//! Route planning: the oracle answers "how far?" in microseconds; when the
+//! user commits to a destination, the Steiner graph reconstructs the
+//! actual route as a surface polyline (§1.1's hiking/vehicle scenarios
+//! need both).
+//!
+//! Run with `cargo run --release --example route_planner`.
+
+use std::sync::Arc;
+use terrain_oracle::prelude::*;
+
+fn main() {
+    let mesh = Arc::new(Preset::BearHead.mesh(0.06));
+    let pois = sample_uniform(&mesh, 30, 99);
+    let eps = 0.1;
+
+    let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+        .expect("oracle construction");
+    println!(
+        "oracle over {} waypoints: {:.1} KiB",
+        oracle.n_pois(),
+        oracle.storage_bytes() as f64 / 1024.0
+    );
+
+    // Screening phase: rank all destinations from waypoint 0 by distance —
+    // one oracle probe each, no shortest-path computation.
+    let src = 0usize;
+    let mut ranked: Vec<(usize, f64)> =
+        (1..oracle.n_pois()).map(|i| (i, oracle.distance(src, i))).collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("closest 3 destinations from waypoint #0:");
+    for &(i, d) in ranked.iter().take(3) {
+        println!("  #{i:2}  ≈{:6.0} m", d);
+    }
+
+    // Commit phase: reconstruct the route to the top pick. The polyline
+    // lives on the refined mesh (POIs are vertices there).
+    let (dest, est) = ranked[0];
+    let graph = SteinerGraph::with_points_per_edge(oracle.mesh().clone(), 3);
+    let path = shortest_vertex_path(&graph, oracle.poi_vertex(src), oracle.poi_vertex(dest))
+        .expect("connected mesh");
+    let route = path.simplify_collinear(1e-6);
+    println!(
+        "route to #{dest}: {:.0} m over {} segments (oracle estimated {est:.0} m)",
+        route.length,
+        route.n_segments()
+    );
+
+    // The polyline is on-surface, so it can only be ≥ the true geodesic;
+    // the oracle estimate is within ε of it. Their ratio is bounded by the
+    // product of the two approximation factors.
+    let ratio = route.length / (est / (1.0 + eps));
+    println!("route/lower-bound ratio: {ratio:.3}");
+    assert!(ratio >= 1.0 - 1e-9, "surface path below the ε-deflated estimate");
+    assert!(ratio <= 1.30, "path reconstruction unexpectedly loose: {ratio}");
+
+    // Emit waypoints every ~500 m for a GPS device.
+    let step = 500.0;
+    let mut marks = Vec::new();
+    let mut at = 0.0;
+    while at < route.length {
+        marks.push(route.point_at(at));
+        at += step;
+    }
+    marks.push(route.point_at(route.length));
+    println!("GPS track: {} waypoints at {step:.0} m spacing", marks.len());
+    for (i, p) in marks.iter().take(4).enumerate() {
+        println!("  wp{i}: ({:8.1}, {:8.1}, {:6.1})", p.x, p.y, p.z);
+    }
+    println!("done");
+}

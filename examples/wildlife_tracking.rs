@@ -1,0 +1,92 @@
+//! Spatial-data-mining scenario from the paper's §1.1(1)/(5): wildlife
+//! researchers track animals with radio-telemetry receivers on a terrain.
+//! Receiver stations come and go as the study area shifts — the dynamic
+//! update problem the paper's conclusion poses as future work.
+//!
+//! Demonstrates [`DynamicOracle`] (insert/remove without rebuilding) and
+//! [`ProximityIndex`] (nearest-receiver queries) working together.
+//!
+//! Run with `cargo run --release --example wildlife_tracking`.
+
+use std::sync::Arc;
+use terrain_oracle::geodesic::{SiteSpace, VertexSiteSpace};
+use terrain_oracle::oracle::dynamic::DynamicOracle;
+use terrain_oracle::oracle::ProximityIndex;
+use terrain_oracle::prelude::*;
+
+fn main() {
+    // An EaglePeak-like ridge system.
+    let mesh = Preset::EaglePeak.mesh(0.08);
+    println!("terrain: {} vertices", mesh.n_vertices());
+
+    // Candidate receiver locations (the universe): 36 surveyed spots.
+    let candidates = sample_uniform(&mesh, 36, 2024);
+    let refined = insert_surface_points(&mesh, &candidates, None).expect("refinement");
+    let mut sites = refined.poi_vertices.clone();
+    sites.sort_unstable();
+    sites.dedup();
+    let space = VertexSiteSpace::new(
+        Arc::new(IchEngine::new(Arc::new(refined.mesh))),
+        sites,
+    );
+
+    // Season 1: the first 24 stations are deployed.
+    let eps = 0.1;
+    let initial: Vec<usize> = (0..24).collect();
+    let mut oracle = DynamicOracle::with_initial(&space, initial, eps, &BuildConfig::default())
+        .expect("oracle construction");
+    println!(
+        "season 1: {} stations indexed, {:.1} KiB",
+        oracle.n_active(),
+        oracle.storage_bytes() as f64 / 1024.0
+    );
+
+    // Season 2: four stations wash out, six new ones come online. No
+    // rebuild — each insertion costs one SSAD plus a tree descent.
+    for dead in [3usize, 9, 14, 20] {
+        oracle.remove(dead).expect("station was active");
+    }
+    for new in 24..30 {
+        oracle.insert(new).expect("station was inactive");
+    }
+    let st = oracle.stats();
+    println!(
+        "season 2: {} stations ({} SSAD runs for inserts, {} patch pairs)",
+        oracle.n_active(),
+        st.insert_ssad_runs,
+        st.patch_pairs
+    );
+
+    // Inter-station geodesic distances stay ε-accurate through the churn.
+    let active = oracle.active_sites();
+    let mut worst_rel = 0.0f64;
+    for &a in &active {
+        for &b in &active {
+            if a < b {
+                let approx = oracle.distance(a, b).expect("both active");
+                let exact = space.distance(a, b);
+                if exact > 0.0 {
+                    worst_rel = worst_rel.max((approx - exact).abs() / exact);
+                }
+            }
+        }
+    }
+    println!("worst relative error across churn: {worst_rel:.4} (ε = {eps})");
+    assert!(worst_rel <= eps + 1e-9);
+
+    // An animal fix comes in near station 5: which receivers should be
+    // polled? Nearest-3 by *geodesic* distance (canyons matter, straight
+    // lines don't). Rebuild first so the proximity tree covers everything.
+    oracle.rebuild().expect("rebuild");
+    let se = oracle.base_oracle();
+    let idx = ProximityIndex::new(se);
+    // After the rebuild, base site indices follow `active_sites()` order.
+    let fix_site = 5usize;
+    let nearest = idx.knn(fix_site, 3);
+    println!("receivers to poll for a fix at station #{fix_site}:");
+    for nb in &nearest {
+        println!("  station #{:2}  {:7.0} m over the surface", nb.site, nb.distance);
+    }
+    assert_eq!(nearest.len(), 3);
+    println!("done");
+}

@@ -1,0 +1,284 @@
+//! `terrain-oracle` — command-line front end for building, inspecting and
+//! querying SE distance-oracle images.
+//!
+//! ```text
+//! terrain-oracle build --mesh t.off --pois p.csv --eps 0.1 --out oracle.seor
+//! terrain-oracle info  --oracle oracle.seor
+//! terrain-oracle query --oracle oracle.seor --pairs "0 5" "3 17"
+//! terrain-oracle knn   --oracle oracle.seor --site 4 --k 3
+//! terrain-oracle gen   --preset sf-small --scale 0.5 --out t.off
+//! ```
+//!
+//! POIs are a CSV of `x,y` (projected onto the surface) or `x,y,z`
+//! (matched to the nearest surface point by projection); `#` comments and
+//! blank lines are ignored.
+
+use se_oracle::oracle::{BuildConfig, SeOracle};
+use se_oracle::p2p::{EngineKind, P2POracle};
+use se_oracle::ProximityIndex;
+use std::process::ExitCode;
+use terrain::gen::Preset;
+use terrain::locate::FaceLocator;
+use terrain::poi::SurfacePoint;
+use terrain::TerrainMesh;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let r = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("knn") => cmd_knn(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+terrain-oracle — SE geodesic distance oracles on terrain surfaces
+
+USAGE:
+  terrain-oracle build --mesh <file.off> --pois <file.csv> --eps <f>
+                       --out <file.seor> [--engine exact|edge|steiner]
+                       [--threads <n>]
+  terrain-oracle info  --oracle <file.seor>
+  terrain-oracle query --oracle <file.seor> --pairs \"<s> <t>\" ...
+  terrain-oracle knn   --oracle <file.seor> --site <s> --k <k>
+  terrain-oracle gen   --preset bh|ep|sf|sf-small|bh-low --scale <f>
+                       --out <file.off>
+";
+
+/// Pulls the value following `--name`, removing both from `rest`.
+fn take_opt(rest: &mut Vec<String>, name: &str) -> Option<String> {
+    let at = rest.iter().position(|a| a == name)?;
+    if at + 1 >= rest.len() {
+        return None;
+    }
+    let v = rest.remove(at + 1);
+    rest.remove(at);
+    Some(v)
+}
+
+fn require(rest: &mut Vec<String>, name: &str) -> Result<String, String> {
+    take_opt(rest, name).ok_or_else(|| format!("missing required option {name}"))
+}
+
+fn reject_leftovers(rest: &[String]) -> Result<(), String> {
+    if let Some(stray) = rest.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("unknown option '{stray}'"));
+    }
+    Ok(())
+}
+
+fn load_mesh(path: &str) -> Result<TerrainMesh, String> {
+    terrain::io::read_off_file(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn load_pois(path: &str, mesh: &TerrainMesh) -> Result<Vec<SurfacePoint>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let locator = FaceLocator::build(mesh);
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(format!("{path}:{}: expected 'x,y[,z]'", ln + 1));
+        }
+        let x: f64 = fields[0]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad x '{}'", ln + 1, fields[0]))?;
+        let y: f64 = fields[1]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad y '{}'", ln + 1, fields[1]))?;
+        let (face, pos) = locator
+            .locate(mesh, x, y)
+            .ok_or_else(|| format!("{path}:{}: ({x}, {y}) outside the terrain", ln + 1))?;
+        out.push(SurfacePoint { face, pos });
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no POIs"));
+    }
+    Ok(out)
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let mut rest = args.to_vec();
+    let mesh_path = require(&mut rest, "--mesh")?;
+    let poi_path = require(&mut rest, "--pois")?;
+    let eps: f64 = require(&mut rest, "--eps")?
+        .parse()
+        .map_err(|_| "--eps needs a number".to_string())?;
+    let out_path = require(&mut rest, "--out")?;
+    let engine = match take_opt(&mut rest, "--engine").as_deref() {
+        None | Some("exact") => EngineKind::Exact,
+        Some("edge") => EngineKind::EdgeGraph,
+        Some("steiner") => EngineKind::Steiner { points_per_edge: 3 },
+        Some(other) => return Err(format!("unknown engine '{other}'")),
+    };
+    let threads: usize = match take_opt(&mut rest, "--threads") {
+        Some(t) => t.parse().map_err(|_| "--threads needs an integer".to_string())?,
+        None => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+    };
+    reject_leftovers(&rest)?;
+
+    let mesh = load_mesh(&mesh_path)?;
+    let pois = load_pois(&poi_path, &mesh)?;
+    eprintln!(
+        "building SE(ε={eps}) over {} POIs on {} vertices…",
+        pois.len(),
+        mesh.n_vertices()
+    );
+    let cfg = BuildConfig { threads, ..Default::default() };
+    let t0 = std::time::Instant::now();
+    let oracle =
+        P2POracle::build(&mesh, &pois, eps, engine, &cfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "built in {:.2?}: {} pairs, h = {}, {:.1} KiB",
+        t0.elapsed(),
+        oracle.oracle().n_pairs(),
+        oracle.oracle().height(),
+        oracle.storage_bytes() as f64 / 1024.0
+    );
+    let mut f =
+        std::fs::File::create(&out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
+    oracle.oracle().save_to(&mut f).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("{out_path}");
+    Ok(())
+}
+
+fn load_oracle(rest: &mut Vec<String>) -> Result<SeOracle, String> {
+    let path = require(rest, "--oracle")?;
+    let mut f = std::fs::File::open(&path).map_err(|e| format!("opening {path}: {e}"))?;
+    SeOracle::load_from(&mut f).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let mut rest = args.to_vec();
+    let oracle = load_oracle(&mut rest)?;
+    reject_leftovers(&rest)?;
+    println!("sites:   {}", oracle.n_sites());
+    println!("pairs:   {}", oracle.n_pairs());
+    println!("epsilon: {}", oracle.epsilon());
+    println!("height:  {}", oracle.height());
+    println!("bytes:   {}", oracle.storage_bytes());
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let mut rest = args.to_vec();
+    let oracle = load_oracle(&mut rest)?;
+    let at = rest
+        .iter()
+        .position(|a| a == "--pairs")
+        .ok_or("missing required option --pairs")?;
+    let pair_args: Vec<String> = rest.drain(at..).skip(1).collect();
+    reject_leftovers(&rest)?;
+    if pair_args.is_empty() {
+        return Err("--pairs needs at least one \"<s> <t>\" argument".into());
+    }
+    for spec in &pair_args {
+        let mut it = spec.split_whitespace();
+        let (s, t) = match (it.next(), it.next(), it.next()) {
+            (Some(s), Some(t), None) => (s, t),
+            _ => return Err(format!("bad pair '{spec}' (expected \"<s> <t>\")")),
+        };
+        let s: usize = s.parse().map_err(|_| format!("bad site '{s}'"))?;
+        let t: usize = t.parse().map_err(|_| format!("bad site '{t}'"))?;
+        if s >= oracle.n_sites() || t >= oracle.n_sites() {
+            return Err(format!(
+                "pair ({s}, {t}) out of range (oracle has {} sites)",
+                oracle.n_sites()
+            ));
+        }
+        println!("{s} {t} {}", oracle.distance(s, t));
+    }
+    Ok(())
+}
+
+fn cmd_knn(args: &[String]) -> Result<(), String> {
+    let mut rest = args.to_vec();
+    let oracle = load_oracle(&mut rest)?;
+    let site: usize = require(&mut rest, "--site")?
+        .parse()
+        .map_err(|_| "--site needs an integer".to_string())?;
+    let k: usize =
+        require(&mut rest, "--k")?.parse().map_err(|_| "--k needs an integer".to_string())?;
+    reject_leftovers(&rest)?;
+    if site >= oracle.n_sites() {
+        return Err(format!("site {site} out of range ({} sites)", oracle.n_sites()));
+    }
+    let idx = ProximityIndex::new(&oracle);
+    for nb in idx.knn(site, k) {
+        println!("{} {}", nb.site, nb.distance);
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let mut rest = args.to_vec();
+    let preset = match require(&mut rest, "--preset")?.as_str() {
+        "bh" => Preset::BearHead,
+        "ep" => Preset::EaglePeak,
+        "sf" => Preset::SanFrancisco,
+        "sf-small" => Preset::SfSmall,
+        "bh-low" => Preset::BearHeadLow,
+        other => return Err(format!("unknown preset '{other}'")),
+    };
+    let scale: f64 = match take_opt(&mut rest, "--scale") {
+        Some(s) => s.parse().map_err(|_| "--scale needs a number".to_string())?,
+        None => 1.0,
+    };
+    let out = require(&mut rest, "--out")?;
+    reject_leftovers(&rest)?;
+    let mesh = preset.mesh(scale);
+    terrain::io::write_off_file(&mesh, &out).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "{}: {} vertices, {} faces → {out}",
+        preset.name(),
+        mesh.n_vertices(),
+        mesh.n_faces()
+    );
+    println!("{out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_opt_removes_flag_and_value() {
+        let mut v: Vec<String> =
+            ["--a", "1", "--b", "2"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(take_opt(&mut v, "--b"), Some("2".into()));
+        assert_eq!(v, vec!["--a".to_string(), "1".into()]);
+        assert_eq!(take_opt(&mut v, "--missing"), None);
+    }
+
+    #[test]
+    fn take_opt_rejects_flag_at_end() {
+        let mut v: Vec<String> = vec!["--a".into()];
+        assert_eq!(take_opt(&mut v, "--a"), None);
+    }
+
+    #[test]
+    fn leftover_flags_rejected() {
+        let v: Vec<String> = vec!["--bogus".into()];
+        assert!(reject_leftovers(&v).is_err());
+        assert!(reject_leftovers(&[]).is_ok());
+    }
+}

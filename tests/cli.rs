@@ -1,0 +1,199 @@
+//! End-to-end tests of the `terrain-oracle` CLI binary: generate a mesh,
+//! build an oracle image, inspect and query it — the full operator
+//! workflow through real process invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_terrain-oracle")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("terrain-oracle-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("spawn CLI")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn full_workflow_gen_build_info_query_knn() {
+    let dir = tmp_dir("flow");
+    let mesh = dir.join("t.off");
+    let pois = dir.join("p.csv");
+    let image = dir.join("o.seor");
+
+    // gen
+    let o = run(&["gen", "--preset", "sf-small", "--scale", "0.3", "--out", mesh.to_str().unwrap()]);
+    assert!(o.status.success(), "gen failed: {}", stderr(&o));
+    assert!(mesh.exists());
+
+    // POIs inside the SF-small footprint (1400 × 1110 m).
+    std::fs::write(
+        &pois,
+        "# landmark grid\n100,100\n700,300\n1200,900\n300,800\n900,600\n500,200\n",
+    )
+    .unwrap();
+
+    // build
+    let o = run(&[
+        "build",
+        "--mesh",
+        mesh.to_str().unwrap(),
+        "--pois",
+        pois.to_str().unwrap(),
+        "--eps",
+        "0.15",
+        "--out",
+        image.to_str().unwrap(),
+        "--engine",
+        "exact",
+    ]);
+    assert!(o.status.success(), "build failed: {}", stderr(&o));
+    assert!(image.exists());
+
+    // info
+    let o = run(&["info", "--oracle", image.to_str().unwrap()]);
+    assert!(o.status.success(), "info failed: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("sites:   6"), "info output:\n{out}");
+    assert!(out.contains("epsilon: 0.15"), "info output:\n{out}");
+
+    // query
+    let o = run(&["query", "--oracle", image.to_str().unwrap(), "--pairs", "0 1", "2 3"]);
+    assert!(o.status.success(), "query failed: {}", stderr(&o));
+    let out = stdout(&o);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2);
+    for line in &lines {
+        let d: f64 = line.split_whitespace().nth(2).unwrap().parse().unwrap();
+        assert!(d > 0.0 && d < 3000.0, "implausible distance in '{line}'");
+    }
+
+    // knn
+    let o = run(&["knn", "--oracle", image.to_str().unwrap(), "--site", "0", "--k", "3"]);
+    assert!(o.status.success(), "knn failed: {}", stderr(&o));
+    let out = stdout(&o);
+    assert_eq!(out.lines().count(), 3, "knn output:\n{out}");
+    // Ascending distances.
+    let ds: Vec<f64> = out
+        .lines()
+        .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+        .collect();
+    assert!(ds.windows(2).all(|w| w[0] <= w[1]), "knn not sorted: {ds:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors_and_usage() {
+    // No args → usage on stdout, success.
+    let o = run(&[]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("USAGE"));
+
+    // Unknown command.
+    let o = run(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown command"));
+
+    // Missing required option.
+    let o = run(&["info"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--oracle"));
+
+    // Nonexistent oracle file.
+    let o = run(&["info", "--oracle", "/nonexistent/path.seor"]);
+    assert!(!o.status.success());
+
+    // Bad epsilon.
+    let o = run(&["build", "--mesh", "x", "--pois", "y", "--eps", "nope", "--out", "z"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--eps"));
+
+    // Unknown stray option.
+    let o = run(&["info", "--oracle", "x", "--bogus", "1"]);
+    assert!(!o.status.success());
+}
+
+#[test]
+fn query_rejects_out_of_range_sites() {
+    let dir = tmp_dir("range");
+    let mesh = dir.join("t.off");
+    let pois = dir.join("p.csv");
+    let image = dir.join("o.seor");
+    run(&["gen", "--preset", "sf-small", "--scale", "0.2", "--out", mesh.to_str().unwrap()]);
+    std::fs::write(&pois, "100,100\n700,300\n").unwrap();
+    let o = run(&[
+        "build",
+        "--mesh",
+        mesh.to_str().unwrap(),
+        "--pois",
+        pois.to_str().unwrap(),
+        "--eps",
+        "0.2",
+        "--out",
+        image.to_str().unwrap(),
+        "--engine",
+        "edge",
+    ]);
+    assert!(o.status.success(), "build failed: {}", stderr(&o));
+    let o = run(&["query", "--oracle", image.to_str().unwrap(), "--pairs", "0 99"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("out of range"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn poi_csv_parse_errors_are_located() {
+    let dir = tmp_dir("csv");
+    let mesh = dir.join("t.off");
+    run(&["gen", "--preset", "sf-small", "--scale", "0.2", "--out", mesh.to_str().unwrap()]);
+
+    // Malformed line.
+    let pois = dir.join("bad.csv");
+    std::fs::write(&pois, "100,100\nnot-a-number,5\n").unwrap();
+    let o = run(&[
+        "build",
+        "--mesh",
+        mesh.to_str().unwrap(),
+        "--pois",
+        pois.to_str().unwrap(),
+        "--eps",
+        "0.2",
+        "--out",
+        dir.join("o.seor").to_str().unwrap(),
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains(":2:"), "error should cite line 2: {}", stderr(&o));
+
+    // POI outside the footprint.
+    let pois = dir.join("outside.csv");
+    std::fs::write(&pois, "100,100\n-5000,-5000\n").unwrap();
+    let o = run(&[
+        "build",
+        "--mesh",
+        mesh.to_str().unwrap(),
+        "--pois",
+        pois.to_str().unwrap(),
+        "--eps",
+        "0.2",
+        "--out",
+        dir.join("o.seor").to_str().unwrap(),
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("outside"), "{}", stderr(&o));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,226 @@
+//! Cross-validation of the three geodesic engines against each other and
+//! against closed-form geodesics on analytically solvable surfaces.
+//!
+//! Invariant chain (per source/target pair):
+//!
+//! ```text
+//! exact (ICH)  ≤  Steiner-graph distance  ≤  edge-graph distance
+//! ```
+//!
+//! because each successive graph is a restriction of the previous path
+//! family; and on a flat plane all converge to planar Euclidean distance.
+
+use std::sync::Arc;
+use terrain_oracle::prelude::*;
+
+fn engines(
+    mesh: &Arc<TerrainMesh>,
+    m: usize,
+) -> (IchEngine, SteinerEngine, EdgeGraphEngine) {
+    (
+        IchEngine::new(mesh.clone()),
+        SteinerEngine::new(SteinerGraph::with_points_per_edge(mesh.clone(), m)),
+        EdgeGraphEngine::new(mesh.clone()),
+    )
+}
+
+#[test]
+fn engine_ordering_on_fractal_terrain() {
+    let mesh = Arc::new(diamond_square(4, 0.7, 201).to_mesh());
+    let (ich, steiner, edge) = engines(&mesh, 3);
+    let src = 7u32;
+    let ri = ich.ssad(src, Stop::Exhaust);
+    let rs = steiner.ssad(src, Stop::Exhaust);
+    let re = edge.ssad(src, Stop::Exhaust);
+    for v in 0..mesh.n_vertices() {
+        assert!(
+            ri.dist[v] <= rs.dist[v] + 1e-9,
+            "v{v}: exact {} above steiner {}",
+            ri.dist[v],
+            rs.dist[v]
+        );
+        assert!(
+            rs.dist[v] <= re.dist[v] + 1e-9,
+            "v{v}: steiner {} above edge-graph {}",
+            rs.dist[v],
+            re.dist[v]
+        );
+    }
+}
+
+#[test]
+fn all_engines_exact_on_flat_grid_diagonal() {
+    // On a flat grid triangulated with diagonals, the edge graph is NOT
+    // exact for most pairs, but ICH must be, and Steiner converges.
+    let mesh = Arc::new(Heightfield::flat(7, 7, 1.0, 1.0).to_mesh());
+    let ich = IchEngine::new(mesh.clone());
+    let s = 0u32;
+    let t = 48u32; // opposite corner, Euclidean 6√2
+    let exact = 72f64.sqrt();
+    assert!((ich.distance(s, t) - exact).abs() < 1e-9, "ICH not exact on plane");
+
+    let mut last = f64::INFINITY;
+    for m in [0usize, 2, 5] {
+        let eng = SteinerEngine::new(SteinerGraph::with_points_per_edge(mesh.clone(), m));
+        let d = eng.distance(s, t);
+        assert!(d >= exact - 1e-9);
+        assert!(d <= last + 1e-12);
+        last = d;
+    }
+    assert!(last < exact * 1.02);
+}
+
+#[test]
+fn ich_matches_unfolded_tent_closed_form() {
+    // Tent surface: the geodesic between symmetric points on opposite
+    // slopes has a closed form by unfolding the two planes about the ridge.
+    let nx = 9;
+    let ridge_h = 2.0;
+    let mesh = Arc::new(terrain::gen::tent(nx, 9, 1.0, 1.0, ridge_h).to_mesh());
+    let ich = IchEngine::new(mesh.clone());
+    // Vertices on row j=4 (middle), columns 0 and 8 (feet of both slopes).
+    let row = 4u32;
+    let a = row * nx as u32; // (0, 4)
+    let b = row * nx as u32 + (nx as u32 - 1); // (8, 4)
+    // Each slope has horizontal run 4, rise 2 → slant length √(16+4)=√20.
+    // Unfolded, the two slants are collinear through the ridge (same y),
+    // so the geodesic is their sum.
+    let expect = 2.0 * 20f64.sqrt();
+    let got = ich.distance(a, b);
+    assert!(
+        (got - expect).abs() < 1e-6,
+        "tent closed form: got {got}, expected {expect}"
+    );
+}
+
+#[test]
+fn geodesic_exceeds_3d_euclidean_lower_bound() {
+    let mesh = Arc::new(diamond_square(4, 0.8, 203).to_mesh());
+    let ich = IchEngine::new(mesh.clone());
+    let r = ich.ssad(3, Stop::Exhaust);
+    let p = mesh.vertex(3);
+    for v in 0..mesh.n_vertices() {
+        let chord = p.dist(mesh.vertex(v as u32));
+        assert!(
+            r.dist[v] >= chord - 1e-9,
+            "v{v}: geodesic {} below 3-D chord {chord}",
+            r.dist[v]
+        );
+    }
+}
+
+#[test]
+fn ssad_radius_stop_agrees_with_exhaust_within_radius() {
+    let mesh = Arc::new(diamond_square(4, 0.6, 207).to_mesh());
+    for (name, engine) in [
+        ("ich", Box::new(IchEngine::new(mesh.clone())) as Box<dyn GeodesicEngine>),
+        (
+            "steiner",
+            Box::new(SteinerEngine::new(SteinerGraph::with_points_per_edge(
+                mesh.clone(),
+                2,
+            ))),
+        ),
+        ("edge", Box::new(EdgeGraphEngine::new(mesh.clone()))),
+    ] {
+        let full = engine.ssad(11, Stop::Exhaust);
+        let reach = full.dist.iter().cloned().fold(0.0, f64::max);
+        let radius = reach * 0.45;
+        let partial = engine.ssad(11, Stop::Radius(radius));
+        for v in 0..mesh.n_vertices() {
+            if full.dist[v] <= radius {
+                assert!(
+                    (partial.dist[v] - full.dist[v]).abs() < 1e-9,
+                    "{name} v{v}: radius-stop label {} vs final {}",
+                    partial.dist[v],
+                    full.dist[v]
+                );
+            } else if partial.dist[v].is_finite() {
+                // Labels beyond the radius may be present but only as
+                // valid upper bounds.
+                assert!(partial.dist[v] >= full.dist[v] - 1e-9, "{name} v{v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn ssad_targets_stop_finalizes_targets() {
+    let mesh = Arc::new(diamond_square(4, 0.6, 211).to_mesh());
+    let targets = [1u32, 19, 37, 64, 80];
+    for engine in [
+        Box::new(IchEngine::new(mesh.clone())) as Box<dyn GeodesicEngine>,
+        Box::new(SteinerEngine::new(SteinerGraph::with_points_per_edge(mesh.clone(), 2))),
+        Box::new(EdgeGraphEngine::new(mesh.clone())),
+    ] {
+        let full = engine.ssad(5, Stop::Exhaust);
+        let part = engine.ssad(5, Stop::Targets(&targets));
+        for &t in &targets {
+            assert!(
+                (part.dist[t as usize] - full.dist[t as usize]).abs() < 1e-9,
+                "{}: target {t}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_are_symmetric_metrics() {
+    let mesh = Arc::new(diamond_square(3, 0.7, 213).to_mesh());
+    let (ich, steiner, edge) = engines(&mesh, 2);
+    let pairs = [(0u32, 40u32), (8, 72), (20, 60)];
+    for engine in [&ich as &dyn GeodesicEngine, &steiner, &edge] {
+        for &(a, b) in &pairs {
+            let ab = engine.distance(a, b);
+            let ba = engine.distance(b, a);
+            assert!(
+                (ab - ba).abs() <= 1e-9 * (1.0 + ab),
+                "{}: d({a},{b})={ab} vs d({b},{a})={ba}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn triangle_inequality_over_vertex_triples() {
+    let mesh = Arc::new(diamond_square(3, 0.7, 217).to_mesh());
+    let ich = IchEngine::new(mesh.clone());
+    let nv = mesh.n_vertices();
+    let picks: Vec<u32> = (0..nv as u32).step_by(nv / 9).collect();
+    let rows: Vec<Vec<f64>> =
+        picks.iter().map(|&s| ich.ssad(s, Stop::Exhaust).dist).collect();
+    for i in 0..picks.len() {
+        for j in 0..picks.len() {
+            for k in 0..picks.len() {
+                let ab = rows[i][picks[j] as usize];
+                let bc = rows[j][picks[k] as usize];
+                let ac = rows[i][picks[k] as usize];
+                assert!(
+                    ac <= ab + bc + 1e-9,
+                    "triangle violated at ({}, {}, {}): {ac} > {ab} + {bc}",
+                    picks[i],
+                    picks[j],
+                    picks[k]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn steiner_path_length_equals_steiner_distance() {
+    // The reconstructed polyline and the Dijkstra label must agree — ties
+    // the path module to the engine used throughout the oracle stack.
+    let mesh = Arc::new(diamond_square(3, 0.7, 219).to_mesh());
+    let g = SteinerGraph::with_points_per_edge(mesh.clone(), 2);
+    let eng = SteinerEngine::new(g.clone());
+    for (s, t) in [(0u32, 80u32), (4, 44), (9, 77)] {
+        let d = eng.distance(s, t);
+        let p = shortest_vertex_path(&g, s, t).unwrap();
+        assert!((p.length - d).abs() < 1e-9, "({s},{t}): path {} vs {d}", p.length);
+        assert_eq!(p.points[0], mesh.vertex(s));
+        assert_eq!(*p.points.last().unwrap(), mesh.vertex(t));
+    }
+}

@@ -1,0 +1,245 @@
+//! Cross-crate integration tests: the SE oracle's end-to-end ε guarantee
+//! (Theorem 1/3 of the paper) against exact geodesics, across terrains,
+//! error parameters, selection strategies, construction methods and query
+//! algorithms.
+
+use std::sync::Arc;
+use terrain_oracle::oracle::{BuildConfig, ConstructionMethod, SelectionStrategy};
+use terrain_oracle::prelude::*;
+
+/// Exhaustively checks `|d̃ − d| ≤ ε·d` over every POI pair.
+fn assert_oracle_eps(oracle: &P2POracle, eps: f64, label: &str) {
+    let n = oracle.n_pois();
+    for a in 0..n {
+        for b in a..n {
+            let approx = oracle.distance(a, b);
+            let exact = oracle.engine_distance(a, b);
+            assert!(
+                (approx - exact).abs() <= eps * exact + 1e-9,
+                "{label}: POIs ({a},{b}) approx {approx} exact {exact} ε {eps}"
+            );
+            assert!(
+                (oracle.distance(b, a) - approx).abs() < 1e-12,
+                "{label}: asymmetric answer at ({a},{b})"
+            );
+        }
+    }
+}
+
+#[test]
+fn p2p_eps_guarantee_on_fractal_terrain() {
+    let mesh = diamond_square(4, 0.7, 101).to_mesh();
+    let pois = sample_uniform(&mesh, 30, 7);
+    for eps in [0.25, 0.1] {
+        let oracle =
+            P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+                .unwrap();
+        assert_oracle_eps(&oracle, eps, "fractal");
+    }
+}
+
+#[test]
+fn p2p_eps_guarantee_on_hills() {
+    let mesh = gaussian_hills_mesh(103);
+    let pois = sample_uniform(&mesh, 25, 11);
+    let eps = 0.15;
+    let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+        .unwrap();
+    assert_oracle_eps(&oracle, eps, "hills");
+}
+
+fn gaussian_hills_mesh(seed: u64) -> TerrainMesh {
+    terrain::gen::gaussian_hills(20, 20, 1.0, 1.0, 5, 3.0, seed).to_mesh()
+}
+
+#[test]
+fn p2p_eps_guarantee_on_flat_plane() {
+    // Degenerate terrain: geodesic == planar Euclidean; the oracle must
+    // still hold its bound (and h stays small).
+    let mesh = Heightfield::flat(8, 8, 1.0, 1.0).to_mesh();
+    let pois = sample_uniform(&mesh, 20, 13);
+    let eps = 0.1;
+    let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+        .unwrap();
+    assert_oracle_eps(&oracle, eps, "flat");
+    assert!(oracle.oracle().height() < 30, "h = {}", oracle.oracle().height());
+}
+
+#[test]
+fn clustered_pois_respect_bound() {
+    // Clustered POIs stress the partition tree's covering construction
+    // (many sites inside few disks).
+    let mesh = diamond_square(4, 0.6, 107).to_mesh();
+    let locator = terrain::locate::FaceLocator::build(&mesh);
+    let pois = sample_clustered(&mesh, &locator, 24, 3, 0.08, 17);
+    let eps = 0.2;
+    let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+        .unwrap();
+    assert_oracle_eps(&oracle, eps, "clustered");
+}
+
+#[test]
+fn greedy_and_random_strategies_both_hold_the_bound() {
+    let mesh = diamond_square(4, 0.65, 109).to_mesh();
+    let pois = sample_uniform(&mesh, 22, 19);
+    let eps = 0.15;
+    for strategy in [SelectionStrategy::Random, SelectionStrategy::Greedy] {
+        let cfg = BuildConfig { strategy, ..Default::default() };
+        let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &cfg).unwrap();
+        assert_oracle_eps(&oracle, eps, &format!("{strategy:?}"));
+    }
+}
+
+#[test]
+fn naive_and_efficient_construction_agree_exactly() {
+    // Same seed → same tree → identical pair sets; the enhanced-edge
+    // shortcut must resolve every pair distance to the same value as
+    // direct SSAD (Lemma 4 gives exact equality, not approximation).
+    let mesh = diamond_square(4, 0.6, 113).to_mesh();
+    let pois = sample_uniform(&mesh, 16, 23);
+    let eps = 0.2;
+    let eff = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+        .unwrap();
+    let cfg = BuildConfig { method: ConstructionMethod::Naive, ..Default::default() };
+    let naive = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &cfg).unwrap();
+    assert_eq!(eff.oracle().n_pairs(), naive.oracle().n_pairs());
+    for a in 0..16 {
+        for b in 0..16 {
+            assert!(
+                (eff.distance(a, b) - naive.distance(a, b)).abs() < 1e-9,
+                "constructions disagree at ({a},{b})"
+            );
+        }
+    }
+    // The efficient method runs one SSAD per tree node, the naive one per
+    // considered pair; on any non-trivial input the latter is larger.
+    assert!(
+        naive.oracle().build_stats().ssad_runs > eff.oracle().build_stats().ssad_runs,
+        "naive {} vs efficient {}",
+        naive.oracle().build_stats().ssad_runs,
+        eff.oracle().build_stats().ssad_runs
+    );
+}
+
+#[test]
+fn efficient_query_equals_naive_query_everywhere() {
+    let mesh = diamond_square(4, 0.6, 127).to_mesh();
+    let pois = sample_uniform(&mesh, 20, 29);
+    let oracle =
+        P2POracle::build(&mesh, &pois, 0.15, EngineKind::Exact, &BuildConfig::default())
+            .unwrap();
+    let se = oracle.oracle();
+    for s in 0..se.n_sites() {
+        for t in 0..se.n_sites() {
+            let (eff, eff_stats) = se.distance_with_stats(s, t);
+            let (naive, naive_stats) = se.distance_naive(s, t);
+            assert_eq!(eff, naive, "({s},{t})");
+            // O(h) vs O(h²): the efficient scan must never probe more.
+            assert!(
+                eff_stats.pairs_checked <= naive_stats.pairs_checked,
+                "({s},{t}): {} > {}",
+                eff_stats.pairs_checked,
+                naive_stats.pairs_checked
+            );
+        }
+    }
+}
+
+#[test]
+fn v2v_mode_covers_all_vertices() {
+    let mesh = Arc::new(diamond_square(3, 0.6, 131).to_mesh());
+    let eps = 0.2;
+    let oracle =
+        P2POracle::build_v2v(mesh.clone(), eps, EngineKind::Exact, &BuildConfig::default())
+            .unwrap();
+    assert_eq!(oracle.n_pois(), mesh.n_vertices());
+    // Spot-check the bound over a stride of vertex pairs.
+    for a in (0..mesh.n_vertices()).step_by(7) {
+        for b in (a..mesh.n_vertices()).step_by(11) {
+            let approx = oracle.distance(a, b);
+            let exact = oracle.engine_distance(a, b);
+            assert!((approx - exact).abs() <= eps * exact + 1e-9, "({a},{b})");
+        }
+    }
+}
+
+#[test]
+fn storage_growth_dips_below_quadratic() {
+    // Theorem 2's O(n·h/ε^{2β}) is asymptotic: its packing constant is
+    // ≈ (1/ε)^{2β} ≈ 10⁴ at ε = 0.25, so at integration-test scale the
+    // oracle may store up to all n² ordered pairs. The measurable claim
+    // here is the *onset* of sub-quadratic growth — each doubling of n
+    // multiplies storage by strictly less than the quadratic 4× — plus
+    // the hard n² ceiling.
+    let mesh = diamond_square(4, 0.6, 137).to_mesh();
+    let eps = 0.25;
+    let data: Vec<(usize, usize)> = [20usize, 40, 80]
+        .iter()
+        .map(|&n| {
+            let pois = sample_uniform(&mesh, n, 31);
+            let o =
+                P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+                    .unwrap();
+            assert!(o.oracle().n_pairs() <= n * n, "n={n}: {} pairs", o.oracle().n_pairs());
+            (o.oracle().n_pairs(), o.storage_bytes())
+        })
+        .collect();
+    let r1 = data[1].0 as f64 / data[0].0 as f64;
+    let r2 = data[2].0 as f64 / data[1].0 as f64;
+    assert!(r1 <= 4.0 + 1e-9, "20→40 pair growth {r1}×");
+    assert!(r2 < 3.9, "40→80 pair growth {r2}× shows no sub-quadratic onset");
+}
+
+#[test]
+fn height_obeys_lemma_2_spread_bound() {
+    let mesh = diamond_square(4, 0.7, 139).to_mesh();
+    let pois = sample_uniform(&mesh, 25, 37);
+    let oracle =
+        P2POracle::build(&mesh, &pois, 0.2, EngineKind::Exact, &BuildConfig::default())
+            .unwrap();
+    // h ≤ log2(max pairwise / min pairwise) + 1 (Lemma 2). Bound the
+    // spread loosely via exact engine distances.
+    let n = oracle.n_pois();
+    let mut min_d = f64::INFINITY;
+    let mut max_d = 0.0f64;
+    for a in 0..n {
+        for b in a + 1..n {
+            let d = oracle.engine_distance(a, b);
+            if d > 0.0 {
+                min_d = min_d.min(d);
+                max_d = max_d.max(d);
+            }
+        }
+    }
+    let bound = (max_d / min_d).log2().ceil() as u32 + 1;
+    assert!(
+        oracle.oracle().height() <= bound + 1,
+        "h = {} exceeds Lemma 2 bound {}",
+        oracle.oracle().height(),
+        bound
+    );
+}
+
+#[test]
+fn error_statistics_are_far_below_epsilon() {
+    // §5.2.1: measured errors are "much smaller than the theoretical
+    // bound" (paper: < ε/10 on average). Verify the mean is well under ε.
+    let mesh = diamond_square(4, 0.65, 149).to_mesh();
+    let pois = sample_uniform(&mesh, 25, 41);
+    let eps = 0.25;
+    let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+        .unwrap();
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for a in 0..25 {
+        for b in a + 1..25 {
+            let exact = oracle.engine_distance(a, b);
+            if exact > 0.0 {
+                sum += (oracle.distance(a, b) - exact).abs() / exact;
+                count += 1;
+            }
+        }
+    }
+    let mean = sum / count as f64;
+    assert!(mean < eps / 2.0, "mean relative error {mean} vs ε {eps}");
+}
