@@ -151,10 +151,9 @@ impl SpOracle {
     pub fn distance_xy(&self, a: (f64, f64), b: (f64, f64)) -> Option<f64> {
         let (fa, pa) = self.locator.locate(&self.mesh, a.0, a.1)?;
         let (fb, pb) = self.locator.locate(&self.mesh, b.0, b.1)?;
-        Some(self.distance(
-            &SurfacePoint { face: fa, pos: pa },
-            &SurfacePoint { face: fb, pos: pb },
-        ))
+        Some(
+            self.distance(&SurfacePoint { face: fa, pos: pa }, &SurfacePoint { face: fb, pos: pb }),
+        )
     }
 
     fn neighborhood(&self, f: FaceId) -> Vec<NodeId> {

@@ -54,15 +54,12 @@ fn ablation_build(c: &mut Criterion) {
     let w = Workload::preset(Preset::SfSmall, 0.12, 24);
     let mut g = c.benchmark_group("ablation_build");
     g.sample_size(10);
-    for (label, method) in [
-        ("enhanced", ConstructionMethod::Efficient),
-        ("per-pair-ssad", ConstructionMethod::Naive),
-    ] {
+    for (label, method) in
+        [("enhanced", ConstructionMethod::Efficient), ("per-pair-ssad", ConstructionMethod::Naive)]
+    {
         g.bench_function(label, |b| {
             let cfg = BuildConfig { method, ..Default::default() };
-            b.iter(|| {
-                P2POracle::build(&w.mesh, &w.pois, 0.2, EngineKind::Exact, &cfg).unwrap()
-            })
+            b.iter(|| P2POracle::build(&w.mesh, &w.pois, 0.2, EngineKind::Exact, &cfg).unwrap())
         });
     }
     g.finish();
@@ -103,9 +100,7 @@ fn ablation_hash(c: &mut Criterion) {
             black_box(std_map.get(&k))
         })
     });
-    g.bench_function("fks-build", |b| {
-        b.iter(|| PerfectMap::build(black_box(entries.clone()), 3))
-    });
+    g.bench_function("fks-build", |b| b.iter(|| PerfectMap::build(black_box(entries.clone()), 3)));
     g.finish();
 }
 
@@ -122,8 +117,7 @@ fn ablation_engine(c: &mut Criterion) {
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, &engine| {
             b.iter(|| {
-                P2POracle::build(&w.mesh, &w.pois, 0.2, engine, &BuildConfig::default())
-                    .unwrap()
+                P2POracle::build(&w.mesh, &w.pois, 0.2, engine, &BuildConfig::default()).unwrap()
             })
         });
     }
@@ -136,15 +130,12 @@ fn ablation_select(c: &mut Criterion) {
     let w = Workload::preset(Preset::SfSmall, 0.12, 32);
     let mut g = c.benchmark_group("ablation_select");
     g.sample_size(10);
-    for (label, strategy) in [
-        ("random", SelectionStrategy::Random),
-        ("greedy", SelectionStrategy::Greedy),
-    ] {
+    for (label, strategy) in
+        [("random", SelectionStrategy::Random), ("greedy", SelectionStrategy::Greedy)]
+    {
         g.bench_function(label, |b| {
             let cfg = BuildConfig { strategy, ..Default::default() };
-            b.iter(|| {
-                P2POracle::build(&w.mesh, &w.pois, 0.15, EngineKind::Exact, &cfg).unwrap()
-            })
+            b.iter(|| P2POracle::build(&w.mesh, &w.pois, 0.15, EngineKind::Exact, &cfg).unwrap())
         });
     }
     g.finish();

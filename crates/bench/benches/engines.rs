@@ -81,10 +81,8 @@ fn bench_proximity(c: &mut Criterion) {
         let mut q = 0;
         b.iter(|| {
             q = (q + 1) % n_sites;
-            let mut all: Vec<(f64, usize)> = (0..n_sites)
-                .filter(|&s| s != q)
-                .map(|s| (oracle.distance(q, s), s))
-                .collect();
+            let mut all: Vec<(f64, usize)> =
+                (0..n_sites).filter(|&s| s != q).map(|s| (oracle.distance(q, s), s)).collect();
             all.sort_by(|a, b| a.partial_cmp(b).unwrap());
             all.truncate(5);
             black_box(all)
@@ -110,10 +108,8 @@ fn bench_dynamic_insert(c: &mut Criterion) {
     let mut sites = refined.poi_vertices.clone();
     sites.sort_unstable();
     sites.dedup();
-    let space = VertexSiteSpace::new(
-        Arc::new(IchEngine::new(Arc::new(refined.mesh))),
-        sites.clone(),
-    );
+    let space =
+        VertexSiteSpace::new(Arc::new(IchEngine::new(Arc::new(refined.mesh))), sites.clone());
     let n = sites.len();
     let initial: Vec<usize> = (0..n - 1).collect();
     let mut g = c.benchmark_group("dynamic");
@@ -131,9 +127,7 @@ fn bench_dynamic_insert(c: &mut Criterion) {
         )
     });
     g.bench_function("static-rebuild", |b| {
-        b.iter(|| {
-            black_box(DynamicOracle::build(&space, 0.2, &BuildConfig::default()).unwrap())
-        })
+        b.iter(|| black_box(DynamicOracle::build(&space, 0.2, &BuildConfig::default()).unwrap()))
     });
     g.finish();
 }

@@ -26,14 +26,8 @@ fn bench_build_eps(c: &mut Criterion) {
     for &eps in &[0.25, 0.1] {
         g.bench_with_input(BenchmarkId::new("SE-exact", eps), &eps, |b, &eps| {
             b.iter(|| {
-                P2POracle::build(
-                    &w.mesh,
-                    &w.pois,
-                    eps,
-                    EngineKind::Exact,
-                    &BuildConfig::default(),
-                )
-                .unwrap()
+                P2POracle::build(&w.mesh, &w.pois, eps, EngineKind::Exact, &BuildConfig::default())
+                    .unwrap()
             })
         });
         g.bench_with_input(BenchmarkId::new("SE-steiner", eps), &eps, |b, &eps| {
@@ -94,8 +88,7 @@ fn bench_query_methods(c: &mut Criterion) {
 /// Figure 12(d): A2A query latency.
 fn bench_a2a_query(c: &mut Criterion) {
     let w = Workload::preset(Preset::SfSmall, 0.12, 8);
-    let oracle =
-        A2AOracle::build(w.mesh.clone(), 0.2, Some(1), &BuildConfig::default()).unwrap();
+    let oracle = A2AOracle::build(w.mesh.clone(), 0.2, Some(1), &BuildConfig::default()).unwrap();
     let coords = a2a_query_coords(&w.mesh, 64, 0xA2A);
     c.bench_function("query/a2a", |b| {
         let mut i = 0;

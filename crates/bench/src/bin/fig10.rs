@@ -40,8 +40,7 @@ fn main() {
         // Scaled memory budget (the paper's 48 GB, shrunk with the data):
         // SP-Oracle should fit only at the smallest N, if at all.
         let budget = 256 * 1024 * 1024;
-        let sp =
-            run_sp_oracle(w.mesh.clone(), &w.pois, m, budget, args.threads, &pairs, None);
+        let sp = run_sp_oracle(w.mesh.clone(), &w.pois, m, budget, args.threads, &pairs, None);
         let k = run_kalgo(w.mesh.clone(), &w.pois, m, &pairs, None);
 
         for r in [Some(se), sp, Some(k)].into_iter().flatten() {

@@ -17,22 +17,13 @@ fn main() {
     let args = BenchArgs::parse();
     let w = Workload::preset(terrain::gen::Preset::BearHeadLow, 0.04 * args.scale, 10);
     let n_queries = if args.quick { 15 } else { 50 };
-    println!(
-        "Fig 12 — BH-low: N = {} vertices; A2A + P2P(n > N)\n",
-        w.mesh.n_vertices()
-    );
+    println!("Fig 12 — BH-low: N = {} vertices; A2A + P2P(n > N)\n", w.mesh.n_vertices());
 
     // n > N POI set for panel (c): 2N POIs (paper: 1M POIs on 150k
     // vertices).
     let locator = terrain::locate::FaceLocator::build(&w.mesh);
-    let many_pois = terrain::poi::sample_clustered(
-        &w.mesh,
-        &locator,
-        2 * w.mesh.n_vertices(),
-        8,
-        0.1,
-        0xF22,
-    );
+    let many_pois =
+        terrain::poi::sample_clustered(&w.mesh, &locator, 2 * w.mesh.n_vertices(), 8, 0.1, 0xF22);
     let p2p_pairs = query_pairs(many_pois.len(), n_queries, 0xF23);
     let a2a_coords = a2a_query_coords(&w.mesh, n_queries, 0xF24);
 
@@ -65,9 +56,8 @@ fn main() {
             &p2p_pairs,
             None,
         ) {
-            let sp_oracle =
-                baselines::SpOracle::build(w.mesh.clone(), m, usize::MAX, args.threads)
-                    .expect("rebuilt within budget");
+            let sp_oracle = baselines::SpOracle::build(w.mesh.clone(), m, usize::MAX, args.threads)
+                .expect("rebuilt within budget");
             let t0 = Instant::now();
             for &(a, b) in &a2a_coords {
                 std::hint::black_box(sp_oracle.distance_xy(a, b));

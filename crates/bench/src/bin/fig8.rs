@@ -39,12 +39,8 @@ fn main() {
             ("SE(Random)", SelectionStrategy::Random, ConstructionMethod::Efficient),
             ("SE-Naive", SelectionStrategy::Random, ConstructionMethod::Naive),
         ] {
-            let setup = SeSetup {
-                engine: EngineKind::Exact,
-                strategy,
-                method,
-                threads: args.threads,
-            };
+            let setup =
+                SeSetup { engine: EngineKind::Exact, strategy, method, threads: args.threads };
             reports.push(run_se(label, &w.mesh, &w.pois, eps, setup, &pairs, Some(&exact)));
         }
         let m = geodesic::steiner::points_per_edge_for_epsilon(eps).min(6);

@@ -50,19 +50,11 @@ fn main() {
         "Table 1 (cont.): measured practical parameters",
         &["dataset", "n", "beta", "theta", "h"],
     );
-    for preset in [
-        terrain::gen::Preset::SfSmall,
-        terrain::gen::Preset::BearHeadLow,
-    ] {
+    for preset in [terrain::gen::Preset::SfSmall, terrain::gen::Preset::BearHeadLow] {
         let w = Workload::preset(preset, 0.3 * args.scale, 60);
-        let oracle = P2POracle::build(
-            &w.mesh,
-            &w.pois,
-            0.1,
-            EngineKind::EdgeGraph,
-            &BuildConfig::default(),
-        )
-        .expect("oracle");
+        let oracle =
+            P2POracle::build(&w.mesh, &w.pois, 0.1, EngineKind::EdgeGraph, &BuildConfig::default())
+                .expect("oracle");
         // β over the POI sites with the (cheap) edge-graph metric.
         let refined =
             terrain::refine::insert_surface_points(&w.mesh, &w.pois, None).expect("refine");

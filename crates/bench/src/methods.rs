@@ -110,8 +110,7 @@ pub fn run_se(
         ..Default::default()
     };
     let t0 = Instant::now();
-    let oracle =
-        P2POracle::build(mesh, pois, eps, setup.engine, &cfg).expect("SE construction");
+    let oracle = P2POracle::build(mesh, pois, eps, setup.engine, &cfg).expect("SE construction");
     let build = t0.elapsed();
     let (answers, query_avg) =
         time_queries(pairs.len(), 10_000, |q| oracle.distance(pairs[q].0, pairs[q].1));
@@ -176,9 +175,8 @@ pub fn run_sp_oracle(
             return None;
         }
     };
-    let (answers, query_avg) = time_queries(pairs.len(), 1_000, |q| {
-        oracle.distance(&pois[pairs[q].0], &pois[pairs[q].1])
-    });
+    let (answers, query_avg) =
+        time_queries(pairs.len(), 1_000, |q| oracle.distance(&pois[pairs[q].0], &pois[pairs[q].1]));
     let (avg_err, max_err) = error_stats(&answers, exact);
     Some(MethodReport {
         method: "SP-Oracle".into(),
@@ -250,9 +248,8 @@ pub fn run_kalgo_v2v(
     exact: Option<&[f64]>,
 ) -> MethodReport {
     let k = KAlgo::new(mesh, points_per_edge);
-    let (answers, query_avg) = time_queries(pairs.len(), 2, |q| {
-        k.distance_vertices(pairs[q].0 as u32, pairs[q].1 as u32)
-    });
+    let (answers, query_avg) =
+        time_queries(pairs.len(), 2, |q| k.distance_vertices(pairs[q].0 as u32, pairs[q].1 as u32));
     let (avg_err, max_err) = error_stats(&answers, exact);
     MethodReport {
         method: "K-Algo".into(),
@@ -270,7 +267,7 @@ pub fn run_a2a(
     eps: f64,
     points_per_edge: Option<usize>,
     threads: usize,
-    coords: &[((f64, f64), (f64, f64))],
+    coords: &[crate::setup::CoordPair],
 ) -> (MethodReport, A2AOracle) {
     let cfg = BuildConfig { threads, ..Default::default() };
     let t0 = Instant::now();

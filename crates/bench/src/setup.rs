@@ -30,24 +30,19 @@ impl Workload {
 /// randomly sampling two POIs").
 pub fn query_pairs(n_pois: usize, count: usize, seed: u64) -> Vec<(usize, usize)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count)
-        .map(|_| (rng.random_range(0..n_pois), rng.random_range(0..n_pois)))
-        .collect()
+    (0..count).map(|_| (rng.random_range(0..n_pois), rng.random_range(0..n_pois))).collect()
 }
+
+/// One A2A query: a pair of `(x, y)` surface coordinates.
+pub type CoordPair = ((f64, f64), (f64, f64));
 
 /// `count` random coordinate pairs inside the terrain footprint (the
 /// paper's A2A query generation, §5.1).
-pub fn a2a_query_coords(
-    mesh: &TerrainMesh,
-    count: usize,
-    seed: u64,
-) -> Vec<((f64, f64), (f64, f64))> {
+pub fn a2a_query_coords(mesh: &TerrainMesh, count: usize, seed: u64) -> Vec<CoordPair> {
     let mut rng = StdRng::seed_from_u64(seed);
     let s = mesh.stats();
     let (lo, hi) = s.bbox;
-    let pick = move |rng: &mut StdRng| {
-        (rng.random_range(lo.x..hi.x), rng.random_range(lo.y..hi.y))
-    };
+    let pick = move |rng: &mut StdRng| (rng.random_range(lo.x..hi.x), rng.random_range(lo.y..hi.y));
     (0..count).map(|_| (pick(&mut rng), pick(&mut rng))).collect()
 }
 

@@ -70,9 +70,12 @@ impl A2AOracle {
         let ns = self.neighborhood(s.face);
         let nt = self.neighborhood(t.face);
         let mut best = if s.face == t.face
-            || self.mesh.face_edges(s.face).iter().any(|&e| {
-                self.mesh.other_face(e, s.face) == Some(t.face)
-            }) {
+            || self
+                .mesh
+                .face_edges(s.face)
+                .iter()
+                .any(|&e| self.mesh.other_face(e, s.face) == Some(t.face))
+        {
             // Same or adjacent face: the straight chord is a valid
             // surface-path upper bound the paper's scheme also exploits.
             s.pos.dist(t.pos)
@@ -102,10 +105,9 @@ impl A2AOracle {
     pub fn distance_xy(&self, a: (f64, f64), b: (f64, f64)) -> Option<f64> {
         let (fa, pa) = self.locator.locate(&self.mesh, a.0, a.1)?;
         let (fb, pb) = self.locator.locate(&self.mesh, b.0, b.1)?;
-        Some(self.distance(
-            &SurfacePoint { face: fa, pos: pa },
-            &SurfacePoint { face: fb, pos: pb },
-        ))
+        Some(
+            self.distance(&SurfacePoint { face: fa, pos: pa }, &SurfacePoint { face: fb, pos: pb }),
+        )
     }
 
     /// The underlying SE oracle (over Steiner nodes).
@@ -183,23 +185,15 @@ mod tests {
             for j in i + 1..6 {
                 let approx = o.distance(&pois[i], &pois[j]);
                 let exact = {
-                    let r = exact_engine.ssad(
-                        refined.poi_vertices[i],
-                        Stop::Targets(&[refined.poi_vertices[j]]),
-                    );
+                    let r = exact_engine
+                        .ssad(refined.poi_vertices[i], Stop::Targets(&[refined.poi_vertices[j]]));
                     r.dist[refined.poi_vertices[j] as usize]
                 };
                 // The straight query-point→Steiner-node hops can cut
                 // marginally below the surface (same effect as in the
                 // SP-Oracle baseline), so allow a small undershoot.
-                assert!(
-                    approx >= exact * 0.95 - 1e-9,
-                    "A2A far below exact: {approx} < {exact}"
-                );
-                assert!(
-                    approx <= exact * 1.5 + 1e-9,
-                    "A2A error too large: {approx} vs {exact}"
-                );
+                assert!(approx >= exact * 0.95 - 1e-9, "A2A far below exact: {approx} < {exact}");
+                assert!(approx <= exact * 1.5 + 1e-9, "A2A error too large: {approx} vs {exact}");
             }
         }
     }

@@ -48,9 +48,7 @@ impl CompressedTree {
             .iter()
             .enumerate()
             .map(|(id, node)| {
-                node.parent == NO_NODE
-                    || node.layer == h
-                    || org.nodes[id].children.len() >= 2
+                node.parent == NO_NODE || node.layer == h || org.nodes[id].children.len() >= 2
             })
             .collect();
 
@@ -155,11 +153,7 @@ impl CompressedTree {
     pub fn storage_bytes(&self) -> usize {
         use std::mem::size_of;
         self.nodes.len() * size_of::<CNode>()
-            + self
-                .nodes
-                .iter()
-                .map(|n| n.children.len() * size_of::<u32>())
-                .sum::<usize>()
+            + self.nodes.iter().map(|n| n.children.len() * size_of::<u32>()).sum::<usize>()
             + self.leaf_of_site.len() * size_of::<u32>()
     }
 }
@@ -239,8 +233,7 @@ mod tests {
             assert_eq!(a[c.nodes[c.root as usize].layer as usize], c.root);
             // The layer array read in ascending layer order is the
             // root-to-leaf path.
-            let on_path: Vec<u32> =
-                a.iter().copied().filter(|&x| x != NO_NODE).collect();
+            let on_path: Vec<u32> = a.iter().copied().filter(|&x| x != NO_NODE).collect();
             let mut path = c.path_to_root(c.leaf_of_site[site]);
             path.reverse(); // leaf→root becomes root→leaf
             assert_eq!(path, on_path);
@@ -282,15 +275,9 @@ mod tests {
         let all = leaves_below(&c, c.root);
         assert_eq!(all.len(), 20);
         let root_children = c.nodes[c.root as usize].children.clone();
-        let mut merged: Vec<u32> = root_children
-            .iter()
-            .flat_map(|&ch| leaves_below(&c, ch))
-            .collect();
-        merged.extend(
-            root_children
-                .is_empty()
-                .then_some(c.nodes[c.root as usize].center),
-        );
+        let mut merged: Vec<u32> =
+            root_children.iter().flat_map(|&ch| leaves_below(&c, ch)).collect();
+        merged.extend(root_children.is_empty().then_some(c.nodes[c.root as usize].center));
         merged.sort_unstable();
         assert_eq!(all, merged);
     }

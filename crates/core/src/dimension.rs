@@ -69,8 +69,7 @@ pub fn estimate_beta(space: &dyn SiteSpace, opts: &BetaOptions) -> BetaEstimate 
             let r = r_max / (1u64 << (k + 1)) as f64;
             // Ball members by distance from p (exact: these are geodesic
             // distances from the SSAD above).
-            let mut members: Vec<usize> =
-                (0..n).filter(|&s| all[s] <= r).collect();
+            let mut members: Vec<usize> = (0..n).filter(|&s| all[s] <= r).collect();
             if members.len() < 3 {
                 continue;
             }

@@ -235,8 +235,7 @@ impl<'s> DynamicOracle<'s> {
 
     /// Active site count.
     pub fn n_active(&self) -> usize {
-        (self.base_members.len() - self.n_removed)
-            + (self.overlay.len() - self.n_overlay_removed)
+        (self.base_members.len() - self.n_removed) + (self.overlay.len() - self.n_overlay_removed)
     }
 
     /// Universe indices of all active sites, ascending.
@@ -354,8 +353,7 @@ impl<'s> DynamicOracle<'s> {
         // Exact distances to previously inserted (live or tombstoned —
         // a later re-activation must find them) overlay sites.
         for (v_slot, &v_u) in self.overlay.iter().enumerate() {
-            self.overlay_pairs
-                .insert(pair_key(v_slot as u32, slot), all[v_u]);
+            self.overlay_pairs.insert(pair_key(v_slot as u32, slot), all[v_u]);
         }
 
         self.overlay.push(u);
@@ -383,10 +381,7 @@ impl<'s> DynamicOracle<'s> {
             | (ActiveRef::Base(s), ActiveRef::Overlay(o)) => self.patch_distance(o as u32, s),
             (ActiveRef::Overlay(x), ActiveRef::Overlay(y)) => {
                 let k = pair_key((x as u32).min(y as u32), (x as u32).max(y as u32));
-                *self
-                    .overlay_pairs
-                    .get(&k)
-                    .expect("overlay pair recorded at insertion")
+                *self.overlay_pairs.get(&k).expect("overlay pair recorded at insertion")
             }
         })
     }
@@ -499,10 +494,7 @@ mod tests {
         }
         assert_eq!(dy.n_active(), sp.n_sites());
         assert_eq!(dy.stats().insert_ssad_runs, (sp.n_sites() - 16) as u64);
-        assert_eq!(
-            dy.stats().overlay_pairs,
-            (sp.n_sites() - 16) * (sp.n_sites() - 17) / 2
-        );
+        assert_eq!(dy.stats().overlay_pairs, (sp.n_sites() - 16) * (sp.n_sites() - 17) / 2);
         assert_eps(&sp, &dy, eps);
     }
 

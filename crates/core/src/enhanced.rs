@@ -44,12 +44,7 @@ impl EnhancedEdges {
         let center_node: Vec<HashMap<u32, u32>> = org
             .layers
             .iter()
-            .map(|layer| {
-                layer
-                    .iter()
-                    .map(|&nid| (org.nodes[nid as usize].center, nid))
-                    .collect()
-            })
+            .map(|layer| layer.iter().map(|&nid| (org.nodes[nid as usize].center, nid)).collect())
             .collect();
 
         // Work items: every node in a layer with at least two nodes (a
@@ -88,9 +83,16 @@ impl EnhancedEdges {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = work
                     .chunks(chunk)
-                    .map(|c| scope.spawn(move || c.iter().flat_map(|&nid| process(nid)).collect::<Vec<_>>()))
+                    .map(|c| {
+                        scope.spawn(move || {
+                            c.iter().flat_map(|&nid| process(nid)).collect::<Vec<_>>()
+                        })
+                    })
                     .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("enhanced-edge worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("enhanced-edge worker panicked"))
+                    .collect()
             })
         };
 
@@ -197,7 +199,8 @@ mod tests {
         let eps = 0.25;
         let edges = EnhancedEdges::build(&org, &sp, eps, 1, 7);
         assert!(edges.n_edges > 0);
-        assert_eq!(edges.ssad_runs as usize, org.nodes.len() - 1); // root layer skipped
+        // Root layer skipped.
+        assert_eq!(edges.ssad_runs as usize, org.nodes.len() - 1);
         // Spot-check each stored edge against a direct computation.
         let l = 8.0 / eps + 10.0;
         let mut checked = 0;

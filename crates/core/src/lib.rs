@@ -65,7 +65,7 @@ pub use a2a::A2AOracle;
 pub use ctree::CompressedTree;
 pub use dynamic::{DynamicError, DynamicOracle, SubsetSpace};
 pub use oracle::{BuildConfig, BuildError, BuildStats, ConstructionMethod, QueryStats, SeOracle};
-pub use p2p::{EngineKind, P2POracle, P2PError};
+pub use p2p::{EngineKind, P2PError, P2POracle};
 pub use persist::PersistError;
 pub use proximity::{Neighbor, ProximityIndex};
 pub use tree::{PartitionTree, SelectionStrategy, TreeError};

@@ -110,11 +110,7 @@ pub struct SeOracle {
 
 impl SeOracle {
     /// Builds the oracle over `space` with error parameter `eps`.
-    pub fn build(
-        space: &dyn SiteSpace,
-        eps: f64,
-        cfg: &BuildConfig,
-    ) -> Result<Self, BuildError> {
+    pub fn build(space: &dyn SiteSpace, eps: f64, cfg: &BuildConfig) -> Result<Self, BuildError> {
         if !(eps > 0.0 && eps.is_finite()) {
             return Err(BuildError::InvalidEpsilon(eps));
         }
@@ -225,11 +221,13 @@ impl SeOracle {
         entries: Vec<(u64, f64)>,
         seed: u64,
     ) -> Self {
-        let mut stats = BuildStats::default();
-        stats.stored_pairs = entries.len();
-        stats.compressed_nodes = ctree.n_nodes();
-        stats.height = ctree.h;
-        stats.r0 = ctree.r0;
+        let stats = BuildStats {
+            stored_pairs: entries.len(),
+            compressed_nodes: ctree.n_nodes(),
+            height: ctree.h,
+            r0: ctree.r0,
+            ..Default::default()
+        };
         let pairs = PerfectMap::build(entries, seed);
         Self { eps, ctree, pairs, stats }
     }
@@ -264,10 +262,10 @@ impl SeOracle {
                 continue;
             }
             let j = nodes[nodes[b[i] as usize].parent as usize].layer as usize;
-            for k in j..i {
-                if a[k] != NO_NODE {
+            for &ak in &a[j..i] {
+                if ak != NO_NODE {
                     qs.pairs_checked += 1;
-                    if let Some(&d) = self.pairs.get(pair_key(a[k], b[i])) {
+                    if let Some(&d) = self.pairs.get(pair_key(ak, b[i])) {
                         return (d, qs);
                     }
                 }
@@ -280,10 +278,10 @@ impl SeOracle {
                 continue;
             }
             let j = nodes[nodes[a[i] as usize].parent as usize].layer as usize;
-            for k in j..i {
-                if b[k] != NO_NODE {
+            for &bk in &b[j..i] {
+                if bk != NO_NODE {
                     qs.pairs_checked += 1;
-                    if let Some(&d) = self.pairs.get(pair_key(a[i], b[k])) {
+                    if let Some(&d) = self.pairs.get(pair_key(a[i], bk)) {
                         return (d, qs);
                     }
                 }
@@ -347,13 +345,12 @@ mod tests {
             let oracle = SeOracle::build(&sp, eps, &BuildConfig::default()).unwrap();
             for s in 0..n {
                 let exact = sp.all_distances(s);
-                for t in 0..n {
+                for (t, &ex) in exact.iter().enumerate().take(n) {
                     let approx = oracle.distance(s, t);
-                    let err = (approx - exact[t]).abs();
+                    let err = (approx - ex).abs();
                     assert!(
-                        err <= eps * exact[t] + 1e-9,
-                        "ε={eps} sites ({s},{t}): approx {approx} exact {}",
-                        exact[t]
+                        err <= eps * ex + 1e-9,
+                        "ε={eps} sites ({s},{t}): approx {approx} exact {ex}"
                     );
                 }
             }
@@ -430,9 +427,9 @@ mod tests {
         let oracle = SeOracle::build(&sp, 0.2, &cfg).unwrap();
         for s in 0..18 {
             let exact = sp.all_distances(s);
-            for t in 0..18 {
+            for (t, &ex) in exact.iter().enumerate().take(18) {
                 let approx = oracle.distance(s, t);
-                assert!((approx - exact[t]).abs() <= 0.2 * exact[t] + 1e-9);
+                assert!((approx - ex).abs() <= 0.2 * ex + 1e-9);
             }
         }
     }

@@ -186,9 +186,8 @@ mod tests {
         let mesh = diamond_square(4, 0.6, 21).to_mesh();
         let pois = sample_uniform(&mesh, 20, 3);
         let eps = 0.2;
-        let o =
-            P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
-                .unwrap();
+        let o = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+            .unwrap();
         assert_eq!(o.n_pois(), 20);
         for a in 0..20 {
             for b in a..20 {

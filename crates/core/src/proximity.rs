@@ -103,11 +103,7 @@ impl<'a> ProximityIndex<'a> {
         let dc = if c == q { 0.0 } else { self.oracle.distance(q, c) };
         let r = t.enlarged_radius(node);
         let lo = (1.0 - eps).max(0.0) * (dc / (1.0 + eps) - r).max(0.0);
-        let hi = if eps < 1.0 {
-            (1.0 + eps) * (dc / (1.0 - eps) + r)
-        } else {
-            f64::INFINITY
-        };
+        let hi = if eps < 1.0 { (1.0 + eps) * (dc / (1.0 - eps) + r) } else { f64::INFINITY };
         (dc, lo, hi)
     }
 
@@ -151,14 +147,11 @@ impl<'a> ProximityIndex<'a> {
                 }
                 stats.distance_evals += 1;
                 let d = self.oracle.distance(q, site);
-                if d < kth(&best)
-                    || (d == kth(&best) && best.last().is_some_and(|b| site < b.site))
+                if d < kth(&best) || (d == kth(&best) && best.last().is_some_and(|b| site < b.site))
                 {
                     let at = best
                         .binary_search_by(|x| {
-                            (x.distance, x.site)
-                                .partial_cmp(&(d, site))
-                                .expect("finite distances")
+                            (x.distance, x.site).partial_cmp(&(d, site)).expect("finite distances")
                         })
                         .unwrap_or_else(|i| i);
                     best.insert(at, Neighbor { site, distance: d });
@@ -218,9 +211,7 @@ impl<'a> ProximityIndex<'a> {
             }
         }
         out.sort_by(|a, b| {
-            (a.distance, a.site)
-                .partial_cmp(&(b.distance, b.site))
-                .expect("finite distances")
+            (a.distance, a.site).partial_cmp(&(b.distance, b.site)).expect("finite distances")
         });
         (out, stats)
     }
@@ -236,7 +227,9 @@ impl<'a> ProximityIndex<'a> {
         let q_leaf = t.leaf_of_site[q];
         while let Some(node) = stack.pop() {
             if count >= cap {
-                return count;
+                // A subtree accept can overshoot the cap; clamp like the
+                // final return does.
+                return count.min(cap);
             }
             let n = &t.nodes[node as usize];
             if n.children.is_empty() {
@@ -285,9 +278,7 @@ impl<'a> ProximityIndex<'a> {
                 continue;
             }
             let ties = (0..n)
-                .filter(|&x| {
-                    x != s && x != q && x < q && self.oracle.distance(s, x) == d_sq
-                })
+                .filter(|&x| x != s && x != q && x < q && self.oracle.distance(s, x) == d_sq)
                 .count();
             if strictly + ties < k {
                 out.push(s);
@@ -333,9 +324,7 @@ mod tests {
             .filter(|&s| s != q)
             .map(|s| Neighbor { site: s, distance: o.distance(q, s) })
             .collect();
-        all.sort_by(|a, b| {
-            (a.distance, a.site).partial_cmp(&(b.distance, b.site)).unwrap()
-        });
+        all.sort_by(|a, b| (a.distance, a.site).partial_cmp(&(b.distance, b.site)).unwrap());
         all.truncate(k);
         all
     }
@@ -412,9 +401,8 @@ mod tests {
             let far = brute_knn(&o, q, o.n_sites()).last().unwrap().distance;
             for f in [0.25, 0.6, 1.1] {
                 let bound = far * f;
-                let exact = (0..o.n_sites())
-                    .filter(|&s| s != q && o.distance(q, s) < bound)
-                    .count();
+                let exact =
+                    (0..o.n_sites()).filter(|&s| s != q && o.distance(q, s) < bound).count();
                 assert_eq!(idx.count_within(q, bound, usize::MAX), exact);
                 // Cap is honoured.
                 assert_eq!(idx.count_within(q, bound, 2), exact.min(2));
@@ -446,8 +434,7 @@ mod tests {
         assert_eq!(idx.subtree_sites(t.root), 22);
         for (id, node) in t.nodes.iter().enumerate() {
             if !node.children.is_empty() {
-                let s: usize =
-                    node.children.iter().map(|&c| idx.subtree_sites(c)).sum();
+                let s: usize = node.children.iter().map(|&c| idx.subtree_sites(c)).sum();
                 assert_eq!(s, idx.subtree_sites(id as u32), "node {id}");
             } else {
                 assert_eq!(idx.subtree_sites(id as u32), 1);

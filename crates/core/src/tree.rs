@@ -146,7 +146,12 @@ impl PartitionTree {
             }
             r0 = r0.max(d);
         }
-        let mut nodes = vec![PNode { center: root_center as u32, layer: 0, parent: NO_NODE, children: Vec::new() }];
+        let mut nodes = vec![PNode {
+            center: root_center as u32,
+            layer: 0,
+            parent: NO_NODE,
+            children: Vec::new(),
+        }];
         let mut layers: Vec<Vec<u32>> = vec![vec![0]];
 
         if n == 1 {
@@ -183,10 +188,8 @@ impl PartitionTree {
             // Phase 1: re-select all previous-layer centers still uncovered.
             // Previous centers are ≥ 2·ri apart, so none covers another and
             // all of them are re-selected (the paper's PC set).
-            let prev_centers: Vec<u32> = layers[layer as usize - 1]
-                .iter()
-                .map(|&nid| nodes[nid as usize].center)
-                .collect();
+            let prev_centers: Vec<u32> =
+                layers[layer as usize - 1].iter().map(|&nid| nodes[nid as usize].center).collect();
             let mut queue: Vec<u32> = prev_centers.clone();
 
             while n_uncovered > 0 {
@@ -372,7 +375,6 @@ impl DensityGrid {
             return members[i];
         }
     }
-
 }
 
 #[cfg(test)]
@@ -411,10 +413,7 @@ mod tests {
                         tree.nodes[a as usize].center as usize,
                         tree.nodes[b as usize].center as usize,
                     );
-                    assert!(
-                        d >= ri - 1e-9,
-                        "separation violated at layer {li}: {d} < {ri}"
-                    );
+                    assert!(d >= ri - 1e-9, "separation violated at layer {li}: {d} < {ri}");
                 }
             }
         }
@@ -503,10 +502,10 @@ mod tests {
         let mut max_d = 0.0f64;
         for a in 0..n {
             let all = sp.all_distances(a);
-            for b in 0..n {
+            for (b, &d) in all.iter().enumerate().take(n) {
                 if a != b {
-                    min_d = min_d.min(all[b]);
-                    max_d = max_d.max(all[b]);
+                    min_d = min_d.min(d);
+                    max_d = max_d.max(d);
                 }
             }
         }

@@ -126,10 +126,7 @@ mod tests {
     impl PairDistanceResolver for DirectResolver<'_> {
         fn resolve(&mut self, a: usize, b: usize) -> f64 {
             let key = (a.min(b), a.max(b));
-            *self
-                .cache
-                .entry(key)
-                .or_insert_with(|| self.space.distance(key.0, key.1))
+            *self.cache.entry(key).or_insert_with(|| self.space.distance(key.0, key.1))
         }
     }
 
@@ -174,9 +171,7 @@ mod tests {
                 let matching = set
                     .pairs
                     .iter()
-                    .filter(|p| {
-                        c.is_ancestor_or_self(p.a, ls) && c.is_ancestor_or_self(p.b, lt)
-                    })
+                    .filter(|p| c.is_ancestor_or_self(p.a, ls) && c.is_ancestor_or_self(p.b, lt))
                     .count();
                 assert_eq!(matching, 1, "sites ({s},{t}) matched {matching} pairs");
             }
@@ -199,9 +194,7 @@ mod tests {
                 let p = set
                     .pairs
                     .iter()
-                    .find(|p| {
-                        c.is_ancestor_or_self(p.a, ls) && c.is_ancestor_or_self(p.b, lt)
-                    })
+                    .find(|p| c.is_ancestor_or_self(p.a, ls) && c.is_ancestor_or_self(p.b, lt))
                     .unwrap();
                 let exact = sp.distance(s, t);
                 assert!(
@@ -253,10 +246,7 @@ mod tests {
         let set = pairs_for(&sp, &c, 0.2);
         for s in 0..10 {
             let leaf = c.leaf_of_site[s];
-            let found = set
-                .pairs
-                .iter()
-                .any(|p| p.a == leaf && p.b == leaf && p.dist == 0.0);
+            let found = set.pairs.iter().any(|p| p.a == leaf && p.b == leaf && p.dist == 0.0);
             assert!(found, "no self pair for site {s}");
         }
     }

@@ -62,8 +62,7 @@ impl Window {
     /// so fixing `y ≥ 0` is sound.
     fn source_2d(&self) -> Vec2 {
         let db = self.b1 - self.b0;
-        let sx = (self.d0 * self.d0 - self.d1 * self.d1 + self.b1 * self.b1
-            - self.b0 * self.b0)
+        let sx = (self.d0 * self.d0 - self.d1 * self.d1 + self.b1 * self.b1 - self.b0 * self.b0)
             / (2.0 * db);
         let sy2 = self.d0 * self.d0 - (sx - self.b0) * (sx - self.b0);
         Vec2::new(sx, if sy2 > 0.0 { sy2.sqrt() } else { 0.0 })
@@ -196,9 +195,7 @@ impl<'m> Search<'m> {
         if nd < self.dist[v as usize] {
             self.dist[v as usize] = nd;
             watcher.on_relax(v, nd);
-            if !self.spawned[v as usize]
-                && self.mesh.is_pseudo_source_vertex(v)
-                && nd <= self.bound
+            if !self.spawned[v as usize] && self.mesh.is_pseudo_source_vertex(v) && nd <= self.bound
             {
                 self.heap.push(nd, Event::PseudoSource(v));
             }
@@ -363,13 +360,14 @@ impl<'m> Search<'m> {
         sigma: f64,
         watcher: &mut StopWatcher<'_>,
     ) {
+        // Deliberately `!(> 0.0)` rather than `<= 0.0`: a NaN window (from a
+        // degenerate unfolding) must also bail out.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(u_hi - u_lo > 0.0) {
             return;
         }
-        let e = self
-            .mesh
-            .edge_between(from_v, to_v)
-            .expect("face edge exists between its vertices");
+        let e =
+            self.mesh.edge_between(from_v, to_v).expect("face edge exists between its vertices");
         let len = self.mesh.edge_len(e);
         let p_lo = pa + (pb - pa) * u_lo;
         let p_hi = pa + (pb - pa) * u_hi;
@@ -476,6 +474,7 @@ mod tests {
         let k = (1.0 + (h / 4.0) * (h / 4.0)).sqrt();
         let a = 9 + 3; // (3, 1)
         let b = 3 * 9 + 5; // (5, 3)
+
         // Unfolded x-span: (4 - 3)·k + (5 - 4)·k = 2k; y-span: 2.
         let expect = ((2.0 * k) * (2.0 * k) + 4.0).sqrt();
         let d = eng.distance(a as u32, b as u32);
@@ -545,10 +544,7 @@ mod tests {
         let targets: Vec<u32> = vec![288, 144, 12, 250];
         let part = eng.ssad(3, Stop::Targets(&targets));
         for &t in &targets {
-            assert!(
-                (part.dist[t as usize] - full.dist[t as usize]).abs() < 1e-9,
-                "target {t}"
-            );
+            assert!((part.dist[t as usize] - full.dist[t as usize]).abs() < 1e-9, "target {t}");
         }
     }
 

@@ -132,11 +132,7 @@ pub fn shortest_path(graph: &SteinerGraph, s: NodeId, t: NodeId) -> Option<Surfa
 
 /// Shortest path between two mesh *vertices* (vertices keep their ids as
 /// graph nodes).
-pub fn shortest_vertex_path(
-    graph: &SteinerGraph,
-    s: VertexId,
-    t: VertexId,
-) -> Option<SurfacePath> {
+pub fn shortest_vertex_path(graph: &SteinerGraph, s: VertexId, t: VertexId) -> Option<SurfacePath> {
     shortest_path(graph, s as NodeId, t as NodeId)
 }
 
@@ -218,9 +214,7 @@ pub fn trace_descent_path(
             let Some((exit_d, exit_p, exit_e)) = face_descent_exit(mesh, dist, f, pos) else {
                 continue;
             };
-            if exit_d < d_cur - scale
-                && best.as_ref().is_none_or(|(bd, ..)| exit_d < *bd)
-            {
+            if exit_d < d_cur - scale && best.as_ref().is_none_or(|(bd, ..)| exit_d < *bd) {
                 best = Some((exit_d, exit_p, exit_e, f));
             }
         }
@@ -336,10 +330,12 @@ fn face_descent_exit(
         let t = (rx * (-ey) - ry * (-ex)) / det;
         let s = (dir.0 * ry - dir.1 * rx) / det;
         let seg_len = (ex * ex + ey * ey).sqrt();
-        if t > 1e-9 * (1.0 + seg_len) && (-1e-9..=1.0 + 1e-9).contains(&s)
-            && best.is_none_or(|(bt, ..)| t < bt) {
-                best = Some((t, s.clamp(0.0, 1.0), side));
-            }
+        if t > 1e-9 * (1.0 + seg_len)
+            && (-1e-9..=1.0 + 1e-9).contains(&s)
+            && best.is_none_or(|(bt, ..)| t < bt)
+        {
+            best = Some((t, s.clamp(0.0, 1.0), side));
+        }
     }
     let (_, s, side) = best?;
     let a3 = corners3[side];
@@ -454,11 +450,7 @@ mod tests {
         let r = eng.ssad(0, Stop::Exhaust);
         let p = trace_descent_path(&mesh, &r.dist, 0, 35);
         let exact = 50f64.sqrt();
-        assert!(
-            (p.length - exact).abs() < 1e-6 * exact,
-            "flat trace {} vs {exact}",
-            p.length
-        );
+        assert!((p.length - exact).abs() < 1e-6 * exact, "flat trace {} vs {exact}", p.length);
         assert_eq!(p.points[0], mesh.vertex(0));
         assert_eq!(*p.points.last().unwrap(), mesh.vertex(35));
     }
@@ -474,11 +466,7 @@ mod tests {
         let r = eng.ssad(a, Stop::Exhaust);
         let p = trace_descent_path(&mesh, &r.dist, a, b);
         let exact = 2.0 * 20f64.sqrt();
-        assert!(
-            (p.length - exact).abs() < 1e-4 * exact,
-            "tent trace {} vs {exact}",
-            p.length
-        );
+        assert!((p.length - exact).abs() < 1e-4 * exact, "tent trace {} vs {exact}", p.length);
     }
 
     #[test]

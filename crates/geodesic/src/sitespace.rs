@@ -170,9 +170,9 @@ mod tests {
         let all = s.all_distances(0);
         assert_eq!(all.len(), 6);
         assert_eq!(all[0], 0.0);
-        for i in 1..6 {
-            assert!(all[i].is_finite());
-            assert!((s.distance(0, i) - all[i]).abs() < 1e-9, "site {i}");
+        for (i, &d) in all.iter().enumerate().skip(1) {
+            assert!(d.is_finite());
+            assert!((s.distance(0, i) - d).abs() < 1e-9, "site {i}");
         }
     }
 
@@ -203,8 +203,8 @@ mod tests {
         let sites = vec![0 as NodeId, 5, nv, nv + 3, nv + 10];
         let s = GraphSiteSpace::new(graph, sites);
         let all = s.all_distances(1);
-        for i in 0..s.n_sites() {
-            assert!((s.distance(1, i) - all[i]).abs() < 1e-9);
+        for (i, &d) in all.iter().enumerate() {
+            assert!((s.distance(1, i) - d).abs() < 1e-9);
         }
         let r = all.iter().cloned().fold(0.0, f64::max) * 0.5;
         for (i, d) in s.sites_within(1, r) {

@@ -110,13 +110,13 @@ mod tests {
         let sites: Vec<NodeId> = vec![0, 17, 44, 70];
         let v = geodesic_voronoi(&g, &sites);
         // Reference: one Dijkstra per site.
-        let rows: Vec<Vec<f64>> = sites
-            .iter()
-            .map(|&s| g.dijkstra(s, GraphStop::Exhaust).dist)
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            sites.iter().map(|&s| g.dijkstra(s, GraphStop::Exhaust).dist).collect();
         for node in 0..g.n_nodes() {
-            let (best_site, best_d) = (0..sites.len())
-                .map(|i| (i, rows[i][node]))
+            let (best_site, best_d) = rows
+                .iter()
+                .map(|row| row[node])
+                .enumerate()
                 .min_by(|a, b| (a.1, a.0).partial_cmp(&(b.1, b.0)).unwrap())
                 .unwrap();
             assert_eq!(
@@ -185,10 +185,8 @@ mod tests {
         // so any owner is legitimate — but the assigned distance must be
         // the common optimum.
         let center = 4 * 9 + 4;
-        let best = sites
-            .iter()
-            .map(|&s| g.distance(s, center as NodeId))
-            .fold(f64::INFINITY, f64::min);
+        let best =
+            sites.iter().map(|&s| g.distance(s, center as NodeId)).fold(f64::INFINITY, f64::min);
         assert!((v.dist[center] - best).abs() < 1e-9, "{} vs {best}", v.dist[center]);
     }
 

@@ -25,9 +25,15 @@ use std::path::Path;
 #[derive(Debug)]
 pub enum DemError {
     Io(io::Error),
-    Parse { line: usize, msg: String },
+    Parse {
+        line: usize,
+        msg: String,
+    },
     /// Grid smaller than 2×2 cannot triangulate.
-    TooSmall { ncols: usize, nrows: usize },
+    TooSmall {
+        ncols: usize,
+        nrows: usize,
+    },
     /// Every cell is NODATA — nothing to interpolate from.
     AllNoData,
 }
@@ -73,10 +79,8 @@ pub fn read_asc<R: Read>(reader: R) -> Result<Heightfield, DemError> {
         let mut it = t.split_whitespace();
         let key = it.next().expect("non-empty line");
         if key.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
-            let val: f64 = it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| DemError::Parse {
+            let val: f64 =
+                it.next().and_then(|v| v.parse().ok()).ok_or_else(|| DemError::Parse {
                     line: ln + 1,
                     msg: format!("header '{key}' needs a numeric value"),
                 })?;
@@ -88,15 +92,15 @@ pub fn read_asc<R: Read>(reader: R) -> Result<Heightfield, DemError> {
     }
 
     let get = |name: &str| header.iter().find(|(k, _)| k == name).map(|&(_, v)| v);
-    let ncols = get("ncols").ok_or(DemError::Parse { line: 1, msg: "missing ncols".into() })?
-        as usize;
-    let nrows = get("nrows").ok_or(DemError::Parse { line: 1, msg: "missing nrows".into() })?
-        as usize;
+    let ncols =
+        get("ncols").ok_or(DemError::Parse { line: 1, msg: "missing ncols".into() })? as usize;
+    let nrows =
+        get("nrows").ok_or(DemError::Parse { line: 1, msg: "missing nrows".into() })? as usize;
     if ncols < 2 || nrows < 2 {
         return Err(DemError::TooSmall { ncols, nrows });
     }
-    let cellsize = get("cellsize")
-        .ok_or(DemError::Parse { line: 1, msg: "missing cellsize".into() })?;
+    let cellsize =
+        get("cellsize").ok_or(DemError::Parse { line: 1, msg: "missing cellsize".into() })?;
     if !(cellsize > 0.0 && cellsize.is_finite()) {
         return Err(DemError::Parse { line: 1, msg: "cellsize must be positive".into() });
     }
@@ -134,8 +138,7 @@ pub fn read_asc<R: Read>(reader: R) -> Result<Heightfield, DemError> {
 
     // Rows arrive top-to-bottom; Heightfield's j axis grows with y, so
     // flip. Mark NODATA as NaN for the fill pass.
-    let is_nodata =
-        |v: f64| nodata.is_some_and(|nd| (v - nd).abs() < 1e-9) || !v.is_finite();
+    let is_nodata = |v: f64| nodata.is_some_and(|nd| (v - nd).abs() < 1e-9) || !v.is_finite();
     let mut hf = Heightfield::flat(ncols, nrows, cellsize, cellsize);
     let mut holes = 0usize;
     for j in 0..nrows {
@@ -325,9 +328,7 @@ NODATA_value -1
         assert!(read_asc("ncols 2\nnrows 2\ncellsize 1\n1 2 x 4\n".as_bytes()).is_err());
         // Everything NODATA.
         assert!(matches!(
-            read_asc(
-                "ncols 2\nnrows 2\ncellsize 1\nNODATA_value 0\n0 0 0 0\n".as_bytes()
-            ),
+            read_asc("ncols 2\nnrows 2\ncellsize 1\nNODATA_value 0\n0 0 0 0\n".as_bytes()),
             Err(DemError::AllNoData)
         ));
     }

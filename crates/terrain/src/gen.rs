@@ -206,7 +206,9 @@ pub fn gaussian_hills(
             let cx = rng.random_range(0.0..w);
             let cy = rng.random_range(0.0..h);
             let sigma = rng.random_range(0.08..0.25) * w.min(h);
-            let a = rng.random_range(0.3..1.0) * amplitude * if rng.random_bool(0.3) { -1.0 } else { 1.0 };
+            let a = rng.random_range(0.3..1.0)
+                * amplitude
+                * if rng.random_bool(0.3) { -1.0 } else { 1.0 };
             (cx, cy, sigma, a)
         })
         .collect();

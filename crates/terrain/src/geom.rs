@@ -213,12 +213,7 @@ pub fn unfold_point(a3: Vec3, b3: Vec3, c3: Vec3, a2: Vec2, b2: Vec2, side: f64)
 /// Intersection parameter of the ray `origin + t·dir` with the segment
 /// `p + u·(q − p)`, `u ∈ [0, 1]`, `t > 0`. Returns `(t, u)` when the ray
 /// crosses the segment's supporting line inside the segment.
-pub fn ray_segment_intersection(
-    origin: Vec2,
-    dir: Vec2,
-    p: Vec2,
-    q: Vec2,
-) -> Option<(f64, f64)> {
+pub fn ray_segment_intersection(origin: Vec2, dir: Vec2, p: Vec2, q: Vec2) -> Option<(f64, f64)> {
     let s = q - p;
     let denom = dir.cross(s);
     if denom.abs() < 1e-30 {
@@ -343,13 +338,9 @@ mod tests {
             ray_segment_intersection(o, d, Vec2::new(-2.0, -1.0), Vec2::new(-2.0, 1.0)).is_none()
         );
         // Parallel.
-        assert!(
-            ray_segment_intersection(o, d, Vec2::new(0.0, 1.0), Vec2::new(5.0, 1.0)).is_none()
-        );
+        assert!(ray_segment_intersection(o, d, Vec2::new(0.0, 1.0), Vec2::new(5.0, 1.0)).is_none());
         // Outside the segment.
-        assert!(
-            ray_segment_intersection(o, d, Vec2::new(2.0, 1.0), Vec2::new(2.0, 3.0)).is_none()
-        );
+        assert!(ray_segment_intersection(o, d, Vec2::new(2.0, 1.0), Vec2::new(2.0, 3.0)).is_none());
     }
 
     #[test]

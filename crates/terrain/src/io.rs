@@ -140,7 +140,8 @@ mod tests {
 
     #[test]
     fn parses_comments_and_whitespace() {
-        let src = "OFF # header\n# full comment line\n3 1 3\n0 0 0\n1 0 0  # inline\n0 1 0\n3 0 1 2\n";
+        let src =
+            "OFF # header\n# full comment line\n3 1 3\n0 0 0\n1 0 0  # inline\n0 1 0\n3 0 1 2\n";
         let m = read_off(src.as_bytes()).unwrap();
         assert_eq!(m.n_vertices(), 3);
         assert_eq!(m.n_faces(), 1);

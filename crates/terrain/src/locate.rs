@@ -83,10 +83,10 @@ impl FaceLocator {
     /// Finds the face whose x–y footprint contains `(x, y)` and the surface
     /// point above it. Returns `None` outside the terrain footprint.
     pub fn locate(&self, mesh: &TerrainMesh, x: f64, y: f64) -> Option<(FaceId, Vec3)> {
-        let ix = (((x - self.min.x) * self.inv_cell) as isize).clamp(0, self.nx as isize - 1)
-            as usize;
-        let iy = (((y - self.min.y) * self.inv_cell) as isize).clamp(0, self.ny as isize - 1)
-            as usize;
+        let ix =
+            (((x - self.min.x) * self.inv_cell) as isize).clamp(0, self.nx as isize - 1) as usize;
+        let iy =
+            (((y - self.min.y) * self.inv_cell) as isize).clamp(0, self.ny as isize - 1) as usize;
         let cell = iy * self.nx + ix;
         let lo = self.cell_off[cell] as usize;
         let hi = self.cell_off[cell + 1] as usize;

@@ -194,16 +194,18 @@ impl TerrainMesh {
         // CSR vertex → faces.
         let (v_face_off, v_face_dat) = build_csr(
             vertices.len(),
-            faces.iter().enumerate().flat_map(|(fi, f)| {
-                f.iter().map(move |&v| (v as usize, fi as u32))
-            }),
+            faces
+                .iter()
+                .enumerate()
+                .flat_map(|(fi, f)| f.iter().map(move |&v| (v as usize, fi as u32))),
         );
         // CSR vertex → edges.
         let (v_edge_off, v_edge_dat) = build_csr(
             vertices.len(),
-            edges.iter().enumerate().flat_map(|(ei, e)| {
-                e.v.iter().map(move |&v| (v as usize, ei as u32))
-            }),
+            edges
+                .iter()
+                .enumerate()
+                .flat_map(|(ei, e)| e.v.iter().map(move |&v| (v as usize, ei as u32))),
         );
 
         let mut angle_sum = vec![0.0f64; vertices.len()];

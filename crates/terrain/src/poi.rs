@@ -46,9 +46,8 @@ pub fn sample_clustered(
     let (lo, hi) = s.bbox;
     let diag = ((hi.x - lo.x).powi(2) + (hi.y - lo.y).powi(2)).sqrt();
     let spread = spread_frac * diag;
-    let centers: Vec<(f64, f64)> = (0..k)
-        .map(|_| (rng.random_range(lo.x..hi.x), rng.random_range(lo.y..hi.y)))
-        .collect();
+    let centers: Vec<(f64, f64)> =
+        (0..k).map(|_| (rng.random_range(lo.x..hi.x), rng.random_range(lo.y..hi.y))).collect();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let (cx, cy) = centers[rng.random_range(0..k)];
@@ -104,10 +103,7 @@ pub fn scale_pois(
 /// ("the original POIs are discarded, and we treat all vertices as POIs").
 pub fn vertices_as_pois(mesh: &TerrainMesh) -> Vec<SurfacePoint> {
     (0..mesh.n_vertices() as u32)
-        .map(|v| SurfacePoint {
-            face: mesh.vertex_faces(v)[0],
-            pos: mesh.vertex(v),
-        })
+        .map(|v| SurfacePoint { face: mesh.vertex_faces(v)[0], pos: mesh.vertex(v) })
         .collect()
 }
 

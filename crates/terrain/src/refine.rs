@@ -76,11 +76,7 @@ impl Refiner {
         let versions = faces
             .iter()
             .enumerate()
-            .map(|(slot, &verts)| FaceVersion {
-                verts,
-                slot: slot as FaceId,
-                children: Vec::new(),
-            })
+            .map(|(slot, &verts)| FaceVersion { verts, slot: slot as FaceId, children: Vec::new() })
             .collect();
         let version_of_slot = (0..faces.len() as u32).collect();
         let mut edge_faces = HashMap::with_capacity(mesh.n_edges());
@@ -349,10 +345,11 @@ mod tests {
         // Several interior points of face 0, inserted sequentially —
         // later ones must relocate into the split children.
         let [a, b, c] = m.face_points(0);
-        let pts: Vec<SurfacePoint> = [(0.5, 0.3, 0.2), (0.2, 0.5, 0.3), (0.3, 0.2, 0.5), (0.4, 0.4, 0.2)]
-            .iter()
-            .map(|&(wa, wb, wc)| SurfacePoint { face: 0, pos: a * wa + b * wb + c * wc })
-            .collect();
+        let pts: Vec<SurfacePoint> =
+            [(0.5, 0.3, 0.2), (0.2, 0.5, 0.3), (0.3, 0.2, 0.5), (0.4, 0.4, 0.2)]
+                .iter()
+                .map(|&(wa, wb, wc)| SurfacePoint { face: 0, pos: a * wa + b * wb + c * wc })
+                .collect();
         let r = insert_surface_points(&m, &pts, None).unwrap();
         assert_eq!(r.mesh.n_vertices(), 4 + 4);
         for (i, p) in pts.iter().enumerate() {

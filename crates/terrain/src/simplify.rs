@@ -59,10 +59,9 @@ pub enum DecimateError {
 impl std::fmt::Display for DecimateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecimateError::BadTarget { target, n_vertices } => write!(
-                f,
-                "target {target} not in [4, {n_vertices}] (decimation only shrinks)"
-            ),
+            DecimateError::BadTarget { target, n_vertices } => {
+                write!(f, "target {target} not in [4, {n_vertices}] (decimation only shrinks)")
+            }
             DecimateError::Stuck { reached } => {
                 write!(f, "no collapsible edges left at {reached} vertices")
             }
@@ -94,10 +93,7 @@ impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse for a min-heap on length; ties by vertex ids for
         // determinism.
-        other
-            .len
-            .total_cmp(&self.len)
-            .then_with(|| (other.a, other.b).cmp(&(self.a, self.b)))
+        other.len.total_cmp(&self.len).then_with(|| (other.a, other.b).cmp(&(self.a, self.b)))
     }
 }
 
@@ -127,8 +123,7 @@ pub fn decimate_to(
         });
     }
     let mut verts = mesh.vertices().to_vec();
-    let mut faces: Vec<Option<[VertexId; 3]>> =
-        mesh.faces().iter().map(|&f| Some(f)).collect();
+    let mut faces: Vec<Option<[VertexId; 3]>> = mesh.faces().iter().map(|&f| Some(f)).collect();
     let mut vertex_faces: Vec<Vec<u32>> = vec![Vec::new(); verts.len()];
     for (fi, f) in mesh.faces().iter().enumerate() {
         for &v in f {
@@ -144,11 +139,7 @@ pub fn decimate_to(
     for e in 0..mesh.n_edges() as u32 {
         let edge = mesh.edge(e);
         if !edge.is_boundary() {
-            heap.push(Candidate {
-                len: mesh.edge_len(e),
-                a: edge.v[0],
-                b: edge.v[1],
-            });
+            heap.push(Candidate { len: mesh.edge_len(e), a: edge.v[0], b: edge.v[1] });
         }
     }
 
@@ -193,9 +184,7 @@ pub fn decimate_to(
             .iter()
             .copied()
             .filter(|&fi| {
-                faces[fi as usize]
-                    .map(|f| f.contains(&a) && f.contains(&b))
-                    .unwrap_or(false)
+                faces[fi as usize].map(|f| f.contains(&a) && f.contains(&b)).unwrap_or(false)
             })
             .collect();
         if shared.len() != 2 {
@@ -205,8 +194,7 @@ pub fn decimate_to(
         // opposite vertices of the shared faces.
         let na = neighbors(&vertex_faces, &faces, a);
         let nb = neighbors(&vertex_faces, &faces, b);
-        let common: Vec<VertexId> =
-            na.iter().copied().filter(|v| nb.contains(v)).collect();
+        let common: Vec<VertexId> = na.iter().copied().filter(|v| nb.contains(v)).collect();
         if common.len() != 2 {
             continue;
         }
@@ -380,21 +368,16 @@ mod tests {
         // the xy diagonal and at most a small multiple of it.
         let loc = FaceLocator::build(&d);
         let s = d.stats();
-        assert!(loc.locate(&d, (s.bbox.0.x + s.bbox.1.x) / 2.0, (s.bbox.0.y + s.bbox.1.y) / 2.0)
+        assert!(loc
+            .locate(&d, (s.bbox.0.x + s.bbox.1.x) / 2.0, (s.bbox.0.y + s.bbox.1.y) / 2.0)
             .is_some());
     }
 
     #[test]
     fn decimate_rejects_bad_targets() {
         let m = Heightfield::flat(4, 4, 1.0, 1.0).to_mesh();
-        assert!(matches!(
-            decimate_to(&m, 2),
-            Err(DecimateError::BadTarget { .. })
-        ));
-        assert!(matches!(
-            decimate_to(&m, 100),
-            Err(DecimateError::BadTarget { .. })
-        ));
+        assert!(matches!(decimate_to(&m, 2), Err(DecimateError::BadTarget { .. })));
+        assert!(matches!(decimate_to(&m, 100), Err(DecimateError::BadTarget { .. })));
     }
 
     #[test]

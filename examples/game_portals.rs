@@ -28,10 +28,8 @@ fn main() {
     let n = oracle.n_pois();
     let mut influence: Vec<(usize, f64)> = (0..n)
         .map(|p| {
-            let score: f64 = (0..n)
-                .filter(|&q| q != p)
-                .map(|q| 1.0 / oracle.distance(p, q).max(1.0))
-                .sum();
+            let score: f64 =
+                (0..n).filter(|&q| q != p).map(|q| 1.0 / oracle.distance(p, q).max(1.0)).sum();
             (p, score)
         })
         .collect();

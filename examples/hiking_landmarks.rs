@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo run --release --example hiking_landmarks`.
 
-use terrain_oracle::prelude::*;
 use terrain::locate::FaceLocator;
+use terrain_oracle::prelude::*;
 
 fn main() {
     // A BearHead-like mountain terrain (scaled down for example runtime).
@@ -28,14 +28,9 @@ fn main() {
     println!("{} landmarks in 4 clusters", landmarks.len());
 
     let eps = 0.1;
-    let oracle = P2POracle::build(
-        &mesh,
-        &landmarks,
-        eps,
-        EngineKind::Exact,
-        &BuildConfig::default(),
-    )
-    .expect("oracle construction");
+    let oracle =
+        P2POracle::build(&mesh, &landmarks, eps, EngineKind::Exact, &BuildConfig::default())
+            .expect("oracle construction");
     println!(
         "SE(ε={eps}) ready: {} pairs, {:.1} KiB",
         oracle.oracle().n_pairs(),
@@ -47,10 +42,7 @@ fn main() {
     let idx = terrain_oracle::oracle::ProximityIndex::new(oracle.oracle());
     let trailhead = 0usize;
     let nearest = idx.nearest(trailhead).expect("more than one landmark");
-    println!(
-        "nearest landmark to #0: #{} at {:.0} m on foot",
-        nearest.site, nearest.distance
-    );
+    println!("nearest landmark to #0: #{} at {:.0} m on foot", nearest.site, nearest.distance);
 
     // Range query: everything within a 5 km hike.
     let budget = 5_000.0;

@@ -61,9 +61,6 @@ fn main() {
     let diff = signature_gap(&sig_a, &sig_b);
     println!("signature gap, A vs scaled-A : {same:.4}   (same shape)");
     println!("signature gap, A vs B        : {diff:.4}   (different shapes)");
-    assert!(
-        same < diff,
-        "scaled copy should be closer than a different shape ({same} vs {diff})"
-    );
+    assert!(same < diff, "scaled copy should be closer than a different shape ({same} vs {diff})");
     println!("=> geodesic signatures separate the shapes correctly");
 }

@@ -25,10 +25,7 @@ fn main() {
     let mut sites = refined.poi_vertices.clone();
     sites.sort_unstable();
     sites.dedup();
-    let space = VertexSiteSpace::new(
-        Arc::new(IchEngine::new(Arc::new(refined.mesh))),
-        sites,
-    );
+    let space = VertexSiteSpace::new(Arc::new(IchEngine::new(Arc::new(refined.mesh))), sites);
 
     // Season 1: the first 24 stations are deployed.
     let eps = 0.1;

@@ -98,12 +98,10 @@ fn load_pois(path: &str, mesh: &TerrainMesh) -> Result<Vec<SurfacePoint>, String
         if fields.len() < 2 {
             return Err(format!("{path}:{}: expected 'x,y[,z]'", ln + 1));
         }
-        let x: f64 = fields[0]
-            .parse()
-            .map_err(|_| format!("{path}:{}: bad x '{}'", ln + 1, fields[0]))?;
-        let y: f64 = fields[1]
-            .parse()
-            .map_err(|_| format!("{path}:{}: bad y '{}'", ln + 1, fields[1]))?;
+        let x: f64 =
+            fields[0].parse().map_err(|_| format!("{path}:{}: bad x '{}'", ln + 1, fields[0]))?;
+        let y: f64 =
+            fields[1].parse().map_err(|_| format!("{path}:{}: bad y '{}'", ln + 1, fields[1]))?;
         let (face, pos) = locator
             .locate(mesh, x, y)
             .ok_or_else(|| format!("{path}:{}: ({x}, {y}) outside the terrain", ln + 1))?;
@@ -119,9 +117,8 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let mut rest = args.to_vec();
     let mesh_path = require(&mut rest, "--mesh")?;
     let poi_path = require(&mut rest, "--pois")?;
-    let eps: f64 = require(&mut rest, "--eps")?
-        .parse()
-        .map_err(|_| "--eps needs a number".to_string())?;
+    let eps: f64 =
+        require(&mut rest, "--eps")?.parse().map_err(|_| "--eps needs a number".to_string())?;
     let out_path = require(&mut rest, "--out")?;
     let engine = match take_opt(&mut rest, "--engine").as_deref() {
         None | Some("exact") => EngineKind::Exact,
@@ -137,15 +134,10 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
 
     let mesh = load_mesh(&mesh_path)?;
     let pois = load_pois(&poi_path, &mesh)?;
-    eprintln!(
-        "building SE(ε={eps}) over {} POIs on {} vertices…",
-        pois.len(),
-        mesh.n_vertices()
-    );
+    eprintln!("building SE(ε={eps}) over {} POIs on {} vertices…", pois.len(), mesh.n_vertices());
     let cfg = BuildConfig { threads, ..Default::default() };
     let t0 = std::time::Instant::now();
-    let oracle =
-        P2POracle::build(&mesh, &pois, eps, engine, &cfg).map_err(|e| e.to_string())?;
+    let oracle = P2POracle::build(&mesh, &pois, eps, engine, &cfg).map_err(|e| e.to_string())?;
     eprintln!(
         "built in {:.2?}: {} pairs, h = {}, {:.1} KiB",
         t0.elapsed(),
@@ -181,10 +173,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut rest = args.to_vec();
     let oracle = load_oracle(&mut rest)?;
-    let at = rest
-        .iter()
-        .position(|a| a == "--pairs")
-        .ok_or("missing required option --pairs")?;
+    let at = rest.iter().position(|a| a == "--pairs").ok_or("missing required option --pairs")?;
     let pair_args: Vec<String> = rest.drain(at..).skip(1).collect();
     reject_leftovers(&rest)?;
     if pair_args.is_empty() {
@@ -212,9 +201,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 fn cmd_knn(args: &[String]) -> Result<(), String> {
     let mut rest = args.to_vec();
     let oracle = load_oracle(&mut rest)?;
-    let site: usize = require(&mut rest, "--site")?
-        .parse()
-        .map_err(|_| "--site needs an integer".to_string())?;
+    let site: usize =
+        require(&mut rest, "--site")?.parse().map_err(|_| "--site needs an integer".to_string())?;
     let k: usize =
         require(&mut rest, "--k")?.parse().map_err(|_| "--k needs an integer".to_string())?;
     reject_leftovers(&rest)?;
@@ -262,8 +250,7 @@ mod tests {
 
     #[test]
     fn take_opt_removes_flag_and_value() {
-        let mut v: Vec<String> =
-            ["--a", "1", "--b", "2"].iter().map(|s| s.to_string()).collect();
+        let mut v: Vec<String> = ["--a", "1", "--b", "2"].iter().map(|s| s.to_string()).collect();
         assert_eq!(take_opt(&mut v, "--b"), Some("2".into()));
         assert_eq!(v, vec!["--a".to_string(), "1".into()]);
         assert_eq!(take_opt(&mut v, "--missing"), None);

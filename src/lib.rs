@@ -46,12 +46,12 @@ pub mod prelude {
     pub use baselines::{KAlgo, SpOracle};
     pub use geodesic::engine::{GeodesicEngine, Stop};
     pub use geodesic::{
-        geodesic_voronoi, shortest_path, shortest_vertex_path, trace_descent_path,
-        EdgeGraphEngine, IchEngine, SteinerEngine, SteinerGraph, SurfacePath, VoronoiResult,
+        geodesic_voronoi, shortest_path, shortest_vertex_path, trace_descent_path, EdgeGraphEngine,
+        IchEngine, SteinerEngine, SteinerGraph, SurfacePath, VoronoiResult,
     };
     pub use se_oracle::{
-        A2AOracle, BuildConfig, ConstructionMethod, DynamicOracle, EngineKind, Neighbor,
-        P2POracle, ProximityIndex, SeOracle, SelectionStrategy,
+        A2AOracle, BuildConfig, ConstructionMethod, DynamicOracle, EngineKind, Neighbor, P2POracle,
+        ProximityIndex, SeOracle, SelectionStrategy,
     };
     pub use terrain::gen::{diamond_square, Heightfield, Preset};
     pub use terrain::poi::{

@@ -1,14 +1,16 @@
 //! Integration tests comparing SE against the paper's baselines (SP-Oracle,
 //! K-Algo, SE(Naive)) and exercising the A2A oracle of Appendix C.
 
+mod common;
+
+use common::{mesh_with_pois, mesh_with_pois_arc, refine_sites};
 use std::sync::Arc;
 use terrain_oracle::oracle::BuildConfig;
 use terrain_oracle::prelude::*;
 
+/// The shared baseline workload: level-4 fractal, 12 POIs.
 fn setup(seed: u64) -> (Arc<TerrainMesh>, Vec<SurfacePoint>) {
-    let mesh = Arc::new(diamond_square(4, 0.65, seed).to_mesh());
-    let pois = sample_uniform(&mesh, 12, seed ^ 0xBEEF);
-    (mesh, pois)
+    mesh_with_pois_arc(4, 0.65, seed, 12)
 }
 
 #[test]
@@ -17,8 +19,8 @@ fn all_methods_agree_within_combined_error() {
     // bounded by the sum of their error budgets.
     let (mesh, pois) = setup(301);
     let eps = 0.15;
-    let se = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
+    let se =
+        P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default()).unwrap();
     let sp = SpOracle::build(mesh.clone(), 3, usize::MAX, 2).unwrap();
     let kalgo = KAlgo::new(mesh.clone(), 3);
     for a in 0..pois.len() {
@@ -48,8 +50,8 @@ fn se_storage_beats_sp_oracle_storage() {
     // The headline claim: SE size ≪ SP-Oracle size (orders of magnitude at
     // the paper's scale; at test scale at least a large factor).
     let (mesh, pois) = setup(303);
-    let se = P2POracle::build(&mesh, &pois, 0.2, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
+    let se =
+        P2POracle::build(&mesh, &pois, 0.2, EngineKind::Exact, &BuildConfig::default()).unwrap();
     let sp = SpOracle::build(mesh.clone(), 3, usize::MAX, 2).unwrap();
     let ratio = sp.storage_bytes() as f64 / se.storage_bytes() as f64;
     assert!(ratio > 10.0, "SP-Oracle only {ratio}× larger than SE");
@@ -85,9 +87,8 @@ fn kalgo_pays_per_query_not_upfront() {
 
 #[test]
 fn a2a_oracle_answers_arbitrary_points_within_band() {
-    let mesh = diamond_square(4, 0.6, 309).to_mesh();
-    let pois = sample_uniform(&mesh, 8, 17);
-    let refined = insert_surface_points(&mesh, &pois, None).unwrap();
+    let (mesh, pois) = mesh_with_pois(4, 0.6, 309, 8);
+    let (refined, _) = refine_sites(&mesh, &pois);
     let exact_engine = IchEngine::new(Arc::new(refined.mesh));
 
     let a2a = A2AOracle::build(Arc::new(mesh), 0.15, Some(2), &BuildConfig::default()).unwrap();
@@ -129,13 +130,11 @@ fn a2a_xy_queries_cover_footprint_and_reject_outside() {
 fn a2a_consistent_with_p2p_oracle_on_same_points() {
     // Appendix D: the A2A oracle also answers P2P queries; its answers and
     // the POI-specialized oracle's answers approximate the same distances.
-    let mesh = diamond_square(3, 0.6, 311).to_mesh();
-    let pois = sample_uniform(&mesh, 10, 23);
+    let (mesh, pois) = mesh_with_pois(3, 0.6, 311, 10);
     let eps = 0.2;
-    let p2p = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
-    let a2a =
-        A2AOracle::build(Arc::new(mesh), eps, Some(2), &BuildConfig::default()).unwrap();
+    let p2p =
+        P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default()).unwrap();
+    let a2a = A2AOracle::build(Arc::new(mesh), eps, Some(2), &BuildConfig::default()).unwrap();
     for a in 0..pois.len() {
         for b in a + 1..pois.len() {
             let d_p2p = p2p.distance(a, b);

@@ -2,17 +2,14 @@
 //! build an oracle image, inspect and query it — the full operator
 //! workflow through real process invocations.
 
-use std::path::PathBuf;
+mod common;
+
+use common::tmp_dir;
 use std::process::{Command, Output};
 
+/// Cargo-provided path to the compiled CLI, valid in any profile.
 fn bin() -> &'static str {
     env!("CARGO_BIN_EXE_terrain-oracle")
-}
-
-fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("terrain-oracle-cli-{tag}-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
 }
 
 fn run(args: &[&str]) -> Output {
@@ -35,7 +32,8 @@ fn full_workflow_gen_build_info_query_knn() {
     let image = dir.join("o.seor");
 
     // gen
-    let o = run(&["gen", "--preset", "sf-small", "--scale", "0.3", "--out", mesh.to_str().unwrap()]);
+    let o =
+        run(&["gen", "--preset", "sf-small", "--scale", "0.3", "--out", mesh.to_str().unwrap()]);
     assert!(o.status.success(), "gen failed: {}", stderr(&o));
     assert!(mesh.exists());
 
@@ -87,10 +85,8 @@ fn full_workflow_gen_build_info_query_knn() {
     let out = stdout(&o);
     assert_eq!(out.lines().count(), 3, "knn output:\n{out}");
     // Ascending distances.
-    let ds: Vec<f64> = out
-        .lines()
-        .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
-        .collect();
+    let ds: Vec<f64> =
+        out.lines().map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap()).collect();
     assert!(ds.windows(2).all(|w| w[0] <= w[1]), "knn not sorted: {ds:?}");
 
     std::fs::remove_dir_all(&dir).ok();

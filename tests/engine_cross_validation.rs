@@ -10,13 +10,13 @@
 //! because each successive graph is a restriction of the previous path
 //! family; and on a flat plane all converge to planar Euclidean distance.
 
+mod common;
+
+use common::fractal_mesh_arc;
 use std::sync::Arc;
 use terrain_oracle::prelude::*;
 
-fn engines(
-    mesh: &Arc<TerrainMesh>,
-    m: usize,
-) -> (IchEngine, SteinerEngine, EdgeGraphEngine) {
+fn engines(mesh: &Arc<TerrainMesh>, m: usize) -> (IchEngine, SteinerEngine, EdgeGraphEngine) {
     (
         IchEngine::new(mesh.clone()),
         SteinerEngine::new(SteinerGraph::with_points_per_edge(mesh.clone(), m)),
@@ -26,7 +26,7 @@ fn engines(
 
 #[test]
 fn engine_ordering_on_fractal_terrain() {
-    let mesh = Arc::new(diamond_square(4, 0.7, 201).to_mesh());
+    let mesh = fractal_mesh_arc(4, 0.7, 201);
     let (ich, steiner, edge) = engines(&mesh, 3);
     let src = 7u32;
     let ri = ich.ssad(src, Stop::Exhaust);
@@ -82,44 +82,35 @@ fn ich_matches_unfolded_tent_closed_form() {
     let row = 4u32;
     let a = row * nx as u32; // (0, 4)
     let b = row * nx as u32 + (nx as u32 - 1); // (8, 4)
+
     // Each slope has horizontal run 4, rise 2 → slant length √(16+4)=√20.
     // Unfolded, the two slants are collinear through the ridge (same y),
     // so the geodesic is their sum.
     let expect = 2.0 * 20f64.sqrt();
     let got = ich.distance(a, b);
-    assert!(
-        (got - expect).abs() < 1e-6,
-        "tent closed form: got {got}, expected {expect}"
-    );
+    assert!((got - expect).abs() < 1e-6, "tent closed form: got {got}, expected {expect}");
 }
 
 #[test]
 fn geodesic_exceeds_3d_euclidean_lower_bound() {
-    let mesh = Arc::new(diamond_square(4, 0.8, 203).to_mesh());
+    let mesh = fractal_mesh_arc(4, 0.8, 203);
     let ich = IchEngine::new(mesh.clone());
     let r = ich.ssad(3, Stop::Exhaust);
     let p = mesh.vertex(3);
     for v in 0..mesh.n_vertices() {
         let chord = p.dist(mesh.vertex(v as u32));
-        assert!(
-            r.dist[v] >= chord - 1e-9,
-            "v{v}: geodesic {} below 3-D chord {chord}",
-            r.dist[v]
-        );
+        assert!(r.dist[v] >= chord - 1e-9, "v{v}: geodesic {} below 3-D chord {chord}", r.dist[v]);
     }
 }
 
 #[test]
 fn ssad_radius_stop_agrees_with_exhaust_within_radius() {
-    let mesh = Arc::new(diamond_square(4, 0.6, 207).to_mesh());
+    let mesh = fractal_mesh_arc(4, 0.6, 207);
     for (name, engine) in [
         ("ich", Box::new(IchEngine::new(mesh.clone())) as Box<dyn GeodesicEngine>),
         (
             "steiner",
-            Box::new(SteinerEngine::new(SteinerGraph::with_points_per_edge(
-                mesh.clone(),
-                2,
-            ))),
+            Box::new(SteinerEngine::new(SteinerGraph::with_points_per_edge(mesh.clone(), 2))),
         ),
         ("edge", Box::new(EdgeGraphEngine::new(mesh.clone()))),
     ] {
@@ -146,7 +137,7 @@ fn ssad_radius_stop_agrees_with_exhaust_within_radius() {
 
 #[test]
 fn ssad_targets_stop_finalizes_targets() {
-    let mesh = Arc::new(diamond_square(4, 0.6, 211).to_mesh());
+    let mesh = fractal_mesh_arc(4, 0.6, 211);
     let targets = [1u32, 19, 37, 64, 80];
     for engine in [
         Box::new(IchEngine::new(mesh.clone())) as Box<dyn GeodesicEngine>,
@@ -167,7 +158,7 @@ fn ssad_targets_stop_finalizes_targets() {
 
 #[test]
 fn engines_are_symmetric_metrics() {
-    let mesh = Arc::new(diamond_square(3, 0.7, 213).to_mesh());
+    let mesh = fractal_mesh_arc(3, 0.7, 213);
     let (ich, steiner, edge) = engines(&mesh, 2);
     let pairs = [(0u32, 40u32), (8, 72), (20, 60)];
     for engine in [&ich as &dyn GeodesicEngine, &steiner, &edge] {
@@ -185,12 +176,11 @@ fn engines_are_symmetric_metrics() {
 
 #[test]
 fn triangle_inequality_over_vertex_triples() {
-    let mesh = Arc::new(diamond_square(3, 0.7, 217).to_mesh());
+    let mesh = fractal_mesh_arc(3, 0.7, 217);
     let ich = IchEngine::new(mesh.clone());
     let nv = mesh.n_vertices();
     let picks: Vec<u32> = (0..nv as u32).step_by(nv / 9).collect();
-    let rows: Vec<Vec<f64>> =
-        picks.iter().map(|&s| ich.ssad(s, Stop::Exhaust).dist).collect();
+    let rows: Vec<Vec<f64>> = picks.iter().map(|&s| ich.ssad(s, Stop::Exhaust).dist).collect();
     for i in 0..picks.len() {
         for j in 0..picks.len() {
             for k in 0..picks.len() {
@@ -213,7 +203,7 @@ fn triangle_inequality_over_vertex_triples() {
 fn steiner_path_length_equals_steiner_distance() {
     // The reconstructed polyline and the Dijkstra label must agree — ties
     // the path module to the engine used throughout the oracle stack.
-    let mesh = Arc::new(diamond_square(3, 0.7, 219).to_mesh());
+    let mesh = fractal_mesh_arc(3, 0.7, 219);
     let g = SteinerGraph::with_points_per_edge(mesh.clone(), 2);
     let eng = SteinerEngine::new(g.clone());
     for (s, t) in [(0u32, 80u32), (4, 44), (9, 77)] {

@@ -3,15 +3,15 @@
 //! exercised together through the public facade, the way an application
 //! would combine them.
 
-use std::sync::Arc;
+mod common;
+
+use common::{build_p2p as build_p2p_with_engine, fractal_mesh_arc, mesh_with_pois, tmp_dir};
 use terrain_oracle::oracle::dynamic::DynamicOracle;
 use terrain_oracle::oracle::BuildConfig;
 use terrain_oracle::prelude::*;
 
 fn build_p2p(seed: u64, n: usize, eps: f64) -> P2POracle {
-    let mesh = diamond_square(4, 0.6, seed).to_mesh();
-    let pois = sample_uniform(&mesh, n, seed ^ 0xE57);
-    P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default()).unwrap()
+    build_p2p_with_engine(seed, n, eps, EngineKind::Exact)
 }
 
 #[test]
@@ -21,10 +21,8 @@ fn knn_through_full_pipeline_matches_scan() {
     let idx = ProximityIndex::new(se);
     for q in (0..se.n_sites()).step_by(5) {
         let got = idx.knn(q, 5);
-        let mut want: Vec<(f64, usize)> = (0..se.n_sites())
-            .filter(|&s| s != q)
-            .map(|s| (se.distance(q, s), s))
-            .collect();
+        let mut want: Vec<(f64, usize)> =
+            (0..se.n_sites()).filter(|&s| s != q).map(|s| (se.distance(q, s), s)).collect();
         want.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (rank, nb) in got.iter().enumerate() {
             assert_eq!((nb.distance, nb.site), want[rank], "q={q} rank={rank}");
@@ -88,20 +86,12 @@ fn range_query_as_geofence() {
 
 #[test]
 fn dynamic_oracle_full_lifecycle() {
-    let mesh = diamond_square(4, 0.6, 407).to_mesh();
-    let pois = sample_uniform(&mesh, 30, 0x407);
-    let refined = insert_surface_points(&mesh, &pois, None).unwrap();
-    let mut sites = refined.poi_vertices.clone();
-    sites.sort_unstable();
-    sites.dedup();
-    let space = terrain_oracle::geodesic::VertexSiteSpace::new(
-        Arc::new(IchEngine::new(Arc::new(refined.mesh))),
-        sites,
-    );
+    let (mesh, pois) = mesh_with_pois(4, 0.6, 407, 30);
+    let space = common::exact_vertex_space(&mesh, &pois);
     let eps = 0.2;
     let initial: Vec<usize> = (0..20).collect();
-    let mut dy = DynamicOracle::with_initial(&space, initial, eps, &BuildConfig::default())
-        .unwrap();
+    let mut dy =
+        DynamicOracle::with_initial(&space, initial, eps, &BuildConfig::default()).unwrap();
 
     // Grow, shrink, rebuild — the ε bound must hold at every stage.
     use terrain_oracle::geodesic::SiteSpace;
@@ -135,8 +125,7 @@ fn dynamic_oracle_full_lifecycle() {
 fn persisted_oracle_round_trips_through_disk() {
     let oracle = build_p2p(409, 25, 0.15);
     let se = oracle.oracle();
-    let dir = std::env::temp_dir().join(format!("se-oracle-test-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = tmp_dir("persist");
     let path = dir.join("oracle.seor");
 
     let mut f = std::fs::File::create(&path).unwrap();
@@ -175,7 +164,7 @@ fn path_reconstruction_consistent_with_oracle_distance() {
     // A hiking app: oracle for the distance estimate, Steiner path for the
     // route. The polyline length must agree with the oracle answer within
     // the combined error of both approximations.
-    let mesh = Arc::new(diamond_square(4, 0.6, 413).to_mesh());
+    let mesh = fractal_mesh_arc(4, 0.6, 413);
     let eps = 0.1;
     let oracle =
         P2POracle::build_v2v(mesh.clone(), eps, EngineKind::Exact, &BuildConfig::default())

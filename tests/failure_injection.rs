@@ -2,6 +2,9 @@
 //! parameters, corrupt images, empty/degenerate inputs. Every rejection
 //! must be a typed error (or a documented panic), never a wrong answer.
 
+mod common;
+
+use common::fractal_mesh;
 use std::sync::Arc;
 use terrain_oracle::oracle::{BuildConfig, BuildError, SeOracle};
 use terrain_oracle::prelude::*;
@@ -18,24 +21,15 @@ fn mesh_rejects_structural_garbage() {
     assert!(TerrainMesh::new(vec![v(0., 0., 0.)], vec![]).is_err());
 
     // Face referencing a missing vertex.
-    let r = TerrainMesh::new(
-        vec![v(0., 0., 0.), v(1., 0., 0.), v(0., 1., 0.)],
-        vec![[0, 1, 9]],
-    );
+    let r = TerrainMesh::new(vec![v(0., 0., 0.), v(1., 0., 0.), v(0., 1., 0.)], vec![[0, 1, 9]]);
     assert!(r.is_err(), "out-of-range vertex index accepted");
 
     // Degenerate (zero-area) face.
-    let r = TerrainMesh::new(
-        vec![v(0., 0., 0.), v(1., 0., 0.), v(2., 0., 0.)],
-        vec![[0, 1, 2]],
-    );
+    let r = TerrainMesh::new(vec![v(0., 0., 0.), v(1., 0., 0.), v(2., 0., 0.)], vec![[0, 1, 2]]);
     assert!(r.is_err(), "collinear face accepted");
 
     // Repeated vertex in one face.
-    let r = TerrainMesh::new(
-        vec![v(0., 0., 0.), v(1., 0., 0.), v(0., 1., 0.)],
-        vec![[0, 1, 1]],
-    );
+    let r = TerrainMesh::new(vec![v(0., 0., 0.), v(1., 0., 0.), v(0., 1., 0.)], vec![[0, 1, 1]]);
     assert!(r.is_err(), "duplicate vertex in face accepted");
 
     // Disconnected surface: two islands.
@@ -54,13 +48,7 @@ fn mesh_rejects_structural_garbage() {
 
     // Non-manifold edge (three faces sharing an edge).
     let r = TerrainMesh::new(
-        vec![
-            v(0., 0., 0.),
-            v(1., 0., 0.),
-            v(0.5, 1., 0.),
-            v(0.5, -1., 0.),
-            v(0.5, 0.5, 1.),
-        ],
+        vec![v(0., 0., 0.), v(1., 0., 0.), v(0.5, 1., 0.), v(0.5, -1., 0.), v(0.5, 0.5, 1.)],
         vec![[0, 1, 2], [1, 0, 3], [0, 1, 4]],
     );
     assert!(r.is_err(), "non-manifold edge accepted");
@@ -84,7 +72,7 @@ fn off_parser_rejects_malformed_input() {
 
 #[test]
 fn off_round_trip_preserves_geometry() {
-    let mesh = diamond_square(3, 0.6, 501).to_mesh();
+    let mesh = fractal_mesh(3, 0.6, 501);
     let mut buf = Vec::new();
     terrain_oracle::terrain::io::write_off(&mesh, &mut buf).unwrap();
     let back = read_off(buf.as_slice()).unwrap();
@@ -126,8 +114,8 @@ fn all_colocated_pois_collapse_to_single_site() {
     let mesh = Heightfield::flat(4, 4, 1.0, 1.0).to_mesh();
     let one = sample_uniform(&mesh, 1, 7)[0];
     let pois = vec![one; 5];
-    let o = P2POracle::build(&mesh, &pois, 0.2, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
+    let o =
+        P2POracle::build(&mesh, &pois, 0.2, EngineKind::Exact, &BuildConfig::default()).unwrap();
     assert_eq!(o.n_pois(), 5);
     assert_eq!(o.n_sites(), 1);
     for a in 0..5 {
@@ -140,10 +128,10 @@ fn all_colocated_pois_collapse_to_single_site() {
 #[test]
 fn corrupt_image_every_prefix_rejected_or_roundtrips() {
     // No prefix of a valid image may load as a *different* valid oracle.
-    let mesh = diamond_square(3, 0.6, 503).to_mesh();
+    let mesh = fractal_mesh(3, 0.6, 503);
     let pois = sample_uniform(&mesh, 8, 11);
-    let o = P2POracle::build(&mesh, &pois, 0.25, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
+    let o =
+        P2POracle::build(&mesh, &pois, 0.25, EngineKind::Exact, &BuildConfig::default()).unwrap();
     let bytes = o.oracle().save_bytes();
     for cut in (0..bytes.len()).step_by(bytes.len().div_ceil(40).max(1)) {
         assert!(
@@ -185,8 +173,8 @@ fn boundary_vertices_are_handled() {
 fn single_poi_oracle_works() {
     let mesh = Heightfield::flat(4, 4, 1.0, 1.0).to_mesh();
     let pois = sample_uniform(&mesh, 1, 13);
-    let o = P2POracle::build(&mesh, &pois, 0.1, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
+    let o =
+        P2POracle::build(&mesh, &pois, 0.1, EngineKind::Exact, &BuildConfig::default()).unwrap();
     assert_eq!(o.distance(0, 0), 0.0);
 }
 
@@ -194,10 +182,10 @@ fn single_poi_oracle_works() {
 fn two_poi_oracle_is_tiny_and_exact() {
     // The paper's motivating example (§1.3): with two POIs a sane oracle
     // stores O(1) state, unlike Steiner-point oracles.
-    let mesh = diamond_square(3, 0.6, 505).to_mesh();
+    let mesh = fractal_mesh(3, 0.6, 505);
     let pois = sample_uniform(&mesh, 2, 17);
-    let o = P2POracle::build(&mesh, &pois, 0.1, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
+    let o =
+        P2POracle::build(&mesh, &pois, 0.1, EngineKind::Exact, &BuildConfig::default()).unwrap();
     let exact = o.engine_distance(0, 1);
     assert!((o.distance(0, 1) - exact).abs() <= 0.1 * exact + 1e-9);
     assert!(o.oracle().n_pairs() <= 8, "{} pairs for two POIs", o.oracle().n_pairs());

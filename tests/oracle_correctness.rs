@@ -3,7 +3,9 @@
 //! error parameters, selection strategies, construction methods and query
 //! algorithms.
 
-use std::sync::Arc;
+mod common;
+
+use common::{fractal_mesh, fractal_mesh_arc};
 use terrain_oracle::oracle::{BuildConfig, ConstructionMethod, SelectionStrategy};
 use terrain_oracle::prelude::*;
 
@@ -28,7 +30,7 @@ fn assert_oracle_eps(oracle: &P2POracle, eps: f64, label: &str) {
 
 #[test]
 fn p2p_eps_guarantee_on_fractal_terrain() {
-    let mesh = diamond_square(4, 0.7, 101).to_mesh();
+    let mesh = fractal_mesh(4, 0.7, 101);
     let pois = sample_uniform(&mesh, 30, 7);
     for eps in [0.25, 0.1] {
         let oracle =
@@ -43,8 +45,8 @@ fn p2p_eps_guarantee_on_hills() {
     let mesh = gaussian_hills_mesh(103);
     let pois = sample_uniform(&mesh, 25, 11);
     let eps = 0.15;
-    let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
+    let oracle =
+        P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default()).unwrap();
     assert_oracle_eps(&oracle, eps, "hills");
 }
 
@@ -59,8 +61,8 @@ fn p2p_eps_guarantee_on_flat_plane() {
     let mesh = Heightfield::flat(8, 8, 1.0, 1.0).to_mesh();
     let pois = sample_uniform(&mesh, 20, 13);
     let eps = 0.1;
-    let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
+    let oracle =
+        P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default()).unwrap();
     assert_oracle_eps(&oracle, eps, "flat");
     assert!(oracle.oracle().height() < 30, "h = {}", oracle.oracle().height());
 }
@@ -69,18 +71,18 @@ fn p2p_eps_guarantee_on_flat_plane() {
 fn clustered_pois_respect_bound() {
     // Clustered POIs stress the partition tree's covering construction
     // (many sites inside few disks).
-    let mesh = diamond_square(4, 0.6, 107).to_mesh();
+    let mesh = fractal_mesh(4, 0.6, 107);
     let locator = terrain::locate::FaceLocator::build(&mesh);
     let pois = sample_clustered(&mesh, &locator, 24, 3, 0.08, 17);
     let eps = 0.2;
-    let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
+    let oracle =
+        P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default()).unwrap();
     assert_oracle_eps(&oracle, eps, "clustered");
 }
 
 #[test]
 fn greedy_and_random_strategies_both_hold_the_bound() {
-    let mesh = diamond_square(4, 0.65, 109).to_mesh();
+    let mesh = fractal_mesh(4, 0.65, 109);
     let pois = sample_uniform(&mesh, 22, 19);
     let eps = 0.15;
     for strategy in [SelectionStrategy::Random, SelectionStrategy::Greedy] {
@@ -95,11 +97,11 @@ fn naive_and_efficient_construction_agree_exactly() {
     // Same seed → same tree → identical pair sets; the enhanced-edge
     // shortcut must resolve every pair distance to the same value as
     // direct SSAD (Lemma 4 gives exact equality, not approximation).
-    let mesh = diamond_square(4, 0.6, 113).to_mesh();
+    let mesh = fractal_mesh(4, 0.6, 113);
     let pois = sample_uniform(&mesh, 16, 23);
     let eps = 0.2;
-    let eff = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
+    let eff =
+        P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default()).unwrap();
     let cfg = BuildConfig { method: ConstructionMethod::Naive, ..Default::default() };
     let naive = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &cfg).unwrap();
     assert_eq!(eff.oracle().n_pairs(), naive.oracle().n_pairs());
@@ -123,11 +125,10 @@ fn naive_and_efficient_construction_agree_exactly() {
 
 #[test]
 fn efficient_query_equals_naive_query_everywhere() {
-    let mesh = diamond_square(4, 0.6, 127).to_mesh();
+    let mesh = fractal_mesh(4, 0.6, 127);
     let pois = sample_uniform(&mesh, 20, 29);
     let oracle =
-        P2POracle::build(&mesh, &pois, 0.15, EngineKind::Exact, &BuildConfig::default())
-            .unwrap();
+        P2POracle::build(&mesh, &pois, 0.15, EngineKind::Exact, &BuildConfig::default()).unwrap();
     let se = oracle.oracle();
     for s in 0..se.n_sites() {
         for t in 0..se.n_sites() {
@@ -147,7 +148,7 @@ fn efficient_query_equals_naive_query_everywhere() {
 
 #[test]
 fn v2v_mode_covers_all_vertices() {
-    let mesh = Arc::new(diamond_square(3, 0.6, 131).to_mesh());
+    let mesh = fractal_mesh_arc(3, 0.6, 131);
     let eps = 0.2;
     let oracle =
         P2POracle::build_v2v(mesh.clone(), eps, EngineKind::Exact, &BuildConfig::default())
@@ -171,15 +172,14 @@ fn storage_growth_dips_below_quadratic() {
     // here is the *onset* of sub-quadratic growth — each doubling of n
     // multiplies storage by strictly less than the quadratic 4× — plus
     // the hard n² ceiling.
-    let mesh = diamond_square(4, 0.6, 137).to_mesh();
+    let mesh = fractal_mesh(4, 0.6, 137);
     let eps = 0.25;
     let data: Vec<(usize, usize)> = [20usize, 40, 80]
         .iter()
         .map(|&n| {
             let pois = sample_uniform(&mesh, n, 31);
-            let o =
-                P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
-                    .unwrap();
+            let o = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
+                .unwrap();
             assert!(o.oracle().n_pairs() <= n * n, "n={n}: {} pairs", o.oracle().n_pairs());
             (o.oracle().n_pairs(), o.storage_bytes())
         })
@@ -192,11 +192,10 @@ fn storage_growth_dips_below_quadratic() {
 
 #[test]
 fn height_obeys_lemma_2_spread_bound() {
-    let mesh = diamond_square(4, 0.7, 139).to_mesh();
+    let mesh = fractal_mesh(4, 0.7, 139);
     let pois = sample_uniform(&mesh, 25, 37);
     let oracle =
-        P2POracle::build(&mesh, &pois, 0.2, EngineKind::Exact, &BuildConfig::default())
-            .unwrap();
+        P2POracle::build(&mesh, &pois, 0.2, EngineKind::Exact, &BuildConfig::default()).unwrap();
     // h ≤ log2(max pairwise / min pairwise) + 1 (Lemma 2). Bound the
     // spread loosely via exact engine distances.
     let n = oracle.n_pois();
@@ -224,11 +223,11 @@ fn height_obeys_lemma_2_spread_bound() {
 fn error_statistics_are_far_below_epsilon() {
     // §5.2.1: measured errors are "much smaller than the theoretical
     // bound" (paper: < ε/10 on average). Verify the mean is well under ε.
-    let mesh = diamond_square(4, 0.65, 149).to_mesh();
+    let mesh = fractal_mesh(4, 0.65, 149);
     let pois = sample_uniform(&mesh, 25, 41);
     let eps = 0.25;
-    let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
-        .unwrap();
+    let oracle =
+        P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default()).unwrap();
     let mut sum = 0.0;
     let mut count = 0usize;
     for a in 0..25 {

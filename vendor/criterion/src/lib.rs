@@ -1,0 +1,251 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate. The build environment has no crates.io access, so this vendored
+//! crate implements the API surface the workspace's benches use —
+//! `Criterion`, `BenchmarkGroup`, `Bencher::{iter, iter_with_setup}`,
+//! [`BenchmarkId`], [`criterion_group!`] / [`criterion_main!`] — with a
+//! simple wall-clock measurement loop instead of criterion's statistics.
+//!
+//! Each benchmark warms up once, then runs batches until ~`measurement_time`
+//! (default 1 s, or the sample count if smaller) and reports mean ns/iter on
+//! stdout. Honors `--bench`/`--test` harness flags enough for
+//! `cargo bench`/`cargo test` to drive it; under `cargo test` benches run a
+//! single iteration as a smoke check.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+/// Anything benches pass as a bench name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Measurement driver handed to bench closures.
+pub struct Bencher {
+    /// Total time measured across all iterations of the routine.
+    elapsed: Duration,
+    /// Iterations performed.
+    iters: u64,
+    /// Measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up (not measured).
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only `routine` counts.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label:<48} (no measurement)");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let (scaled, unit) = if ns >= 1e9 {
+            (ns / 1e9, "s")
+        } else if ns >= 1e6 {
+            (ns / 1e6, "ms")
+        } else if ns >= 1e3 {
+            (ns / 1e3, "µs")
+        } else {
+            (ns, "ns")
+        };
+        println!("{label:<48} {scaled:>10.3} {unit}/iter ({} iters)", self.iters);
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    measurement_time: Duration,
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; `cargo test` passes `--test` (plus
+        // possibly a filter). In test mode run a single quick iteration.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let smoke = args.iter().any(|a| a == "--test");
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Self { measurement_time: Duration::from_secs(1), filter, smoke }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible builder: global measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Upstream-compatible no-op (sampling is time-driven here).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), budget: None }
+    }
+
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let id = id.into_benchmark_id();
+        self.run_one(&id.name, f);
+    }
+
+    fn run_one(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let budget = if self.smoke { Duration::ZERO } else { self.measurement_time };
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, budget };
+        f(&mut b);
+        b.report(label);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    budget: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream-compatible no-op (sampling is time-driven here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement budget for every bench in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.budget = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let label = format!("{}/{}", self.name, id.name);
+        if let Some(budget) = self.budget {
+            let saved = self.c.measurement_time;
+            self.c.measurement_time = budget;
+            self.c.run_one(&label, f);
+            self.c.measurement_time = saved;
+        } else {
+            self.c.run_one(&label, f);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Re-export so `criterion::black_box` call sites compile.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the subset this workspace's property suite uses:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]` header;
+//! * range, tuple and [`collection::vec`] strategies;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * [`ProptestConfig`] with `cases` and `rng_seed` knobs.
+//!
+//! Unlike upstream there is **no shrinking** and no persistence of failing
+//! cases: every run is fully deterministic (the per-test RNG is seeded from
+//! `rng_seed` mixed with the test name), so a failure reproduces exactly by
+//! re-running the same test binary — which is the property the repo's
+//! `proptest-regressions/` policy relies on.
+
+use std::fmt;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Per-block configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Base RNG seed; mixed with the test's name so sibling tests draw
+    /// different-but-reproducible streams.
+    pub rng_seed: u64,
+    /// Accepted for upstream compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, rng_seed: 0x5EED_0D15_7A9C_E017, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case disproved the property.
+    Fail(String),
+    /// The case was rejected as invalid input (counts against no budget here).
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type the body of a `proptest!` test is wrapped into.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+pub mod test_runner {
+    pub use super::{ProptestConfig as Config, TestCaseError, TestCaseResult};
+    pub use rand::rngs::StdRng as TestRng;
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// `Vec` strategy with a uniformly drawn length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+}
+
+/// FNV-1a over the test name: mixes per-test entropy into the base seed so
+/// every test in a block draws an independent, reproducible stream.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// The core macro: expands each `fn name(arg in strategy, ..) { body }` item
+/// into a plain `#[test]` (the caller writes the attribute) that samples the
+/// strategies `config.cases` times and runs the body as a fallible closure.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::__run_cases(
+                    &config,
+                    stringify!($name),
+                    |__proptest_rng| {
+                        $( let $arg = $crate::Strategy::sample(&($strat), &mut *__proptest_rng); )+
+                        let __proptest_body = move || -> $crate::TestCaseResult {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        };
+                        __proptest_body()
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name( $( $arg in $strat ),+ ) $body )*
+        }
+    };
+}
+
+/// Runs one test's cases; not public API (the macro calls it).
+#[doc(hidden)]
+pub fn __run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut test_runner::TestRng) -> TestCaseResult,
+) {
+    use rand::SeedableRng;
+    let mut rng = test_runner::TestRng::seed_from_u64(config.rng_seed ^ fnv1a(name));
+    let mut ran = 0u32;
+    let mut attempts = 0u32;
+    while ran < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= config.cases.saturating_mul(10).max(64),
+            "proptest `{name}`: too many rejected cases ({ran}/{} accepted)",
+            config.cases
+        );
+        match case(&mut rng) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(reason)) => panic!(
+                "proptest `{name}` failed at case {}/{} (seed {:#x}): {reason}",
+                ran + 1,
+                config.cases,
+                config.rng_seed,
+            ),
+        }
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case (re-drawn, within a bounded attempt budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
