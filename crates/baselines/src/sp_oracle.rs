@@ -73,8 +73,12 @@ impl SpOracle {
             return Err(SpOracleError::ExceedsMemoryBudget { needed, budget: budget_bytes });
         }
 
+        // One Dijkstra per row on the shared construction pool (`0` = auto;
+        // the atomic work queue balances uneven row costs). Rows are
+        // produced in bounded batches so peak memory stays at the budgeted
+        // matrix plus a constant number of rows — not a second full copy.
         let mut matrix = vec![f32::INFINITY; n * n];
-        let threads = threads.max(1);
+        let threads = geodesic::pool::resolve_threads(threads);
         if threads == 1 {
             for s in 0..n {
                 let r = graph.dijkstra(s as NodeId, GraphStop::Exhaust);
@@ -83,31 +87,18 @@ impl SpOracle {
                 }
             }
         } else {
-            // Each worker fills disjoint rows.
-            let chunk = n.div_ceil(threads);
-            let rows: Vec<(usize, Vec<f32>)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|w| {
-                        let graph = &graph;
-                        scope.spawn(move || {
-                            let lo = w * chunk;
-                            let hi = ((w + 1) * chunk).min(n);
-                            let mut out = Vec::with_capacity(hi.saturating_sub(lo));
-                            for s in lo..hi {
-                                let r = graph.dijkstra(s as NodeId, GraphStop::Exhaust);
-                                out.push((s, r.dist.iter().map(|&d| d as f32).collect()));
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("SP-Oracle APSP worker panicked"))
-                    .collect()
-            });
-            for (s, row) in rows {
-                matrix[s * n..(s + 1) * n].copy_from_slice(&row);
+            const BATCH: usize = 64;
+            let mut s0 = 0;
+            while s0 < n {
+                let batch = (n - s0).min(BATCH);
+                let rows: Vec<Vec<f32>> = geodesic::pool::run_indexed(threads, batch, |k| {
+                    let r = graph.dijkstra((s0 + k) as NodeId, GraphStop::Exhaust);
+                    r.dist.iter().map(|&d| d as f32).collect()
+                });
+                for (k, row) in rows.into_iter().enumerate() {
+                    matrix[(s0 + k) * n..(s0 + k + 1) * n].copy_from_slice(&row);
+                }
+                s0 += batch;
             }
         }
 

@@ -7,18 +7,16 @@ pub struct BenchArgs {
     pub scale: f64,
     /// Shrink everything for a smoke run.
     pub quick: bool,
-    /// Worker threads for parallelizable construction phases.
+    /// Worker threads for parallelizable construction phases (resolved —
+    /// `--threads 0` is normalized to the detected parallelism at parse
+    /// time).
     pub threads: usize,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        Self { scale: 1.0, quick: false, threads: default_threads() }
+        Self { scale: 1.0, quick: false, threads: geodesic::pool::resolve_threads(0) }
     }
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
 impl BenchArgs {
@@ -36,10 +34,10 @@ impl BenchArgs {
                     }
                 }
                 "--threads" => {
-                    let v = args.next().and_then(|s| s.parse().ok());
+                    let v: Option<usize> = args.next().and_then(|s| s.parse().ok());
                     match v {
-                        Some(t) if t >= 1 => out.threads = t,
-                        _ => usage_exit("--threads needs a positive integer"),
+                        Some(t) => out.threads = geodesic::pool::resolve_threads(t),
+                        None => usage_exit("--threads needs a non-negative integer (0 = auto)"),
                     }
                 }
                 "--quick" => out.quick = true,

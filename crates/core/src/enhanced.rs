@@ -20,15 +20,18 @@ pub struct EnhancedEdges {
     /// `pair_key(min_node, max_node)` → center distance, over original-tree
     /// node ids. (Enhanced pairs are symmetric: same layer, same radius.)
     map: PerfectMap<f64>,
-    /// Bounded SSAD runs performed.
+    /// Bounded SSAD requests issued (one per worked node). A caching space
+    /// serves repeated centers from memory, so engine runs can be fewer —
+    /// see `BuildStats::{cache_hits, cache_misses}`.
     pub ssad_runs: u64,
     /// Number of stored edges.
     pub n_edges: usize,
 }
 
 impl EnhancedEdges {
-    /// Builds all enhanced edges. `threads > 1` distributes the per-node
-    /// SSAD runs over scoped threads.
+    /// Builds all enhanced edges. The per-node SSAD runs are distributed
+    /// over `threads` pool workers (`0` = auto-detect); the result is
+    /// identical for every thread count.
     pub fn build(
         org: &PartitionTree,
         space: &dyn SiteSpace,
@@ -48,13 +51,24 @@ impl EnhancedEdges {
             .collect();
 
         // Work items: every node in a layer with at least two nodes (a
-        // single-node layer has no same-layer partners).
-        let work: Vec<u32> = org
-            .layers
-            .iter()
-            .filter(|layer| layer.len() >= 2)
-            .flat_map(|layer| layer.iter().copied())
-            .collect();
+        // single-node layer has no same-layer partners), grouped by center
+        // in top-down layer order. One worker owns all of a center's nodes,
+        // so with a caching space the first (widest) SSAD of the group
+        // serves every deeper repeat without cross-worker duplication.
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let mut group_of_center: HashMap<u32, usize> = HashMap::new();
+        let mut n_work = 0u64;
+        for layer in org.layers.iter().filter(|layer| layer.len() >= 2) {
+            for &nid in layer {
+                let center = org.nodes[nid as usize].center;
+                let g = *group_of_center.entry(center).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[g].push(nid);
+                n_work += 1;
+            }
+        }
 
         let process = |nid: u32| -> Vec<(u64, f64)> {
             let node = &org.nodes[nid as usize];
@@ -64,10 +78,11 @@ impl EnhancedEdges {
             let mut out = Vec::new();
             for (site, d) in near {
                 if let Some(&other) = lookup.get(&(site as u32)) {
-                    // Keep one direction; strict inequality per the paper's
-                    // definition, with a hair of slack absorbed by the
-                    // resolver's SSAD fallback.
-                    if other > nid && d < radius {
+                    // Keep one direction; inclusive at the `l·r_O` boundary,
+                    // matching `SiteSpace::sites_within` — a pair sitting
+                    // exactly on the disk boundary is stored, not pushed to
+                    // the resolver's SSAD fallback.
+                    if other > nid && d <= radius {
                         out.push((pair_key(nid, other), d));
                     }
                 }
@@ -75,26 +90,20 @@ impl EnhancedEdges {
             out
         };
 
-        let threads = threads.max(1);
-        let mut entries: Vec<(u64, f64)> = if threads == 1 || work.len() < 4 {
-            work.iter().flat_map(|&nid| process(nid)).collect()
-        } else {
-            let chunk = work.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = work
-                    .chunks(chunk)
-                    .map(|c| {
-                        scope.spawn(move || {
-                            c.iter().flat_map(|&nid| process(nid)).collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("enhanced-edge worker panicked"))
-                    .collect()
+        // Dynamic work queue over the per-center groups; results come back
+        // in group order, so the entry list is independent of thread count.
+        // Once a group finishes, nothing queries its center again — release
+        // its (wide, `l·r`-sized) cached sweep so peak memory tracks the
+        // number of in-flight workers, not the whole tree.
+        let mut entries: Vec<(u64, f64)> =
+            geodesic::pool::run_indexed(threads, groups.len(), |g| {
+                let out = groups[g].iter().flat_map(|&nid| process(nid)).collect::<Vec<_>>();
+                space.release(org.nodes[groups[g][0] as usize].center as usize);
+                out
             })
-        };
+            .into_iter()
+            .flatten()
+            .collect();
 
         // A pair (O, O') can be discovered from both endpoints' SSADs (we
         // filter to `other > nid`, so only from O's run — but duplicate
@@ -103,11 +112,7 @@ impl EnhancedEdges {
         entries.dedup_by_key(|&mut (k, _)| k);
 
         let n_edges = entries.len();
-        Self {
-            map: PerfectMap::build(entries, seed ^ 0xE44A_ED6E),
-            ssad_runs: work.len() as u64,
-            n_edges,
-        }
+        Self { map: PerfectMap::build(entries, seed ^ 0xE44A_ED6E), ssad_runs: n_work, n_edges }
     }
 
     /// Looks up the distance of the enhanced edge between two original-tree
@@ -177,7 +182,7 @@ impl PairDistanceResolver for EnhancedResolver<'_> {
 mod tests {
     use super::*;
     use crate::ctree::CompressedTree;
-    use crate::tree::SelectionStrategy;
+    use crate::tree::{PNode, SelectionStrategy};
     use crate::wspd;
     use geodesic::ich::IchEngine;
     use geodesic::sitespace::VertexSiteSpace;
@@ -272,6 +277,82 @@ mod tests {
         }
         assert_eq!(enh.fallbacks, 0, "Lemma 4 walk should never miss");
         assert!(enh.hits > 0);
+    }
+
+    /// A toy metric space with a hand-set distance matrix — lets tests
+    /// place site pairs at *exactly* representable distances.
+    struct MatrixSpace {
+        d: Vec<Vec<f64>>,
+    }
+
+    impl SiteSpace for MatrixSpace {
+        fn n_sites(&self) -> usize {
+            self.d.len()
+        }
+        fn site_position(&self, site: usize) -> terrain::geom::Vec3 {
+            terrain::geom::Vec3 { x: site as f64, y: 0.0, z: 0.0 }
+        }
+        fn sites_within(&self, site: usize, radius: f64) -> Vec<(usize, f64)> {
+            self.d[site].iter().copied().enumerate().filter(|&(_, d)| d <= radius).collect()
+        }
+        fn all_distances(&self, site: usize) -> Vec<f64> {
+            self.d[site].clone()
+        }
+        fn distance(&self, a: usize, b: usize) -> f64 {
+            self.d[a][b]
+        }
+    }
+
+    #[test]
+    fn boundary_distance_pair_is_stored_not_fallback() {
+        // Regression: a same-layer pair at distance *exactly* `l·r_O` used
+        // to be dropped (`d < radius`) even though `sites_within` had
+        // returned it (`d <= radius`), silently forcing a resolver-fallback
+        // SSAD. Fixture: ε = 0.5 → l = 26 (exact in f64); a two-node layer
+        // of radius 0.5 → enhanced radius 13.0; the two centers sit at
+        // distance exactly 13.0. All values are binary fractions, so the
+        // boundary equality is exact, not approximate.
+        let eps = 0.5;
+        let l = 8.0 / eps + 10.0;
+        assert_eq!(l, 26.0);
+        let r0 = 1.0; // layer-1 radius 0.5 → enhanced radius l·0.5 = 13.0
+        let d01 = 13.0;
+        let sp = MatrixSpace { d: vec![vec![0.0, d01], vec![d01, 0.0]] };
+        let org = PartitionTree::from_parts(
+            vec![
+                PNode { center: 0, layer: 0, parent: crate::tree::NO_NODE, children: vec![1, 2] },
+                PNode { center: 0, layer: 1, parent: 0, children: vec![] },
+                PNode { center: 1, layer: 1, parent: 0, children: vec![] },
+            ],
+            vec![vec![0], vec![1, 2]],
+            r0,
+        );
+        let edges = EnhancedEdges::build(&org, &sp, eps, 1, 5);
+        assert_eq!(
+            edges.get(1, 2),
+            Some(d01),
+            "boundary-distance pair must be stored as an enhanced edge"
+        );
+        assert_eq!(edges.n_edges, 1);
+
+        // And the resolver answers it from the hash, not via fallback.
+        let mut r = EnhancedResolver::new(&org, &edges, &sp);
+        assert_eq!(r.resolve(0, 1), d01);
+        assert_eq!(r.fallbacks, 0, "exact-boundary pair must not fall back to an SSAD");
+        assert_eq!(r.hits, 1);
+    }
+
+    #[test]
+    fn threads_zero_is_auto_and_identical() {
+        let (sp, org) = setup(10, 7);
+        let auto = EnhancedEdges::build(&org, &sp, 0.3, 0, 9);
+        let serial = EnhancedEdges::build(&org, &sp, 0.3, 1, 9);
+        assert_eq!(auto.n_edges, serial.n_edges);
+        for a in 0..org.nodes.len() as u32 {
+            for b in a + 1..org.nodes.len() as u32 {
+                assert_eq!(auto.get(a, b), serial.get(a, b));
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::ctree::CompressedTree;
 use crate::enhanced::{EnhancedEdges, EnhancedResolver};
 use crate::tree::{PartitionTree, SelectionStrategy, TreeError, NO_NODE};
 use crate::wspd::{self, PairDistanceResolver};
+use geodesic::cache::CachingSiteSpace;
 use geodesic::sitespace::SiteSpace;
 use phash::{pair_key, PerfectMap};
 use std::time::{Duration, Instant};
@@ -26,8 +27,19 @@ pub struct BuildConfig {
     pub method: ConstructionMethod,
     /// RNG seed (point selection, perfect-hash salts).
     pub seed: u64,
-    /// Worker threads for the enhanced-edge SSAD runs.
+    /// Worker threads driving all construction-time SSAD work (partition
+    /// tree, enhanced edges). `0` (the default) auto-detects via
+    /// [`std::thread::available_parallelism`]. The built oracle is
+    /// byte-for-byte identical for every thread count.
     pub threads: usize,
+}
+
+impl BuildConfig {
+    /// The effective worker count: `threads`, with `0` resolved to the
+    /// detected parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        geodesic::pool::resolve_threads(self.threads)
+    }
 }
 
 impl Default for BuildConfig {
@@ -36,7 +48,7 @@ impl Default for BuildConfig {
             strategy: SelectionStrategy::Random,
             method: ConstructionMethod::Efficient,
             seed: 0x5EED,
-            threads: 1,
+            threads: 0,
         }
     }
 }
@@ -74,8 +86,16 @@ pub struct BuildStats {
     pub tree: Duration,
     pub enhanced: Duration,
     pub pair_gen: Duration,
-    /// All SSAD runs (tree + enhanced edges + naive pair distances).
+    /// All SSAD requests issued (tree + enhanced edges + naive pair
+    /// distances). `cache_hits` of them were served from the SSAD-reuse
+    /// cache without touching the engine.
     pub ssad_runs: u64,
+    /// Construction SSAD/distance requests answered from the reuse cache.
+    pub cache_hits: u64,
+    /// Requests that ran the underlying geodesic engine.
+    pub cache_misses: u64,
+    /// Worker threads used (the resolved value of [`BuildConfig::threads`]).
+    pub workers: usize,
     /// Node pairs examined by the WSPD splitting (Theorem 2).
     pub considered_pairs: u64,
     /// Pairs stored in the oracle.
@@ -116,10 +136,21 @@ impl SeOracle {
         }
         let t_start = Instant::now();
         let mut stats = BuildStats::default();
+        let workers = cfg.resolved_threads();
+        stats.workers = workers;
+
+        // Every construction phase reads geodesic distances through one
+        // SSAD-reuse cache: a center re-visited by a deeper tree layer, the
+        // enhanced-edge phase, or a naive/fallback distance query hits
+        // memory instead of re-running the engine. Cached labels are
+        // bit-identical to fresh runs (see `geodesic::cache`), so this —
+        // like the worker pool — leaves the built oracle byte-for-byte
+        // unchanged.
+        let space = CachingSiteSpace::new(space);
 
         // Step 1: partition tree + compressed partition tree.
         let t = Instant::now();
-        let (org, tree_stats) = PartitionTree::build(space, cfg.strategy, cfg.seed)?;
+        let (org, tree_stats) = PartitionTree::build_with(&space, cfg.strategy, cfg.seed, workers)?;
         let ctree = CompressedTree::from_partition_tree(&org);
         stats.tree = t.elapsed();
         stats.ssad_runs += tree_stats.ssad_runs;
@@ -132,12 +163,12 @@ impl SeOracle {
         let set = match cfg.method {
             ConstructionMethod::Efficient => {
                 let t = Instant::now();
-                let edges = EnhancedEdges::build(&org, space, eps, cfg.threads, cfg.seed);
+                let edges = EnhancedEdges::build(&org, &space, eps, workers, cfg.seed);
                 stats.enhanced = t.elapsed();
                 stats.ssad_runs += edges.ssad_runs;
 
                 let t = Instant::now();
-                let mut resolver = EnhancedResolver::new(&org, &edges, space);
+                let mut resolver = EnhancedResolver::new(&org, &edges, &space);
                 let set = wspd::generate(&ctree, eps, &mut resolver);
                 stats.pair_gen = t.elapsed();
                 stats.resolver_fallbacks = resolver.fallbacks;
@@ -156,7 +187,7 @@ impl SeOracle {
                     }
                 }
                 let t = Instant::now();
-                let mut resolver = Ssad { space, runs: 0 };
+                let mut resolver = Ssad { space: &space, runs: 0 };
                 let set = wspd::generate(&ctree, eps, &mut resolver);
                 stats.pair_gen = t.elapsed();
                 stats.ssad_runs += resolver.runs;
@@ -169,6 +200,9 @@ impl SeOracle {
         let entries: Vec<(u64, f64)> =
             set.pairs.iter().map(|p| (pair_key(p.a, p.b), p.dist)).collect();
         let pairs = PerfectMap::build(entries, cfg.seed ^ 0x9A12_5EED);
+        let cache = space.stats();
+        stats.cache_hits = cache.hits;
+        stats.cache_misses = cache.misses;
         stats.total = t_start.elapsed();
 
         Ok(Self { eps, ctree, pairs, stats })
@@ -234,12 +268,23 @@ impl SeOracle {
 
     /// ε-approximate geodesic distance between sites `s` and `t` — the
     /// paper's efficient `O(h)` query.
+    ///
+    /// Panics when either site id is out of range; use
+    /// [`Self::try_distance`] for a checked variant.
     pub fn distance(&self, s: usize, t: usize) -> f64 {
         self.distance_with_stats(s, t).0
     }
 
+    /// Checked query: `None` when either site id is out of range, otherwise
+    /// identical to [`Self::distance`].
+    pub fn try_distance(&self, s: usize, t: usize) -> Option<f64> {
+        let n = self.n_sites();
+        (s < n && t < n).then(|| self.distance(s, t))
+    }
+
     /// Efficient query, also reporting how many hash probes it made.
     pub fn distance_with_stats(&self, s: usize, t: usize) -> (f64, QueryStats) {
+        self.check_sites(s, t);
         let a = self.ctree.layer_array(s);
         let b = self.ctree.layer_array(t);
         let h = self.ctree.h as usize;
@@ -288,14 +333,17 @@ impl SeOracle {
             }
         }
         unreachable!(
-            "unique node pair match property violated for sites ({s}, {t}) — \
-             this is a bug in oracle construction"
+            "no stored node pair covers sites ({s}, {t}) although both ids are in range — \
+             the unique node pair match property (Theorem 1) is violated, which means the \
+             oracle's pair set is corrupt (a construction bug or a mismatched seed when \
+             reassembling a persisted oracle); rebuild the oracle and report this if it recurs"
         )
     }
 
     /// The paper's naive `O(h²)` query (baseline for the query ablation):
     /// probes the full Cartesian product of the two root paths.
     pub fn distance_naive(&self, s: usize, t: usize) -> (f64, QueryStats) {
+        self.check_sites(s, t);
         let a = self.ctree.layer_array(s);
         let b = self.ctree.layer_array(t);
         let mut qs = QueryStats::default();
@@ -307,7 +355,23 @@ impl SeOracle {
                 }
             }
         }
-        unreachable!("unique node pair match property violated (naive query)")
+        unreachable!(
+            "no stored node pair covers sites ({s}, {t}) (naive probe of the full root-path \
+             product) — the oracle's pair set is corrupt; rebuild the oracle"
+        )
+    }
+
+    /// Actionable bounds check shared by the query paths: a plain slice
+    /// index would panic deep inside `layer_array` with no hint at the
+    /// cause.
+    #[inline]
+    fn check_sites(&self, s: usize, t: usize) {
+        let n = self.n_sites();
+        assert!(
+            s < n && t < n,
+            "site ids ({s}, {t}) out of range for an oracle over {n} sites \
+             (valid ids are 0..{n}); use SeOracle::try_distance for a checked query"
+        );
     }
 
     /// Oracle size: compressed tree + node-pair perfect hash (what a
@@ -487,5 +551,67 @@ mod tests {
         assert!(s.total >= s.tree);
         assert_eq!(s.resolver_fallbacks, 0);
         assert!(s.r0 > 0.0);
+        assert!(s.workers >= 1, "resolved worker count must be reported");
+        assert!(s.cache_hits > 0, "re-selected centers must hit the SSAD cache");
+        assert!(s.cache_misses > 0);
+    }
+
+    #[test]
+    fn try_distance_checks_range() {
+        let sp = space(8, 21);
+        let n = sp.n_sites();
+        let oracle = SeOracle::build(&sp, 0.2, &BuildConfig::default()).unwrap();
+        assert_eq!(oracle.try_distance(0, n), None);
+        assert_eq!(oracle.try_distance(n, 0), None);
+        assert_eq!(oracle.try_distance(usize::MAX, usize::MAX), None);
+        for s in 0..n {
+            for t in 0..n {
+                assert_eq!(oracle.try_distance(s, t), Some(oracle.distance(s, t)));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_panic_is_actionable() {
+        let sp = space(6, 23);
+        let oracle = SeOracle::build(&sp, 0.2, &BuildConfig::default()).unwrap();
+        let n = sp.n_sites();
+        for query in [
+            Box::new(|| oracle.distance(n, 0)) as Box<dyn Fn() -> f64 + std::panic::UnwindSafe>,
+            Box::new(|| oracle.distance_naive(0, n + 7).0),
+        ] {
+            let err = std::panic::catch_unwind(query).unwrap_err();
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("out of range") && msg.contains("try_distance"),
+                "panic message not actionable: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_counts_build_identical_oracles() {
+        let sp = space(18, 25);
+        let eps = 0.2;
+        let one =
+            SeOracle::build(&sp, eps, &BuildConfig { threads: 1, ..Default::default() }).unwrap();
+        let four =
+            SeOracle::build(&sp, eps, &BuildConfig { threads: 4, ..Default::default() }).unwrap();
+        assert_eq!(one.n_pairs(), four.n_pairs());
+        let mut a: Vec<(u64, f64)> = one.pair_entries().collect();
+        let mut b: Vec<(u64, f64)> = four.pair_entries().collect();
+        a.sort_by_key(|&(k, _)| k);
+        b.sort_by_key(|&(k, _)| k);
+        assert_eq!(a, b, "pair sets must be bit-identical across thread counts");
+        for s in 0..sp.n_sites() {
+            for t in 0..sp.n_sites() {
+                assert_eq!(one.distance(s, t).to_bits(), four.distance(s, t).to_bits());
+            }
+        }
+        assert_eq!(four.build_stats().workers, 4);
     }
 }

@@ -122,12 +122,38 @@ impl PartitionTree {
         self.ancestor(site, self.height())
     }
 
-    /// Builds the partition tree over `space` (Steps 1–2 of §3.2).
+    /// Builds the partition tree over `space` (Steps 1–2 of §3.2) on a
+    /// single thread. See [`Self::build_with`] for the parallel variant.
     pub fn build(
         space: &dyn SiteSpace,
         strategy: SelectionStrategy,
         seed: u64,
     ) -> Result<(Self, TreeBuildStats), TreeError> {
+        Self::build_with(space, strategy, seed, 1)
+    }
+
+    /// Builds the partition tree with `threads` workers (`0` = auto).
+    ///
+    /// Center *selection* is inherently sequential — each pick depends on
+    /// what previous disks covered — but the SSADs of re-selected
+    /// previous-layer centers are known at the top of every layer (the
+    /// Separation property guarantees all of them are picked again), so the
+    /// pool computes those up front. The sequential covering loop then
+    /// consumes the prefetched results, making the construction
+    /// byte-for-byte identical for every thread count.
+    ///
+    /// The prefetch parallelizes *engine* work only over a raw space: under
+    /// a [`geodesic::cache::CachingSiteSpace`] (the `SeOracle::build`
+    /// pipeline) each re-selected center was already swept at the previous
+    /// layer with twice the radius, so every prefetched query is a cache
+    /// hit — the cache, not the pool, is what removes that cost there.
+    pub fn build_with(
+        space: &dyn SiteSpace,
+        strategy: SelectionStrategy,
+        seed: u64,
+        threads: usize,
+    ) -> Result<(Self, TreeBuildStats), TreeError> {
+        let threads = geodesic::pool::resolve_threads(threads);
         let n = space.n_sites();
         if n == 0 {
             return Err(TreeError::Empty);
@@ -192,6 +218,24 @@ impl PartitionTree {
                 layers[layer as usize - 1].iter().map(|&nid| nodes[nid as usize].center).collect();
             let mut queue: Vec<u32> = prev_centers.clone();
 
+            // The search radius of Step 2(b)(ii)+(iii) below, hoisted so
+            // the prefetch issues exactly the queries the covering loop
+            // will consume.
+            let search_radius = 2.0 * ri * (1.0 + 1e-9);
+
+            // Parallel prefetch: every queued previous-layer center is
+            // guaranteed to be re-selected, so its bounded SSAD can run on
+            // the pool before the sequential covering loop needs it.
+            let mut prefetched: HashMap<u32, Vec<(usize, f64)>> =
+                if threads > 1 && prev_centers.len() >= 2 {
+                    let runs = geodesic::pool::run_indexed(threads, prev_centers.len(), |k| {
+                        space.sites_within(prev_centers[k] as usize, search_radius)
+                    });
+                    prev_centers.iter().copied().zip(runs).collect()
+                } else {
+                    HashMap::new()
+                };
+
             while n_uncovered > 0 {
                 // Pick the next center.
                 let center = loop {
@@ -235,7 +279,9 @@ impl PartitionTree {
                 // slack: a center can lie *exactly* on the 2·ri boundary
                 // (the farthest site sits at exactly r₀ from the root), and
                 // SSAD roundoff must not push it outside the search.
-                let near = space.sites_within(center as usize, 2.0 * ri * (1.0 + 1e-9));
+                let near = prefetched
+                    .remove(&center)
+                    .unwrap_or_else(|| space.sites_within(center as usize, search_radius));
                 stats.ssad_runs += 1;
 
                 let mut parent = NO_NODE;
@@ -299,6 +345,18 @@ impl PartitionTree {
             }
         }
         Err(TreeError::TooDeep)
+    }
+
+    /// Assembles a tree from explicit parts — for constructing fixtures
+    /// with exact, hand-chosen radii/distances (e.g. the enhanced-edge
+    /// boundary regression test). The leaf layer must contain one node per
+    /// site, centers `0..n`.
+    #[cfg(test)]
+    pub(crate) fn from_parts(nodes: Vec<PNode>, layers: Vec<Vec<u32>>, r0: f64) -> Self {
+        let n = layers.last().expect("at least one layer").len();
+        let mut tree = Self { nodes, layers, r0, anc: Vec::new() };
+        tree.fill_ancestors(n);
+        tree
     }
 
     fn fill_ancestors(&mut self, n: usize) {

@@ -1,0 +1,285 @@
+//! SSAD-reuse cache: a source-keyed memo over any [`SiteSpace`].
+//!
+//! Oracle construction issues many SSAD runs *from the same center*: a
+//! partition-tree center re-selected at every deeper layer re-runs its
+//! covering SSAD with a halved radius, and the enhanced-edge phase revisits
+//! the same centers once per layer they appear in. All engines behind
+//! [`SiteSpace`] are deterministic label-setting searches, so a label that
+//! is final under a stop bound `r` is **bit-identical** under any larger
+//! bound — the longer run processes the same event sequence, merely
+//! truncated later (the `radius_stop_finalizes_ball` tests pin this
+//! contract per engine). That makes reuse exact, not approximate: a cached
+//! wider run answers any narrower query by filtering, and a cached full
+//! sweep answers everything.
+//!
+//! [`CachingSiteSpace`] is `Sync`; concurrent misses on the same source may
+//! duplicate work but always store identical values, so results are
+//! independent of thread count and interleaving — the property the
+//! construction pipeline's determinism guarantee rests on.
+
+use crate::sitespace::SiteSpace;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use terrain::geom::Vec3;
+
+/// One cached SSAD outcome for a source site.
+#[derive(Clone)]
+enum Entry {
+    /// A full sweep: every site's exact distance ([`SiteSpace::all_distances`]).
+    Full(Arc<Vec<f64>>),
+    /// A bounded sweep: every site within `radius`, ascending site order.
+    Bounded { radius: f64, pairs: Arc<Vec<(usize, f64)>> },
+}
+
+/// Hit/miss counters of a [`CachingSiteSpace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from memory.
+    pub hits: u64,
+    /// Queries that ran the underlying engine.
+    pub misses: u64,
+}
+
+/// A [`SiteSpace`] decorator that memoizes SSAD results by source site.
+///
+/// * `all_distances` is computed at most once per site.
+/// * `sites_within(s, r)` is served from a cached full sweep, or from a
+///   cached bounded sweep of radius `≥ r`; otherwise it runs once and the
+///   widest run per site is kept.
+/// * `distance(a, b)` is served from cached sweeps when possible, with a
+///   pair memo for the remaining point queries (the naive-construction and
+///   resolver-fallback path).
+pub struct CachingSiteSpace<'a> {
+    inner: &'a dyn SiteSpace,
+    entries: RwLock<HashMap<usize, Entry>>,
+    pair_memo: RwLock<HashMap<(usize, usize), f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a> CachingSiteSpace<'a> {
+    pub fn new(inner: &'a dyn SiteSpace) -> Self {
+        Self {
+            inner,
+            entries: RwLock::new(HashMap::new()),
+            pair_memo: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Counters so far. Hits and misses from concurrent workers are all
+    /// counted; a duplicated concurrent miss counts as two misses.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lookup(&self, site: usize) -> Option<Entry> {
+        self.entries.read().expect("cache lock poisoned").get(&site).cloned()
+    }
+
+    /// Inserts `candidate` unless a wider entry is already present (another
+    /// worker may have raced us there).
+    fn store(&self, site: usize, candidate: Entry) {
+        let mut map = self.entries.write().expect("cache lock poisoned");
+        match (map.get(&site), &candidate) {
+            (Some(Entry::Full(_)), _) => {}
+            (Some(Entry::Bounded { radius: have, .. }), Entry::Bounded { radius, .. })
+                if *have >= *radius => {}
+            _ => {
+                map.insert(site, candidate);
+            }
+        }
+    }
+}
+
+impl SiteSpace for CachingSiteSpace<'_> {
+    fn n_sites(&self) -> usize {
+        self.inner.n_sites()
+    }
+
+    fn site_position(&self, site: usize) -> Vec3 {
+        self.inner.site_position(site)
+    }
+
+    fn sites_within(&self, site: usize, radius: f64) -> Vec<(usize, f64)> {
+        match self.lookup(site) {
+            Some(Entry::Full(dists)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                dists
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &d)| d <= radius)
+                    .map(|(i, &d)| (i, d))
+                    .collect()
+            }
+            Some(Entry::Bounded { radius: have, pairs }) if have >= radius => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                pairs.iter().copied().filter(|&(_, d)| d <= radius).collect()
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let pairs = self.inner.sites_within(site, radius);
+                self.store(site, Entry::Bounded { radius, pairs: Arc::new(pairs.clone()) });
+                pairs
+            }
+        }
+    }
+
+    fn all_distances(&self, site: usize) -> Vec<f64> {
+        if let Some(Entry::Full(dists)) = self.lookup(site) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (*dists).clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let dists = self.inner.all_distances(site);
+        self.store(site, Entry::Full(Arc::new(dists.clone())));
+        dists
+    }
+
+    /// Drops `site`'s retained *bounded* sweep. Full sweeps stay: they are
+    /// one `Vec<f64>` each and keep serving `distance` point queries; the
+    /// bounded pair lists are what grow with the enhanced-edge radii.
+    fn release(&self, site: usize) {
+        let mut map = self.entries.write().expect("cache lock poisoned");
+        if let Some(Entry::Bounded { .. }) = map.get(&site) {
+            map.remove(&site);
+        }
+    }
+
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        // A full sweep from either endpoint answers exactly.
+        for (s, t) in [(a, b), (b, a)] {
+            if let Some(Entry::Full(dists)) = self.lookup(s) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return dists[t];
+            }
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&d) = self.pair_memo.read().expect("cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return d;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let d = self.inner.distance(key.0, key.1);
+        self.pair_memo.write().expect("cache lock poisoned").insert(key, d);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ich::IchEngine;
+    use crate::sitespace::VertexSiteSpace;
+    use terrain::gen::diamond_square;
+
+    fn space() -> VertexSiteSpace {
+        let mesh = Arc::new(diamond_square(3, 0.6, 2).to_mesh());
+        let engine = Arc::new(IchEngine::new(mesh));
+        VertexSiteSpace::new(engine, vec![0, 8, 40, 72, 80, 44])
+    }
+
+    #[test]
+    fn all_distances_cached_and_identical() {
+        let raw = space();
+        let cached = CachingSiteSpace::new(&raw);
+        let first = cached.all_distances(2);
+        assert_eq!(first, raw.all_distances(2), "cached result must be bit-identical");
+        let again = cached.all_distances(2);
+        assert_eq!(first, again);
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn narrower_radius_served_from_wider_run() {
+        let raw = space();
+        let cached = CachingSiteSpace::new(&raw);
+        let r_max = raw.all_distances(0).iter().cloned().fold(0.0, f64::max);
+        let wide = cached.sites_within(0, r_max * 0.8);
+        assert_eq!(wide, raw.sites_within(0, r_max * 0.8));
+        assert_eq!(cached.stats().misses, 1);
+        // Every narrower query is a hit and bit-identical to a direct run.
+        for f in [0.6, 0.4, 0.2, 0.05] {
+            let r = r_max * f;
+            assert_eq!(cached.sites_within(0, r), raw.sites_within(0, r), "radius factor {f}");
+        }
+        assert_eq!(cached.stats(), CacheStats { hits: 4, misses: 1 });
+    }
+
+    #[test]
+    fn wider_radius_upgrades_entry() {
+        let raw = space();
+        let cached = CachingSiteSpace::new(&raw);
+        let r_max = raw.all_distances(3).iter().cloned().fold(0.0, f64::max);
+        cached.sites_within(3, r_max * 0.1); // miss, narrow
+        let wide = cached.sites_within(3, r_max); // miss again: wider than cached
+        assert_eq!(wide, raw.sites_within(3, r_max));
+        assert_eq!(cached.stats().misses, 2);
+        // Now the widest run serves everything.
+        assert_eq!(cached.sites_within(3, r_max * 0.5), raw.sites_within(3, r_max * 0.5));
+        assert_eq!(cached.stats().hits, 1);
+    }
+
+    #[test]
+    fn full_sweep_serves_sites_within_and_distance() {
+        let raw = space();
+        let cached = CachingSiteSpace::new(&raw);
+        let all = cached.all_distances(1); // miss
+        let r = all.iter().cloned().fold(0.0, f64::max) * 0.7;
+        assert_eq!(cached.sites_within(1, r), raw.sites_within(1, r));
+        assert_eq!(cached.distance(1, 4), raw.distance(1, 4));
+        assert_eq!(cached.distance(4, 1), raw.distance(1, 4), "reverse lookup uses the sweep");
+        assert_eq!(cached.stats(), CacheStats { hits: 3, misses: 1 });
+    }
+
+    #[test]
+    fn distance_pair_memo() {
+        let raw = space();
+        let cached = CachingSiteSpace::new(&raw);
+        let d = cached.distance(2, 5); // miss
+        assert_eq!(d, raw.distance(2, 5));
+        assert_eq!(cached.distance(5, 2), d, "symmetric memo hit");
+        assert_eq!(cached.distance(2, 2), 0.0, "self distance is free");
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn release_drops_bounded_but_keeps_full() {
+        let raw = space();
+        let cached = CachingSiteSpace::new(&raw);
+        let r_max = raw.all_distances(0).iter().cloned().fold(0.0, f64::max);
+        cached.sites_within(0, r_max); // miss → bounded entry
+        cached.all_distances(1); // miss → full entry
+        cached.release(0);
+        cached.release(1);
+        cached.release(5); // no entry: must be a no-op
+                           // Site 0 must recompute (entry gone), site 1 must still hit.
+        assert_eq!(cached.sites_within(0, r_max), raw.sites_within(0, r_max));
+        assert_eq!(cached.all_distances(1), raw.all_distances(1));
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 3 });
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let raw = space();
+        let cached = CachingSiteSpace::new(&raw);
+        let r_max = raw.all_distances(0).iter().cloned().fold(0.0, f64::max);
+        let results: Vec<Vec<(usize, f64)>> = crate::pool::run_indexed(4, 16, |i| {
+            cached.sites_within(i % 4, r_max * (0.3 + 0.1 * (i / 4) as f64))
+        });
+        for (i, got) in results.iter().enumerate() {
+            let want = raw.sites_within(i % 4, r_max * (0.3 + 0.1 * (i / 4) as f64));
+            assert_eq!(*got, want, "query {i}");
+        }
+        let s = cached.stats();
+        assert_eq!(s.hits + s.misses, 16);
+    }
+}

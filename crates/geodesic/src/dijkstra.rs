@@ -41,6 +41,7 @@ impl GeodesicEngine for EdgeGraphEngine {
         heap.push(0.0, source);
 
         let mut watcher = StopWatcher::new(stop, &dist);
+        let mut stopped = false;
         while let Some((key, v)) = heap.pop() {
             if key > dist[v as usize] {
                 continue; // stale entry
@@ -48,6 +49,7 @@ impl GeodesicEngine for EdgeGraphEngine {
             stats.events_processed += 1;
             stats.max_key = key;
             if watcher.done(key, &dist) {
+                stopped = true;
                 break;
             }
             for &e in mesh.vertex_edges(v) {
@@ -62,7 +64,8 @@ impl GeodesicEngine for EdgeGraphEngine {
                 }
             }
         }
-        SsadResult { dist, stats }
+        let finalized = watcher.finalized(stopped, &dist);
+        SsadResult { dist, finalized, stats }
     }
 }
 
@@ -110,6 +113,27 @@ impl<'a> StopWatcher<'a> {
             self.remaining -= 1;
             if self.remaining == 0 {
                 self.max_target_label = f64::NEG_INFINITY; // recompute lazily in done()
+            }
+        }
+    }
+
+    /// The finality horizon of the finished run (see
+    /// [`crate::engine::SsadResult::finalized`]): labels at or below it are
+    /// exact. `stopped` says whether the loop broke on [`Self::done`]
+    /// (`false` = the queue drained, so every reached label is final).
+    /// `Radius` always reports `r`, never infinity: engines such as ICH
+    /// prune eagerly beyond the bound, so a drained queue does not imply
+    /// global finality there.
+    pub fn finalized(&self, stopped: bool, dist: &[f64]) -> f64 {
+        match self.stop {
+            Stop::Radius(r) => r,
+            Stop::Exhaust => f64::INFINITY,
+            Stop::Targets(ts) => {
+                if stopped {
+                    ts.iter().map(|&t| dist[t as usize]).fold(0.0, f64::max)
+                } else {
+                    f64::INFINITY
+                }
             }
         }
     }

@@ -42,17 +42,30 @@ pub struct SsadResult {
     /// fired. Under [`Stop::Radius`], labels `≤ r` are final; larger finite
     /// labels are valid upper bounds but not necessarily tight.
     pub dist: Vec<f64>,
+    /// Finality horizon: every label `≤ finalized` is exact. Set by the
+    /// engine from the stop criterion — `r` for [`Stop::Radius`], infinity
+    /// for an exhausted search, the largest target label for
+    /// [`Stop::Targets`].
+    pub finalized: f64,
     pub stats: SsadStats,
 }
 
 impl SsadResult {
     /// All vertices with final labels within `radius`, as `(vertex, dist)`.
+    ///
+    /// `radius` must not exceed [`Self::finalized`] — beyond it labels are
+    /// upper bounds only, not final. Debug builds assert this; release
+    /// builds clamp to the finalized horizon, so the iterator never yields
+    /// a non-final label.
     pub fn within(&self, radius: f64) -> impl Iterator<Item = (VertexId, f64)> + '_ {
-        self.dist
-            .iter()
-            .enumerate()
-            .filter(move |(_, &d)| d <= radius)
-            .map(|(v, &d)| (v as VertexId, d))
+        debug_assert!(
+            radius <= self.finalized,
+            "within({radius}) exceeds the finalized horizon {}: labels beyond it are \
+             upper bounds, not final — re-run the SSAD with a wider stop",
+            self.finalized
+        );
+        let r = radius.min(self.finalized);
+        self.dist.iter().enumerate().filter(move |(_, &d)| d <= r).map(|(v, &d)| (v as VertexId, d))
     }
 }
 

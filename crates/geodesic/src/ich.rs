@@ -159,10 +159,12 @@ impl<'m> Search<'m> {
         watcher.on_relax(source, 0.0);
         self.open_pseudo_source(source, 0.0, &mut watcher);
 
+        let mut stopped = false;
         while let Some((key, ev)) = self.heap.pop() {
             self.stats.events_processed += 1;
             self.stats.max_key = key;
             if watcher.done(key, &self.dist) {
+                stopped = true;
                 break;
             }
             match ev {
@@ -186,7 +188,8 @@ impl<'m> Search<'m> {
             }
         }
 
-        SsadResult { dist: self.dist, stats: self.stats }
+        let finalized = watcher.finalized(stopped, &self.dist);
+        SsadResult { dist: self.dist, finalized, stats: self.stats }
     }
 
     /// Lowers `dist[v]`; schedules a pseudo-source opening when `v` is a

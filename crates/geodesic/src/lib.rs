@@ -29,19 +29,23 @@
 //! assert!((d - 32f64.sqrt()).abs() < 1e-9);
 //! ```
 
+pub mod cache;
 pub mod dijkstra;
 pub mod engine;
 pub mod heap;
 pub mod ich;
 pub mod path;
+pub mod pool;
 pub mod sitespace;
 pub mod steiner;
 pub mod voronoi;
 
+pub use cache::{CacheStats, CachingSiteSpace};
 pub use dijkstra::EdgeGraphEngine;
 pub use engine::{GeodesicEngine, SsadResult, SsadStats, Stop};
 pub use ich::IchEngine;
 pub use path::{shortest_path, shortest_vertex_path, trace_descent_path, SurfacePath};
+pub use pool::{resolve_threads, run_indexed};
 pub use sitespace::{GraphSiteSpace, SiteSpace, VertexSiteSpace};
 pub use steiner::{SteinerEngine, SteinerGraph};
 pub use voronoi::{geodesic_voronoi, VoronoiResult};

@@ -1,0 +1,109 @@
+//! The construction worker pool: scoped threads over an atomic work-queue
+//! index.
+//!
+//! Every parallelizable phase of oracle construction (partition-tree point
+//! covering, enhanced-edge SSADs, baseline all-pairs sweeps) is a bag of
+//! independent per-item jobs whose *results* must come back in a
+//! deterministic order. [`run_indexed`] provides exactly that: workers pull
+//! the next item index from a shared atomic counter (so uneven job costs
+//! balance dynamically, unlike static chunking) and the caller receives the
+//! results in item order regardless of which worker ran what.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a user-facing thread count: `0` means auto-detect via
+/// [`std::thread::available_parallelism`] (falling back to 1 when the
+/// platform cannot report it); any other value is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..n` on up to `threads` scoped workers
+/// (`0` = auto-detect) and returns the results in index order.
+///
+/// Work is distributed through an atomic queue index, so long-running items
+/// do not stall a statically assigned chunk. `f` must be safe to call
+/// concurrently from multiple threads; determinism of the *output* is
+/// guaranteed by ordering alone, so `f` itself must be deterministic per
+/// index for end-to-end reproducibility.
+pub fn run_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("construction worker panicked")).collect()
+    });
+
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn resolve_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn results_in_index_order() {
+        for threads in [1usize, 2, 4, 9] {
+            let out = run_indexed(threads, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = run_indexed(4, 57, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 57);
+        assert_eq!(out.len(), 57);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(run_indexed::<usize, _>(4, 0, |i| i).is_empty());
+        assert_eq!(run_indexed(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(run_indexed(64, 3, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -37,6 +37,14 @@ pub trait SiteSpace: Send + Sync {
 
     /// Distance between two sites.
     fn distance(&self, a: usize, b: usize) -> f64;
+
+    /// Hint that the caller is done issuing sweep queries from `site` for
+    /// now. A plain space has nothing to free (the default is a no-op);
+    /// caching decorators drop `site`'s retained sweep so construction
+    /// memory stays bounded by the live working set, not the whole build.
+    fn release(&self, site: usize) {
+        let _ = site;
+    }
 }
 
 /// Sites are mesh vertices; distances come from a [`GeodesicEngine`].

@@ -326,9 +326,16 @@ impl GeodesicEngine for SteinerEngine {
         let r = self.graph.dijkstra(source as NodeId, gstop);
         let nv = self.graph.mesh().n_vertices();
         let mut dist = r.dist;
+        let finalized = match stop {
+            Stop::Radius(rad) => rad,
+            Stop::Exhaust => f64::INFINITY,
+            // The graph run stops once every target label is final.
+            Stop::Targets(ts) => ts.iter().map(|&t| dist[t as usize]).fold(0.0, f64::max),
+        };
         dist.truncate(nv);
         SsadResult {
             dist,
+            finalized,
             stats: SsadStats { events_processed: r.pops, events_created: 0, max_key: 0.0 },
         }
     }

@@ -24,12 +24,17 @@ fn main() {
     let t0 = Instant::now();
     let oracle = P2POracle::build(&mesh, &pois, eps, EngineKind::Exact, &BuildConfig::default())
         .expect("oracle construction");
+    let stats = oracle.oracle().build_stats();
     println!(
-        "built SE(ε={eps}) in {:.2?}: h = {}, {} node pairs, {:.1} KiB",
+        "built SE(ε={eps}) in {:.2?}: h = {}, {} node pairs, {:.1} KiB \
+         ({} workers, SSAD cache {} hits / {} misses)",
         t0.elapsed(),
         oracle.oracle().height(),
         oracle.oracle().n_pairs(),
-        oracle.storage_bytes() as f64 / 1024.0
+        oracle.storage_bytes() as f64 / 1024.0,
+        stats.workers,
+        stats.cache_hits,
+        stats.cache_misses
     );
 
     // 4. Query every pair; measure the worst observed error.

@@ -51,7 +51,7 @@ terrain-oracle — SE geodesic distance oracles on terrain surfaces
 USAGE:
   terrain-oracle build --mesh <file.off> --pois <file.csv> --eps <f>
                        --out <file.seor> [--engine exact|edge|steiner]
-                       [--threads <n>]
+                       [--threads <n>]   (0 = auto-detect; default 0)
   terrain-oracle info  --oracle <file.seor>
   terrain-oracle query --oracle <file.seor> --pairs \"<s> <t>\" ...
   terrain-oracle knn   --oracle <file.seor> --site <s> --k <k>
@@ -126,9 +126,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         Some("steiner") => EngineKind::Steiner { points_per_edge: 3 },
         Some(other) => return Err(format!("unknown engine '{other}'")),
     };
+    // 0 = auto-detect (the BuildConfig convention); the flag is validated
+    // here so a typo fails before the mesh loads.
     let threads: usize = match take_opt(&mut rest, "--threads") {
-        Some(t) => t.parse().map_err(|_| "--threads needs an integer".to_string())?,
-        None => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        Some(t) => t
+            .parse()
+            .map_err(|_| "--threads needs a non-negative integer (0 = auto)".to_string())?,
+        None => 0,
     };
     reject_leftovers(&rest)?;
 
@@ -138,12 +142,16 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let cfg = BuildConfig { threads, ..Default::default() };
     let t0 = std::time::Instant::now();
     let oracle = P2POracle::build(&mesh, &pois, eps, engine, &cfg).map_err(|e| e.to_string())?;
+    let stats = oracle.oracle().build_stats();
     eprintln!(
-        "built in {:.2?}: {} pairs, h = {}, {:.1} KiB",
+        "built in {:.2?}: {} pairs, h = {}, {:.1} KiB ({} workers, SSAD cache {} hits / {} misses)",
         t0.elapsed(),
         oracle.oracle().n_pairs(),
         oracle.oracle().height(),
-        oracle.storage_bytes() as f64 / 1024.0
+        oracle.storage_bytes() as f64 / 1024.0,
+        stats.workers,
+        stats.cache_hits,
+        stats.cache_misses
     );
     let mut f =
         std::fs::File::create(&out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
@@ -187,13 +195,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         };
         let s: usize = s.parse().map_err(|_| format!("bad site '{s}'"))?;
         let t: usize = t.parse().map_err(|_| format!("bad site '{t}'"))?;
-        if s >= oracle.n_sites() || t >= oracle.n_sites() {
-            return Err(format!(
-                "pair ({s}, {t}) out of range (oracle has {} sites)",
-                oracle.n_sites()
-            ));
-        }
-        println!("{s} {t} {}", oracle.distance(s, t));
+        let d = oracle.try_distance(s, t).ok_or_else(|| {
+            format!("pair ({s}, {t}) out of range (oracle has {} sites)", oracle.n_sites())
+        })?;
+        println!("{s} {t} {d}");
     }
     Ok(())
 }
