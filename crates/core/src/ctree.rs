@@ -127,11 +127,46 @@ impl CompressedTree {
     /// from `site`'s leaf to the root, or `NO_NODE` when the compressed
     /// path skips layer `i`.
     pub fn layer_array(&self, site: usize) -> Vec<u32> {
-        let mut a = vec![NO_NODE; self.h as usize + 1];
-        for node in self.path_to_root(self.leaf_of_site[site]) {
-            a[self.nodes[node as usize].layer as usize] = node;
-        }
+        let mut a = Vec::new();
+        self.layer_array_into(site, &mut a);
         a
+    }
+
+    /// [`Self::layer_array`] into a caller-owned buffer (resized to
+    /// `h + 1`), so batch query paths can walk thousands of root paths
+    /// without one heap allocation per site.
+    pub fn layer_array_into(&self, site: usize, a: &mut Vec<u32>) {
+        a.clear();
+        a.resize(self.h as usize + 1, NO_NODE);
+        self.layer_array_fill(site, a);
+    }
+
+    /// Fills a pre-zeroed (`NO_NODE`) slice of length `h + 1` with `site`'s
+    /// layer array. Walks the leaf-to-root path directly instead of
+    /// materializing it.
+    fn layer_array_fill(&self, site: usize, a: &mut [u32]) {
+        let mut node = self.leaf_of_site[site];
+        loop {
+            a[self.nodes[node as usize].layer as usize] = node;
+            let p = self.nodes[node as usize].parent;
+            if p == NO_NODE {
+                break;
+            }
+            node = p;
+        }
+    }
+
+    /// Layer arrays of **all** sites in one flat row-major buffer
+    /// (`n_sites × (h + 1)`): row `s` is `layer_array(s)`. This is the
+    /// dense form large batch queries use — one pass over the tree, then
+    /// every per-query lookup is a slice index.
+    pub fn all_layer_arrays(&self) -> Vec<u32> {
+        let h1 = self.h as usize + 1;
+        let mut flat = vec![NO_NODE; self.leaf_of_site.len() * h1];
+        for (site, row) in flat.chunks_mut(h1).enumerate() {
+            self.layer_array_fill(site, row);
+        }
+        flat
     }
 
     /// Whether `anc` is `node` or an ancestor of `node`.
@@ -237,6 +272,20 @@ mod tests {
             let mut path = c.path_to_root(c.leaf_of_site[site]);
             path.reverse(); // leaf→root becomes root→leaf
             assert_eq!(path, on_path);
+        }
+    }
+
+    #[test]
+    fn layer_array_into_and_dense_form_match() {
+        let (_, c) = build(16, 19);
+        let flat = c.all_layer_arrays();
+        let h1 = c.h as usize + 1;
+        let mut buf = Vec::new();
+        for site in 0..16 {
+            let a = c.layer_array(site);
+            c.layer_array_into(site, &mut buf); // buffer reused across sites
+            assert_eq!(a, buf, "site {site}");
+            assert_eq!(&flat[site * h1..(site + 1) * h1], a.as_slice(), "site {site}");
         }
     }
 

@@ -12,7 +12,16 @@
 //! supplied [`SiteSpace`], so callers choose the accuracy/cost trade-off
 //! via their engine. Ball samples are capped to keep the SSAD count
 //! bounded.
+//!
+//! Like oracle construction, the estimator reads all distances through an
+//! SSAD-reuse cache ([`CachingSiteSpace`]) and fans the per-center work
+//! out on [`geodesic::pool`] workers: center picks come from one
+//! sequential stream and each center's subsampling RNG is a pure function
+//! of `(seed, center index)`, so the estimate is **bit-identical for
+//! every thread count** — the same contract the construction pipeline
+//! keeps.
 
+use geodesic::cache::CachingSiteSpace;
 use geodesic::sitespace::SiteSpace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,12 +38,23 @@ pub struct BetaOptions {
     /// lower bound).
     pub max_ball: usize,
     pub seed: u64,
+    /// Worker threads driving the per-center estimation (`0` = auto-detect
+    /// via [`std::thread::available_parallelism`]). The estimate is
+    /// bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for BetaOptions {
     fn default() -> Self {
-        Self { centers: 6, radii_per_center: 3, max_ball: 48, seed: 0xBE7A }
+        Self { centers: 6, radii_per_center: 3, max_ball: 48, seed: 0xBE7A, threads: 0 }
     }
+}
+
+/// Seed of center `i`'s private RNG stream: splitmix64 over
+/// golden-ratio-spaced offsets of the user seed, so streams are
+/// decorrelated and each is a pure function of `(seed, i)`.
+fn center_seed(seed: u64, i: u64) -> u64 {
+    phash::splitmix64(seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
 /// Result of a β estimation.
@@ -52,42 +72,69 @@ pub fn estimate_beta(space: &dyn SiteSpace, opts: &BetaOptions) -> BetaEstimate 
     if n < 3 {
         return BetaEstimate { beta: 0.0, balls: 0 };
     }
+    // Center picks from one sequential stream: deterministic and
+    // independent of how the per-center work is scheduled below.
     let mut rng = StdRng::seed_from_u64(opts.seed);
+    let centers: Vec<usize> = (0..opts.centers).map(|_| rng.random_range(0..n)).collect();
+
+    // All distance reads go through the SSAD-reuse cache: a re-drawn
+    // center's full sweep and the packing's repeated pair queries (the
+    // same ball members recur across the per-center radii) hit memory
+    // instead of re-running the engine. Cached values are bit-identical
+    // to fresh runs, so — like the pool — this leaves the estimate
+    // unchanged.
+    let space = CachingSiteSpace::new(space);
+
+    let per_center: Vec<(f64, usize)> =
+        geodesic::pool::run_indexed(opts.threads, centers.len(), |ci| {
+            let p = centers[ci];
+            // Subsampling RNG as a pure function of (seed, center index):
+            // no worker observes another's draws, so any interleaving
+            // produces the same estimate.
+            let mut rng = StdRng::seed_from_u64(center_seed(opts.seed, ci as u64));
+            let mut beta: f64 = 0.0;
+            let mut balls = 0usize;
+            let all = space.all_distances(p);
+            let r_max = all.iter().cloned().filter(|d| d.is_finite()).fold(0.0, f64::max);
+            if r_max <= 0.0 {
+                return (beta, balls);
+            }
+            for k in 0..opts.radii_per_center {
+                // Radii r_max/2, r_max/4, ... — the scales where balls are
+                // non-trivial but proper subsets.
+                let r = r_max / (1u64 << (k + 1)) as f64;
+                // Ball members by distance from p (exact: these are
+                // geodesic distances from the SSAD above).
+                let mut members: Vec<usize> = (0..n).filter(|&s| all[s] <= r).collect();
+                if members.len() < 3 {
+                    continue;
+                }
+                if members.len() > opts.max_ball {
+                    // Deterministic subsample.
+                    for i in (1..members.len()).rev() {
+                        members.swap(i, rng.random_range(0..=i));
+                    }
+                    members.truncate(opts.max_ball);
+                }
+                // Greedy (r/2)-packing of the ball.
+                let m_half = greedy_packing(&space, &members, r / 2.0);
+                balls += 1;
+                // Definition 1: capacity dimension of B(p, r) is
+                // 0.5·log2(M(r/2)/M(2r)) with M(2r) = 2.
+                let dim = 0.5 * ((m_half as f64) / 2.0).log2();
+                beta = beta.max(dim);
+            }
+            (beta, balls)
+        });
+
+    // f64::max is commutative and associative over these (never-NaN)
+    // values, and the per-center results arrive in index order, so the
+    // reduction is independent of worker scheduling.
     let mut beta: f64 = 0.0;
     let mut balls = 0usize;
-
-    for _ in 0..opts.centers {
-        let p = rng.random_range(0..n);
-        let all = space.all_distances(p);
-        let r_max = all.iter().cloned().filter(|d| d.is_finite()).fold(0.0, f64::max);
-        if r_max <= 0.0 {
-            continue;
-        }
-        for k in 0..opts.radii_per_center {
-            // Radii r_max/2, r_max/4, ... — the scales where balls are
-            // non-trivial but proper subsets.
-            let r = r_max / (1u64 << (k + 1)) as f64;
-            // Ball members by distance from p (exact: these are geodesic
-            // distances from the SSAD above).
-            let mut members: Vec<usize> = (0..n).filter(|&s| all[s] <= r).collect();
-            if members.len() < 3 {
-                continue;
-            }
-            if members.len() > opts.max_ball {
-                // Deterministic subsample.
-                for i in (1..members.len()).rev() {
-                    members.swap(i, rng.random_range(0..=i));
-                }
-                members.truncate(opts.max_ball);
-            }
-            // Greedy (r/2)-packing of the ball.
-            let m_half = greedy_packing(space, &members, r / 2.0);
-            balls += 1;
-            // Definition 1: capacity dimension of B(p, r) is
-            // 0.5·log2(M(r/2)/M(2r)) with M(2r) = 2.
-            let dim = 0.5 * ((m_half as f64) / 2.0).log2();
-            beta = beta.max(dim);
-        }
+    for (b, k) in per_center {
+        beta = beta.max(b);
+        balls += k;
     }
     BetaEstimate { beta, balls }
 }
@@ -241,6 +288,29 @@ mod tests {
         let a = estimate_beta(&sp, &BetaOptions::default());
         let b = estimate_beta(&sp, &BetaOptions::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn beta_bit_identical_across_thread_counts() {
+        // The pool and the SSAD cache are pure accelerators here exactly
+        // as in construction: threads ∈ {1, 2, auto} must agree to the
+        // bit.
+        let mesh = Arc::new(diamond_square(3, 0.6, 13).to_mesh());
+        let sites: Vec<u32> = (0..mesh.n_vertices() as u32).step_by(2).collect();
+        let sp = VertexSiteSpace::new(Arc::new(EdgeGraphEngine::new(mesh)), sites);
+        let one = estimate_beta(&sp, &BetaOptions { threads: 1, ..Default::default() });
+        assert!(one.balls > 0, "fixture must exercise non-trivial balls");
+        for threads in [2usize, 0] {
+            let got = estimate_beta(&sp, &BetaOptions { threads, ..Default::default() });
+            assert_eq!(
+                one.beta.to_bits(),
+                got.beta.to_bits(),
+                "β differs at threads={threads}: {} vs {}",
+                one.beta,
+                got.beta
+            );
+            assert_eq!(one.balls, got.balls, "ball count differs at threads={threads}");
+        }
     }
 
     #[test]

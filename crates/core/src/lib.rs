@@ -28,7 +28,10 @@
 //!   (the proximity queries of §1.1/§4.1);
 //! * [`dynamic`] — POI insertion/removal without a rebuild (the
 //!   conclusion's open problem, via the dynamic-WSPD idea of [14]);
-//! * [`persist`] — versioned, checksummed binary oracle images.
+//! * [`persist`] — versioned, checksummed binary oracle images;
+//! * [`serve`] — the query-serving layer: [`serve::QueryHandle`] (a
+//!   shared, `Send + Sync` read-only view), batch distance queries, and a
+//!   pool-sharded multi-threaded batch driver.
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@ pub mod oracle;
 pub mod p2p;
 pub mod persist;
 pub mod proximity;
+pub mod serve;
 pub mod tree;
 pub mod wspd;
 
@@ -68,4 +72,5 @@ pub use oracle::{BuildConfig, BuildError, BuildStats, ConstructionMethod, QueryS
 pub use p2p::{EngineKind, P2PError, P2POracle};
 pub use persist::PersistError;
 pub use proximity::{Neighbor, ProximityIndex};
+pub use serve::QueryHandle;
 pub use tree::{PartitionTree, SelectionStrategy, TreeError};

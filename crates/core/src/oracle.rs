@@ -282,11 +282,126 @@ impl SeOracle {
         (s < n && t < n).then(|| self.distance(s, t))
     }
 
+    /// Batch query: the distance of every pair, in input order, each
+    /// bit-identical to the corresponding [`Self::distance`] call.
+    ///
+    /// One `distance` call spends a large share of its ~hundreds of
+    /// nanoseconds materializing the two layer arrays (a heap allocation
+    /// and root-path walk per endpoint). The batch amortizes that: small
+    /// batches reuse a two-slot scratch (no allocation per pair; runs
+    /// sharing an endpoint in either role recompute nothing), and batches
+    /// with at least as many pairs as the oracle has sites switch to a
+    /// dense table of **all** layer arrays — one tree pass, then every
+    /// pair is pure hash probes. The dense table is `n·(h+1)·4` bytes,
+    /// which the `pairs.len() ≥ n` gate keeps proportional to the batch
+    /// itself.
+    ///
+    /// Panics when any pair is out of range (the message names the first
+    /// offending pair); use [`Self::try_distance_many`] for a checked
+    /// variant.
+    pub fn distance_many(&self, pairs: &[(u32, u32)]) -> Vec<f64> {
+        self.check_pairs(pairs);
+        if pairs.len() >= self.n_sites() {
+            self.distance_many_dense(pairs, &self.dense_layers())
+        } else {
+            let mut scratch = LayerScratch::default();
+            pairs
+                .iter()
+                .map(|&(s, t)| {
+                    let (s, t) = (s as usize, t as usize);
+                    let (i, j) = scratch.pair_slots(&self.ctree, s, t);
+                    self.probe(s, t, &scratch.arrays[i], &scratch.arrays[j]).0
+                })
+                .collect()
+        }
+    }
+
+    /// Checked batch query: element `i` is `Some(distance(pairs[i]))`, or
+    /// `None` when either id of `pairs[i]` is out of range — exactly what
+    /// mapping [`Self::try_distance`] over the slice returns, with the
+    /// same amortization as [`Self::distance_many`].
+    pub fn try_distance_many(&self, pairs: &[(u32, u32)]) -> Vec<Option<f64>> {
+        if pairs.len() >= self.n_sites() {
+            self.try_distance_many_dense(pairs, &self.dense_layers())
+        } else {
+            let n = self.n_sites();
+            let mut scratch = LayerScratch::default();
+            pairs
+                .iter()
+                .map(|&(s, t)| {
+                    let (s, t) = (s as usize, t as usize);
+                    (s < n && t < n).then(|| {
+                        let (i, j) = scratch.pair_slots(&self.ctree, s, t);
+                        self.probe(s, t, &scratch.arrays[i], &scratch.arrays[j]).0
+                    })
+                })
+                .collect()
+        }
+    }
+
+    /// Validates a batch with the same actionable panic contract as
+    /// [`Self::check_sites`] (shared with the parallel driver, which
+    /// validates before sharding so the panic fires on the caller's
+    /// thread).
+    pub(crate) fn check_pairs(&self, pairs: &[(u32, u32)]) {
+        let n = self.n_sites();
+        if let Some((i, &(s, t))) =
+            pairs.iter().enumerate().find(|&(_, &(s, t))| s as usize >= n || t as usize >= n)
+        {
+            panic!(
+                "pair #{i} ({s}, {t}) out of range for an oracle over {n} sites \
+                 (valid ids are 0..{n}); use SeOracle::try_distance_many for a checked batch"
+            );
+        }
+    }
+
+    /// The dense table behind large batches, built once and shared — the
+    /// parallel driver hands one table to every shard instead of letting
+    /// each rebuild (or miss) it.
+    pub(crate) fn dense_layers(&self) -> DenseLayers {
+        DenseLayers { h1: self.ctree.h as usize + 1, flat: self.ctree.all_layer_arrays() }
+    }
+
+    /// [`Self::distance_many`]'s dense path over a pre-built table.
+    /// `pairs` must already be validated (see [`Self::check_pairs`]).
+    pub(crate) fn distance_many_dense(&self, pairs: &[(u32, u32)], d: &DenseLayers) -> Vec<f64> {
+        pairs
+            .iter()
+            .map(|&(s, t)| {
+                let (s, t) = (s as usize, t as usize);
+                self.probe(s, t, d.row(s), d.row(t)).0
+            })
+            .collect()
+    }
+
+    /// [`Self::try_distance_many`]'s dense path over a pre-built table.
+    pub(crate) fn try_distance_many_dense(
+        &self,
+        pairs: &[(u32, u32)],
+        d: &DenseLayers,
+    ) -> Vec<Option<f64>> {
+        let n = self.n_sites();
+        pairs
+            .iter()
+            .map(|&(s, t)| {
+                let (s, t) = (s as usize, t as usize);
+                (s < n && t < n).then(|| self.probe(s, t, d.row(s), d.row(t)).0)
+            })
+            .collect()
+    }
+
     /// Efficient query, also reporting how many hash probes it made.
     pub fn distance_with_stats(&self, s: usize, t: usize) -> (f64, QueryStats) {
         self.check_sites(s, t);
         let a = self.ctree.layer_array(s);
         let b = self.ctree.layer_array(t);
+        self.probe(s, t, &a, &b)
+    }
+
+    /// The `O(h)` probe sequence of §3.4 over pre-computed layer arrays.
+    /// Separated from [`Self::distance_with_stats`] so batch queries can
+    /// amortize the layer-array computation across many pairs.
+    fn probe(&self, s: usize, t: usize, a: &[u32], b: &[u32]) -> (f64, QueryStats) {
         let h = self.ctree.h as usize;
         let nodes = &self.ctree.nodes;
         let mut qs = QueryStats::default();
@@ -378,6 +493,70 @@ impl SeOracle {
     /// serialized oracle would occupy; construction scaffolding excluded).
     pub fn storage_bytes(&self) -> usize {
         self.ctree.storage_bytes() + self.pairs.storage_bytes()
+    }
+}
+
+/// All sites' layer arrays in one flat row-major table
+/// ([`CompressedTree::all_layer_arrays`]) — what large batch queries probe
+/// against instead of re-walking root paths per pair.
+pub(crate) struct DenseLayers {
+    /// Row stride, `h + 1`.
+    h1: usize,
+    flat: Vec<u32>,
+}
+
+impl DenseLayers {
+    /// `site`'s layer array.
+    #[inline]
+    fn row(&self, site: usize) -> &[u32] {
+        &self.flat[site * self.h1..(site + 1) * self.h1]
+    }
+}
+
+/// Sentinel for an empty [`LayerScratch`] slot (site ids are `usize`, so a
+/// `u64` sentinel can never collide with a valid id on 64-bit targets and
+/// is out of range on all others).
+const NO_SITE: u64 = u64::MAX;
+
+/// Two-slot memo of site layer arrays, the sparse batch path's
+/// amortization: the two most recently used distinct sites keep their
+/// arrays, so consecutive pairs sharing an endpoint — in either role,
+/// including a full `(s, t)` → `(t, s)` swap — recompute nothing, and no
+/// pair allocates (the slot buffers are reused in place).
+struct LayerScratch {
+    /// Site whose layer array each slot holds, or [`NO_SITE`].
+    sites: [u64; 2],
+    arrays: [Vec<u32>; 2],
+}
+
+impl Default for LayerScratch {
+    fn default() -> Self {
+        Self { sites: [NO_SITE; 2], arrays: [Vec::new(), Vec::new()] }
+    }
+}
+
+impl LayerScratch {
+    /// Slot indices holding the layer arrays of `s` and `t` (equal when
+    /// `s == t`), computing missing arrays into whichever slot the other
+    /// endpoint does not occupy.
+    fn pair_slots(&mut self, tree: &CompressedTree, s: usize, t: usize) -> (usize, usize) {
+        let find = |sites: &[u64; 2], x: usize| sites.iter().position(|&w| w == x as u64);
+        match (find(&self.sites, s), find(&self.sites, t)) {
+            (Some(i), Some(j)) => (i, j),
+            (Some(i), None) => (i, self.fill(tree, 1 - i, t)),
+            (None, Some(j)) => (self.fill(tree, 1 - j, s), j),
+            (None, None) => {
+                let i = self.fill(tree, 0, s);
+                let j = if t == s { i } else { self.fill(tree, 1, t) };
+                (i, j)
+            }
+        }
+    }
+
+    fn fill(&mut self, tree: &CompressedTree, slot: usize, site: usize) -> usize {
+        tree.layer_array_into(site, &mut self.arrays[slot]);
+        self.sites[slot] = site as u64;
+        slot
     }
 }
 

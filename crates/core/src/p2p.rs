@@ -153,6 +153,14 @@ impl P2POracle {
         &self.oracle
     }
 
+    /// Consumes the front-end, returning the bare oracle — what a serving
+    /// deployment freezes into a [`crate::serve::QueryHandle`] (the mesh
+    /// and engine are construction scaffolding the query path never
+    /// touches).
+    pub fn into_oracle(self) -> SeOracle {
+        self.oracle
+    }
+
     /// The (refined) mesh the oracle lives on.
     pub fn mesh(&self) -> &Arc<TerrainMesh> {
         &self.mesh

@@ -1,0 +1,319 @@
+//! The query-serving layer: a shared read-only view of a built oracle and
+//! a multi-threaded batch driver.
+//!
+//! A built [`SeOracle`] is immutable — construction freezes the compressed
+//! tree and the node-pair perfect hash, and the query path
+//! ([`SeOracle::distance`] and the batch variants) only reads them; there
+//! is **no interior mutability anywhere on the query path**, which is what
+//! makes concurrent serving sound *and* deterministic (a reader cannot
+//! observe another reader). [`QueryHandle`] packages that guarantee:
+//! freeze the oracle behind an [`Arc`] once, then hand cheap clones to as
+//! many serving threads as the workload needs. Every clone answers every
+//! query bit-identically to every other clone and to the original oracle.
+//!
+//! The batch driver [`QueryHandle::distance_many_par`] shards a pair slice
+//! across [`geodesic::pool`] workers — the same pool construction uses —
+//! and reassembles the per-shard results in input order, so the output is
+//! independent of the thread count and of scheduling, exactly like the
+//! construction pipeline's determinism contract.
+
+use crate::oracle::SeOracle;
+use std::sync::Arc;
+
+/// Compile-time proof of the thread-safety contract: a built oracle (and
+/// therefore a handle) may be shared and sent freely.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SeOracle>();
+    assert_send_sync::<QueryHandle>();
+};
+
+/// A cheaply clonable, `Send + Sync`, read-only view of a built
+/// [`SeOracle`].
+///
+/// Cloning copies one [`Arc`] — the tree and pair set are shared, never
+/// duplicated. Use one handle per serving thread:
+///
+/// ```
+/// use se_oracle::oracle::BuildConfig;
+/// use se_oracle::p2p::{EngineKind, P2POracle};
+/// use se_oracle::serve::QueryHandle;
+/// use terrain::gen::Heightfield;
+/// use terrain::poi::sample_uniform;
+///
+/// let mesh = Heightfield::flat(6, 6, 100.0, 100.0).to_mesh();
+/// let pois = sample_uniform(&mesh, 10, 42);
+/// let built = P2POracle::build(
+///     &mesh, &pois, 0.2, EngineKind::EdgeGraph, &BuildConfig::default(),
+/// ).unwrap();
+/// let handle = QueryHandle::new(built.into_oracle());
+///
+/// let worker = handle.clone();
+/// let answers = std::thread::spawn(move || {
+///     worker.distance_many(&[(0, 1), (2, 3)])
+/// }).join().unwrap();
+/// assert_eq!(answers[0], handle.distance(0, 1));
+/// ```
+#[derive(Clone)]
+pub struct QueryHandle {
+    oracle: Arc<SeOracle>,
+}
+
+impl QueryHandle {
+    /// Freezes `oracle` into a shareable handle.
+    pub fn new(oracle: SeOracle) -> Self {
+        Self { oracle: Arc::new(oracle) }
+    }
+
+    /// Wraps an oracle that is already shared.
+    pub fn from_arc(oracle: Arc<SeOracle>) -> Self {
+        Self { oracle }
+    }
+
+    /// The underlying oracle (every [`SeOracle`] accessor is available
+    /// through this; the common query entry points are mirrored below).
+    pub fn oracle(&self) -> &SeOracle {
+        &self.oracle
+    }
+
+    /// Number of sites indexed.
+    pub fn n_sites(&self) -> usize {
+        self.oracle.n_sites()
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.oracle.epsilon()
+    }
+
+    /// See [`SeOracle::distance`].
+    pub fn distance(&self, s: usize, t: usize) -> f64 {
+        self.oracle.distance(s, t)
+    }
+
+    /// See [`SeOracle::try_distance`].
+    pub fn try_distance(&self, s: usize, t: usize) -> Option<f64> {
+        self.oracle.try_distance(s, t)
+    }
+
+    /// See [`SeOracle::distance_many`].
+    pub fn distance_many(&self, pairs: &[(u32, u32)]) -> Vec<f64> {
+        self.oracle.distance_many(pairs)
+    }
+
+    /// See [`SeOracle::try_distance_many`].
+    pub fn try_distance_many(&self, pairs: &[(u32, u32)]) -> Vec<Option<f64>> {
+        self.oracle.try_distance_many(pairs)
+    }
+
+    /// [`SeOracle::distance_many`] sharded across `threads` pool workers
+    /// (`0` = auto-detect). Results come back in input order and are
+    /// bit-identical for every thread count. Batches large enough for the
+    /// dense layer table build it **once** and share it read-only across
+    /// every shard (a shard alone is often below the dense gate, so
+    /// deciding per shard would forfeit the amortization the batch
+    /// qualifies for).
+    ///
+    /// Panics exactly as [`SeOracle::distance_many`] does on an
+    /// out-of-range pair — validated up front, so the panic fires on the
+    /// caller's thread, not inside a worker; use
+    /// [`Self::try_distance_many_par`] for the checked variant.
+    pub fn distance_many_par(&self, pairs: &[(u32, u32)], threads: usize) -> Vec<f64> {
+        self.oracle.check_pairs(pairs);
+        if pairs.len() >= self.oracle.n_sites() {
+            let dense = self.oracle.dense_layers();
+            self.shard(pairs, threads, |chunk| self.oracle.distance_many_dense(chunk, &dense))
+        } else {
+            self.shard(pairs, threads, |chunk| self.oracle.distance_many(chunk))
+        }
+    }
+
+    /// [`SeOracle::try_distance_many`] sharded across `threads` pool
+    /// workers (`0` = auto-detect), element-for-element equal to the
+    /// sequential call, with the same shared dense table as
+    /// [`Self::distance_many_par`].
+    pub fn try_distance_many_par(&self, pairs: &[(u32, u32)], threads: usize) -> Vec<Option<f64>> {
+        if pairs.len() >= self.oracle.n_sites() {
+            let dense = self.oracle.dense_layers();
+            self.shard(pairs, threads, |chunk| self.oracle.try_distance_many_dense(chunk, &dense))
+        } else {
+            self.shard(pairs, threads, |chunk| self.oracle.try_distance_many(chunk))
+        }
+    }
+
+    /// Splits `pairs` into contiguous shards, runs `f` per shard on the
+    /// worker pool, and concatenates the results in shard order — the
+    /// parallel driver shared by both batch entry points. Shards are a few
+    /// per worker so uneven probe costs balance through the pool's atomic
+    /// queue without fragmenting the per-shard amortization.
+    fn shard<T: Send>(
+        &self,
+        pairs: &[(u32, u32)],
+        threads: usize,
+        f: impl Fn(&[(u32, u32)]) -> Vec<T> + Sync,
+    ) -> Vec<T> {
+        let workers = geodesic::pool::resolve_threads(threads);
+        if workers <= 1 || pairs.len() < 2 {
+            return f(pairs);
+        }
+        let shard_len = pairs.len().div_ceil(workers * 4).max(64);
+        let shards: Vec<&[(u32, u32)]> = pairs.chunks(shard_len).collect();
+        let per_shard = geodesic::pool::run_indexed(workers, shards.len(), |i| f(shards[i]));
+        let mut out = Vec::with_capacity(pairs.len());
+        for shard in per_shard {
+            out.extend(shard);
+        }
+        out
+    }
+}
+
+/// A deterministic stream of `len` in-range query pairs for worker
+/// `stream`: the workload generator the serving stress tests, examples
+/// and benches share. A pure function of its arguments (a splitmix64
+/// stream per worker, streams decorrelated by golden-ratio spacing), so
+/// a single-threaded replay regenerates any worker's workload exactly —
+/// the precondition for asserting concurrent answers against a serial
+/// rerun.
+///
+/// # Panics
+/// Panics when `n_sites` is zero (there is no in-range pair to draw).
+pub fn pair_stream(salt: u64, stream: u64, len: usize, n_sites: usize) -> Vec<(u32, u32)> {
+    assert!(n_sites > 0, "pair_stream needs at least one site");
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut x = salt ^ stream.wrapping_add(1).wrapping_mul(GOLDEN);
+    let mut next = move || {
+        let v = phash::splitmix64(x);
+        x = x.wrapping_add(GOLDEN);
+        v
+    };
+    (0..len).map(|_| ((next() % n_sites as u64) as u32, (next() % n_sites as u64) as u32)).collect()
+}
+
+impl From<SeOracle> for QueryHandle {
+    fn from(oracle: SeOracle) -> Self {
+        Self::new(oracle)
+    }
+}
+
+impl From<Arc<SeOracle>> for QueryHandle {
+    fn from(oracle: Arc<SeOracle>) -> Self {
+        Self::from_arc(oracle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::BuildConfig;
+    use geodesic::ich::IchEngine;
+    use geodesic::sitespace::VertexSiteSpace;
+    use terrain::gen::diamond_square;
+    use terrain::poi::sample_uniform;
+    use terrain::refine::insert_surface_points;
+
+    fn handle(n: usize, seed: u64, eps: f64) -> QueryHandle {
+        let mesh = diamond_square(4, 0.6, seed).to_mesh();
+        let pois = sample_uniform(&mesh, n, seed ^ 0x5E44);
+        let refined = insert_surface_points(&mesh, &pois, None).unwrap();
+        let mut sites = refined.poi_vertices.clone();
+        sites.sort_unstable();
+        sites.dedup();
+        let sp = VertexSiteSpace::new(Arc::new(IchEngine::new(Arc::new(refined.mesh))), sites);
+        QueryHandle::new(SeOracle::build(&sp, eps, &BuildConfig::default()).unwrap())
+    }
+
+    /// Every (s, t) over `n` sites, in row-major order.
+    fn all_pairs(n: usize) -> Vec<(u32, u32)> {
+        (0..n as u32).flat_map(|s| (0..n as u32).map(move |t| (s, t))).collect()
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let h = handle(18, 3, 0.2);
+        let n = h.n_sites();
+        let pairs = all_pairs(n); // n² ≥ n pairs: exercises the dense path
+        let batch = h.distance_many(&pairs);
+        for (&(s, t), &d) in pairs.iter().zip(&batch) {
+            assert_eq!(d.to_bits(), h.distance(s as usize, t as usize).to_bits(), "pair ({s},{t})");
+        }
+    }
+
+    #[test]
+    fn small_batch_uses_scratch_and_matches() {
+        let h = handle(16, 5, 0.2);
+        // Fewer pairs than sites, with shared endpoints in both roles and
+        // an (s, t) → (t, s) swap: the two-slot memo's hit patterns.
+        let pairs = [(0, 1), (0, 2), (2, 0), (3, 3), (3, 0), (1, 2), (1, 2)];
+        let batch = h.distance_many(&pairs);
+        for (&(s, t), &d) in pairs.iter().zip(&batch) {
+            assert_eq!(d.to_bits(), h.distance(s as usize, t as usize).to_bits());
+        }
+    }
+
+    #[test]
+    fn try_batch_flags_out_of_range_elements() {
+        let h = handle(10, 7, 0.25);
+        let n = h.n_sites() as u32;
+        let pairs = [(0, 1), (n, 0), (0, n), (u32::MAX, u32::MAX), (2, 3)];
+        let got = h.try_distance_many(&pairs);
+        let want: Vec<Option<f64>> =
+            pairs.iter().map(|&(s, t)| h.try_distance(s as usize, t as usize)).collect();
+        assert_eq!(got, want);
+        assert!(got[1].is_none() && got[2].is_none() && got[3].is_none());
+        assert!(got[0].is_some() && got[4].is_some());
+    }
+
+    #[test]
+    fn batch_panic_names_offending_pair() {
+        let h = handle(8, 9, 0.25);
+        let n = h.n_sites() as u32;
+        let pairs = vec![(0u32, 1u32), (1, n)];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            h.distance_many(&pairs);
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("pair #1") && msg.contains("try_distance_many"),
+            "panic message not actionable: {msg}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let h = handle(6, 11, 0.3);
+        assert!(h.distance_many(&[]).is_empty());
+        assert!(h.try_distance_many(&[]).is_empty());
+        assert!(h.distance_many_par(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential_for_every_thread_count() {
+        let h = handle(15, 13, 0.2);
+        let pairs = all_pairs(h.n_sites());
+        let seq = h.distance_many(&pairs);
+        for threads in [0usize, 1, 2, 5] {
+            let par = h.distance_many_par(&pairs, threads);
+            assert_eq!(seq.len(), par.len());
+            for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "pair {i} with {threads} threads");
+            }
+            let tp = h.try_distance_many_par(&pairs, threads);
+            assert_eq!(tp, seq.iter().map(|&d| Some(d)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn clones_share_the_oracle() {
+        let h = handle(9, 15, 0.25);
+        let c = h.clone();
+        assert!(std::ptr::eq(h.oracle(), c.oracle()), "clone must share, not copy");
+        assert_eq!(h.distance(0, 5).to_bits(), c.distance(0, 5).to_bits());
+        assert_eq!(h.epsilon(), c.epsilon());
+        assert_eq!(h.n_sites(), c.n_sites());
+    }
+}

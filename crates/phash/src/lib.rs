@@ -28,7 +28,7 @@ mod map;
 mod universal;
 
 pub use map::PerfectMap;
-pub use universal::UniversalHash;
+pub use universal::{splitmix64, UniversalHash};
 
 /// Packs an ordered pair of 32-bit identifiers into a single `u64` key.
 ///

@@ -42,9 +42,13 @@ impl UniversalHash {
     }
 }
 
-/// SplitMix64 step, the standard seed expander.
+/// SplitMix64 step, the standard seed expander: advances `z` by the
+/// golden-ratio increment and finalizes. Exported because every layer
+/// that derives independent deterministic streams from one user seed
+/// (per-bucket hash draws here, per-center RNGs in β-estimation,
+/// per-thread workloads in tests and examples) needs exactly this mix.
 #[inline]
-pub(crate) fn splitmix64(mut z: u64) -> u64 {
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

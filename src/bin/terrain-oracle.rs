@@ -15,6 +15,7 @@
 
 use se_oracle::oracle::{BuildConfig, SeOracle};
 use se_oracle::p2p::{EngineKind, P2POracle};
+use se_oracle::serve::QueryHandle;
 use se_oracle::ProximityIndex;
 use std::process::ExitCode;
 use terrain::gen::Preset;
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("query-batch") => cmd_query_batch(&args[1..]),
         Some("knn") => cmd_knn(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -54,6 +56,9 @@ USAGE:
                        [--threads <n>]   (0 = auto-detect; default 0)
   terrain-oracle info  --oracle <file.seor>
   terrain-oracle query --oracle <file.seor> --pairs \"<s> <t>\" ...
+  terrain-oracle query-batch --oracle <file.seor> [--pairs-file <f>]
+                       [--threads <n>]   (pairs from the file or stdin, one
+                       '<s> <t>' per line; 0 threads = auto-detect)
   terrain-oracle knn   --oracle <file.seor> --site <s> --k <k>
   terrain-oracle gen   --preset bh|ep|sf|sf-small|bh-low --scale <f>
                        --out <file.off>
@@ -203,6 +208,86 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses batch query pairs: one `<s> <t>` per line, `#` comments and
+/// blank lines ignored, every id checked against `n_sites`. Errors cite
+/// `source:line`, and a fully parsed batch needs no further validation.
+fn parse_pair_lines(text: &str, source: &str, n_sites: usize) -> Result<Vec<(u32, u32)>, String> {
+    let mut pairs = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (s, t) = match (it.next(), it.next(), it.next()) {
+            (Some(s), Some(t), None) => (s, t),
+            _ => return Err(format!("{source}:{}: expected '<s> <t>', got '{line}'", ln + 1)),
+        };
+        let s: u32 = s.parse().map_err(|_| format!("{source}:{}: bad site '{s}'", ln + 1))?;
+        let t: u32 = t.parse().map_err(|_| format!("{source}:{}: bad site '{t}'", ln + 1))?;
+        if s as usize >= n_sites || t as usize >= n_sites {
+            return Err(format!(
+                "{source}:{}: pair ({s}, {t}) out of range (oracle has {n_sites} sites)",
+                ln + 1
+            ));
+        }
+        pairs.push((s, t));
+    }
+    Ok(pairs)
+}
+
+fn cmd_query_batch(args: &[String]) -> Result<(), String> {
+    let mut rest = args.to_vec();
+    let oracle = load_oracle(&mut rest)?;
+    let pairs_path = take_opt(&mut rest, "--pairs-file");
+    let threads: usize = match take_opt(&mut rest, "--threads") {
+        Some(t) => t
+            .parse()
+            .map_err(|_| "--threads needs a non-negative integer (0 = auto)".to_string())?,
+        None => 0,
+    };
+    reject_leftovers(&rest)?;
+
+    let (text, source) = match &pairs_path {
+        Some(p) => {
+            (std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?, p.as_str())
+        }
+        None => {
+            let mut s = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut s)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            (s, "<stdin>")
+        }
+    };
+    let handle = QueryHandle::new(oracle);
+    let pairs = parse_pair_lines(&text, source, handle.n_sites())?;
+    if pairs.is_empty() {
+        return Err(format!(
+            "{source}: no query pairs (one '<s> <t>' per line; \
+             '#' comments and blank lines are ignored)"
+        ));
+    }
+
+    let t0 = std::time::Instant::now();
+    // Parsing validated every id, so the unchecked driver is safe.
+    let answers = handle.distance_many_par(&pairs, threads);
+    let elapsed = t0.elapsed();
+    let mut out = String::with_capacity(answers.len() * 24);
+    for (&(s, t), d) in pairs.iter().zip(&answers) {
+        use std::fmt::Write;
+        writeln!(out, "{s} {t} {d}").expect("String writes are infallible");
+    }
+    print!("{out}");
+    // An upper bound: the shard driver spawns fewer workers than resolved
+    // when the batch splits into fewer shards.
+    eprintln!(
+        "{} pairs in {elapsed:.2?} (up to {} workers)",
+        pairs.len(),
+        geodesic::pool::resolve_threads(threads)
+    );
+    Ok(())
+}
+
 fn cmd_knn(args: &[String]) -> Result<(), String> {
     let mut rest = args.to_vec();
     let oracle = load_oracle(&mut rest)?;
@@ -272,5 +357,22 @@ mod tests {
         let v: Vec<String> = vec!["--bogus".into()];
         assert!(reject_leftovers(&v).is_err());
         assert!(reject_leftovers(&[]).is_ok());
+    }
+
+    #[test]
+    fn pair_lines_parse_skip_comments_and_locate_errors() {
+        let ok = parse_pair_lines("# header\n0 1\n\n  2 3 \n", "f", 10).unwrap();
+        assert_eq!(ok, vec![(0, 1), (2, 3)]);
+        assert_eq!(parse_pair_lines("", "f", 10).unwrap(), vec![]);
+        for (text, needle) in [
+            ("0 1\n2\n", "f:2: expected '<s> <t>'"),
+            ("0 1 2\n", "f:1: expected '<s> <t>'"),
+            ("0 x\n", "f:1: bad site 'x'"),
+            ("-1 0\n", "f:1: bad site '-1'"),
+            ("0 1\n3 10\n", "f:2: pair (3, 10) out of range"),
+        ] {
+            let err = parse_pair_lines(text, "f", 10).unwrap_err();
+            assert!(err.contains(needle), "error '{err}' should contain '{needle}'");
+        }
     }
 }

@@ -51,7 +51,7 @@ pub mod prelude {
     };
     pub use se_oracle::{
         A2AOracle, BuildConfig, ConstructionMethod, DynamicOracle, EngineKind, Neighbor, P2POracle,
-        ProximityIndex, SeOracle, SelectionStrategy,
+        ProximityIndex, QueryHandle, SeOracle, SelectionStrategy,
     };
     pub use terrain::gen::{diamond_square, Heightfield, Preset};
     pub use terrain::poi::{

@@ -124,6 +124,134 @@ fn helpful_errors_and_usage() {
 }
 
 #[test]
+fn query_batch_happy_path_file_and_stdin() {
+    let dir = tmp_dir("batch");
+    let mesh = dir.join("t.off");
+    let pois = dir.join("p.csv");
+    let image = dir.join("o.seor");
+    run(&["gen", "--preset", "sf-small", "--scale", "0.3", "--out", mesh.to_str().unwrap()]);
+    std::fs::write(&pois, "100,100\n700,300\n1200,900\n300,800\n900,600\n500,200\n").unwrap();
+    let o = run(&[
+        "build",
+        "--mesh",
+        mesh.to_str().unwrap(),
+        "--pois",
+        pois.to_str().unwrap(),
+        "--eps",
+        "0.2",
+        "--out",
+        image.to_str().unwrap(),
+        "--engine",
+        "edge",
+    ]);
+    assert!(o.status.success(), "build failed: {}", stderr(&o));
+
+    // From a pairs file, with comments, blank lines and repeated pairs.
+    let pairs = dir.join("pairs.txt");
+    std::fs::write(&pairs, "# batch workload\n0 1\n\n2 3\n4 5\n0 1\n1 0\n").unwrap();
+    let o = run(&[
+        "query-batch",
+        "--oracle",
+        image.to_str().unwrap(),
+        "--pairs-file",
+        pairs.to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+    assert!(o.status.success(), "query-batch failed: {}", stderr(&o));
+    let out = stdout(&o);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 5, "one output line per pair:\n{out}");
+    let dist = |line: &str| -> f64 { line.split_whitespace().nth(2).unwrap().parse().unwrap() };
+    for line in &lines {
+        let d = dist(line);
+        assert!(d > 0.0 && d < 3000.0, "implausible distance in '{line}'");
+    }
+    // Repeated pair and its swap answer identically.
+    assert_eq!(lines[0], lines[3], "repeated pair must repeat its answer");
+    assert_eq!(dist(lines[0]), dist(lines[4]), "distance is symmetric");
+
+    // Same pairs over stdin must produce the same distances; batch answers
+    // also agree with the single-pair `query` command.
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(bin())
+        .args(["query-batch", "--oracle", image.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn CLI");
+    child.stdin.take().unwrap().write_all(b"0 1\n2 3\n4 5\n0 1\n1 0\n").unwrap();
+    let o = child.wait_with_output().unwrap();
+    assert!(o.status.success(), "stdin query-batch failed: {}", stderr(&o));
+    assert_eq!(stdout(&o), out, "stdin and --pairs-file must answer identically");
+
+    let o = run(&["query", "--oracle", image.to_str().unwrap(), "--pairs", "2 3"]);
+    assert!(o.status.success());
+    assert_eq!(stdout(&o).trim(), lines[1], "batch must agree with single query");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_batch_malformed_and_empty_inputs() {
+    let dir = tmp_dir("batch-err");
+    let mesh = dir.join("t.off");
+    let pois = dir.join("p.csv");
+    let image = dir.join("o.seor");
+    run(&["gen", "--preset", "sf-small", "--scale", "0.2", "--out", mesh.to_str().unwrap()]);
+    std::fs::write(&pois, "100,100\n700,300\n").unwrap();
+    let o = run(&[
+        "build",
+        "--mesh",
+        mesh.to_str().unwrap(),
+        "--pois",
+        pois.to_str().unwrap(),
+        "--eps",
+        "0.2",
+        "--out",
+        image.to_str().unwrap(),
+        "--engine",
+        "edge",
+    ]);
+    assert!(o.status.success(), "build failed: {}", stderr(&o));
+    let image = image.to_str().unwrap();
+
+    // Malformed pair line: non-zero exit, error cites file and line.
+    let pairs = dir.join("bad.txt");
+    std::fs::write(&pairs, "0 1\nzero one\n").unwrap();
+    let o = run(&["query-batch", "--oracle", image, "--pairs-file", pairs.to_str().unwrap()]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(err.contains(":2:") && err.contains("bad site"), "error not located: {err}");
+
+    // Wrong token count is caught too.
+    std::fs::write(&pairs, "0 1 2\n").unwrap();
+    let o = run(&["query-batch", "--oracle", image, "--pairs-file", pairs.to_str().unwrap()]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("expected '<s> <t>'"), "{}", stderr(&o));
+
+    // Out-of-range pair: actionable error naming the pair and the range.
+    std::fs::write(&pairs, "0 99\n").unwrap();
+    let o = run(&["query-batch", "--oracle", image, "--pairs-file", pairs.to_str().unwrap()]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("out of range"), "{}", stderr(&o));
+
+    // Empty input (only comments/blanks): actionable error, non-zero exit.
+    std::fs::write(&pairs, "# nothing here\n\n").unwrap();
+    let o = run(&["query-batch", "--oracle", image, "--pairs-file", pairs.to_str().unwrap()]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("no query pairs"), "{}", stderr(&o));
+
+    // Nonexistent pairs file.
+    let o = run(&["query-batch", "--oracle", image, "--pairs-file", "/nonexistent/pairs.txt"]);
+    assert!(!o.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn query_rejects_out_of_range_sites() {
     let dir = tmp_dir("range");
     let mesh = dir.join("t.off");
