@@ -31,7 +31,10 @@
 //! * [`persist`] — versioned, checksummed binary oracle images;
 //! * [`serve`] — the query-serving layer: [`serve::QueryHandle`] (a
 //!   shared, `Send + Sync` read-only view), batch distance queries, and a
-//!   pool-sharded multi-threaded batch driver.
+//!   pool-sharded multi-threaded batch driver;
+//! * [`atlas`] — the terrain atlas: tiled per-piece oracles with a portal
+//!   graph routing cross-tile queries (the scaling layer past one
+//!   monolithic construction).
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@
 //! ```
 
 pub mod a2a;
+pub mod atlas;
 pub mod ctree;
 pub mod dimension;
 pub mod dynamic;
@@ -66,6 +70,7 @@ pub mod tree;
 pub mod wspd;
 
 pub use a2a::A2AOracle;
+pub use atlas::{Atlas, AtlasConfig, AtlasError, AtlasHandle};
 pub use ctree::CompressedTree;
 pub use dynamic::{DynamicError, DynamicOracle, SubsetSpace};
 pub use oracle::{BuildConfig, BuildError, BuildStats, ConstructionMethod, QueryStats, SeOracle};

@@ -496,6 +496,18 @@ impl SeOracle {
     }
 }
 
+impl std::fmt::Debug for SeOracle {
+    /// Shape summary (the pair set and tree are far too large to dump).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeOracle")
+            .field("n_sites", &self.n_sites())
+            .field("epsilon", &self.eps)
+            .field("n_pairs", &self.n_pairs())
+            .field("height", &self.height())
+            .finish()
+    }
+}
+
 /// All sites' layer arrays in one flat row-major table
 /// ([`CompressedTree::all_layer_arrays`]) — what large batch queries probe
 /// against instead of re-walking root paths per pair.

@@ -52,6 +52,19 @@ impl std::fmt::Display for P2PError {
 
 impl std::error::Error for P2PError {}
 
+/// Instantiates the geodesic engine `kind` over `mesh` — the one place the
+/// [`EngineKind`] → engine mapping lives (shared by the P2P front-end and
+/// the atlas builder, which constructs one engine per tile).
+pub(crate) fn make_engine(mesh: Arc<TerrainMesh>, kind: EngineKind) -> Arc<dyn GeodesicEngine> {
+    match kind {
+        EngineKind::Exact => Arc::new(IchEngine::new(mesh)),
+        EngineKind::EdgeGraph => Arc::new(EdgeGraphEngine::new(mesh)),
+        EngineKind::Steiner { points_per_edge } => {
+            Arc::new(SteinerEngine::new(SteinerGraph::with_points_per_edge(mesh, points_per_edge)))
+        }
+    }
+}
+
 /// A P2P (or V2V) distance oracle: SE over POIs realised as mesh vertices.
 pub struct P2POracle {
     mesh: Arc<TerrainMesh>,
@@ -114,13 +127,7 @@ impl P2POracle {
             site_of_poi.push(site);
         }
 
-        let engine: Arc<dyn GeodesicEngine> = match engine {
-            EngineKind::Exact => Arc::new(IchEngine::new(mesh.clone())),
-            EngineKind::EdgeGraph => Arc::new(EdgeGraphEngine::new(mesh.clone())),
-            EngineKind::Steiner { points_per_edge } => Arc::new(SteinerEngine::new(
-                SteinerGraph::with_points_per_edge(mesh.clone(), points_per_edge),
-            )),
-        };
+        let engine = make_engine(mesh.clone(), engine);
         let space = VertexSiteSpace::new(engine.clone(), site_vertices.clone());
         let oracle = SeOracle::build(&space, eps, cfg).map_err(P2PError::Build)?;
         Ok(Self { mesh, engine, oracle, poi_vertices, site_of_poi, site_vertices })

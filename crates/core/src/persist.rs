@@ -1,5 +1,5 @@
-//! Oracle persistence: a versioned, checksummed binary image of a built
-//! [`SeOracle`].
+//! Oracle persistence: versioned, checksummed binary images of a built
+//! [`SeOracle`] and of a whole [`Atlas`].
 //!
 //! The paper's "oracle size" measurement is exactly what a deployment would
 //! write to disk: the compressed partition tree plus the node-pair set.
@@ -9,11 +9,18 @@
 //! complexity as reading them — and keeps hash-function internals out of
 //! the format, so the on-disk layout survives hashing changes.
 //!
-//! Layout (all integers little-endian):
+//! Both image kinds share one **frame**: a 4-byte magic, an explicit
+//! format-version word, the payload length, the payload, and an FNV-1a
+//! checksum over the payload. The frame is written and validated by one
+//! pair of helpers, so a magic or version mismatch fails identically (and
+//! actionably — the error names the found and the supported version)
+//! everywhere, and future format revisions bump one constant per kind.
+//!
+//! Monolithic layout (all integers little-endian):
 //!
 //! ```text
 //! magic  "SEOR"          4 bytes
-//! version u32            currently 1
+//! version u32            currently ORACLE_VERSION = 1
 //! payload length u64
 //! payload:
 //!   eps f64
@@ -24,14 +31,41 @@
 //!   pair count u64, then per pair: key u64, dist f64
 //! checksum u64           FNV-1a over the payload bytes
 //! ```
+//!
+//! Atlas layout:
+//!
+//! ```text
+//! magic  "SEAT"          4 bytes
+//! version u32            currently ATLAS_VERSION = 1
+//! payload length u64
+//! payload:
+//!   eps f64
+//!   site count u32, portal count u32, tile count u32
+//!   per site:  home tile u32, membership count u32,
+//!              then per membership: tile u32, local site u32
+//!   per tile:  oracle image length u64, then a complete nested SEOR image
+//!              portal count u32, then per portal: global id u32, local u32
+//!              table count u64, then f64 each (portal count², row-major)
+//! checksum u64           FNV-1a over the payload bytes
+//! ```
+//!
+//! The portal graph is *rebuilt* on load from the per-tile tables — same
+//! rationale as the perfect hash. Loading validates every structural
+//! invariant (nested images, membership tables, portal ids, routability)
+//! before returning, and a loaded image re-serializes byte-identically.
 
+use crate::atlas::{Atlas, AtlasTile};
 use crate::ctree::{CNode, CompressedTree};
 use crate::oracle::SeOracle;
 use crate::tree::NO_NODE;
 use std::io::{self, Read, Write};
 
 const MAGIC: [u8; 4] = *b"SEOR";
-const VERSION: u32 = 1;
+/// Format version of monolithic (`SEOR`) oracle images.
+pub const ORACLE_VERSION: u32 = 1;
+const ATLAS_MAGIC: [u8; 4] = *b"SEAT";
+/// Format version of atlas (`SEAT`) images.
+pub const ATLAS_VERSION: u32 = 1;
 /// Salt for the rebuilt perfect hash; any value works, a fixed one keeps
 /// loads deterministic.
 const REBUILD_SEED: u64 = 0x5E0A_AC1E_0F11_E5ED;
@@ -40,10 +74,14 @@ const REBUILD_SEED: u64 = 0x5E0A_AC1E_0F11_E5ED;
 #[derive(Debug)]
 pub enum PersistError {
     Io(io::Error),
-    /// Not an SE oracle image.
+    /// Not an image of the expected kind (wrong magic — e.g. an atlas
+    /// image fed to the monolithic loader, or not an oracle image at all).
     BadMagic([u8; 4]),
-    /// Image written by an unknown format version.
-    BadVersion(u32),
+    /// Image written by a format version this build does not read.
+    BadVersion {
+        found: u32,
+        supported: u32,
+    },
     /// Structurally invalid image (message names the first violation).
     Corrupt(&'static str),
 }
@@ -53,7 +91,11 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "I/O error: {e}"),
             PersistError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
-            PersistError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::BadVersion { found, supported } => write!(
+                f,
+                "image format version {found} not readable by this build \
+                 (supported version: {supported})"
+            ),
             PersistError::Corrupt(msg) => write!(f, "corrupt oracle image: {msg}"),
         }
     }
@@ -76,6 +118,55 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Writes the shared image frame: magic, explicit format version, payload
+/// length, payload, FNV-1a checksum. Every image kind serializes through
+/// this one helper.
+fn write_framed<W: Write>(
+    w: &mut W,
+    magic: [u8; 4],
+    version: u32,
+    payload: &[u8],
+) -> io::Result<()> {
+    w.write_all(&magic)?;
+    w.write_all(&version.to_le_bytes())?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&fnv1a(payload).to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads and validates the frame written by [`write_framed`] — magic,
+/// version-against-`supported`, plausible length, checksum — returning the
+/// payload for the kind-specific parser.
+fn read_framed<R: Read>(
+    r: &mut R,
+    magic: [u8; 4],
+    supported: u32,
+) -> Result<Vec<u8>, PersistError> {
+    let mut head = [0u8; 16];
+    r.read_exact(&mut head)?;
+    let found_magic: [u8; 4] = head[0..4].try_into().expect("4 bytes");
+    if found_magic != magic {
+        return Err(PersistError::BadMagic(found_magic));
+    }
+    let found = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+    if found != supported {
+        return Err(PersistError::BadVersion { found, supported });
+    }
+    let len = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+    if len > (1 << 40) {
+        return Err(PersistError::Corrupt("implausible payload length"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum)?;
+    if u64::from_le_bytes(sum) != fnv1a(&payload) {
+        return Err(PersistError::Corrupt("checksum mismatch"));
+    }
+    Ok(payload)
+}
+
 struct Cursor<'a> {
     buf: &'a [u8],
     at: usize,
@@ -83,7 +174,9 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
-        if self.at + n > self.buf.len() {
+        // `n` can be a hostile u64 from the payload (e.g. a nested-image
+        // length), so the comparison must not compute `self.at + n`.
+        if n > self.buf.len() - self.at {
             return Err(PersistError::Corrupt("truncated payload"));
         }
         let s = &self.buf[self.at..self.at + n];
@@ -130,12 +223,7 @@ impl SeOracle {
             p.extend_from_slice(&d.to_le_bytes());
         }
 
-        w.write_all(&MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&(p.len() as u64).to_le_bytes())?;
-        w.write_all(&p)?;
-        w.write_all(&fnv1a(&p).to_le_bytes())?;
-        Ok(())
+        write_framed(w, MAGIC, ORACLE_VERSION, &p)
     }
 
     /// Serializes to an in-memory buffer.
@@ -149,28 +237,7 @@ impl SeOracle {
     /// checksum and every structural invariant (tree shape, layer
     /// monotonicity, leaf mapping) before returning.
     pub fn load_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
-        let mut head = [0u8; 16];
-        r.read_exact(&mut head)?;
-        let magic: [u8; 4] = head[0..4].try_into().expect("4 bytes");
-        if magic != MAGIC {
-            return Err(PersistError::BadMagic(magic));
-        }
-        let version = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
-        if version != VERSION {
-            return Err(PersistError::BadVersion(version));
-        }
-        let len = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
-        if len > (1 << 40) {
-            return Err(PersistError::Corrupt("implausible payload length"));
-        }
-        let mut payload = vec![0u8; len as usize];
-        r.read_exact(&mut payload)?;
-        let mut sum = [0u8; 8];
-        r.read_exact(&mut sum)?;
-        if u64::from_le_bytes(sum) != fnv1a(&payload) {
-            return Err(PersistError::Corrupt("checksum mismatch"));
-        }
-
+        let payload = read_framed(r, MAGIC, ORACLE_VERSION)?;
         let mut c = Cursor { buf: &payload, at: 0 };
         let eps = c.f64()?;
         if !(eps > 0.0 && eps.is_finite()) {
@@ -244,6 +311,156 @@ impl SeOracle {
     }
 }
 
+impl Atlas {
+    /// Serializes the whole atlas — every tile's oracle as a nested `SEOR`
+    /// segment, the site membership tables and the portal tables — to `w`.
+    /// The image is self-contained for serving: reloading it restores a
+    /// bit-identical query surface without the meshes or engines.
+    pub fn save_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut p: Vec<u8> = Vec::new();
+        p.extend_from_slice(&self.epsilon().to_le_bytes());
+        p.extend_from_slice(&(self.n_sites() as u32).to_le_bytes());
+        p.extend_from_slice(&(self.n_portals() as u32).to_le_bytes());
+        p.extend_from_slice(&(self.n_tiles() as u32).to_le_bytes());
+        for (s, members) in self.site_members().iter().enumerate() {
+            p.extend_from_slice(&self.site_homes()[s].to_le_bytes());
+            p.extend_from_slice(&(members.len() as u32).to_le_bytes());
+            for &(tile, local) in members {
+                p.extend_from_slice(&tile.to_le_bytes());
+                p.extend_from_slice(&local.to_le_bytes());
+            }
+        }
+        for tile in self.tiles() {
+            let blob = tile.oracle.save_bytes();
+            p.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            p.extend_from_slice(&blob);
+            p.extend_from_slice(&(tile.portals.len() as u32).to_le_bytes());
+            for &(gid, local) in &tile.portals {
+                p.extend_from_slice(&gid.to_le_bytes());
+                p.extend_from_slice(&local.to_le_bytes());
+            }
+            p.extend_from_slice(&(tile.portal_table.len() as u64).to_le_bytes());
+            for &d in &tile.portal_table {
+                p.extend_from_slice(&d.to_le_bytes());
+            }
+        }
+        write_framed(w, ATLAS_MAGIC, ATLAS_VERSION, &p)
+    }
+
+    /// Serializes to an in-memory buffer.
+    pub fn save_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.save_to(&mut out).expect("Vec<u8> writes are infallible");
+        out
+    }
+
+    /// Deserializes an atlas written by [`Self::save_to`], validating the
+    /// checksum, every nested oracle image, the membership and portal
+    /// tables, and tile routability before returning.
+    pub fn load_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let payload = read_framed(r, ATLAS_MAGIC, ATLAS_VERSION)?;
+        let mut c = Cursor { buf: &payload, at: 0 };
+        let eps = c.f64()?;
+        if !(eps > 0.0 && eps.is_finite()) {
+            return Err(PersistError::Corrupt("invalid ε"));
+        }
+        let n_sites = c.u32()? as usize;
+        let n_portals = c.u32()? as usize;
+        let n_tiles = c.u32()? as usize;
+        if n_tiles == 0 || n_sites == 0 {
+            return Err(PersistError::Corrupt("atlas without tiles or sites"));
+        }
+        // Counts are image-supplied and drive allocations (membership
+        // vectors here, the portal graph in `from_parts`, routing scratch
+        // at query time), so bound them by what the payload could possibly
+        // hold — every site/tile/portal costs at least 8 payload bytes —
+        // before allocating anything proportional to them.
+        let rem = payload.len() - c.at;
+        if n_sites > rem / 8 || n_tiles > rem / 8 || n_portals > rem / 8 {
+            return Err(PersistError::Corrupt("implausible atlas counts"));
+        }
+
+        let mut site_home = Vec::with_capacity(n_sites);
+        let mut site_members: Vec<Vec<(u32, u32)>> = Vec::with_capacity(n_sites);
+        for _ in 0..n_sites {
+            let home = c.u32()?;
+            let m = c.u32()? as usize;
+            if home as usize >= n_tiles {
+                return Err(PersistError::Corrupt("site home tile out of range"));
+            }
+            if m == 0 || m > n_tiles {
+                return Err(PersistError::Corrupt("implausible site membership count"));
+            }
+            let mut members = Vec::with_capacity(m);
+            for _ in 0..m {
+                members.push((c.u32()?, c.u32()?));
+            }
+            let ascending = members.windows(2).all(|w| w[0].0 < w[1].0);
+            if !ascending || members.iter().any(|&(t, _)| t as usize >= n_tiles) {
+                return Err(PersistError::Corrupt("site membership tiles not ascending"));
+            }
+            if !members.iter().any(|&(t, _)| t == home) {
+                return Err(PersistError::Corrupt("site home missing from its memberships"));
+            }
+            site_home.push(home);
+            site_members.push(members);
+        }
+
+        let mut tiles = Vec::with_capacity(n_tiles);
+        for _ in 0..n_tiles {
+            let blob_len = c.u64()? as usize;
+            let oracle = SeOracle::load_bytes(c.take(blob_len)?)?;
+            let np = c.u32()? as usize;
+            if np > n_portals {
+                return Err(PersistError::Corrupt("tile portal count exceeds total"));
+            }
+            let mut portals = Vec::with_capacity(np);
+            for _ in 0..np {
+                portals.push((c.u32()?, c.u32()?));
+            }
+            let ascending = portals.windows(2).all(|w| w[0].0 < w[1].0);
+            if !ascending
+                || portals
+                    .iter()
+                    .any(|&(g, l)| g as usize >= n_portals || l as usize >= oracle.n_sites())
+            {
+                return Err(PersistError::Corrupt("tile portal table ids invalid"));
+            }
+            let tl = c.u64()? as usize;
+            if tl != np * np {
+                return Err(PersistError::Corrupt("portal table is not |portals|²"));
+            }
+            let mut portal_table = Vec::with_capacity(tl);
+            for _ in 0..tl {
+                let d = c.f64()?;
+                if !(d.is_finite() && d >= 0.0) {
+                    return Err(PersistError::Corrupt("portal distance not a finite length"));
+                }
+                portal_table.push(d);
+            }
+            tiles.push(AtlasTile { oracle, portals, portal_table });
+        }
+        if c.at != payload.len() {
+            return Err(PersistError::Corrupt("trailing bytes in payload"));
+        }
+        for members in &site_members {
+            let ok =
+                members.iter().all(|&(t, l)| (l as usize) < tiles[t as usize].oracle.n_sites());
+            if !ok {
+                return Err(PersistError::Corrupt("site membership local id out of range"));
+            }
+        }
+        Atlas::from_parts(eps, tiles, site_home, site_members, n_portals)
+            .map_err(PersistError::Corrupt)
+    }
+
+    /// Deserializes from an in-memory buffer.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = bytes;
+        Self::load_from(&mut r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,11 +520,17 @@ mod tests {
     }
 
     #[test]
-    fn bad_version_rejected() {
+    fn bad_version_rejected_with_actionable_message() {
         let o = oracle(8, 27, 0.3);
         let mut bytes = o.save_bytes();
         bytes[4] = 99;
-        assert!(matches!(SeOracle::load_bytes(&bytes), Err(PersistError::BadVersion(99))));
+        let err = SeOracle::load_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, PersistError::BadVersion { found: 99, supported: ORACLE_VERSION }));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("99") && msg.contains(&ORACLE_VERSION.to_string()),
+            "version error must name found and supported versions: {msg}"
+        );
     }
 
     #[test]
@@ -334,6 +557,122 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         assert!(SeOracle::load_bytes(&[]).is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Atlas (`SEAT`) images
+    // ------------------------------------------------------------------
+
+    fn small_atlas(n: usize, seed: u64, eps: f64) -> Atlas {
+        use crate::atlas::AtlasConfig;
+        use crate::p2p::EngineKind;
+        let mesh = diamond_square(4, 0.6, seed).to_mesh();
+        let pois = sample_uniform(&mesh, n, seed ^ 0x47A5);
+        Atlas::build(&mesh, &pois, eps, EngineKind::EdgeGraph, &AtlasConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn atlas_roundtrip_is_byte_identical_and_answer_preserving() {
+        let a = small_atlas(20, 41, 0.2);
+        let bytes = a.save_bytes();
+        let loaded = Atlas::load_bytes(&bytes).unwrap();
+        assert_eq!(
+            loaded.save_bytes(),
+            bytes,
+            "an atlas image must re-serialize byte-identically after a reload"
+        );
+        assert_eq!(loaded.epsilon(), a.epsilon());
+        assert_eq!(loaded.n_sites(), a.n_sites());
+        assert_eq!(loaded.n_tiles(), a.n_tiles());
+        assert_eq!(loaded.n_portals(), a.n_portals());
+        for s in 0..a.n_sites() {
+            for t in 0..a.n_sites() {
+                assert_eq!(loaded.distance(s, t).to_bits(), a.distance(s, t).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn atlas_rejects_wrong_magic_and_version() {
+        let a = small_atlas(10, 43, 0.25);
+        let mut bytes = a.save_bytes();
+        // A monolithic image is not an atlas image (and vice versa).
+        let o = oracle(8, 43, 0.25);
+        assert!(matches!(Atlas::load_bytes(&o.save_bytes()), Err(PersistError::BadMagic(_))));
+        assert!(matches!(SeOracle::load_bytes(&bytes), Err(PersistError::BadMagic(_))));
+        bytes[4] = 7;
+        assert!(matches!(
+            Atlas::load_bytes(&bytes),
+            Err(PersistError::BadVersion { found: 7, supported: ATLAS_VERSION })
+        ));
+    }
+
+    #[test]
+    fn hostile_nested_length_is_corrupt_not_a_panic() {
+        // A SEAT image whose first tile's nested-oracle length field is
+        // u64::MAX (checksum recomputed so the frame accepts it) must
+        // come back as Corrupt, not overflow/panic inside the cursor.
+        let a = small_atlas(8, 47, 0.25);
+        let mut bytes = a.save_bytes();
+        // Offset of the first tile's blob length within the payload:
+        // eps (8) + three counts (12) + per-site membership records.
+        let mut at = 16 + 8 + 12;
+        for members in a.site_members() {
+            at += 8 + 8 * members.len();
+        }
+        bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let sum = fnv1a(&bytes[16..16 + payload_len]);
+        let tail = 16 + payload_len;
+        bytes[tail..tail + 8].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Atlas::load_bytes(&bytes),
+            Err(PersistError::Corrupt("truncated payload"))
+        ));
+    }
+
+    #[test]
+    fn hostile_header_counts_are_corrupt_not_an_allocation() {
+        // Patching n_portals (or n_sites/n_tiles) to u32::MAX with a
+        // recomputed checksum must fail the plausibility bound, not reach
+        // the portal-graph/membership allocations.
+        let a = small_atlas(8, 49, 0.25);
+        let base = a.save_bytes();
+        // Header count offsets within the payload: eps (8) then
+        // n_sites/n_portals/n_tiles at 8/12/16.
+        for count_off in [8usize, 12, 16] {
+            let mut bytes = base.clone();
+            let at = 16 + count_off;
+            bytes[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+            let sum = fnv1a(&bytes[16..16 + payload_len]);
+            let tail = 16 + payload_len;
+            bytes[tail..tail + 8].copy_from_slice(&sum.to_le_bytes());
+            assert!(
+                matches!(
+                    Atlas::load_bytes(&bytes),
+                    Err(PersistError::Corrupt("implausible atlas counts"))
+                ),
+                "count at payload offset {count_off} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn atlas_detects_corruption_and_truncation() {
+        let a = small_atlas(12, 45, 0.25);
+        let bytes = a.save_bytes();
+        // Flip one payload byte: the frame checksum catches it.
+        let mut flipped = bytes.clone();
+        let mid = 16 + (flipped.len() - 24) / 2;
+        flipped[mid] ^= 0x20;
+        assert!(matches!(
+            Atlas::load_bytes(&flipped),
+            Err(PersistError::Corrupt("checksum mismatch"))
+        ));
+        for cut in [0usize, 3, 15, 40, bytes.len() / 2, bytes.len() - 4] {
+            assert!(Atlas::load_bytes(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
     }
 
     #[test]

@@ -118,53 +118,76 @@ impl QueryHandle {
     /// out-of-range pair — validated up front, so the panic fires on the
     /// caller's thread, not inside a worker; use
     /// [`Self::try_distance_many_par`] for the checked variant.
+    /// An empty slice returns immediately (no pool, no dense table, no
+    /// thread-count resolution).
     pub fn distance_many_par(&self, pairs: &[(u32, u32)], threads: usize) -> Vec<f64> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
         self.oracle.check_pairs(pairs);
         if pairs.len() >= self.oracle.n_sites() {
             let dense = self.oracle.dense_layers();
-            self.shard(pairs, threads, |chunk| self.oracle.distance_many_dense(chunk, &dense))
+            shard_pairs(pairs, threads, |chunk| self.oracle.distance_many_dense(chunk, &dense))
         } else {
-            self.shard(pairs, threads, |chunk| self.oracle.distance_many(chunk))
+            shard_pairs(pairs, threads, |chunk| self.oracle.distance_many(chunk))
         }
     }
 
     /// [`SeOracle::try_distance_many`] sharded across `threads` pool
     /// workers (`0` = auto-detect), element-for-element equal to the
     /// sequential call, with the same shared dense table as
-    /// [`Self::distance_many_par`].
+    /// [`Self::distance_many_par`] and the same immediate empty-slice
+    /// return.
     pub fn try_distance_many_par(&self, pairs: &[(u32, u32)], threads: usize) -> Vec<Option<f64>> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
         if pairs.len() >= self.oracle.n_sites() {
             let dense = self.oracle.dense_layers();
-            self.shard(pairs, threads, |chunk| self.oracle.try_distance_many_dense(chunk, &dense))
+            shard_pairs(pairs, threads, |chunk| self.oracle.try_distance_many_dense(chunk, &dense))
         } else {
-            self.shard(pairs, threads, |chunk| self.oracle.try_distance_many(chunk))
+            shard_pairs(pairs, threads, |chunk| self.oracle.try_distance_many(chunk))
         }
     }
+}
 
-    /// Splits `pairs` into contiguous shards, runs `f` per shard on the
-    /// worker pool, and concatenates the results in shard order — the
-    /// parallel driver shared by both batch entry points. Shards are a few
-    /// per worker so uneven probe costs balance through the pool's atomic
-    /// queue without fragmenting the per-shard amortization.
-    fn shard<T: Send>(
-        &self,
-        pairs: &[(u32, u32)],
-        threads: usize,
-        f: impl Fn(&[(u32, u32)]) -> Vec<T> + Sync,
-    ) -> Vec<T> {
-        let workers = geodesic::pool::resolve_threads(threads);
-        if workers <= 1 || pairs.len() < 2 {
-            return f(pairs);
-        }
-        let shard_len = pairs.len().div_ceil(workers * 4).max(64);
-        let shards: Vec<&[(u32, u32)]> = pairs.chunks(shard_len).collect();
-        let per_shard = geodesic::pool::run_indexed(workers, shards.len(), |i| f(shards[i]));
-        let mut out = Vec::with_capacity(pairs.len());
-        for shard in per_shard {
-            out.extend(shard);
-        }
-        out
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("n_sites", &self.n_sites())
+            .field("epsilon", &self.epsilon())
+            .field("n_pairs", &self.oracle.n_pairs())
+            .finish()
     }
+}
+
+/// Splits `pairs` into contiguous shards, runs `f` per shard on the
+/// worker pool, and concatenates the results in shard order — the
+/// parallel driver shared by every batch entry point ([`QueryHandle`] and
+/// the atlas handle). Shards are a few per worker so uneven probe costs
+/// balance through the pool's atomic queue without fragmenting the
+/// per-shard amortization. Empty and single-pair slices run inline
+/// without touching the pool.
+pub(crate) fn shard_pairs<T: Send>(
+    pairs: &[(u32, u32)],
+    threads: usize,
+    f: impl Fn(&[(u32, u32)]) -> Vec<T> + Sync,
+) -> Vec<T> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let workers = geodesic::pool::resolve_threads(threads);
+    if workers <= 1 || pairs.len() < 2 {
+        return f(pairs);
+    }
+    let shard_len = pairs.len().div_ceil(workers * 4).max(64);
+    let shards: Vec<&[(u32, u32)]> = pairs.chunks(shard_len).collect();
+    let per_shard = geodesic::pool::run_indexed(workers, shards.len(), |i| f(shards[i]));
+    let mut out = Vec::with_capacity(pairs.len());
+    for shard in per_shard {
+        out.extend(shard);
+    }
+    out
 }
 
 /// A deterministic stream of `len` in-range query pairs for worker
@@ -289,6 +312,31 @@ mod tests {
         assert!(h.distance_many(&[]).is_empty());
         assert!(h.try_distance_many(&[]).is_empty());
         assert!(h.distance_many_par(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn empty_parallel_batch_skips_the_pool() {
+        let h = handle(6, 17, 0.3);
+        // Both parallel drivers must return immediately on an empty slice,
+        // for every thread spec including auto-detect — the early return
+        // fires before any pool or dense-table work. `shard_pairs` itself
+        // must never invoke its closure for an empty slice.
+        for threads in [0usize, 1, 8] {
+            assert_eq!(h.distance_many_par(&[], threads), Vec::<f64>::new());
+            assert_eq!(h.try_distance_many_par(&[], threads), Vec::<Option<f64>>::new());
+        }
+        let out: Vec<f64> = shard_pairs(&[], 8, |_| panic!("closure must not run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn debug_reports_shape_not_contents() {
+        let h = handle(6, 19, 0.3);
+        let dbg = format!("{h:?}");
+        assert!(dbg.contains("QueryHandle"), "{dbg}");
+        assert!(dbg.contains("n_sites") && dbg.contains("epsilon") && dbg.contains("n_pairs"));
+        // Clone and original render identically (they share the oracle).
+        assert_eq!(dbg, format!("{:?}", h.clone()));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   surface;
 //! * [`simplify`] — the paper's face-centroid enlargement for Effect-of-N
 //!   sweeps;
+//! * [`tile`] — grid partitioning into overlapping sub-mesh tiles with
+//!   seam portal vertices (the substrate of the atlas oracle);
 //! * [`io`] — OFF-format input/output;
 //! * [`dem`] — ESRI ASCII grid (`.asc`) DEM import/export.
 //!
@@ -42,7 +44,9 @@ pub mod mesh;
 pub mod poi;
 pub mod refine;
 pub mod simplify;
+pub mod tile;
 
 pub use geom::{Vec2, Vec3};
 pub use mesh::{Edge, EdgeId, FaceId, MeshError, MeshStats, TerrainMesh, VertexId, NO_FACE};
 pub use poi::SurfacePoint;
+pub use tile::{Tile, TileError, TileGridConfig, TilePartition};

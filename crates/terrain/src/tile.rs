@@ -1,0 +1,525 @@
+//! Tiled mesh partitioning: cutting one terrain into a grid of
+//! overlapping, self-contained sub-meshes with designated **portal**
+//! vertices on the seams.
+//!
+//! The SE oracle is built and queried as one monolith, which caps the mesh
+//! size one construction can digest. Planar-graph distance oracles scale
+//! past that by decomposing the graph into pieces and routing queries
+//! through the piece boundaries (Kawarabayashi–Klein–Sommer's linear-space
+//! pieces, Gu–Xu's portal-based oracles). This module provides the terrain
+//! half of that recipe:
+//!
+//! * [`TilePartition::build`] cuts the mesh's `(x, y)` bounding box into an
+//!   `nx × ny` grid of cells and assembles, per cell, a sub-mesh of every
+//!   face whose centroid falls in the cell *expanded by an overlap margin*.
+//!   The overlap gives each tile a fringe of shared geometry, so geodesics
+//!   that hug a seam stay (approximately) representable inside a single
+//!   tile and seam vertices exist in **both** adjacent tiles.
+//! * Each [`Tile`] is a fully validated [`TerrainMesh`] plus the id
+//!   remapping tables (local ↔ global vertices and faces).
+//! * [`TilePartition::portals`] is a spaced subset of seam vertices, each
+//!   present in at least the two tiles it separates — the routing sites a
+//!   cross-tile distance query travels through. Spacing trades accuracy
+//!   (denser portals ≈ shorter detours) against per-tile oracle size.
+//!
+//! Everything here is deterministic: face assignment, vertex remapping and
+//! portal selection depend only on the mesh and the [`TileGridConfig`].
+
+use crate::geom::Vec3;
+use crate::mesh::{FaceId, MeshError, TerrainMesh, VertexId};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Grid-tiling parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TileGridConfig {
+    /// Grid columns (along x).
+    pub nx: usize,
+    /// Grid rows (along y).
+    pub ny: usize,
+    /// Overlap margin as a fraction of the cell width/height. Faces whose
+    /// centroid lies within the margin of a neighbouring cell join that
+    /// tile too; larger margins shorten cross-seam detours at the cost of
+    /// bigger tiles.
+    pub overlap_frac: f64,
+    /// Portal spacing along a seam: one portal per this many distinct
+    /// seam-axis positions (mesh rows/columns for grid TINs). `1` keeps
+    /// every candidate position.
+    pub portal_spacing: usize,
+}
+
+impl Default for TileGridConfig {
+    fn default() -> Self {
+        Self { nx: 2, ny: 2, overlap_frac: 0.15, portal_spacing: 8 }
+    }
+}
+
+/// Failures while partitioning a mesh into tiles.
+#[derive(Debug)]
+pub enum TileError {
+    /// The configuration is structurally invalid (message says how).
+    BadConfig(&'static str),
+    /// A grid cell (plus its margin) contains no face; the grid is too
+    /// fine for the mesh footprint.
+    EmptyTile { ix: usize, iy: usize },
+    /// A tile's face subset does not form a valid mesh (typically
+    /// disconnected: the overlap band pinched off an island). Coarsen the
+    /// grid or raise the overlap.
+    Submesh { ix: usize, iy: usize, source: MeshError },
+    /// Two side-adjacent tiles share no vertex, so no portal can join
+    /// them; raise `overlap_frac` above the local face size.
+    NoSharedFringe { a: (usize, usize), b: (usize, usize) },
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::BadConfig(msg) => write!(f, "invalid tile grid: {msg}"),
+            TileError::EmptyTile { ix, iy } => {
+                write!(f, "tile ({ix}, {iy}) contains no face; use a coarser grid")
+            }
+            TileError::Submesh { ix, iy, source } => {
+                write!(f, "tile ({ix}, {iy}) is not a valid sub-mesh: {source}")
+            }
+            TileError::NoSharedFringe { a, b } => write!(
+                f,
+                "adjacent tiles ({}, {}) and ({}, {}) share no fringe vertex; \
+                 raise overlap_frac",
+                a.0, a.1, b.0, b.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TileError {}
+
+/// One grid tile: a validated sub-mesh plus the id remapping tables.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    /// Grid column.
+    pub ix: usize,
+    /// Grid row.
+    pub iy: usize,
+    /// The tile's own mesh (vertices/faces re-indexed from 0).
+    pub mesh: Arc<TerrainMesh>,
+    /// Global vertex id of each local vertex, strictly ascending.
+    global_of_vertex: Vec<VertexId>,
+    /// Global face id of each local face, strictly ascending.
+    global_of_face: Vec<FaceId>,
+}
+
+impl Tile {
+    /// Global vertex ids, indexed by local vertex id (strictly ascending).
+    pub fn global_vertices(&self) -> &[VertexId] {
+        &self.global_of_vertex
+    }
+
+    /// Global face ids, indexed by local face id (strictly ascending).
+    pub fn global_faces(&self) -> &[FaceId] {
+        &self.global_of_face
+    }
+
+    /// Local id of global vertex `v`, if the tile contains it.
+    pub fn local_vertex(&self, v: VertexId) -> Option<VertexId> {
+        self.global_of_vertex.binary_search(&v).ok().map(|i| i as VertexId)
+    }
+
+    /// Global id of local vertex `v`.
+    pub fn global_vertex(&self, v: VertexId) -> VertexId {
+        self.global_of_vertex[v as usize]
+    }
+}
+
+/// A complete grid partition: tiles plus the selected portal vertices.
+#[derive(Debug, Clone)]
+pub struct TilePartition {
+    cfg: TileGridConfig,
+    /// Row-major tiles: index `iy * nx + ix`.
+    tiles: Vec<Tile>,
+    /// Selected portal vertices (global ids, strictly ascending, distinct).
+    portals: Vec<VertexId>,
+    x0: f64,
+    y0: f64,
+    cell_w: f64,
+    cell_h: f64,
+}
+
+impl TilePartition {
+    /// Partitions `mesh` into `cfg.nx × cfg.ny` overlapping tiles and
+    /// selects seam portals.
+    pub fn build(mesh: &TerrainMesh, cfg: &TileGridConfig) -> Result<Self, TileError> {
+        if cfg.nx == 0 || cfg.ny == 0 {
+            return Err(TileError::BadConfig("nx and ny must be at least 1"));
+        }
+        if cfg.portal_spacing == 0 {
+            return Err(TileError::BadConfig("portal_spacing must be at least 1"));
+        }
+        if !(cfg.overlap_frac > 0.0 && cfg.overlap_frac < 1.0) && cfg.nx * cfg.ny > 1 {
+            return Err(TileError::BadConfig("overlap_frac must be in (0, 1)"));
+        }
+
+        let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for v in mesh.vertices() {
+            lo_x = lo_x.min(v.x);
+            hi_x = hi_x.max(v.x);
+            lo_y = lo_y.min(v.y);
+            hi_y = hi_y.max(v.y);
+        }
+        if (cfg.nx > 1 && hi_x - lo_x <= 0.0) || (cfg.ny > 1 && hi_y - lo_y <= 0.0) {
+            return Err(TileError::BadConfig("grid axis spans zero extent"));
+        }
+        let cell_w = (hi_x - lo_x) / cfg.nx as f64;
+        let cell_h = (hi_y - lo_y) / cfg.ny as f64;
+        let margin_x = cfg.overlap_frac * cell_w;
+        let margin_y = cfg.overlap_frac * cell_h;
+
+        // Assign every face to each tile whose expanded cell contains its
+        // centroid. Faces iterate in global order, so per-tile face lists
+        // come out strictly ascending.
+        let mut tile_faces: Vec<Vec<FaceId>> = vec![Vec::new(); cfg.nx * cfg.ny];
+        let span = |c: f64, origin: f64, cell: f64, margin: f64, n: usize| -> (usize, usize) {
+            if n == 1 {
+                return (0, 0);
+            }
+            let lo = ((c - origin - margin) / cell).floor().max(0.0) as usize;
+            let hi = ((c - origin + margin) / cell).floor().max(0.0) as usize;
+            (lo.min(n - 1), hi.min(n - 1))
+        };
+        for f in 0..mesh.n_faces() as FaceId {
+            let c = mesh.face_centroid(f);
+            let (i0, i1) = span(c.x, lo_x, cell_w, margin_x, cfg.nx);
+            let (j0, j1) = span(c.y, lo_y, cell_h, margin_y, cfg.ny);
+            for j in j0..=j1 {
+                for i in i0..=i1 {
+                    tile_faces[j * cfg.nx + i].push(f);
+                }
+            }
+        }
+
+        let mut tiles = Vec::with_capacity(cfg.nx * cfg.ny);
+        for iy in 0..cfg.ny {
+            for ix in 0..cfg.nx {
+                let faces = &tile_faces[iy * cfg.nx + ix];
+                if faces.is_empty() {
+                    return Err(TileError::EmptyTile { ix, iy });
+                }
+                let vert_set: BTreeSet<VertexId> =
+                    faces.iter().flat_map(|&f| mesh.face(f)).collect();
+                let global_of_vertex: Vec<VertexId> = vert_set.into_iter().collect();
+                let local_of = |v: VertexId| {
+                    global_of_vertex.binary_search(&v).expect("face vertex collected") as VertexId
+                };
+                let vertices: Vec<Vec3> =
+                    global_of_vertex.iter().map(|&v| mesh.vertex(v)).collect();
+                let local_faces: Vec<[VertexId; 3]> =
+                    faces.iter().map(|&f| mesh.face(f).map(local_of)).collect();
+                let sub = TerrainMesh::new(vertices, local_faces)
+                    .map_err(|source| TileError::Submesh { ix, iy, source })?;
+                tiles.push(Tile {
+                    ix,
+                    iy,
+                    mesh: Arc::new(sub),
+                    global_of_vertex,
+                    global_of_face: faces.clone(),
+                });
+            }
+        }
+
+        let portals = select_portals(mesh, cfg, &tiles, lo_x, lo_y, cell_w, cell_h)?;
+        Ok(Self { cfg: *cfg, tiles, portals, x0: lo_x, y0: lo_y, cell_w, cell_h })
+    }
+
+    /// The configuration the partition was built with.
+    pub fn config(&self) -> &TileGridConfig {
+        &self.cfg
+    }
+
+    /// Number of tiles (`nx × ny`).
+    pub fn n_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// All tiles in row-major order (index `iy * nx + ix`).
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Tile at row-major index `i`.
+    pub fn tile(&self, i: usize) -> &Tile {
+        &self.tiles[i]
+    }
+
+    /// Selected portal vertices (global ids, strictly ascending).
+    pub fn portals(&self) -> &[VertexId] {
+        &self.portals
+    }
+
+    /// Row-major index of the tile whose **core cell** (no margin)
+    /// contains `p`'s `(x, y)` position, clamping points on or outside the
+    /// boundary into the nearest cell. This is the unique *home tile* of a
+    /// point, independent of which overlapping tiles also contain it.
+    pub fn home_tile(&self, p: Vec3) -> usize {
+        let clamp = |c: f64, origin: f64, cell: f64, n: usize| -> usize {
+            if n == 1 || cell <= 0.0 {
+                return 0;
+            }
+            (((c - origin) / cell).floor().max(0.0) as usize).min(n - 1)
+        };
+        let i = clamp(p.x, self.x0, self.cell_w, self.cfg.nx);
+        let j = clamp(p.y, self.y0, self.cell_h, self.cfg.ny);
+        j * self.cfg.nx + i
+    }
+}
+
+/// Selects seam portals: for every side-adjacent tile pair, the vertices
+/// both tiles contain are grouped by their exact coordinate **along** the
+/// seam, every `portal_spacing`-th group (plus the last) contributes its
+/// candidate nearest the seam line. Deterministic; returns the deduplicated
+/// union, ascending.
+fn select_portals(
+    mesh: &TerrainMesh,
+    cfg: &TileGridConfig,
+    tiles: &[Tile],
+    x0: f64,
+    y0: f64,
+    cell_w: f64,
+    cell_h: f64,
+) -> Result<Vec<VertexId>, TileError> {
+    let mut chosen: BTreeSet<VertexId> = BTreeSet::new();
+    let mut seam = |a: &Tile, b: &Tile, seam_coord: f64, vertical: bool| {
+        // Sorted-list intersection: both id lists are strictly ascending.
+        let (mut i, mut j) = (0usize, 0usize);
+        let (va, vb) = (a.global_vertices(), b.global_vertices());
+        let mut shared: Vec<VertexId> = Vec::new();
+        while i < va.len() && j < vb.len() {
+            match va[i].cmp(&vb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    shared.push(va[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if shared.is_empty() {
+            return Err(TileError::NoSharedFringe { a: (a.ix, a.iy), b: (b.ix, b.iy) });
+        }
+        // Along-seam coordinate, then distance to the seam line, then id.
+        let key = |v: VertexId| {
+            let p = mesh.vertex(v);
+            if vertical {
+                (p.y, (p.x - seam_coord).abs())
+            } else {
+                (p.x, (p.y - seam_coord).abs())
+            }
+        };
+        shared.sort_by(|&u, &v| {
+            let (au, pu) = key(u);
+            let (av, pv) = key(v);
+            au.total_cmp(&av).then(pu.total_cmp(&pv)).then(u.cmp(&v))
+        });
+        // Group heads: the first (closest-to-seam) vertex of each distinct
+        // along-seam position.
+        let mut heads: Vec<VertexId> = Vec::new();
+        let mut last_axis: Option<f64> = None;
+        for &v in &shared {
+            let (axis, _) = key(v);
+            if last_axis != Some(axis) {
+                heads.push(v);
+                last_axis = Some(axis);
+            }
+        }
+        for (k, &v) in heads.iter().enumerate() {
+            if k % cfg.portal_spacing == 0 || k + 1 == heads.len() {
+                chosen.insert(v);
+            }
+        }
+        Ok(())
+    };
+
+    for t in tiles {
+        if t.ix + 1 < cfg.nx {
+            let right = &tiles[t.iy * cfg.nx + t.ix + 1];
+            seam(t, right, x0 + (t.ix + 1) as f64 * cell_w, true)?;
+        }
+        if t.iy + 1 < cfg.ny {
+            let above = &tiles[(t.iy + 1) * cfg.nx + t.ix];
+            seam(t, above, y0 + (t.iy + 1) as f64 * cell_h, false)?;
+        }
+    }
+    Ok(chosen.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{diamond_square, Heightfield};
+
+    fn grid_mesh() -> TerrainMesh {
+        Heightfield::flat(9, 9, 8.0, 8.0).to_mesh()
+    }
+
+    fn fractal() -> TerrainMesh {
+        diamond_square(4, 0.6, 7).to_mesh()
+    }
+
+    #[test]
+    fn single_tile_is_whole_mesh() {
+        let mesh = grid_mesh();
+        let cfg = TileGridConfig { nx: 1, ny: 1, ..Default::default() };
+        let p = TilePartition::build(&mesh, &cfg).unwrap();
+        assert_eq!(p.n_tiles(), 1);
+        assert!(p.portals().is_empty(), "a single tile needs no portals");
+        let t = p.tile(0);
+        assert_eq!(t.mesh.n_vertices(), mesh.n_vertices());
+        assert_eq!(t.mesh.n_faces(), mesh.n_faces());
+        assert_eq!(p.home_tile(mesh.vertex(17)), 0);
+    }
+
+    #[test]
+    fn two_by_two_covers_every_face_and_overlaps() {
+        let mesh = fractal();
+        let p = TilePartition::build(&mesh, &TileGridConfig::default()).unwrap();
+        assert_eq!(p.n_tiles(), 4);
+        // Every face appears in at least one tile; overlap makes the face
+        // total strictly larger than the mesh's.
+        let mut seen = vec![false; mesh.n_faces()];
+        let mut total = 0usize;
+        for t in p.tiles() {
+            total += t.global_faces().len();
+            for &f in t.global_faces() {
+                seen[f as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some face belongs to no tile");
+        assert!(total > mesh.n_faces(), "tiles must overlap");
+        // Each tile is strictly smaller than the whole mesh.
+        for t in p.tiles() {
+            assert!(t.mesh.n_faces() < mesh.n_faces(), "tile ({}, {})", t.ix, t.iy);
+        }
+    }
+
+    #[test]
+    fn remapping_round_trips_geometry() {
+        let mesh = fractal();
+        let p = TilePartition::build(&mesh, &TileGridConfig::default()).unwrap();
+        for t in p.tiles() {
+            for local in 0..t.mesh.n_vertices() as VertexId {
+                let g = t.global_vertex(local);
+                assert_eq!(t.local_vertex(g), Some(local));
+                assert_eq!(t.mesh.vertex(local), mesh.vertex(g));
+            }
+            assert_eq!(t.local_vertex(VertexId::MAX), None);
+            // Faces carry the same (re-indexed) corners.
+            for (lf, &gf) in t.global_faces().iter().enumerate() {
+                let want = mesh.face(gf).map(|v| t.local_vertex(v).unwrap());
+                assert_eq!(t.mesh.face(lf as FaceId), want);
+            }
+        }
+    }
+
+    #[test]
+    fn portals_live_in_every_adjacent_tile_pair() {
+        let mesh = fractal();
+        let p = TilePartition::build(&mesh, &TileGridConfig::default()).unwrap();
+        assert!(!p.portals().is_empty());
+        for &v in p.portals() {
+            let owners = p.tiles().iter().filter(|t| t.local_vertex(v).is_some()).count();
+            assert!(owners >= 2, "portal {v} lives in {owners} tile(s)");
+        }
+        // Each side-adjacent pair shares at least one portal.
+        for t in p.tiles() {
+            for (dx, dy) in [(1usize, 0usize), (0, 1)] {
+                if t.ix + dx >= 2 || t.iy + dy >= 2 {
+                    continue;
+                }
+                let nb = p.tile((t.iy + dy) * 2 + t.ix + dx);
+                let joint = p
+                    .portals()
+                    .iter()
+                    .filter(|&&v| t.local_vertex(v).is_some() && nb.local_vertex(v).is_some())
+                    .count();
+                assert!(joint >= 1, "tiles ({},{}) and ({},{})", t.ix, t.iy, nb.ix, nb.iy);
+            }
+        }
+    }
+
+    #[test]
+    fn wider_spacing_selects_fewer_portals() {
+        let mesh = grid_mesh();
+        let dense = TilePartition::build(
+            &mesh,
+            &TileGridConfig { portal_spacing: 1, ..Default::default() },
+        )
+        .unwrap();
+        let sparse = TilePartition::build(
+            &mesh,
+            &TileGridConfig { portal_spacing: 6, ..Default::default() },
+        )
+        .unwrap();
+        assert!(sparse.portals().len() < dense.portals().len());
+        // Sparse portals are a subset of the dense candidates' tiles'
+        // shared fringes, so they also live in ≥ 2 tiles each.
+        for &v in sparse.portals() {
+            assert!(sparse.tiles().iter().filter(|t| t.local_vertex(v).is_some()).count() >= 2);
+        }
+    }
+
+    #[test]
+    fn home_tile_matches_core_cell() {
+        let mesh = grid_mesh(); // 9×9 grid over 64×64 units
+        let cfg = TileGridConfig { nx: 2, ny: 2, ..Default::default() };
+        let p = TilePartition::build(&mesh, &cfg).unwrap();
+        assert_eq!(p.home_tile(Vec3::new(1.0, 1.0, 0.0)), 0);
+        assert_eq!(p.home_tile(Vec3::new(63.0, 1.0, 5.0)), 1);
+        assert_eq!(p.home_tile(Vec3::new(1.0, 63.0, -2.0)), 2);
+        assert_eq!(p.home_tile(Vec3::new(63.0, 63.0, 0.0)), 3);
+        // Out-of-range points clamp to the nearest cell.
+        assert_eq!(p.home_tile(Vec3::new(-10.0, -10.0, 0.0)), 0);
+        assert_eq!(p.home_tile(Vec3::new(1e6, 1e6, 0.0)), 3);
+    }
+
+    #[test]
+    fn every_vertex_is_in_its_home_tile() {
+        let mesh = fractal();
+        let p = TilePartition::build(&mesh, &TileGridConfig::default()).unwrap();
+        for v in 0..mesh.n_vertices() as VertexId {
+            let home = p.home_tile(mesh.vertex(v));
+            assert!(
+                p.tile(home).local_vertex(v).is_some(),
+                "vertex {v} missing from its home tile {home}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mesh = grid_mesh();
+        for cfg in [
+            TileGridConfig { nx: 0, ..Default::default() },
+            TileGridConfig { ny: 0, ..Default::default() },
+            TileGridConfig { portal_spacing: 0, ..Default::default() },
+            TileGridConfig { overlap_frac: 0.0, ..Default::default() },
+            TileGridConfig { overlap_frac: 1.5, ..Default::default() },
+        ] {
+            assert!(
+                matches!(TilePartition::build(&mesh, &cfg), Err(TileError::BadConfig(_))),
+                "{cfg:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn too_fine_a_grid_reports_empty_tile() {
+        // 2 × 2 vertices = 2 faces cannot fill an 8 × 8 grid of cells.
+        let mesh = Heightfield::flat(2, 2, 1.0, 1.0).to_mesh();
+        let cfg = TileGridConfig { nx: 8, ny: 8, overlap_frac: 0.01, ..Default::default() };
+        assert!(matches!(
+            TilePartition::build(&mesh, &cfg),
+            Err(TileError::EmptyTile { .. }) | Err(TileError::NoSharedFringe { .. })
+        ));
+    }
+}

@@ -7,12 +7,16 @@
 //! terrain-oracle query --oracle oracle.seor --pairs "0 5" "3 17"
 //! terrain-oracle knn   --oracle oracle.seor --site 4 --k 3
 //! terrain-oracle gen   --preset sf-small --scale 0.5 --out t.off
+//! terrain-oracle atlas-build --mesh t.off --pois p.csv --eps 0.1
+//!                            --grid 2x2 --out atlas.seat
+//! terrain-oracle atlas-query --atlas atlas.seat --pairs-file q.txt
 //! ```
 //!
 //! POIs are a CSV of `x,y` (projected onto the surface) or `x,y,z`
 //! (matched to the nearest surface point by projection); `#` comments and
 //! blank lines are ignored.
 
+use se_oracle::atlas::{Atlas, AtlasConfig, AtlasHandle};
 use se_oracle::oracle::{BuildConfig, SeOracle};
 use se_oracle::p2p::{EngineKind, P2POracle};
 use se_oracle::serve::QueryHandle;
@@ -21,6 +25,7 @@ use std::process::ExitCode;
 use terrain::gen::Preset;
 use terrain::locate::FaceLocator;
 use terrain::poi::SurfacePoint;
+use terrain::tile::TileGridConfig;
 use terrain::TerrainMesh;
 
 fn main() -> ExitCode {
@@ -30,6 +35,8 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("query-batch") => cmd_query_batch(&args[1..]),
+        Some("atlas-build") => cmd_atlas_build(&args[1..]),
+        Some("atlas-query") => cmd_atlas_query(&args[1..]),
         Some("knn") => cmd_knn(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -57,6 +64,14 @@ USAGE:
   terrain-oracle info  --oracle <file.seor>
   terrain-oracle query --oracle <file.seor> --pairs \"<s> <t>\" ...
   terrain-oracle query-batch --oracle <file.seor> [--pairs-file <f>]
+                       [--threads <n>]   (pairs from the file or stdin, one
+                       '<s> <t>' per line; 0 threads = auto-detect)
+  terrain-oracle atlas-build --mesh <file.off> --pois <file.csv> --eps <f>
+                       --out <file.seat> [--grid <nx>x<ny>] [--overlap <f>]
+                       [--portal-spacing <k>] [--engine exact|edge|steiner]
+                       [--threads <n>]   (tiled per-piece oracles + portal
+                       graph; defaults: 2x2 grid, 0.15 overlap, spacing 8)
+  terrain-oracle atlas-query --atlas <file.seat> [--pairs-file <f>]
                        [--threads <n>]   (pairs from the file or stdin, one
                        '<s> <t>' per line; 0 threads = auto-detect)
   terrain-oracle knn   --oracle <file.seor> --site <s> --k <k>
@@ -118,6 +133,28 @@ fn load_pois(path: &str, mesh: &TerrainMesh) -> Result<Vec<SurfacePoint>, String
     Ok(out)
 }
 
+/// Parses the optional `--engine` flag (default: exact).
+fn parse_engine(rest: &mut Vec<String>) -> Result<EngineKind, String> {
+    match take_opt(rest, "--engine").as_deref() {
+        None | Some("exact") => Ok(EngineKind::Exact),
+        Some("edge") => Ok(EngineKind::EdgeGraph),
+        Some("steiner") => Ok(EngineKind::Steiner { points_per_edge: 3 }),
+        Some(other) => Err(format!("unknown engine '{other}'")),
+    }
+}
+
+/// Parses the optional `--threads` flag. `0` = auto-detect (the
+/// `BuildConfig` convention); validated here so a typo fails before any
+/// input loads.
+fn parse_threads(rest: &mut Vec<String>) -> Result<usize, String> {
+    match take_opt(rest, "--threads") {
+        Some(t) => {
+            t.parse().map_err(|_| "--threads needs a non-negative integer (0 = auto)".to_string())
+        }
+        None => Ok(0),
+    }
+}
+
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let mut rest = args.to_vec();
     let mesh_path = require(&mut rest, "--mesh")?;
@@ -125,20 +162,8 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let eps: f64 =
         require(&mut rest, "--eps")?.parse().map_err(|_| "--eps needs a number".to_string())?;
     let out_path = require(&mut rest, "--out")?;
-    let engine = match take_opt(&mut rest, "--engine").as_deref() {
-        None | Some("exact") => EngineKind::Exact,
-        Some("edge") => EngineKind::EdgeGraph,
-        Some("steiner") => EngineKind::Steiner { points_per_edge: 3 },
-        Some(other) => return Err(format!("unknown engine '{other}'")),
-    };
-    // 0 = auto-detect (the BuildConfig convention); the flag is validated
-    // here so a typo fails before the mesh loads.
-    let threads: usize = match take_opt(&mut rest, "--threads") {
-        Some(t) => t
-            .parse()
-            .map_err(|_| "--threads needs a non-negative integer (0 = auto)".to_string())?,
-        None => 0,
-    };
+    let engine = parse_engine(&mut rest)?;
+    let threads = parse_threads(&mut rest)?;
     reject_leftovers(&rest)?;
 
     let mesh = load_mesh(&mesh_path)?;
@@ -280,6 +305,112 @@ fn cmd_query_batch(args: &[String]) -> Result<(), String> {
     print!("{out}");
     // An upper bound: the shard driver spawns fewer workers than resolved
     // when the batch splits into fewer shards.
+    eprintln!(
+        "{} pairs in {elapsed:.2?} (up to {} workers)",
+        pairs.len(),
+        geodesic::pool::resolve_threads(threads)
+    );
+    Ok(())
+}
+
+fn cmd_atlas_build(args: &[String]) -> Result<(), String> {
+    let mut rest = args.to_vec();
+    let mesh_path = require(&mut rest, "--mesh")?;
+    let poi_path = require(&mut rest, "--pois")?;
+    let eps: f64 =
+        require(&mut rest, "--eps")?.parse().map_err(|_| "--eps needs a number".to_string())?;
+    let out_path = require(&mut rest, "--out")?;
+    let engine = parse_engine(&mut rest)?;
+    let threads = parse_threads(&mut rest)?;
+    let mut grid = TileGridConfig::default();
+    if let Some(spec) = take_opt(&mut rest, "--grid") {
+        let (nx, ny) = spec
+            .split_once('x')
+            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+            .filter(|&(nx, ny)| nx >= 1 && ny >= 1)
+            .ok_or_else(|| format!("--grid needs '<nx>x<ny>' (got '{spec}')"))?;
+        grid.nx = nx;
+        grid.ny = ny;
+    }
+    if let Some(f) = take_opt(&mut rest, "--overlap") {
+        grid.overlap_frac =
+            f.parse().map_err(|_| "--overlap needs a fraction in (0, 1)".to_string())?;
+    }
+    if let Some(k) = take_opt(&mut rest, "--portal-spacing") {
+        grid.portal_spacing =
+            k.parse().map_err(|_| "--portal-spacing needs a positive integer".to_string())?;
+    }
+    reject_leftovers(&rest)?;
+
+    let mesh = load_mesh(&mesh_path)?;
+    let pois = load_pois(&poi_path, &mesh)?;
+    eprintln!(
+        "building {}×{} atlas SE(ε={eps}) over {} POIs on {} vertices…",
+        grid.nx,
+        grid.ny,
+        pois.len(),
+        mesh.n_vertices()
+    );
+    let cfg = AtlasConfig { grid, build: BuildConfig { threads, ..Default::default() } };
+    let atlas = Atlas::build(&mesh, &pois, eps, engine, &cfg).map_err(|e| e.to_string())?;
+    let s = atlas.build_stats();
+    eprintln!(
+        "built in {:.2?}: {} tiles ({} sites each incl. portals/guests), {} portals, \
+         {} graph edges, {:.1} KiB ({} workers, {} concurrent tiles)",
+        s.total,
+        s.n_tiles,
+        s.tile_sites.iter().map(|n| n.to_string()).collect::<Vec<_>>().join("/"),
+        s.n_portals,
+        s.portal_edges,
+        atlas.storage_bytes() as f64 / 1024.0,
+        s.workers,
+        s.tile_workers
+    );
+    let mut f =
+        std::fs::File::create(&out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
+    atlas.save_to(&mut f).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("{out_path}");
+    Ok(())
+}
+
+fn cmd_atlas_query(args: &[String]) -> Result<(), String> {
+    let mut rest = args.to_vec();
+    let path = require(&mut rest, "--atlas")?;
+    let pairs_path = take_opt(&mut rest, "--pairs-file");
+    let threads = parse_threads(&mut rest)?;
+    reject_leftovers(&rest)?;
+
+    let mut f = std::fs::File::open(&path).map_err(|e| format!("opening {path}: {e}"))?;
+    let atlas = Atlas::load_from(&mut f).map_err(|e| format!("loading {path}: {e}"))?;
+    let (text, source) = match &pairs_path {
+        Some(p) => {
+            (std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?, p.as_str())
+        }
+        None => {
+            let mut s = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut s)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            (s, "<stdin>")
+        }
+    };
+    let handle = AtlasHandle::new(atlas);
+    let pairs = parse_pair_lines(&text, source, handle.n_sites())?;
+    if pairs.is_empty() {
+        return Err(format!(
+            "{source}: no query pairs (one '<s> <t>' per line; \
+             '#' comments and blank lines are ignored)"
+        ));
+    }
+
+    let t0 = std::time::Instant::now();
+    let answers = handle.distance_many_par(&pairs, threads);
+    let elapsed = t0.elapsed();
+    let mut out = String::with_capacity(answers.len() * 24);
+    for (&(s, t), d) in pairs.iter().zip(&answers) {
+        use std::fmt::Write;
+        writeln!(out, "{s} {t} {d}").expect("String writes are infallible");
+    }
+    print!("{out}");
     eprintln!(
         "{} pairs in {elapsed:.2?} (up to {} workers)",
         pairs.len(),

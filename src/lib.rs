@@ -13,7 +13,7 @@
 //! | [`terrain`] | TIN meshes, synthetic terrain generation, POIs, refinement, OFF I/O |
 //! | [`geodesic`] | exact continuous-Dijkstra SSAD, edge-graph Dijkstra, Steiner graphs |
 //! | [`phash`] | FKS perfect hashing |
-//! | [`oracle`] (crate `se-oracle`) | partition tree, WSPD node pairs, SE construction & queries, A2A, β estimation |
+//! | [`oracle`] (crate `se-oracle`) | partition tree, WSPD node pairs, SE construction & queries, A2A, β estimation, tiled atlas + portal routing |
 //! | [`baselines`] | SP-Oracle and K-Algo |
 //!
 //! ## Quickstart
@@ -50,13 +50,14 @@ pub mod prelude {
         IchEngine, SteinerEngine, SteinerGraph, SurfacePath, VoronoiResult,
     };
     pub use se_oracle::{
-        A2AOracle, BuildConfig, ConstructionMethod, DynamicOracle, EngineKind, Neighbor, P2POracle,
-        ProximityIndex, QueryHandle, SeOracle, SelectionStrategy,
+        A2AOracle, Atlas, AtlasConfig, AtlasHandle, BuildConfig, ConstructionMethod, DynamicOracle,
+        EngineKind, Neighbor, P2POracle, ProximityIndex, QueryHandle, SeOracle, SelectionStrategy,
     };
     pub use terrain::gen::{diamond_square, Heightfield, Preset};
     pub use terrain::poi::{
         dedup_pois, sample_clustered, sample_uniform, scale_pois, vertices_as_pois,
     };
     pub use terrain::refine::insert_surface_points;
+    pub use terrain::tile::{TileGridConfig, TilePartition};
     pub use terrain::{SurfacePoint, TerrainMesh, Vec3};
 }

@@ -321,3 +321,134 @@ fn poi_csv_parse_errors_are_located() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn atlas_workflow_build_query_and_errors() {
+    let dir = tmp_dir("atlas");
+    let mesh = dir.join("t.off");
+    let pois = dir.join("p.csv");
+    let seor = dir.join("o.seor");
+    let seat = dir.join("a.seat");
+    run(&["gen", "--preset", "sf-small", "--scale", "0.3", "--out", mesh.to_str().unwrap()]);
+    // POIs spread across the 1400 × 1110 m footprint so the 2×2 atlas has
+    // sites in every tile and genuine cross-tile pairs.
+    std::fs::write(&pois, "100,100\n1200,150\n150,950\n1250,1000\n700,550\n400,300\n1000,800\n")
+        .unwrap();
+
+    // atlas-build with explicit grid flags.
+    let o = run(&[
+        "atlas-build",
+        "--mesh",
+        mesh.to_str().unwrap(),
+        "--pois",
+        pois.to_str().unwrap(),
+        "--eps",
+        "0.2",
+        "--out",
+        seat.to_str().unwrap(),
+        "--engine",
+        "edge",
+        "--grid",
+        "2x2",
+        "--overlap",
+        "0.2",
+        "--portal-spacing",
+        "2",
+    ]);
+    assert!(o.status.success(), "atlas-build failed: {}", stderr(&o));
+    assert!(seat.exists());
+    assert!(stderr(&o).contains("portals"), "stats line expected: {}", stderr(&o));
+
+    // A monolithic image over the same inputs: the two CLIs must agree
+    // within the documented routing bound.
+    let o = run(&[
+        "build",
+        "--mesh",
+        mesh.to_str().unwrap(),
+        "--pois",
+        pois.to_str().unwrap(),
+        "--eps",
+        "0.2",
+        "--out",
+        seor.to_str().unwrap(),
+        "--engine",
+        "edge",
+    ]);
+    assert!(o.status.success(), "build failed: {}", stderr(&o));
+
+    let pairs = dir.join("pairs.txt");
+    std::fs::write(
+        &pairs,
+        "# all off-diagonal pairs of the first four sites\n0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n",
+    )
+    .unwrap();
+    let o = run(&[
+        "atlas-query",
+        "--atlas",
+        seat.to_str().unwrap(),
+        "--pairs-file",
+        pairs.to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+    assert!(o.status.success(), "atlas-query failed: {}", stderr(&o));
+    let atlas_out = stdout(&o);
+    assert_eq!(atlas_out.lines().count(), 6, "one line per pair:\n{atlas_out}");
+    let o = run(&[
+        "query-batch",
+        "--oracle",
+        seor.to_str().unwrap(),
+        "--pairs-file",
+        pairs.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "query-batch failed: {}", stderr(&o));
+    for (al, ml) in atlas_out.lines().zip(stdout(&o).lines()) {
+        let a: f64 = al.split_whitespace().nth(2).unwrap().parse().unwrap();
+        let m: f64 = ml.split_whitespace().nth(2).unwrap().parse().unwrap();
+        assert!(a > 0.0 && a <= m * 1.5 + 1e-9, "atlas {a} vs monolithic {m}");
+        assert!(a >= m * 0.6 - 1e-9, "atlas {a} implausibly below monolithic {m}");
+    }
+
+    // Feeding the wrong image kind to either loader is caught cleanly.
+    let o = run(&[
+        "atlas-query",
+        "--atlas",
+        seor.to_str().unwrap(),
+        "--pairs-file",
+        pairs.to_str().unwrap(),
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("bad magic"), "{}", stderr(&o));
+    let o = run(&["info", "--oracle", seat.to_str().unwrap()]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("bad magic"), "{}", stderr(&o));
+
+    // Malformed grid / out-of-range pairs.
+    let o = run(&[
+        "atlas-build",
+        "--mesh",
+        mesh.to_str().unwrap(),
+        "--pois",
+        pois.to_str().unwrap(),
+        "--eps",
+        "0.2",
+        "--out",
+        seat.to_str().unwrap(),
+        "--grid",
+        "two-by-two",
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--grid"), "{}", stderr(&o));
+    std::fs::write(&pairs, "0 99\n").unwrap();
+    let o = run(&[
+        "atlas-query",
+        "--atlas",
+        seat.to_str().unwrap(),
+        "--pairs-file",
+        pairs.to_str().unwrap(),
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("out of range"), "{}", stderr(&o));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
