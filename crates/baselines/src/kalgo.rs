@@ -1,5 +1,5 @@
 //! K-Algo: Kaul et al.'s on-the-fly approximate geodesic algorithm
-//! (§4.2.2, after [19]).
+//! (§4.2.2, after \[19\]).
 //!
 //! The best-known non-oracle baseline: no per-pair precomputation — each
 //! query runs a (virtual-source) Dijkstra over the Steiner graph `G_ε`

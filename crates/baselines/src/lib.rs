@@ -1,10 +1,10 @@
 //! Baseline methods from §4.2 of *Distance Oracle on Terrain Surface*:
 //!
 //! * [`sp_oracle::SpOracle`] — the Steiner-point-based oracle of Djidjev &
-//!   Sommer [12] as the paper adapts it: Steiner graph `G_ε` plus an
+//!   Sommer \[12\] as the paper adapts it: Steiner graph `G_ε` plus an
 //!   all-pairs distance index, queried through face neighbourhoods. Large
 //!   build time and quadratic size — the behaviour SE improves on.
-//! * [`kalgo::KAlgo`] — Kaul et al.'s on-the-fly algorithm [19]: no
+//! * [`kalgo::KAlgo`] — Kaul et al.'s on-the-fly algorithm \[19\]: no
 //!   precomputed index; every query runs a Dijkstra over `G_ε`.
 //!
 //! The third baseline, SE(Naive), is the `ConstructionMethod::Naive` /

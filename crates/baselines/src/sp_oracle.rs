@@ -1,5 +1,5 @@
 //! SP-Oracle: the Steiner-point-based baseline oracle (§4.2.1, after
-//! Djidjev & Sommer [12]).
+//! Djidjev & Sommer \[12\]).
 //!
 //! As the paper describes the adapted baseline: introduce Steiner points on
 //! the terrain, build the graph `G_ε`, and **index the exact distances

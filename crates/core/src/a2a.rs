@@ -1,7 +1,7 @@
 //! The A2A (arbitrary point to arbitrary point) oracle of Appendix C, which
 //! also serves P2P queries when `n > N` (Appendix D).
 //!
-//! Construction: place Steiner points on the mesh (the scheme of [12]),
+//! Construction: place Steiner points on the mesh (the scheme of \[12\]),
 //! build SE over the Steiner nodes *instead of* the POIs — making the
 //! oracle POI-independent — and keep a point locator. A query for
 //! arbitrary surface points `s, t` returns

@@ -87,7 +87,9 @@ const _: () = {
 /// and within-tile parallelism).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AtlasConfig {
+    /// Tiling parameters (grid shape, overlap, portal spacing).
     pub grid: TileGridConfig,
+    /// Per-tile oracle build options (threads split outer × inner).
     pub build: BuildConfig,
 }
 
@@ -103,13 +105,28 @@ pub enum AtlasError {
     /// Tiling failed (grid too fine, overlap too small, …).
     Tile(TileError),
     /// One tile's oracle construction failed.
-    Build { tile: usize, source: BuildError },
+    Build {
+        /// Index of the failing tile.
+        tile: usize,
+        /// The tile's construction error.
+        source: BuildError,
+    },
     /// A site's vertex is missing from its home tile's sub-mesh — the
     /// overlap margin is smaller than the local face size.
-    SiteOutsideTile { site: usize, vertex: VertexId, tile: usize },
+    SiteOutsideTile {
+        /// Global site index.
+        site: usize,
+        /// The site's mesh vertex.
+        vertex: VertexId,
+        /// The tile that should contain it.
+        tile: usize,
+    },
     /// The portal graph does not connect every tile, so some cross-tile
     /// query would have no route; use a coarser grid or denser portals.
-    Unroutable { components: usize },
+    Unroutable {
+        /// Connected components of the portal graph.
+        components: usize,
+    },
 }
 
 impl fmt::Display for AtlasError {
@@ -147,6 +164,7 @@ impl From<TileError> for AtlasError {
 /// Timings and shape counters from one atlas construction.
 #[derive(Debug, Clone, Default)]
 pub struct AtlasBuildStats {
+    /// End-to-end build wall clock.
     pub total: Duration,
     /// Partitioning the mesh and planning per-tile site lists.
     pub tiling: Duration,
@@ -157,7 +175,9 @@ pub struct AtlasBuildStats {
     pub workers: usize,
     /// Concurrent tile builds (the outer level of the split budget).
     pub tile_workers: usize,
+    /// Tiles in the grid.
     pub n_tiles: usize,
+    /// Seam portal sites across all tiles.
     pub n_portals: usize,
     /// Directed portal-graph edges after per-source dedup.
     pub portal_edges: usize,

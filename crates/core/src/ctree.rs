@@ -18,6 +18,7 @@ pub struct CNode {
     pub layer: u32,
     /// Parent in the compressed tree (`NO_NODE` for the root).
     pub parent: u32,
+    /// Child node ids.
     pub children: Vec<u32>,
     /// Disk radius: `r₀/2^layer` for internal nodes, `0` for leaves.
     pub radius: f64,
@@ -26,7 +27,9 @@ pub struct CNode {
 /// The compressed partition tree `T_compress`.
 #[derive(Debug, Clone)]
 pub struct CompressedTree {
+    /// Nodes, indexed by compressed node id.
     pub nodes: Vec<CNode>,
+    /// Root node id.
     pub root: u32,
     /// Root radius of the underlying partition tree.
     pub r0: f64,
@@ -99,6 +102,7 @@ impl CompressedTree {
         Self { nodes, root, r0: org.r0, h, leaf_of_site }
     }
 
+    /// Number of compressed nodes (`≤ 2n − 1`, Lemma 9).
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
     }

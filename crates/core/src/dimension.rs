@@ -37,6 +37,7 @@ pub struct BetaOptions {
     /// subsampled; packing numbers only shrink, so the estimate stays a
     /// lower bound).
     pub max_ball: usize,
+    /// RNG seed for center picks and ball subsampling.
     pub seed: u64,
     /// Worker threads driving the per-center estimation (`0` = auto-detect
     /// via [`std::thread::available_parallelism`]). The estimate is
@@ -149,6 +150,7 @@ pub struct ThetaOptions {
     /// Minimum half-ball population for a sample to count (tiny balls make
     /// the ratio meaningless).
     pub min_half_ball: usize,
+    /// RNG seed for center picks.
     pub seed: u64,
 }
 
@@ -222,19 +224,31 @@ pub fn estimate_theta(
 }
 
 /// Size of a greedy maximal `sep`-separated subset of `members`.
+///
+/// Members are scanned in order; each survivor joins the packing, and one
+/// bounded sweep (`sites_within(survivor, sep)`) eliminates every site
+/// closer than `sep` — one SSAD-equivalent per chosen site instead of the
+/// `O(|chosen| · |members|)` pairwise `distance` probes of the naive
+/// formulation (each a point SSAD on a cache miss). The scan order and the
+/// strict `< sep` elimination predicate are exactly the complement of the
+/// pairwise `d ≥ sep` acceptance test, and cached sweep labels are
+/// bit-identical to fresh point queries, so the packing — and with it β —
+/// is unchanged to the bit.
 fn greedy_packing(space: &dyn SiteSpace, members: &[usize], sep: f64) -> usize {
-    let mut chosen: Vec<usize> = Vec::new();
-    // Distances from each chosen site to all candidates, computed lazily
-    // one SSAD-equivalent (`sites_within`) per chosen site would also work;
-    // pairwise `distance` keeps the space interface minimal here because
-    // packing sets are small.
+    let mut eliminated = vec![false; space.n_sites()];
+    let mut count = 0usize;
     for &cand in members {
-        let ok = chosen.iter().all(|&c| space.distance(c, cand) >= sep);
-        if ok {
-            chosen.push(cand);
+        if eliminated[cand] {
+            continue;
+        }
+        count += 1;
+        for (s, d) in space.sites_within(cand, sep) {
+            if d < sep {
+                eliminated[s] = true;
+            }
         }
     }
-    chosen.len()
+    count
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! The paper's conclusion names this as the open problem ("how to
 //! efficiently update the distance oracle when there is an update on some
 //! POIs"); its related work cites Fischer & Har-Peled's dynamic
-//! well-separated pair decompositions [14]. This module implements the
+//! well-separated pair decompositions \[14\]. This module implements the
 //! natural terrain analogue over a built [`SeOracle`]:
 //!
 //! * **Removal** tombstones a site. Every stored node-pair distance stays

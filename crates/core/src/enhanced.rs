@@ -94,7 +94,10 @@ impl EnhancedEdges {
         // in group order, so the entry list is independent of thread count.
         // Once a group finishes, nothing queries its center again — release
         // its (wide, `l·r`-sized) cached sweep so peak memory tracks the
-        // number of in-flight workers, not the whole tree.
+        // number of in-flight workers, not the whole tree. (A sweep whose
+        // engine run turned out exhaustive is kept: it is one dense array's
+        // worth of memory and keeps answering point queries — see
+        // `CachingSiteSpace::release`.)
         let mut entries: Vec<(u64, f64)> =
             geodesic::pool::run_indexed(threads, groups.len(), |g| {
                 let out = groups[g].iter().flat_map(|&nid| process(nid)).collect::<Vec<_>>();
@@ -142,6 +145,7 @@ pub struct EnhancedResolver<'a> {
 }
 
 impl<'a> EnhancedResolver<'a> {
+    /// A resolver walking `edges` over `org`, falling back to `space`.
     pub fn new(org: &'a PartitionTree, edges: &'a EnhancedEdges, space: &'a dyn SiteSpace) -> Self {
         Self { org, edges, space, hits: 0, fallbacks: 0 }
     }

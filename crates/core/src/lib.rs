@@ -27,7 +27,7 @@
 //! * [`proximity`] — kNN / range / reverse-kNN search over the oracle
 //!   (the proximity queries of §1.1/§4.1);
 //! * [`dynamic`] — POI insertion/removal without a rebuild (the
-//!   conclusion's open problem, via the dynamic-WSPD idea of [14]);
+//!   conclusion's open problem, via the dynamic-WSPD idea of \[14\]);
 //! * [`persist`] — versioned, checksummed binary oracle images;
 //! * [`serve`] — the query-serving layer: [`serve::QueryHandle`] (a
 //!   shared, `Send + Sync` read-only view), batch distance queries, and a
@@ -53,6 +53,8 @@
 //! let exact = oracle.engine_distance(0, 7);
 //! assert!((d - exact).abs() <= 0.1 * exact + 1e-9);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod a2a;
 pub mod atlas;

@@ -13,6 +13,7 @@ pub struct LazyMaxHeap<T> {
 }
 
 impl<T: Ord + Copy> LazyMaxHeap<T> {
+    /// An empty heap.
     pub fn new() -> Self {
         Self { heap: BinaryHeap::new() }
     }
@@ -42,6 +43,7 @@ impl<T: Ord + Copy> LazyMaxHeap<T> {
         None
     }
 
+    /// Whether no items are queued (stale entries may still linger).
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }

@@ -23,7 +23,9 @@ pub enum ConstructionMethod {
 /// Construction-time options.
 #[derive(Debug, Clone, Copy)]
 pub struct BuildConfig {
+    /// Point-selection strategy for partition-tree covering.
     pub strategy: SelectionStrategy,
+    /// Efficient (enhanced-edge) or naive pair-distance construction.
     pub method: ConstructionMethod,
     /// RNG seed (point selection, perfect-hash salts).
     pub seed: u64,
@@ -59,6 +61,7 @@ pub enum BuildError {
     /// ε must be a positive real (the paper allows ε ≥ 0 but ε = 0 forces
     /// infinite separation; exact oracles are out of scope by §1.3).
     InvalidEpsilon(f64),
+    /// Partition-tree construction failed.
     Tree(TreeError),
 }
 
@@ -82,9 +85,13 @@ impl From<TreeError> for BuildError {
 /// Timings and counters from one oracle construction.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BuildStats {
+    /// End-to-end build wall clock.
     pub total: Duration,
+    /// Partition-tree phase wall clock.
     pub tree: Duration,
+    /// Enhanced-edge phase wall clock.
     pub enhanced: Duration,
+    /// Node-pair-generation phase wall clock.
     pub pair_gen: Duration,
     /// All SSAD requests issued (tree + enhanced edges + naive pair
     /// distances). `cache_hits` of them were served from the SSAD-reuse
@@ -100,9 +107,13 @@ pub struct BuildStats {
     pub considered_pairs: u64,
     /// Pairs stored in the oracle.
     pub stored_pairs: usize,
+    /// Original partition-tree node count.
     pub org_nodes: usize,
+    /// Compressed-tree node count.
     pub compressed_nodes: usize,
+    /// Tree height `h`.
     pub height: u32,
+    /// Root radius `r₀`.
     pub r0: f64,
     /// Enhanced-resolver misses answered by direct SSAD (expected 0).
     pub resolver_fallbacks: u64,

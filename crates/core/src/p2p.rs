@@ -26,7 +26,10 @@ pub enum EngineKind {
     /// Mesh-edge Dijkstra (fast upper-bound approximation).
     EdgeGraph,
     /// Steiner-graph Dijkstra with `points_per_edge` Steiner points.
-    Steiner { points_per_edge: usize },
+    Steiner {
+        /// Steiner points per mesh edge.
+        points_per_edge: usize,
+    },
 }
 
 /// Errors from the P2P/V2V front-end.
@@ -37,6 +40,7 @@ pub enum P2PError {
     /// Mesh refinement produced an invalid mesh (should not happen on
     /// valid inputs).
     Refine(MeshError),
+    /// Oracle construction failed.
     Build(BuildError),
 }
 

@@ -73,13 +73,16 @@ const REBUILD_SEED: u64 = 0x5E0A_AC1E_0F11_E5ED;
 /// Deserialization failures.
 #[derive(Debug)]
 pub enum PersistError {
+    /// The underlying reader/writer failed.
     Io(io::Error),
     /// Not an image of the expected kind (wrong magic — e.g. an atlas
     /// image fed to the monolithic loader, or not an oracle image at all).
     BadMagic([u8; 4]),
     /// Image written by a format version this build does not read.
     BadVersion {
+        /// Version stamped in the image.
         found: u32,
+        /// Newest version this build reads.
         supported: u32,
     },
     /// Structurally invalid image (message names the first violation).

@@ -255,7 +255,7 @@ impl<'a> ProximityIndex<'a> {
 
     /// Reverse k-nearest neighbours: every site `s ≠ q` whose k-NN set
     /// (under `d̃`, ties by site index) contains `q`. The monochromatic
-    /// RNN query of [36] (§4.1 of the paper) over the POI set.
+    /// RNN query of \[36\] (§4.1 of the paper) over the POI set.
     ///
     /// For each candidate `s`, `q ∈ kNN(s)` iff fewer than `k` sites beat
     /// `q` in the `(d̃, site)` order, which [`Self::count_within`] decides

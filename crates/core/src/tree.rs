@@ -45,6 +45,7 @@ pub struct PNode {
 /// The original (uncompressed) partition tree `T_org`.
 #[derive(Debug, Clone)]
 pub struct PartitionTree {
+    /// Nodes, indexed by node id (node 0 is the root).
     pub nodes: Vec<PNode>,
     /// Node ids per layer.
     pub layers: Vec<Vec<u32>>,
@@ -63,9 +64,17 @@ pub enum TreeError {
     Empty,
     /// Two sites coincide (geodesic distance 0) — the paper requires
     /// duplicate POIs to be merged beforehand (§2).
-    DuplicateSites { a: usize, b: usize },
+    DuplicateSites {
+        /// First coinciding site.
+        a: usize,
+        /// Second coinciding site.
+        b: usize,
+    },
     /// A site was unreachable from the root center (disconnected metric).
-    Unreachable { site: usize },
+    Unreachable {
+        /// The unreachable site.
+        site: usize,
+    },
     /// Exceeded the layer safety bound (ill-conditioned distances).
     TooDeep,
 }

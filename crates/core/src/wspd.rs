@@ -27,6 +27,7 @@ pub struct NodePair {
     /// Compressed-tree node ids (ordered — `⟨a, b⟩` and `⟨b, a⟩` are
     /// distinct entries).
     pub a: u32,
+    /// Second compressed-tree node id of the pair.
     pub b: u32,
     /// Geodesic distance between the centers.
     pub dist: f64,
@@ -35,6 +36,7 @@ pub struct NodePair {
 /// Result of node-pair-set generation.
 #[derive(Debug, Clone)]
 pub struct NodePairSet {
+    /// The well-separated pairs with their center distances.
     pub pairs: Vec<NodePair>,
     /// Pairs examined by the splitting procedure (Theorem 2 bounds this by
     /// `O(nh/ε^{2β})`).

@@ -28,7 +28,11 @@ use terrain::geom::Vec3;
 enum Entry {
     /// A full sweep: every site's exact distance ([`SiteSpace::all_distances`]).
     Full(Arc<Vec<f64>>),
-    /// A bounded sweep: every site within `radius`, ascending site order.
+    /// A bounded sweep stored at its **certified horizon** (see
+    /// [`crate::sitespace::Sweep`]): every site within `radius`, ascending
+    /// site order. `radius` is infinite when the engine's run was
+    /// exhaustive — such an entry answers everything a `Full` entry can
+    /// (absent sites are unreachable).
     Bounded { radius: f64, pairs: Arc<Vec<(usize, f64)>> },
 }
 
@@ -43,12 +47,16 @@ pub struct CacheStats {
 
 /// A [`SiteSpace`] decorator that memoizes SSAD results by source site.
 ///
-/// * `all_distances` is computed at most once per site.
+/// * `all_distances` is computed at most once per site, and served for free
+///   from a cached bounded sweep whose run turned out exhaustive.
 /// * `sites_within(s, r)` is served from a cached full sweep, or from a
 ///   cached bounded sweep of radius `≥ r`; otherwise it runs once and the
-///   widest run per site is kept.
-/// * `distance(a, b)` is served from cached sweeps when possible, with a
-///   pair memo for the remaining point queries (the naive-construction and
+///   widest run per site is kept. Bounded sweeps are stored at the
+///   **certified horizon** ([`crate::sitespace::Sweep::horizon`]), which
+///   can far exceed — even infinitely — the requested radius.
+/// * `distance(a, b)` is served from cached sweeps when possible (a
+///   bounded sweep answers when it reaches the partner site), with a pair
+///   memo for the remaining point queries (the naive-construction and
 ///   resolver-fallback path).
 pub struct CachingSiteSpace<'a> {
     inner: &'a dyn SiteSpace,
@@ -59,6 +67,7 @@ pub struct CachingSiteSpace<'a> {
 }
 
 impl<'a> CachingSiteSpace<'a> {
+    /// An empty cache over `inner`.
     pub fn new(inner: &'a dyn SiteSpace) -> Self {
         Self {
             inner,
@@ -123,31 +132,66 @@ impl SiteSpace for CachingSiteSpace<'_> {
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                let pairs = self.inner.sites_within(site, radius);
-                self.store(site, Entry::Bounded { radius, pairs: Arc::new(pairs.clone()) });
-                pairs
+                // Store the whole sweep at the horizon the engine actually
+                // certified — when the bounded run turned out exhaustive
+                // (horizon ∞), this one entry answers every later query
+                // from `site`, including `all_distances` and `distance`.
+                let sweep = self.inner.sites_within_horizon(site, radius);
+                let out = sweep.clipped(radius);
+                self.store(
+                    site,
+                    Entry::Bounded { radius: sweep.horizon, pairs: Arc::new(sweep.pairs) },
+                );
+                out
             }
         }
     }
 
     fn all_distances(&self, site: usize) -> Vec<f64> {
-        if let Some(Entry::Full(dists)) = self.lookup(site) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (*dists).clone();
+        match self.lookup(site) {
+            Some(Entry::Full(dists)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (*dists).clone()
+            }
+            // An exhaustive bounded sweep knows every distance: absent
+            // sites are unreachable. Densify once and upgrade the entry.
+            Some(Entry::Bounded { radius, pairs }) if radius.is_infinite() => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let mut dists = vec![f64::INFINITY; self.inner.n_sites()];
+                for &(i, d) in pairs.iter() {
+                    dists[i] = d;
+                }
+                self.store(site, Entry::Full(Arc::new(dists.clone())));
+                dists
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let dists = self.inner.all_distances(site);
+                self.store(site, Entry::Full(Arc::new(dists.clone())));
+                dists
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let dists = self.inner.all_distances(site);
-        self.store(site, Entry::Full(Arc::new(dists.clone())));
-        dists
     }
 
-    /// Drops `site`'s retained *bounded* sweep. Full sweeps stay: they are
-    /// one `Vec<f64>` each and keep serving `distance` point queries; the
-    /// bounded pair lists are what grow with the enhanced-edge radii.
+    /// Drops `site`'s retained *finite* bounded sweep. Full sweeps stay:
+    /// they are one `Vec<f64>` each and keep serving `distance` point
+    /// queries; the finite bounded pair lists are what grow with the
+    /// enhanced-edge radii. An exhaustive (infinite-horizon) bounded sweep
+    /// also stays, but is densified into a `Full` entry first — same
+    /// answers, half the bytes — so retained memory per released site is
+    /// bounded by one dense array, exactly as for full sweeps.
     fn release(&self, site: usize) {
         let mut map = self.entries.write().expect("cache lock poisoned");
-        if let Some(Entry::Bounded { .. }) = map.get(&site) {
-            map.remove(&site);
+        if let Some(Entry::Bounded { radius, pairs }) = map.get(&site) {
+            if radius.is_finite() {
+                map.remove(&site);
+            } else {
+                let mut dists = vec![f64::INFINITY; self.inner.n_sites()];
+                for &(i, d) in pairs.iter() {
+                    dists[i] = d;
+                }
+                map.insert(site, Entry::Full(Arc::new(dists)));
+            }
         }
     }
 
@@ -155,11 +199,26 @@ impl SiteSpace for CachingSiteSpace<'_> {
         if a == b {
             return 0.0;
         }
-        // A full sweep from either endpoint answers exactly.
+        // A sweep from either endpoint answers exactly when it reaches the
+        // partner (bounded labels within the horizon are final), or when it
+        // was exhaustive (absent ⇒ unreachable).
         for (s, t) in [(a, b), (b, a)] {
-            if let Some(Entry::Full(dists)) = self.lookup(s) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return dists[t];
+            match self.lookup(s) {
+                Some(Entry::Full(dists)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return dists[t];
+                }
+                Some(Entry::Bounded { radius, pairs }) => {
+                    if let Ok(k) = pairs.binary_search_by_key(&t, |&(i, _)| i) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return pairs[k].1;
+                    }
+                    if radius.is_infinite() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return f64::INFINITY;
+                    }
+                }
+                None => {}
             }
         }
         let key = (a.min(b), a.max(b));
@@ -265,6 +324,57 @@ mod tests {
         assert_eq!(cached.sites_within(0, r_max), raw.sites_within(0, r_max));
         assert_eq!(cached.all_distances(1), raw.all_distances(1));
         assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 3 });
+    }
+
+    #[test]
+    fn exhaustive_bounded_sweep_serves_everything() {
+        // A bounded request wide enough to drain the engine is stored at an
+        // infinite horizon: later `all_distances` and `distance` calls (and
+        // wider `sites_within` calls) never touch the engine again, and
+        // `release` keeps the entry.
+        let raw = space();
+        let cached = CachingSiteSpace::new(&raw);
+        let r_max = raw.all_distances(0).iter().cloned().fold(0.0, f64::max);
+        cached.sites_within(0, r_max * 16.0); // miss; exhaustive → horizon ∞
+        assert_eq!(cached.stats().misses, 1);
+
+        let all = cached.all_distances(0); // served from the sweep
+        let fresh = raw.all_distances(0);
+        assert_eq!(all.len(), fresh.len());
+        for (c, r) in all.iter().zip(&fresh) {
+            assert_eq!(c.to_bits(), r.to_bits());
+        }
+        assert_eq!(cached.distance(0, 4).to_bits(), raw.distance(0, 4).to_bits());
+        assert_eq!(cached.sites_within(0, r_max * 32.0), raw.sites_within(0, r_max * 32.0));
+        cached.release(0);
+        assert_eq!(cached.sites_within(0, r_max).len(), raw.sites_within(0, r_max).len());
+        assert_eq!(cached.stats().misses, 1, "everything after the sweep must hit");
+    }
+
+    #[test]
+    fn bounded_sweep_answers_pair_distances_it_reaches() {
+        let raw = space();
+        let cached = CachingSiteSpace::new(&raw);
+        let all = raw.all_distances(2);
+        // Pick the nearest other site and a radius that includes it.
+        let (near, d_near) = all
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(i, d)| i != 2 && d > 0.0)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        cached.sites_within(2, d_near * 1.5); // miss: bounded sweep from 2
+        let misses = cached.stats().misses;
+        // Both query orientations answer from the cached sweep without an
+        // engine run. The stored labels are the sweep's 2 → near direction
+        // (FP labels of opposite sweep directions may differ in the last
+        // ulp, so the reverse query is compared against the forward raw
+        // value — same convention as `full_sweep_serves_sites_within_and_
+        // distance`).
+        assert_eq!(cached.distance(2, near).to_bits(), raw.distance(2, near).to_bits());
+        assert_eq!(cached.distance(near, 2).to_bits(), raw.distance(2, near).to_bits());
+        assert_eq!(cached.stats().misses, misses, "pair inside the sweep must be a hit");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! sanity bound in tests: `euclidean ≤ geodesic ≤ edge-graph`.
 
 use crate::engine::{GeodesicEngine, SsadResult, SsadStats, Stop};
-use crate::heap::MinHeap;
+use crate::heap::IndexedMinHeap;
 use std::sync::Arc;
 use terrain::{TerrainMesh, VertexId};
 
@@ -17,6 +17,7 @@ pub struct EdgeGraphEngine {
 }
 
 impl EdgeGraphEngine {
+    /// A Dijkstra engine over `mesh`'s vertex–edge graph.
     pub fn new(mesh: Arc<TerrainMesh>) -> Self {
         Self { mesh }
     }
@@ -35,36 +36,47 @@ impl GeodesicEngine for EdgeGraphEngine {
         let mesh = &*self.mesh;
         let n = mesh.n_vertices();
         let mut dist = vec![f64::INFINITY; n];
-        let mut heap: MinHeap<VertexId> = MinHeap::with_capacity(64);
+        let mut heap = IndexedMinHeap::new();
+        heap.reset(n);
         let mut stats = SsadStats::default();
         dist[source as usize] = 0.0;
-        heap.push(0.0, source);
+        heap.push_or_decrease(source, 0.0);
 
         let mut watcher = StopWatcher::new(stop, &dist);
         let mut stopped = false;
+        let mut pruned = false;
+        let mut bound = watcher.prune_bound(&dist);
         while let Some((key, v)) = heap.pop() {
-            if key > dist[v as usize] {
-                continue; // stale entry
-            }
+            // The indexed heap holds one entry per vertex, decreased in
+            // place on every relaxation — no stale entries to filter.
+            debug_assert_eq!(key, dist[v as usize]);
             stats.events_processed += 1;
             stats.max_key = key;
             if watcher.done(key, &dist) {
                 stopped = true;
                 break;
             }
+            bound = bound.min(watcher.prune_bound(&dist));
             for &e in mesh.vertex_edges(v) {
                 let edge = mesh.edge(e);
                 let u = if edge.v[0] == v { edge.v[1] } else { edge.v[0] };
                 let nd = key + mesh.edge_len(e);
                 if nd < dist[u as usize] {
+                    if nd > bound {
+                        // Beyond every label this run promises as final:
+                        // the relaxation cannot matter. `finalized` reports
+                        // the pruned horizon.
+                        pruned = true;
+                        continue;
+                    }
                     dist[u as usize] = nd;
                     watcher.on_relax(u, nd);
-                    heap.push(nd, u);
+                    heap.push_or_decrease(u, nd);
                     stats.events_created += 1;
                 }
             }
         }
-        let finalized = watcher.finalized(stopped, &dist);
+        let finalized = watcher.finalized(stopped, pruned, &dist);
         SsadResult { dist, finalized, stats }
     }
 }
@@ -76,65 +88,122 @@ impl GeodesicEngine for EdgeGraphEngine {
 ///   final;
 /// * `Targets`: stop once all targets are reached *and* the current key is
 ///   at least the largest target label (labels below the key are final).
+///
+/// Beyond stopping, the watcher hands engines a **prune bound**
+/// ([`Self::prune_bound`]): a key threshold above which new work (windows,
+/// edge relaxations, pseudo-sources) cannot affect any label the run
+/// promises as final. For `Radius` that bound is fixed; for `Targets` it
+/// activates once every target is reached and then tracks the largest
+/// target label as labels improve — the search horizon tightens while the
+/// run drains.
 pub(crate) struct StopWatcher<'a> {
     stop: Stop<'a>,
+    /// Targets not yet reached (their label is still infinite).
     remaining: usize,
+    /// `uncounted[v]`: `v` is a target that has not yet been counted
+    /// reached. Cleared per target on its first relaxation.
+    uncounted: Vec<bool>,
+    /// `is_target[v]` (immutable after construction).
     is_target: Vec<bool>,
+    /// Largest target label; `NEG_INFINITY` marks "recompute lazily" after
+    /// a target's label changed.
     max_target_label: f64,
+    /// Cached prune bound (slack-scaled horizon).
+    bound: f64,
+}
+
+/// Relative slack applied to prune bounds so labels *exactly at* the
+/// horizon survive SSAD roundoff (same convention as the tree build's
+/// search radius).
+const BOUND_SLACK: f64 = 1e-12;
+
+fn slacked(h: f64) -> f64 {
+    h * (1.0 + BOUND_SLACK) + 1e-300
 }
 
 impl<'a> StopWatcher<'a> {
     pub fn new(stop: Stop<'a>, dist: &[f64]) -> Self {
-        let (remaining, is_target) = match stop {
+        let (remaining, uncounted, is_target) = match stop {
             Stop::Targets(ts) => {
                 let mut flags = vec![false; dist.len()];
+                let mut pending = vec![false; dist.len()];
                 let mut rem = 0;
                 for &t in ts {
                     if !flags[t as usize] {
                         flags[t as usize] = true;
                         if dist[t as usize].is_infinite() {
+                            pending[t as usize] = true;
                             rem += 1;
                         }
                     }
                 }
-                (rem, flags)
+                (rem, pending, flags)
             }
-            _ => (0, Vec::new()),
+            _ => (0, Vec::new(), Vec::new()),
         };
-        Self { stop, remaining, is_target, max_target_label: f64::INFINITY }
+        let bound = match stop {
+            Stop::Radius(r) => slacked(r),
+            _ => f64::INFINITY,
+        };
+        Self { stop, remaining, uncounted, is_target, max_target_label: f64::INFINITY, bound }
     }
 
     /// Must be called whenever a label is improved.
     #[inline]
     pub fn on_relax(&mut self, v: VertexId, _new_dist: f64) {
-        if !self.is_target.is_empty() && self.is_target[v as usize] && self.remaining > 0 {
-            // First time this target becomes finite. (Labels only improve,
-            // so a second improvement doesn't decrement again.)
-            self.remaining -= 1;
+        if !self.is_target.is_empty() && self.is_target[v as usize] {
+            if self.uncounted[v as usize] {
+                self.uncounted[v as usize] = false;
+                self.remaining -= 1;
+            }
             if self.remaining == 0 {
-                self.max_target_label = f64::NEG_INFINITY; // recompute lazily in done()
+                // A target label changed: the horizon (and with it the
+                // prune bound) must be recomputed lazily.
+                self.max_target_label = f64::NEG_INFINITY;
             }
         }
     }
 
+    /// Recomputes the target horizon and prune bound if marked stale.
+    #[inline]
+    fn refresh(&mut self, dist: &[f64]) {
+        if self.max_target_label == f64::NEG_INFINITY {
+            if let Stop::Targets(ts) = self.stop {
+                self.max_target_label = ts.iter().map(|&t| dist[t as usize]).fold(0.0, f64::max);
+                self.bound = slacked(self.max_target_label);
+            }
+        }
+    }
+
+    /// The current prune bound: events/relaxations with a key above it
+    /// cannot affect any label at or below the promised finality horizon,
+    /// so engines may drop them. Monotonically non-increasing over a run.
+    #[inline]
+    pub fn prune_bound(&mut self, dist: &[f64]) -> f64 {
+        if self.remaining > 0 {
+            return f64::INFINITY; // targets outstanding: no horizon yet
+        }
+        self.refresh(dist);
+        self.bound
+    }
+
     /// The finality horizon of the finished run (see
     /// [`crate::engine::SsadResult::finalized`]): labels at or below it are
-    /// exact. `stopped` says whether the loop broke on [`Self::done`]
-    /// (`false` = the queue drained, so every reached label is final).
-    /// `Radius` always reports `r`, never infinity: engines such as ICH
-    /// prune eagerly beyond the bound, so a drained queue does not imply
-    /// global finality there.
-    pub fn finalized(&self, stopped: bool, dist: &[f64]) -> f64 {
+    /// exact. `stopped` says whether the loop broke on [`Self::done`];
+    /// `pruned` whether the engine ever dropped work via
+    /// [`Self::prune_bound`] (or its own radius bound). When neither
+    /// happened the queue drained exhaustively, so *every* reached label is
+    /// final and the horizon is infinite — even under `Radius`/`Targets`.
+    /// That tightened horizon is what lets the SSAD-reuse cache serve
+    /// wider later queries from a narrower run.
+    pub fn finalized(&self, stopped: bool, pruned: bool, dist: &[f64]) -> f64 {
+        if !stopped && !pruned {
+            return f64::INFINITY;
+        }
         match self.stop {
             Stop::Radius(r) => r,
             Stop::Exhaust => f64::INFINITY,
-            Stop::Targets(ts) => {
-                if stopped {
-                    ts.iter().map(|&t| dist[t as usize]).fold(0.0, f64::max)
-                } else {
-                    f64::INFINITY
-                }
-            }
+            Stop::Targets(ts) => ts.iter().map(|&t| dist[t as usize]).fold(0.0, f64::max),
         }
     }
 
@@ -144,14 +213,11 @@ impl<'a> StopWatcher<'a> {
         match self.stop {
             Stop::Exhaust => false,
             Stop::Radius(r) => key > r,
-            Stop::Targets(ts) => {
+            Stop::Targets(_) => {
                 if self.remaining > 0 {
                     return false;
                 }
-                if self.max_target_label == f64::NEG_INFINITY {
-                    self.max_target_label =
-                        ts.iter().map(|&t| dist[t as usize]).fold(0.0, f64::max);
-                }
+                self.refresh(dist);
                 key >= self.max_target_label
             }
         }

@@ -42,34 +42,87 @@ pub struct SsadResult {
     /// fired. Under [`Stop::Radius`], labels `≤ r` are final; larger finite
     /// labels are valid upper bounds but not necessarily tight.
     pub dist: Vec<f64>,
-    /// Finality horizon: every label `≤ finalized` is exact. Set by the
-    /// engine from the stop criterion — `r` for [`Stop::Radius`], infinity
-    /// for an exhausted search, the largest target label for
-    /// [`Stop::Targets`].
+    /// Finality horizon: every label `≤ finalized` is exact. At least the
+    /// stop criterion's promise — `r` for [`Stop::Radius`], infinity for an
+    /// exhausted search, the largest target label for [`Stop::Targets`] —
+    /// but engines report a **wider** horizon when they can certify one: a
+    /// bounded run that drains its queue without ever pruning against the
+    /// bound was exhaustive, so its horizon is infinite. The SSAD-reuse
+    /// cache leans on this to serve wider later queries from nominally
+    /// narrower runs.
     pub finalized: f64,
+    /// Work counters of the run.
     pub stats: SsadStats,
 }
+
+/// Error of [`SsadResult::try_within`]: the requested radius exceeds the
+/// run's finality horizon, so labels in `(finalized, radius]` would be
+/// upper bounds rather than final distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HorizonExceeded {
+    /// The radius the caller asked for.
+    pub requested: f64,
+    /// The horizon the run actually certified ([`SsadResult::finalized`]).
+    pub finalized: f64,
+}
+
+impl std::fmt::Display for HorizonExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "within({}) exceeds the finalized horizon {}: labels beyond it are upper bounds, \
+             not final — re-run the SSAD with a wider stop",
+            self.requested, self.finalized
+        )
+    }
+}
+
+impl std::error::Error for HorizonExceeded {}
 
 impl SsadResult {
     /// All vertices with final labels within `radius`, as `(vertex, dist)`.
     ///
-    /// `radius` must not exceed [`Self::finalized`] — beyond it labels are
-    /// upper bounds only, not final. Debug builds assert this; release
-    /// builds clamp to the finalized horizon, so the iterator never yields
-    /// a non-final label.
+    /// `radius` is **clamped** to [`Self::finalized`] — in every build
+    /// profile — so the iterator never yields a non-final label: asking for
+    /// more than the run certified silently narrows the answer to what is
+    /// actually final. Callers that must know whether the clamp fired (a
+    /// narrowed answer is *wrong* for them, e.g. covering sweeps that trust
+    /// completeness at `radius`) should use [`Self::try_within`] instead.
     pub fn within(&self, radius: f64) -> impl Iterator<Item = (VertexId, f64)> + '_ {
-        debug_assert!(
-            radius <= self.finalized,
-            "within({radius}) exceeds the finalized horizon {}: labels beyond it are \
-             upper bounds, not final — re-run the SSAD with a wider stop",
-            self.finalized
-        );
         let r = radius.min(self.finalized);
         self.dist.iter().enumerate().filter(move |(_, &d)| d <= r).map(|(v, &d)| (v as VertexId, d))
+    }
+
+    /// Checked variant of [`Self::within`]: errs with [`HorizonExceeded`]
+    /// when `radius` exceeds [`Self::finalized`] instead of clamping.
+    pub fn try_within(
+        &self,
+        radius: f64,
+    ) -> Result<impl Iterator<Item = (VertexId, f64)> + '_, HorizonExceeded> {
+        if radius > self.finalized {
+            return Err(HorizonExceeded { requested: radius, finalized: self.finalized });
+        }
+        Ok(self
+            .dist
+            .iter()
+            .enumerate()
+            .filter(move |(_, &d)| d <= radius)
+            .map(|(v, &d)| (v as VertexId, d)))
     }
 }
 
 /// A geodesic-distance backend bound to one mesh.
+///
+/// # Determinism
+///
+/// Every engine in this crate is a deterministic label-setting search:
+/// `ssad` called twice with the same `(source, stop)` returns bit-identical
+/// labels, and a label that is final under one stop criterion is
+/// bit-identical under any *wider* criterion (the wider run processes the
+/// same event sequence, merely truncated later). The SSAD-reuse cache
+/// ([`crate::cache::CachingSiteSpace`]) and the construction pipeline's
+/// thread-count-independence guarantee both rest on this contract; the
+/// `radius_stop_*` tests pin it per engine.
 pub trait GeodesicEngine: Send + Sync {
     /// Short identifier used in experiment output.
     fn name(&self) -> &'static str;
@@ -86,5 +139,70 @@ pub trait GeodesicEngine: Send + Sync {
             return 0.0;
         }
         self.ssad(s, Stop::Targets(&[t])).dist[t as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ich::IchEngine;
+    use std::sync::Arc;
+    use terrain::gen::diamond_square;
+
+    fn radius_result() -> (SsadResult, f64) {
+        let mesh = Arc::new(diamond_square(3, 0.6, 41).to_mesh());
+        let eng = IchEngine::new(mesh);
+        let full = eng.ssad(0, Stop::Exhaust);
+        let reach = full.dist.iter().cloned().fold(0.0, f64::max);
+        let r = reach * 0.4;
+        (eng.ssad(0, Stop::Radius(r)), r)
+    }
+
+    #[test]
+    fn within_clamps_to_finalized_in_every_profile() {
+        let (res, r) = radius_result();
+        assert!(res.finalized >= r);
+        // Ask beyond the horizon: the answer must silently narrow to the
+        // horizon — identical to asking for the horizon itself.
+        let over: Vec<(u32, f64)> = res.within(res.finalized * 4.0).collect();
+        let at: Vec<(u32, f64)> = res.within(res.finalized).collect();
+        assert_eq!(over, at, "clamped query must equal the horizon query");
+        for &(_, d) in &over {
+            assert!(d <= res.finalized);
+        }
+    }
+
+    #[test]
+    fn try_within_rejects_beyond_horizon() {
+        let (res, r) = radius_result();
+        let err = res.try_within(res.finalized * 2.0).err().expect("must reject");
+        assert_eq!(err.finalized, res.finalized);
+        assert_eq!(err.requested, res.finalized * 2.0);
+        let msg = err.to_string();
+        assert!(msg.contains("finalized horizon"), "actionable message: {msg}");
+
+        // At or below the horizon it matches the unchecked variant.
+        let ok: Vec<(u32, f64)> = res.try_within(r).expect("within horizon").collect();
+        let unchecked: Vec<(u32, f64)> = res.within(r).collect();
+        assert_eq!(ok, unchecked);
+    }
+
+    #[test]
+    fn exhaustive_bounded_run_reports_infinite_horizon() {
+        // A radius far beyond the reach drains the queue without ever
+        // pruning: the engine certifies global finality.
+        let mesh = Arc::new(diamond_square(3, 0.6, 43).to_mesh());
+        let eng = IchEngine::new(mesh);
+        let full = eng.ssad(5, Stop::Exhaust);
+        let reach = full.dist.iter().cloned().fold(0.0, f64::max);
+        let wide = eng.ssad(5, Stop::Radius(reach * 8.0));
+        assert!(
+            wide.finalized.is_infinite(),
+            "drained un-pruned run must certify an infinite horizon, got {}",
+            wide.finalized
+        );
+        for v in 0..full.dist.len() {
+            assert_eq!(wide.dist[v].to_bits(), full.dist[v].to_bits(), "v{v}");
+        }
     }
 }

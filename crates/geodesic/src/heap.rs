@@ -1,9 +1,19 @@
-//! A minimal binary min-heap keyed by `f64`.
+//! Binary min-heaps keyed by `f64` for the label-setting search loops.
 //!
-//! `std::collections::BinaryHeap` needs `Ord`, which `f64` lacks; wrapping in
-//! a custom struct keyed on a totally-ordered float avoids sprinkling
+//! `std::collections::BinaryHeap` needs `Ord`, which `f64` lacks; custom
+//! heaps keyed on a totally-ordered float avoid sprinkling
 //! `OrderedFloat`-style adapters through the hot loops. Keys must not be NaN
 //! (debug-asserted).
+//!
+//! Two flavours:
+//!
+//! * [`MinHeap`] — a plain `(key, payload)` heap. Duplicate pushes for the
+//!   same logical entry pile up and must be filtered as stale at pop time.
+//! * [`IndexedMinHeap`] — a slot-indexed heap with **decrease-key**: each
+//!   slot (a vertex, a window id, …) has at most one live entry, tracked
+//!   through a position table. The engines' inner loops
+//!   ([`crate::ich::IchEngine`], [`crate::dijkstra::EdgeGraphEngine`]) use
+//!   it so stale-entry popping disappears entirely.
 
 /// A `(key, payload)` min-heap over finite `f64` keys.
 #[derive(Debug, Clone)]
@@ -12,19 +22,23 @@ pub struct MinHeap<T> {
 }
 
 impl<T> MinHeap<T> {
+    /// An empty heap.
     pub fn new() -> Self {
         Self { items: Vec::new() }
     }
 
+    /// An empty heap with pre-allocated room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
         Self { items: Vec::with_capacity(cap) }
     }
 
+    /// Number of queued items.
     #[inline]
     pub fn len(&self) -> usize {
         self.items.len()
     }
 
+    /// Whether the heap holds no items.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
@@ -95,6 +109,164 @@ impl<T> Default for MinHeap<T> {
     }
 }
 
+/// Sentinel position: the slot has no live heap entry.
+const ABSENT: u32 = u32::MAX;
+
+/// A slot-indexed, 4-ary `f64` min-heap with decrease-key.
+///
+/// Every entry is identified by a dense `u32` *slot* (vertex id, window id,
+/// …). A position table maps each slot to its current heap index, so
+/// [`IndexedMinHeap::push_or_decrease`] can lower a live entry's key in
+/// place instead of pushing a duplicate — the classic "stale entry" pops of
+/// a plain Dijkstra loop never happen.
+///
+/// The heap is 4-ary rather than binary: pops dominate the engines' inner
+/// loops, and a fan-out of 4 halves the sift-down depth (and with it the
+/// position-table writes) while keeping each level's children in one cache
+/// line.
+///
+/// The table grows on demand, so slots may be allocated while the search
+/// runs (the ICH engine numbers windows this way). [`IndexedMinHeap::reset`]
+/// reuses both allocations across runs, which is what makes the engines'
+/// scratch arenas effective.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedMinHeap {
+    /// `(key, slot)` pairs in 4-ary-heap order.
+    items: Vec<(f64, u32)>,
+    /// `pos[slot]` = index into `items`, or [`ABSENT`].
+    pos: Vec<u32>,
+}
+
+impl IndexedMinHeap {
+    /// An empty heap with no slots.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the heap and prepares `n_slots` initial slots, reusing both
+    /// underlying allocations. Slots beyond `n_slots` may still be pushed
+    /// later; the table grows on demand.
+    pub fn reset(&mut self, n_slots: usize) {
+        self.items.clear();
+        self.pos.clear();
+        self.pos.resize(n_slots, ABSENT);
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the heap has no live entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `slot` currently has a live entry.
+    #[inline]
+    pub fn contains(&self, slot: u32) -> bool {
+        self.pos.get(slot as usize).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Inserts `slot` with `key`, or lowers its key if `slot` is already
+    /// live with a larger one. A live entry with an equal or smaller key is
+    /// left untouched. Returns `true` if the heap changed. `key` must not
+    /// be NaN.
+    pub fn push_or_decrease(&mut self, slot: u32, key: f64) -> bool {
+        debug_assert!(!key.is_nan(), "NaN key pushed to IndexedMinHeap");
+        if self.pos.len() <= slot as usize {
+            self.pos.resize(slot as usize + 1, ABSENT);
+        }
+        let p = self.pos[slot as usize];
+        if p == ABSENT {
+            self.items.push((key, slot));
+            self.pos[slot as usize] = (self.items.len() - 1) as u32;
+            self.sift_up(self.items.len() - 1);
+            true
+        } else if key < self.items[p as usize].0 {
+            self.items[p as usize].0 = key;
+            self.sift_up(p as usize);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the entry with the smallest key. The slot becomes absent (and
+    /// may be re-inserted later — callers enforce their own "settled"
+    /// semantics).
+    pub fn pop(&mut self) -> Option<(f64, u32)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        let out = self.items.pop().expect("non-empty");
+        self.pos[out.1 as usize] = ABSENT;
+        if !self.items.is_empty() {
+            self.pos[self.items[0].1 as usize] = 0;
+            self.sift_down(0);
+        }
+        Some(out)
+    }
+
+    /// The smallest key without removing it.
+    pub fn peek_key(&self) -> Option<f64> {
+        self.items.first().map(|(k, _)| *k)
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, entry: (f64, u32)) {
+        self.items[i] = entry;
+        self.pos[entry.1 as usize] = i as u32;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.items[i];
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if entry.0 < self.items[parent].0 {
+                let moved = self.items[parent];
+                self.set(i, moved);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.set(i, entry);
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.items.len();
+        let entry = self.items[i];
+        loop {
+            let first = 4 * i + 1;
+            if first >= n {
+                break;
+            }
+            let last = (first + 4).min(n);
+            let mut smallest = i;
+            let mut skey = entry.0;
+            for c in first..last {
+                let k = self.items[c].0;
+                if k < skey {
+                    smallest = c;
+                    skey = k;
+                }
+            }
+            if smallest == i {
+                break;
+            }
+            let moved = self.items[smallest];
+            self.set(i, moved);
+            i = smallest;
+        }
+        self.set(i, entry);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +321,102 @@ mod tests {
             assert_eq!(h.pop().unwrap().0, expected);
         }
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn indexed_pops_in_key_order() {
+        let mut h = IndexedMinHeap::new();
+        h.reset(8);
+        for (slot, k) in [(3u32, 3.0), (0, 1.0), (5, 2.0), (7, 0.5), (1, 2.5)] {
+            assert!(h.push_or_decrease(slot, k));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop().map(|(_, s)| s)).collect();
+        assert_eq!(order, vec![7, 0, 5, 1, 3]);
+    }
+
+    #[test]
+    fn indexed_decrease_key_reorders() {
+        let mut h = IndexedMinHeap::new();
+        h.reset(4);
+        h.push_or_decrease(0, 10.0);
+        h.push_or_decrease(1, 5.0);
+        h.push_or_decrease(2, 7.0);
+        // Lower slot 0 below everything; raise attempts are ignored.
+        assert!(h.push_or_decrease(0, 1.0));
+        assert!(!h.push_or_decrease(1, 6.0), "increase must be a no-op");
+        assert!(!h.push_or_decrease(1, 5.0), "equal key must be a no-op");
+        assert_eq!(h.pop(), Some((1.0, 0)));
+        assert_eq!(h.pop(), Some((5.0, 1)));
+        assert_eq!(h.pop(), Some((7.0, 2)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn indexed_one_live_entry_per_slot() {
+        let mut h = IndexedMinHeap::new();
+        h.reset(2);
+        for k in [9.0, 4.0, 6.0, 2.0] {
+            h.push_or_decrease(0, k);
+        }
+        assert_eq!(h.len(), 1, "duplicates must collapse onto one entry");
+        assert_eq!(h.pop(), Some((2.0, 0)));
+        assert!(h.is_empty());
+        assert!(!h.contains(0));
+    }
+
+    #[test]
+    fn indexed_slots_grow_on_demand() {
+        let mut h = IndexedMinHeap::new();
+        h.reset(1);
+        h.push_or_decrease(0, 3.0);
+        h.push_or_decrease(100, 1.0); // far beyond the initial table
+        assert!(h.contains(100));
+        assert_eq!(h.pop(), Some((1.0, 100)));
+        assert_eq!(h.pop(), Some((3.0, 0)));
+    }
+
+    #[test]
+    fn indexed_reset_reuses_cleanly() {
+        let mut h = IndexedMinHeap::new();
+        h.reset(4);
+        h.push_or_decrease(1, 1.0);
+        h.push_or_decrease(2, 2.0);
+        h.pop();
+        h.reset(4);
+        assert!(h.is_empty());
+        assert!(!h.contains(1) && !h.contains(2));
+        h.push_or_decrease(2, 5.0);
+        assert_eq!(h.pop(), Some((5.0, 2)));
+    }
+
+    #[test]
+    fn indexed_matches_plain_heap_on_random_run() {
+        // Drive both heaps with the same slot/key stream (keys only ever
+        // decrease per slot); the settled pop order must agree with the
+        // stale-filtered plain heap.
+        let mut ih = IndexedMinHeap::new();
+        ih.reset(64);
+        let mut ph = MinHeap::new();
+        let mut best = vec![f64::INFINITY; 64];
+        let mut x = 99u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let slot = ((x >> 33) % 64) as u32;
+            let k = (x >> 11) as f64 / (1u64 << 53) as f64;
+            if k < best[slot as usize] {
+                best[slot as usize] = k;
+                ih.push_or_decrease(slot, k);
+                ph.push(k, slot);
+            }
+        }
+        let mut settled = [false; 64];
+        while let Some((k, s)) = ph.pop() {
+            if settled[s as usize] || k > best[s as usize] {
+                continue; // stale
+            }
+            settled[s as usize] = true;
+            assert_eq!(ih.pop(), Some((k, s)));
+        }
+        assert!(ih.is_empty());
     }
 }

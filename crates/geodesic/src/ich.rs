@@ -1,8 +1,9 @@
 //! Exact geodesic SSAD via continuous Dijkstra (window propagation).
 //!
 //! This is the reproduction's stand-in for the exact shortest-path
-//! algorithms the paper leans on ([26] Mitchell–Mount–Papadimitriou, [6]
-//! Chen–Han, [34] Xin–Wang's improved Chen–Han). It follows the ICH recipe:
+//! algorithms the paper leans on (\[26\] Mitchell–Mount–Papadimitriou,
+//! \[6\] Chen–Han, \[34\] Xin–Wang's improved Chen–Han). It follows the
+//! ICH recipe:
 //!
 //! * *windows* — intervals on mesh edges recording the unfolded distance to
 //!   a (pseudo-)source — propagate across faces in a best-first order;
@@ -12,7 +13,8 @@
 //!   settle, restarting circular wavefronts there (geodesics only bend at
 //!   such vertices);
 //! * windows dominated by through-vertex paths are pruned (the one-sided
-//!   monotonicity argument in [`Window`] makes the endpoint tests sound).
+//!   monotonicity argument documented on `Search::dominated` makes the
+//!   endpoint tests sound).
 //!
 //! Because every event key is a valid lower bound on anything the event can
 //! produce, the search is label-setting: when the queue's key passes a
@@ -23,11 +25,32 @@
 //! (up to floating-point error), verified in the test-suite against closed
 //! forms on planes, tents and unfolded strips, and against converging
 //! Steiner-graph upper bounds on fractal terrain.
+//!
+//! # Hot-path design
+//!
+//! Oracle construction runs this engine hundreds of times per build, so
+//! the per-run machinery is built for repetition:
+//!
+//! * a **scratch arena** per engine recycles the window list, the event
+//!   heap, and the pseudo-source flags across runs (checked out of a pool,
+//!   so concurrent runs never serialize);
+//! * one **indexed 4-ary heap** ([`crate::heap::IndexedMinHeap`]) holds
+//!   both event kinds — pseudo-source openings keyed by vertex (decreased
+//!   in place as labels improve, so stale entries never exist) and
+//!   windows keyed past the vertex range (insert-once);
+//! * **horizon pruning**: candidate windows and pseudo-sources whose best
+//!   offer exceeds the stop criterion's prune bound are dropped at
+//!   creation. Under [`Stop::Radius`] the bound is fixed; under
+//!   [`Stop::Targets`] it activates once every target is reached and then
+//!   tracks the shrinking largest target label. A run that drains its
+//!   queue without ever pruning certifies an infinite
+//!   [`SsadResult::finalized`] horizon, which the SSAD-reuse cache
+//!   exploits to serve wider later queries.
 
 use crate::dijkstra::StopWatcher;
 use crate::engine::{GeodesicEngine, SsadResult, SsadStats, Stop};
-use crate::heap::MinHeap;
-use std::sync::Arc;
+use crate::heap::IndexedMinHeap;
+use std::sync::{Arc, Mutex};
 use terrain::geom::{ray_segment_intersection, unfold_point, Vec2};
 use terrain::{EdgeId, FaceId, TerrainMesh, VertexId, NO_FACE};
 
@@ -51,6 +74,9 @@ struct Window {
     d1: f64,
     /// Distance from the real source to the pseudo-source.
     sigma: f64,
+    /// Cached planar pseudo-source position ([`Window::source_2d`]),
+    /// computed once at window creation and reused at propagation.
+    src: Vec2,
 }
 
 impl Window {
@@ -60,17 +86,16 @@ impl Window {
     /// Positions on the edge line determine the source only up to
     /// reflection, and reflection preserves all distances used downstream,
     /// so fixing `y ≥ 0` is sound.
-    fn source_2d(&self) -> Vec2 {
-        let db = self.b1 - self.b0;
-        let sx = (self.d0 * self.d0 - self.d1 * self.d1 + self.b1 * self.b1 - self.b0 * self.b0)
-            / (2.0 * db);
-        let sy2 = self.d0 * self.d0 - (sx - self.b0) * (sx - self.b0);
+    fn source_2d(b0: f64, b1: f64, d0: f64, d1: f64) -> Vec2 {
+        let db = b1 - b0;
+        let sx = (d0 * d0 - d1 * d1 + b1 * b1 - b0 * b0) / (2.0 * db);
+        let sy2 = d0 * d0 - (sx - b0) * (sx - b0);
         Vec2::new(sx, if sy2 > 0.0 { sy2.sqrt() } else { 0.0 })
     }
 
     /// Smallest distance this window offers to any point of its interval.
     fn min_dist(&self) -> f64 {
-        let s = self.source_2d();
+        let s = self.src;
         let d = if s.x < self.b0 {
             self.d0
         } else if s.x > self.b1 {
@@ -82,30 +107,56 @@ impl Window {
     }
 }
 
-/// Queue event: propagate a window, or open a pseudo-source at a vertex.
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    Window(u32),
-    PseudoSource(VertexId),
+/// Reusable per-run buffers: window storage, the event heap, and the
+/// pseudo-source flags.
+///
+/// Oracle construction issues an `IchEngine` run per cache miss — hundreds
+/// per build — and the window list alone can grow to tens of thousands of
+/// entries per run. Recycling these buffers keeps every run after the first
+/// allocation-free on the hot path (only the returned `dist` array is
+/// fresh, since the caller owns it).
+#[derive(Debug, Default)]
+struct Scratch {
+    spawned: Vec<bool>,
+    windows: Vec<Window>,
+    heap: IndexedMinHeap,
 }
 
 /// Exact continuous-Dijkstra geodesic engine.
-#[derive(Debug, Clone)]
+///
+/// The engine is `Send + Sync`; concurrent [`GeodesicEngine::ssad`] calls
+/// are fine (construction pools do exactly that). Each run checks a scratch
+/// buffer out of a shared pool and returns it afterwards, so the arena
+/// reuse never serializes concurrent runs — at worst a fresh scratch is
+/// allocated.
+#[derive(Debug)]
 pub struct IchEngine {
     mesh: Arc<TerrainMesh>,
     /// Hard cap on created windows; exceeding it indicates a pathological
     /// input (or a bug) and panics rather than exhausting memory.
     max_windows: usize,
+    /// Pool of recycled per-run buffers (never larger than the peak number
+    /// of concurrent runs).
+    scratch: Mutex<Vec<Scratch>>,
+}
+
+impl Clone for IchEngine {
+    /// Clones share the mesh but start with an empty scratch pool (scratch
+    /// is a pure accelerator, never part of the engine's observable state).
+    fn clone(&self) -> Self {
+        Self { mesh: self.mesh.clone(), max_windows: self.max_windows, scratch: Mutex::default() }
+    }
 }
 
 impl IchEngine {
+    /// An exact engine over `mesh` with the default window budget.
     pub fn new(mesh: Arc<TerrainMesh>) -> Self {
-        Self { mesh, max_windows: 200_000_000 }
+        Self { mesh, max_windows: 200_000_000, scratch: Mutex::default() }
     }
 
     /// Overrides the window cap (mainly for tests).
     pub fn with_max_windows(mesh: Arc<TerrainMesh>, max_windows: usize) -> Self {
-        Self { mesh, max_windows }
+        Self { mesh, max_windows, scratch: Mutex::default() }
     }
 }
 
@@ -119,88 +170,107 @@ impl GeodesicEngine for IchEngine {
     }
 
     fn ssad(&self, source: VertexId, stop: Stop<'_>) -> SsadResult {
-        Search::new(&self.mesh, self.max_windows).run(source, stop)
+        let mut scratch =
+            self.scratch.lock().expect("scratch pool poisoned").pop().unwrap_or_default();
+        let result = Search::new(&self.mesh, self.max_windows, &mut scratch).run(source, stop);
+        self.scratch.lock().expect("scratch pool poisoned").push(scratch);
+        result
     }
 }
 
+/// Event-slot layout in the indexed heap: slots `0..n_vertices` are
+/// pseudo-source openings (decrease-key as labels improve), slots
+/// `n_vertices + i` are window `i` propagations (insert-once).
 struct Search<'m> {
     mesh: &'m TerrainMesh,
     dist: Vec<f64>,
-    spawned: Vec<bool>,
-    windows: Vec<Window>,
-    heap: MinHeap<Event>,
+    scratch: &'m mut Scratch,
     stats: SsadStats,
-    /// Under `Stop::Radius`, windows whose best offer exceeds this are
-    /// dropped eagerly.
+    /// Current prune bound: candidate windows and pseudo-sources whose best
+    /// offer exceeds it are dropped eagerly. Fixed under [`Stop::Radius`];
+    /// tightens dynamically under [`Stop::Targets`] once every target is
+    /// reached (see [`StopWatcher::prune_bound`]).
     bound: f64,
+    /// Whether anything was dropped via `bound` — if not, a drained queue
+    /// means the run was exhaustive and the finality horizon is infinite.
+    pruned: bool,
     max_windows: usize,
 }
 
 impl<'m> Search<'m> {
-    fn new(mesh: &'m TerrainMesh, max_windows: usize) -> Self {
+    fn new(mesh: &'m TerrainMesh, max_windows: usize, scratch: &'m mut Scratch) -> Self {
+        let n = mesh.n_vertices();
+        scratch.spawned.clear();
+        scratch.spawned.resize(n, false);
+        scratch.windows.clear();
+        scratch.heap.reset(n);
         Self {
             mesh,
-            dist: vec![f64::INFINITY; mesh.n_vertices()],
-            spawned: vec![false; mesh.n_vertices()],
-            windows: Vec::new(),
-            heap: MinHeap::with_capacity(1024),
+            dist: vec![f64::INFINITY; n],
+            scratch,
             stats: SsadStats::default(),
             bound: f64::INFINITY,
+            pruned: false,
             max_windows,
         }
     }
 
     fn run(mut self, source: VertexId, stop: Stop<'_>) -> SsadResult {
-        if let Stop::Radius(r) = stop {
-            self.bound = r * (1.0 + 1e-12) + 1e-300;
-        }
+        let n = self.mesh.n_vertices() as u32;
         self.dist[source as usize] = 0.0;
         let mut watcher = StopWatcher::new(stop, &self.dist);
         watcher.on_relax(source, 0.0);
+        self.bound = watcher.prune_bound(&self.dist);
         self.open_pseudo_source(source, 0.0, &mut watcher);
 
         let mut stopped = false;
-        while let Some((key, ev)) = self.heap.pop() {
+        while let Some((key, slot)) = self.scratch.heap.pop() {
             self.stats.events_processed += 1;
             self.stats.max_key = key;
             if watcher.done(key, &self.dist) {
                 stopped = true;
                 break;
             }
-            match ev {
-                Event::PseudoSource(v) => {
-                    // Stale if the label improved after this push; the
-                    // improving relaxation pushed a fresher event.
-                    if self.spawned[v as usize] || key > self.dist[v as usize] * (1.0 + 1e-12) {
-                        continue;
-                    }
-                    self.spawned[v as usize] = true;
-                    let d = self.dist[v as usize];
-                    self.open_pseudo_source(v, d, &mut watcher);
+            self.bound = self.bound.min(watcher.prune_bound(&self.dist));
+            if slot < n {
+                // Pseudo-source opening. The heap entry's key is decreased
+                // in lockstep with the label, so it is never stale.
+                let v = slot;
+                debug_assert!(!self.scratch.spawned[v as usize]);
+                debug_assert_eq!(key, self.dist[v as usize]);
+                self.scratch.spawned[v as usize] = true;
+                let d = self.dist[v as usize];
+                self.open_pseudo_source(v, d, &mut watcher);
+            } else {
+                let w = self.scratch.windows[(slot - n) as usize];
+                if key > self.bound {
+                    // The bound tightened after this window was enqueued.
+                    self.pruned = true;
+                    continue;
                 }
-                Event::Window(idx) => {
-                    let w = self.windows[idx as usize];
-                    if self.dominated(&w) {
-                        continue;
-                    }
-                    self.propagate(&w, &mut watcher);
+                if self.dominated(&w) {
+                    continue;
                 }
+                self.propagate(&w, &mut watcher);
             }
         }
 
-        let finalized = watcher.finalized(stopped, &self.dist);
+        let finalized = watcher.finalized(stopped, self.pruned, &self.dist);
         SsadResult { dist: self.dist, finalized, stats: self.stats }
     }
 
-    /// Lowers `dist[v]`; schedules a pseudo-source opening when `v` is a
-    /// saddle or boundary vertex.
+    /// Lowers `dist[v]`; schedules (or re-keys) a pseudo-source opening when
+    /// `v` is a saddle or boundary vertex.
     fn relax(&mut self, v: VertexId, nd: f64, watcher: &mut StopWatcher<'_>) {
         if nd < self.dist[v as usize] {
             self.dist[v as usize] = nd;
             watcher.on_relax(v, nd);
-            if !self.spawned[v as usize] && self.mesh.is_pseudo_source_vertex(v) && nd <= self.bound
-            {
-                self.heap.push(nd, Event::PseudoSource(v));
+            if !self.scratch.spawned[v as usize] && self.mesh.is_pseudo_source_vertex(v) {
+                if nd <= self.bound {
+                    self.scratch.heap.push_or_decrease(v, nd);
+                } else {
+                    self.pruned = true;
+                }
             }
         }
     }
@@ -226,14 +296,18 @@ impl<'m> Search<'m> {
                 .expect("face has an edge opposite each vertex");
             let ev = self.mesh.edge(e).v;
             let pv = self.mesh.vertex(v);
+            let b1 = self.mesh.edge_len(e);
+            let d0 = pv.dist(self.mesh.vertex(ev[0]));
+            let d1 = pv.dist(self.mesh.vertex(ev[1]));
             let w = Window {
                 edge: e,
                 to_face: self.mesh.other_face(e, f).unwrap_or(NO_FACE),
                 b0: 0.0,
-                b1: self.mesh.edge_len(e),
-                d0: pv.dist(self.mesh.vertex(ev[0])),
-                d1: pv.dist(self.mesh.vertex(ev[1])),
+                b1,
+                d0,
+                d1,
                 sigma: d,
+                src: Window::source_2d(0.0, b1, d0, d1),
             };
             self.add_window(w, watcher);
         }
@@ -274,6 +348,9 @@ impl<'m> Search<'m> {
 
         let key = w.min_dist();
         if key > self.bound {
+            // Lower bound beyond the search horizon: the window cannot
+            // improve any label the run promises as final.
+            self.pruned = true;
             return;
         }
         if self.dominated(&w) {
@@ -283,14 +360,15 @@ impl<'m> Search<'m> {
             return; // boundary: nothing to propagate into
         }
         assert!(
-            self.windows.len() < self.max_windows,
+            self.scratch.windows.len() < self.max_windows,
             "ICH window budget ({}) exhausted — pathological mesh or bug",
             self.max_windows
         );
-        let idx = self.windows.len() as u32;
-        self.windows.push(w);
+        let idx = self.scratch.windows.len() as u32;
+        self.scratch.windows.push(w);
         self.stats.events_created += 1;
-        self.heap.push(key, Event::Window(idx));
+        let slot = self.mesh.n_vertices() as u32 + idx;
+        self.scratch.heap.push_or_decrease(slot, key);
     }
 
     /// Unfolds `w` across its `to_face` and emits the clipped child windows.
@@ -311,7 +389,7 @@ impl<'m> Search<'m> {
             b2,
             -1.0,
         );
-        let s = w.source_2d();
+        let s = w.src;
         let dir0 = Vec2::new(w.b0, 0.0) - s;
         let dir1 = Vec2::new(w.b1, 0.0) - s;
         let dir_c = c2 - s;
@@ -382,14 +460,16 @@ impl<'m> Search<'m> {
         } else {
             ((1.0 - u_hi) * len, (1.0 - u_lo) * len, d_hi, d_lo)
         };
+        let (b0, b1) = (b0.max(0.0), b1.min(len));
         let w = Window {
             edge: e,
             to_face: self.mesh.other_face(e, g).unwrap_or(NO_FACE),
-            b0: b0.max(0.0),
-            b1: b1.min(len),
+            b0,
+            b1,
             d0,
             d1,
             sigma,
+            src: Window::source_2d(b0, b1, d0, d1),
         };
         self.add_window(w, watcher);
     }

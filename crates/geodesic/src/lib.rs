@@ -29,6 +29,8 @@
 //! assert!((d - 32f64.sqrt()).abs() < 1e-9);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod dijkstra;
 pub mod engine;

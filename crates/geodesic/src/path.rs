@@ -1,6 +1,6 @@
 //! Shortest-path *reconstruction*: polylines on the terrain surface.
 //!
-//! The SE oracle answers distance queries only (the paper's scope — [12]
+//! The SE oracle answers distance queries only (the paper's scope — \[12\]
 //! observes that "geodesic distance queries are intrinsically easier than
 //! geodesic path queries"), but several of its motivating applications
 //! (hiking routes, vehicle planning, §1.1) want the route itself. This

@@ -18,6 +18,33 @@ use std::sync::Arc;
 use terrain::geom::Vec3;
 use terrain::VertexId;
 
+/// A bounded sweep from one site, carrying the finality horizon the engine
+/// actually certified.
+///
+/// `horizon ≥` the requested radius always; it is **infinite** when the
+/// underlying search drained exhaustively (common when the request radius
+/// already covers the surface, e.g. top partition-tree layers and the wide
+/// enhanced-edge disks). Caching layers store sweeps at their horizon
+/// rather than the requested radius, so one wide run can answer *any*
+/// later query from the same site.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// `(site, dist)` pairs with `dist ≤ horizon`, ascending site index.
+    /// Every site within `horizon` appears; when `horizon` is infinite,
+    /// sites absent from the list are unreachable.
+    pub pairs: Vec<(usize, f64)>,
+    /// The certified finality horizon (≥ the requested radius).
+    pub horizon: f64,
+}
+
+impl Sweep {
+    /// The pairs at distance ≤ `radius` (a narrower filter of this sweep).
+    pub fn clipped(&self, radius: f64) -> Vec<(usize, f64)> {
+        debug_assert!(radius <= self.horizon);
+        self.pairs.iter().copied().filter(|&(_, d)| d <= radius).collect()
+    }
+}
+
 /// A finite set of sites in a geodesic metric space.
 pub trait SiteSpace: Send + Sync {
     /// Number of sites.
@@ -31,6 +58,14 @@ pub trait SiteSpace: Send + Sync {
     /// `(site, dist)` pairs with `dist ≤ radius`, all such sites included
     /// (including `site` itself at distance 0).
     fn sites_within(&self, site: usize, radius: f64) -> Vec<(usize, f64)>;
+
+    /// Like [`Self::sites_within`], but returns the whole [`Sweep`] up to
+    /// the engine's certified horizon instead of clipping at `radius`.
+    /// The default wraps `sites_within` with `horizon = radius`; spaces
+    /// whose engines report tightened horizons override it.
+    fn sites_within_horizon(&self, site: usize, radius: f64) -> Sweep {
+        Sweep { pairs: self.sites_within(site, radius), horizon: radius }
+    }
 
     /// Distances from `site` to all sites (full SSAD).
     fn all_distances(&self, site: usize) -> Vec<f64>;
@@ -68,10 +103,12 @@ impl VertexSiteSpace {
         Self { engine, sites }
     }
 
+    /// The site vertices, in site-index order.
     pub fn sites(&self) -> &[VertexId] {
         &self.sites
     }
 
+    /// The geodesic engine distances come from.
     pub fn engine(&self) -> &Arc<dyn GeodesicEngine> {
         &self.engine
     }
@@ -87,15 +124,27 @@ impl SiteSpace for VertexSiteSpace {
     }
 
     fn sites_within(&self, site: usize, radius: f64) -> Vec<(usize, f64)> {
+        self.sites_within_horizon(site, radius).clipped(radius)
+    }
+
+    fn sites_within_horizon(&self, site: usize, radius: f64) -> Sweep {
         let r = self.engine.ssad(self.sites[site], Stop::Radius(radius));
-        self.sites
+        // Labels ≤ the run's own horizon are final, and label-setting
+        // engines produce them bit-identically under any wider stop — so
+        // the whole finalized ball is as reusable as the requested one.
+        // Unreachable sites (infinite labels) stay absent even when the
+        // horizon is infinite — the `Sweep` absence convention.
+        let horizon = r.finalized;
+        let pairs = self
+            .sites
             .iter()
             .enumerate()
             .filter_map(|(i, &v)| {
                 let d = r.dist[v as usize];
-                (d <= radius).then_some((i, d))
+                (d.is_finite() && d <= horizon).then_some((i, d))
             })
-            .collect()
+            .collect();
+        Sweep { pairs, horizon }
     }
 
     fn all_distances(&self, site: usize) -> Vec<f64> {
@@ -115,14 +164,17 @@ pub struct GraphSiteSpace {
 }
 
 impl GraphSiteSpace {
+    /// A site space over `graph` whose sites are the listed nodes.
     pub fn new(graph: Arc<SteinerGraph>, sites: Vec<NodeId>) -> Self {
         Self { graph, sites }
     }
 
+    /// The site nodes, in site-index order.
     pub fn sites(&self) -> &[NodeId] {
         &self.sites
     }
 
+    /// The Steiner graph distances come from.
     pub fn graph(&self) -> &Arc<SteinerGraph> {
         &self.graph
     }
@@ -138,15 +190,22 @@ impl SiteSpace for GraphSiteSpace {
     }
 
     fn sites_within(&self, site: usize, radius: f64) -> Vec<(usize, f64)> {
+        self.sites_within_horizon(site, radius).clipped(radius)
+    }
+
+    fn sites_within_horizon(&self, site: usize, radius: f64) -> Sweep {
         let r = self.graph.dijkstra(self.sites[site], GraphStop::Radius(radius));
-        self.sites
+        let horizon = r.finalized;
+        let pairs = self
+            .sites
             .iter()
             .enumerate()
             .filter_map(|(i, &v)| {
                 let d = r.dist[v as usize];
-                (d <= radius).then_some((i, d))
+                (d.is_finite() && d <= horizon).then_some((i, d))
             })
-            .collect()
+            .collect();
+        Sweep { pairs, horizon }
     }
 
     fn all_distances(&self, site: usize) -> Vec<f64> {

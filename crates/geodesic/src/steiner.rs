@@ -128,7 +128,7 @@ impl SteinerGraph {
     }
 
     /// Chooses `m` from an error parameter following the baselines' sizing
-    /// `m = Θ(1/√ε · log(1/ε))` ([12] §4.2.1 of the paper), capped to keep
+    /// `m = Θ(1/√ε · log(1/ε))` (\[12\] §4.2.1 of the paper), capped to keep
     /// construction tractable; the cap is reported by
     /// [`SteinerGraph::points_per_edge`].
     pub fn for_epsilon(mesh: Arc<TerrainMesh>, eps: f64) -> Self {
@@ -141,6 +141,7 @@ impl SteinerGraph {
         self.m
     }
 
+    /// Total node count (mesh vertices + Steiner points).
     pub fn n_nodes(&self) -> usize {
         self.positions.len()
     }
@@ -150,10 +151,12 @@ impl SteinerGraph {
         self.adj_dat.len()
     }
 
+    /// The underlying terrain mesh.
     pub fn mesh(&self) -> &Arc<TerrainMesh> {
         &self.mesh
     }
 
+    /// Position of node `n` in ambient 3-space.
     pub fn position(&self, n: NodeId) -> Vec3 {
         self.positions[n as usize]
     }
@@ -210,22 +213,28 @@ impl SteinerGraph {
         }
         let mut max_target = f64::INFINITY;
 
+        let mut stopped = false;
         while let Some((key, v)) = heap.pop() {
             if key > dist[v as usize] {
                 continue;
             }
             pops += 1;
             match stop {
-                GraphStop::Radius(r) if key > r => break,
+                GraphStop::Radius(r) if key > r => {
+                    stopped = true;
+                }
                 GraphStop::Targets(ts) if remaining == 0 => {
                     if max_target.is_infinite() {
                         max_target = ts.iter().map(|&t| dist[t as usize]).fold(0.0, f64::max);
                     }
                     if key >= max_target {
-                        break;
+                        stopped = true;
                     }
                 }
                 _ => {}
+            }
+            if stopped {
+                break;
             }
             let lo = self.adj_off[v as usize] as usize;
             let hi = self.adj_off[v as usize + 1] as usize;
@@ -243,7 +252,19 @@ impl SteinerGraph {
                 }
             }
         }
-        GraphResult { dist, pops }
+        // Dijkstra never drops relaxations, so a drained queue (no early
+        // stop) means every reached label is final, whatever the stop
+        // criterion asked for.
+        let finalized = if !stopped {
+            f64::INFINITY
+        } else {
+            match stop {
+                GraphStop::Radius(r) => r,
+                GraphStop::Exhaust => f64::INFINITY,
+                GraphStop::Targets(ts) => ts.iter().map(|&t| dist[t as usize]).fold(0.0, f64::max),
+            }
+        };
+        GraphResult { dist, pops, finalized }
     }
 
     /// Graph distance between two nodes.
@@ -274,16 +295,24 @@ pub fn points_per_edge_for_epsilon(eps: f64) -> usize {
 /// Stop criterion for [`SteinerGraph::dijkstra`] (node-id domain).
 #[derive(Debug, Clone, Copy)]
 pub enum GraphStop<'a> {
+    /// Run until every listed node has a final label.
     Targets(&'a [NodeId]),
+    /// Run until every node within graph distance `r` has a final label.
     Radius(f64),
+    /// Propagate until exhaustion: all labels final.
     Exhaust,
 }
 
 /// Dense result of a Steiner-graph Dijkstra.
 #[derive(Debug, Clone)]
 pub struct GraphResult {
+    /// Graph distance per node (`f64::INFINITY` if unreached).
     pub dist: Vec<f64>,
+    /// Queue pops performed.
     pub pops: u64,
+    /// Finality horizon: labels `≤ finalized` are final graph distances
+    /// (same contract as [`crate::engine::SsadResult::finalized`]).
+    pub finalized: f64,
 }
 
 /// [`GeodesicEngine`] adapter: approximate geodesics via the Steiner graph.
@@ -297,10 +326,12 @@ pub struct SteinerEngine {
 }
 
 impl SteinerEngine {
+    /// An engine answering vertex queries from `graph`.
     pub fn new(graph: SteinerGraph) -> Self {
         Self { graph }
     }
 
+    /// The underlying Steiner graph.
     pub fn graph(&self) -> &SteinerGraph {
         &self.graph
     }
@@ -326,12 +357,9 @@ impl GeodesicEngine for SteinerEngine {
         let r = self.graph.dijkstra(source as NodeId, gstop);
         let nv = self.graph.mesh().n_vertices();
         let mut dist = r.dist;
-        let finalized = match stop {
-            Stop::Radius(rad) => rad,
-            Stop::Exhaust => f64::INFINITY,
-            // The graph run stops once every target label is final.
-            Stop::Targets(ts) => ts.iter().map(|&t| dist[t as usize]).fold(0.0, f64::max),
-        };
+        // The graph run's own horizon transfers: targets are vertex ids and
+        // survive the truncation below.
+        let finalized = r.finalized;
         dist.truncate(nv);
         SsadResult {
             dist,

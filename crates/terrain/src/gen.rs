@@ -66,7 +66,7 @@ impl Heightfield {
 
     /// Resamples to a different resolution over the same footprint
     /// (bilinear). This is the reproduction's stand-in for the surface
-    /// simplification of Liu & Wong [24] used by the paper's Effect-of-N
+    /// simplification of Liu & Wong \[24\] used by the paper's Effect-of-N
     /// experiment: it produces meshes of varying `N` covering the same
     /// region.
     pub fn resample(&self, nx: usize, ny: usize) -> Heightfield {

@@ -5,7 +5,7 @@
 //! on its geometric center and add a new edge between the new vertex and
 //! each of the three vertices on the face"), and (2) simplified variants of
 //! that enlarged mesh via the surface-simplification algorithm of Liu & Wong
-//! [24]. We reproduce (1) exactly; for (2) we provide both heightfield
+//! \[24\]. We reproduce (1) exactly; for (2) we provide both heightfield
 //! resampling ([`crate::gen::Heightfield::resample`]) and a general
 //! edge-collapse decimator ([`decimate_to`]) that works on any terrain
 //! mesh, not just grid-derived ones.

@@ -214,3 +214,64 @@ fn steiner_path_length_equals_steiner_distance() {
         assert_eq!(*p.points.last().unwrap(), mesh.vertex(t));
     }
 }
+
+#[test]
+fn within_horizon_identical_between_cached_wide_and_fresh_narrow_runs() {
+    // Regression guard for window/relaxation pruning against the SSAD-reuse
+    // contract: a `within(h)` view of a *wider* run must return exactly the
+    // same (vertex, distance) stream as a fresh run bounded at `h` — to the
+    // bit, for every engine. The cache serves narrower queries from wider
+    // cached runs, so any pruning that disturbed labels inside the narrower
+    // horizon would silently corrupt construction.
+    let mesh = fractal_mesh_arc(4, 0.6, 223);
+    for (name, engine) in [
+        ("ich", Box::new(IchEngine::new(mesh.clone())) as Box<dyn GeodesicEngine>),
+        (
+            "steiner",
+            Box::new(SteinerEngine::new(SteinerGraph::with_points_per_edge(mesh.clone(), 2))),
+        ),
+        ("edge", Box::new(EdgeGraphEngine::new(mesh.clone()))),
+    ] {
+        let reach = engine.ssad(9, Stop::Exhaust).dist.iter().cloned().fold(0.0, f64::max);
+        let wide = engine.ssad(9, Stop::Radius(reach * 0.7));
+        for f in [0.7, 0.5, 0.3, 0.1] {
+            let h = reach * 0.7 * f;
+            let narrow = engine.ssad(9, Stop::Radius(h));
+            let from_wide: Vec<(u32, u64)> =
+                wide.within(h).map(|(v, d)| (v, d.to_bits())).collect();
+            let fresh: Vec<(u32, u64)> = narrow.within(h).map(|(v, d)| (v, d.to_bits())).collect();
+            assert_eq!(from_wide, fresh, "{name}: within({h}) differs between wide and fresh runs");
+        }
+    }
+}
+
+#[test]
+fn cached_wide_sweep_serves_narrow_queries_bit_identically() {
+    // The same contract one level up, through the cache that construction
+    // actually uses: a wider cached `sites_within` must answer every
+    // narrower radius exactly as a fresh horizon-limited engine run would.
+    use terrain_oracle::geodesic::cache::CachingSiteSpace;
+    use terrain_oracle::geodesic::{SiteSpace, VertexSiteSpace};
+
+    let mesh = fractal_mesh_arc(4, 0.6, 227);
+    let nv = mesh.n_vertices();
+    let sites: Vec<u32> = (0..nv as u32).step_by(nv / 24).collect();
+    let raw = VertexSiteSpace::new(Arc::new(IchEngine::new(mesh)), sites);
+    let cached = CachingSiteSpace::new(&raw);
+
+    let r_max = raw.all_distances(3).iter().cloned().fold(0.0, f64::max);
+    let wide = cached.sites_within(3, r_max * 0.8); // miss: caches the wide sweep
+    assert_eq!(wide, raw.sites_within(3, r_max * 0.8));
+    let misses_after_wide = cached.stats().misses;
+    for f in [0.6, 0.35, 0.15, 0.05] {
+        let h = r_max * 0.8 * f;
+        let served = cached.sites_within(3, h);
+        let fresh = raw.sites_within(3, h);
+        assert_eq!(served.len(), fresh.len(), "radius factor {f}");
+        for ((sa, da), (sb, db)) in served.iter().zip(&fresh) {
+            assert_eq!(sa, sb, "radius factor {f}");
+            assert_eq!(da.to_bits(), db.to_bits(), "site {sa} at radius factor {f}");
+        }
+    }
+    assert_eq!(cached.stats().misses, misses_after_wide, "narrow queries must all be cache hits");
+}
