@@ -1,0 +1,61 @@
+//! Path-workload microbenchmarks: what promoting a distance answer to a
+//! route costs. `distance_only` is the baseline oracle probe;
+//! `shortest_path` adds Steiner-graph backtracking for the polyline;
+//! `pois_within_detour` is the pruned dual sweep over the partition tree.
+
+use bench::setup::{query_pairs, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_oracle::oracle::BuildConfig;
+use se_oracle::p2p::{EngineKind, P2POracle};
+use se_oracle::route::PathIndex;
+use se_oracle::serve::QueryHandle;
+use std::hint::black_box;
+use terrain::gen::Preset;
+
+const PAIRS: usize = 64;
+
+fn bench_path_query(c: &mut Criterion) {
+    let w = Workload::preset(Preset::SfSmall, 0.3, 60);
+    // The query path is engine-independent; the edge-graph build keeps the
+    // bench's setup phase cheap.
+    let built =
+        P2POracle::build(&w.mesh, &w.pois, 0.15, EngineKind::EdgeGraph, &BuildConfig::default())
+            .expect("oracle construction");
+    let paths = PathIndex::for_p2p(&built, 3);
+    let handle = QueryHandle::new(built.into_oracle()).with_paths(paths);
+    let pairs = query_pairs(handle.n_sites(), PAIRS, 0x9A7B);
+    let diameter = pairs.iter().map(|&(s, t)| handle.distance(s, t)).fold(0.0f64, f64::max);
+
+    let mut g = c.benchmark_group("path_query");
+    g.bench_function(format!("distance_only/{PAIRS}-pairs"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(s, t) in &pairs {
+                acc += handle.distance(s, t);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function(format!("shortest_path/{PAIRS}-pairs"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(s, t) in &pairs {
+                acc += handle.shortest_path(s, t).path.length;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function(format!("pois_within_detour/{PAIRS}-pairs"), |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &(s, t) in &pairs {
+                acc += handle.pois_within_detour(s, t, 0.1 * diameter).len();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_path_query);
+criterion_main!(benches);

@@ -54,8 +54,12 @@
 
 use crate::oracle::{BuildConfig, BuildError, SeOracle};
 use crate::p2p::{make_engine, EngineKind};
+use crate::proximity::DetourPoi;
+use crate::route::ShortestPath;
 use crate::serve::shard_pairs;
+use geodesic::path::{shortest_vertex_path_straightened, SurfacePath};
 use geodesic::sitespace::VertexSiteSpace;
+use geodesic::steiner::SteinerGraph;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
@@ -91,6 +95,12 @@ pub struct AtlasConfig {
     pub grid: TileGridConfig,
     /// Per-tile oracle build options (threads split outer × inner).
     pub build: BuildConfig,
+    /// When set, each tile also keeps a Steiner path graph with this many
+    /// points per mesh edge, enabling [`Atlas::shortest_path`] (use `≥ 3`
+    /// to keep the [`crate::route::EPS_PATH`] contract). `None` (the
+    /// default) builds a distance-only atlas; persisted images are always
+    /// distance-only, since the path graphs live on the tile meshes.
+    pub path_points_per_edge: Option<usize>,
 }
 
 /// Atlas construction failures.
@@ -185,6 +195,23 @@ pub struct AtlasBuildStats {
     pub tile_sites: Vec<usize>,
 }
 
+/// One tile's path-reporting payload (only with
+/// [`AtlasConfig::path_points_per_edge`]).
+struct TilePaths {
+    /// Steiner graph over the tile sub-mesh (tile meshes keep global
+    /// coordinates, so its polylines live on the global surface).
+    graph: SteinerGraph,
+    /// Tile-local site id → tile-local mesh vertex (the same order the
+    /// tile oracle's site space uses).
+    site_vertex: Vec<VertexId>,
+}
+
+/// The atlas's optional path-reporting layer.
+struct AtlasPaths {
+    tiles: Vec<TilePaths>,
+    points_per_edge: usize,
+}
+
 /// One tile's queryable payload.
 pub(crate) struct AtlasTile {
     pub(crate) oracle: SeOracle,
@@ -215,6 +242,9 @@ pub struct Atlas {
     graph_off: Vec<u32>,
     graph_adj: Vec<(u32, f64)>,
     stats: AtlasBuildStats,
+    /// Per-tile Steiner path graphs, present only when built with
+    /// [`AtlasConfig::path_points_per_edge`].
+    paths: Option<AtlasPaths>,
 }
 
 impl Atlas {
@@ -331,6 +361,21 @@ impl Atlas {
             });
         let oracles = t0.elapsed();
 
+        // Path graphs must be captured here: the per-tile site lists are
+        // consumed by the tile assembly below, and the tile meshes are not
+        // retained anywhere else.
+        let paths = cfg.path_points_per_edge.map(|m| AtlasPaths {
+            points_per_edge: m,
+            tiles: plans
+                .iter()
+                .enumerate()
+                .map(|(t, plan)| TilePaths {
+                    graph: SteinerGraph::with_points_per_edge(partition.tile(t).mesh.clone(), m),
+                    site_vertex: plan.verts.clone(),
+                })
+                .collect(),
+        });
+
         let mut tiles = Vec::with_capacity(n_tiles);
         for (t, (r, plan)) in built.into_iter().zip(plans).enumerate() {
             let (oracle, portal_table) =
@@ -353,7 +398,17 @@ impl Atlas {
             portal_edges: graph_adj.len(),
             tile_sites: tiles.iter().map(|t| t.oracle.n_sites()).collect(),
         };
-        Ok(Self { eps, tiles, site_home, site_members, n_portals, graph_off, graph_adj, stats })
+        Ok(Self {
+            eps,
+            tiles,
+            site_home,
+            site_members,
+            n_portals,
+            graph_off,
+            graph_adj,
+            stats,
+            paths,
+        })
     }
 
     /// Reassembles an atlas from its persisted parts, re-deriving the
@@ -377,7 +432,19 @@ impl Atlas {
             tile_sites: tiles.iter().map(|t| t.oracle.n_sites()).collect(),
             ..Default::default()
         };
-        Ok(Self { eps, tiles, site_home, site_members, n_portals, graph_off, graph_adj, stats })
+        // Persisted images carry no tile meshes, so reloaded atlases are
+        // distance-only (see [`AtlasConfig::path_points_per_edge`]).
+        Ok(Self {
+            eps,
+            tiles,
+            site_home,
+            site_members,
+            n_portals,
+            graph_off,
+            graph_adj,
+            stats,
+            paths: None,
+        })
     }
 
     /// The error parameter ε of every tile oracle.
@@ -610,6 +677,313 @@ impl Atlas {
         scratch.reset();
         best
     }
+
+    /// Whether this atlas was built with path support
+    /// ([`AtlasConfig::path_points_per_edge`]).
+    pub fn has_paths(&self) -> bool {
+        self.paths.is_some()
+    }
+
+    /// Steiner points per edge of the path layer, if present.
+    pub fn path_points_per_edge(&self) -> Option<usize> {
+        self.paths.as_ref().map(|p| p.points_per_edge)
+    }
+
+    /// Answers a distance query *and* reports a route realising it —
+    /// the atlas counterpart of [`SeOracle::shortest_path`].
+    ///
+    /// `distance` is bit-identical to [`Atlas::distance`]`(s, t)`. The
+    /// polyline is assembled from per-tile Steiner paths: when a shared
+    /// tile answers the query, one in-tile path; otherwise the source leg,
+    /// one leg per portal-graph hop (each reconstructed inside the tile
+    /// whose portal table produced that edge weight), and the destination
+    /// leg, concatenated at the shared portal vertices. Tile sub-meshes
+    /// keep global coordinates, so the result lies on the global surface
+    /// and its length obeys
+    /// `distance / ((1 + ε)(1 + EPS_ROUTE)) ≤ length ≤ distance × (1 + EPS_PATH)`
+    /// under the same engine/portal-density conditions as [`EPS_ROUTE`]
+    /// and [`crate::route::EPS_PATH`].
+    ///
+    /// Every call is a pure function of `(s, t)` — bit-identical across
+    /// clones and thread counts, like the distance entry points.
+    ///
+    /// # Panics
+    /// Panics if an id is out of range or the atlas has no path layer
+    /// (built with the default distance-only config, or reloaded from a
+    /// persisted image).
+    pub fn shortest_path(&self, s: usize, t: usize) -> ShortestPath {
+        self.check_sites(s, t);
+        let paths = self.paths.as_ref().expect(
+            "atlas has no path layer; build it with AtlasConfig::path_points_per_edge \
+             (persisted atlas images answer distances only)",
+        );
+        let (ms, mt) = (&self.site_members[s], &self.site_members[t]);
+        // Direct candidates, argmin-first so ties deterministically keep
+        // the lowest-numbered shared tile; the value matches the min-fold
+        // in `distance_unchecked` exactly.
+        let mut best = f64::INFINITY;
+        let mut direct: Option<(usize, u32, u32)> = None;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ms.len() && j < mt.len() {
+            match ms[i].0.cmp(&mt[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let tile = ms[i].0 as usize;
+                    let d = self.tiles[tile].oracle.distance(ms[i].1 as usize, mt[j].1 as usize);
+                    if d < best {
+                        best = d;
+                        direct = Some((tile, ms[i].1, mt[j].1));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let (hs, ht) = (self.site_home[s], self.site_home[t]);
+        let mut routed: Option<Vec<u32>> = None;
+        let (mut ls, mut lt) = (0u32, 0u32);
+        if hs != ht {
+            ls = local_in(ms, hs);
+            lt = local_in(mt, ht);
+            let mut scratch = RouteScratch::new(self.n_portals);
+            let (d, chain) = self.route_traced(hs as usize, ls, ht as usize, lt, &mut scratch);
+            // Strict `<`: on a tie the direct answer wins, so the choice
+            // is deterministic and the reported distance is the same min.
+            if d < best {
+                best = d;
+                routed = Some(chain);
+            }
+        }
+        assert!(
+            best.is_finite(),
+            "no route between sites {s} and {t} although construction validated \
+             connectivity — the atlas image is corrupt; rebuild it"
+        );
+        let path = match routed {
+            None => {
+                let (tile, a, b) = direct.expect("finite distance implies a shared tile");
+                tile_leg(&paths.tiles[tile], a, b)
+            }
+            Some(chain) => self.portal_route_path(paths, hs as usize, ls, ht as usize, lt, &chain),
+        };
+        ShortestPath { distance: best, path }
+    }
+
+    /// [`Self::route`] with predecessor tracking: returns the routed
+    /// distance (identical bits) plus the portal chain, entry → exit,
+    /// realising it. The chain is empty only when no destination portal is
+    /// reachable (callers treat the infinite distance first).
+    fn route_traced(
+        &self,
+        ts: usize,
+        ls: u32,
+        tt: usize,
+        lt: u32,
+        scratch: &mut RouteScratch,
+    ) -> (f64, Vec<u32>) {
+        let src = &self.tiles[ts];
+        let dst = &self.tiles[tt];
+        debug_assert!(scratch.heap.is_empty() && scratch.touched.is_empty());
+
+        // `u32::MAX` = label realised by direct seeding from the source.
+        let mut prev: Vec<u32> = vec![u32::MAX; self.n_portals];
+        scratch.pairs.clear();
+        scratch.pairs.extend(src.portals.iter().map(|&(_, lp)| (ls, lp)));
+        let from_s = src.oracle.distance_many(&scratch.pairs);
+        for (k, &(gid, _)) in src.portals.iter().enumerate() {
+            relax_with_prev(scratch, &mut prev, gid, from_s[k], u32::MAX);
+        }
+        for &(gid, _) in &dst.portals {
+            scratch.dst_mark[gid as usize] = true;
+        }
+        let mut remaining = dst.portals.len();
+        while let Some(Reverse((bits, u))) = scratch.heap.pop() {
+            if bits > scratch.dist[u as usize].to_bits() {
+                continue; // stale entry
+            }
+            if scratch.dst_mark[u as usize] {
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            let (lo, hi) = (self.graph_off[u as usize], self.graph_off[u as usize + 1]);
+            let du = scratch.dist[u as usize];
+            for &(v, w) in &self.graph_adj[lo as usize..hi as usize] {
+                relax_with_prev(scratch, &mut prev, v, du + w, u);
+            }
+        }
+        for &(gid, _) in &dst.portals {
+            scratch.dst_mark[gid as usize] = false;
+        }
+
+        scratch.pairs.clear();
+        scratch.pairs.extend(dst.portals.iter().map(|&(_, lp)| (lt, lp)));
+        let to_t = dst.oracle.distance_many(&scratch.pairs);
+        let mut best = f64::INFINITY;
+        let mut best_exit: Option<u32> = None;
+        for (k, &(gid, _)) in dst.portals.iter().enumerate() {
+            let via = scratch.dist[gid as usize] + to_t[k];
+            if via < best {
+                best = via;
+                best_exit = Some(gid);
+            }
+        }
+        let mut chain = Vec::new();
+        if let Some(mut p) = best_exit {
+            loop {
+                chain.push(p);
+                match prev[p as usize] {
+                    u32::MAX => break,
+                    q => p = q,
+                }
+            }
+            chain.reverse();
+        }
+        scratch.reset();
+        (best, chain)
+    }
+
+    /// Concatenates the per-tile legs of a portal route into one polyline:
+    /// source site → entry portal (home tile), portal → portal (the tile
+    /// whose table realised each graph edge), exit portal → target site
+    /// (destination tile). Legs join at shared portal vertices, which
+    /// carry identical global coordinates in both tiles.
+    fn portal_route_path(
+        &self,
+        paths: &AtlasPaths,
+        ts: usize,
+        ls: u32,
+        tt: usize,
+        lt: u32,
+        chain: &[u32],
+    ) -> SurfacePath {
+        let entry = chain.first().expect("a routed answer always crosses a portal");
+        let exit = chain.last().expect("non-empty chain");
+        let mut pts = tile_leg(&paths.tiles[ts], ls, self.portal_site_in(ts, *entry)).points;
+        for w in chain.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let tile = self.tile_realising_edge(a, b);
+            let leg = tile_leg(
+                &paths.tiles[tile],
+                self.portal_site_in(tile, a),
+                self.portal_site_in(tile, b),
+            );
+            append_leg(&mut pts, leg);
+        }
+        let last = tile_leg(&paths.tiles[tt], self.portal_site_in(tt, *exit), lt);
+        append_leg(&mut pts, last);
+        SurfacePath::from_points(pts)
+    }
+
+    /// Local site id of global portal `gid` inside tile `t` (the portal
+    /// must belong to the tile).
+    fn portal_site_in(&self, t: usize, gid: u32) -> u32 {
+        let portals = &self.tiles[t].portals;
+        let k = portals
+            .binary_search_by_key(&gid, |&(g, _)| g)
+            .expect("portal not a member of the tile its route crossed");
+        portals[k].1
+    }
+
+    /// The lowest-numbered tile whose portal table produced the portal
+    /// graph edge `a → b` (the dedup in [`build_portal_graph`] keeps the
+    /// minimum weight, which is some tile's table entry verbatim, so a
+    /// bitwise match always exists).
+    fn tile_realising_edge(&self, a: u32, b: u32) -> usize {
+        let (lo, hi) = (self.graph_off[a as usize], self.graph_off[a as usize + 1]);
+        let row = &self.graph_adj[lo as usize..hi as usize];
+        let w =
+            row[row.binary_search_by_key(&b, |&(v, _)| v).expect("edge absent from the graph")].1;
+        for (t, tile) in self.tiles.iter().enumerate() {
+            let Ok(pi) = tile.portals.binary_search_by_key(&a, |&(g, _)| g) else { continue };
+            let Ok(pj) = tile.portals.binary_search_by_key(&b, |&(g, _)| g) else { continue };
+            if tile.portal_table[pi * tile.portals.len() + pj].to_bits() == w.to_bits() {
+                return t;
+            }
+        }
+        unreachable!("portal graph edge {a} → {b} not realised by any tile table");
+    }
+
+    /// All POIs worth a detour of at most `delta` on a trip `s → t` — the
+    /// atlas counterpart of [`SeOracle::pois_within_detour`], with the
+    /// identical admission rule `d̃(s,p) + d̃(p,t) ≤ d̃(s,t) + delta` over
+    /// the atlas metric and the same `(via-length, site)` ordering.
+    ///
+    /// The atlas has no global partition tree to prune with, so this is
+    /// the exact dual sweep (two atlas queries per site) over a reused
+    /// scratch; results are exact by construction and bit-identical across
+    /// thread counts. Needs no path layer.
+    ///
+    /// # Panics
+    /// Panics if an id is out of range or `delta` is negative or
+    /// non-finite.
+    pub fn pois_within_detour(&self, s: usize, t: usize, delta: f64) -> Vec<DetourPoi> {
+        self.check_sites(s, t);
+        assert!(
+            delta >= 0.0 && delta.is_finite(),
+            "detour budget must be finite and non-negative, got {delta}"
+        );
+        let mut scratch = RouteScratch::new(self.n_portals);
+        let budget = self.distance_unchecked(s, t, &mut scratch) + delta;
+        let mut out = Vec::new();
+        for p in 0..self.n_sites() {
+            if p == s || p == t {
+                continue;
+            }
+            let from_s = self.distance_unchecked(s, p, &mut scratch);
+            if from_s > budget {
+                continue; // via-length can only be larger still
+            }
+            let to_t = self.distance_unchecked(p, t, &mut scratch);
+            if from_s + to_t <= budget {
+                out.push(DetourPoi { site: p, from_s, to_t });
+            }
+        }
+        out.sort_by(|a, b| {
+            (a.via(), a.site).partial_cmp(&(b.via(), b.site)).expect("finite distances")
+        });
+        out
+    }
+}
+
+/// Shortest in-tile Steiner path between two tile-local sites,
+/// straightened so edge quantisation does not accumulate across the
+/// concatenated legs of a portal route.
+fn tile_leg(tile: &TilePaths, a: u32, b: u32) -> SurfacePath {
+    shortest_vertex_path_straightened(
+        &tile.graph,
+        tile.site_vertex[a as usize],
+        tile.site_vertex[b as usize],
+    )
+    .expect("tile sub-meshes are connected")
+}
+
+/// Appends `leg` to `pts`, dropping the duplicated junction point (legs
+/// meet at a shared portal vertex whose coordinates are identical in both
+/// tiles' sub-meshes).
+fn append_leg(pts: &mut Vec<terrain::Vec3>, leg: SurfacePath) {
+    let dup = pts.last() == leg.points.first();
+    debug_assert!(dup, "portal legs must join at the shared portal vertex");
+    pts.extend(leg.points.into_iter().skip(usize::from(dup)));
+}
+
+/// [`RouteScratch::relax`] that additionally records which portal (or the
+/// seeding source, `u32::MAX`) realised each improvement — the traced
+/// variant used by path reconstruction. Must mirror `relax` exactly so
+/// traced and untraced routing settle identically.
+#[inline]
+fn relax_with_prev(scratch: &mut RouteScratch, prev: &mut [u32], p: u32, d: f64, from: u32) {
+    let slot = &mut scratch.dist[p as usize];
+    if d < *slot {
+        if slot.is_infinite() {
+            scratch.touched.push(p);
+        }
+        *slot = d;
+        scratch.heap.push(Reverse((d.to_bits(), p)));
+        prev[p as usize] = from;
+    }
 }
 
 /// The local site id of home tile `tile` in a membership list (always
@@ -828,6 +1202,23 @@ impl AtlasHandle {
             return Vec::new();
         }
         shard_pairs(pairs, threads, |chunk| self.atlas.try_distance_many(chunk))
+    }
+
+    /// Whether the shared atlas carries a path layer
+    /// ([`Atlas::has_paths`]).
+    pub fn has_paths(&self) -> bool {
+        self.atlas.has_paths()
+    }
+
+    /// See [`Atlas::shortest_path`]. Pure per query — bit-identical across
+    /// clones and thread counts, portal routes included.
+    pub fn shortest_path(&self, s: usize, t: usize) -> ShortestPath {
+        self.atlas.shortest_path(s, t)
+    }
+
+    /// See [`Atlas::pois_within_detour`].
+    pub fn pois_within_detour(&self, s: usize, t: usize, delta: f64) -> Vec<DetourPoi> {
+        self.atlas.pois_within_detour(s, t, delta)
     }
 }
 
@@ -1116,5 +1507,83 @@ mod tests {
         assert!(s.tile_sites.iter().all(|&n| n > 0));
         assert!(s.workers >= 1 && s.tile_workers >= 1);
         assert!(s.total >= s.oracles);
+    }
+
+    #[test]
+    fn path_layer_answers_match_distances_and_stay_on_surface() {
+        let (mesh, sites) = fixture(24, 91);
+        let cfg = AtlasConfig {
+            grid: TileGridConfig { portal_spacing: 2, ..Default::default() },
+            path_points_per_edge: Some(3),
+            ..Default::default()
+        };
+        let a = Atlas::build_over_vertices(
+            mesh.clone(),
+            sites.clone(),
+            0.2,
+            EngineKind::EdgeGraph,
+            &cfg,
+        )
+        .unwrap();
+        assert!(a.has_paths());
+        assert_eq!(a.path_points_per_edge(), Some(3));
+        let mut cross = 0usize;
+        for s in 0..a.n_sites() {
+            for t in 0..a.n_sites() {
+                let sp = a.shortest_path(s, t);
+                assert_eq!(
+                    sp.distance.to_bits(),
+                    a.distance(s, t).to_bits(),
+                    "({s},{t}): path query must not change the metric"
+                );
+                if s == t {
+                    assert_eq!(sp.path.length, 0.0);
+                    continue;
+                }
+                assert_eq!(sp.path.points[0], mesh.vertex(sites[s]), "({s},{t}) start");
+                assert_eq!(*sp.path.points.last().unwrap(), mesh.vertex(sites[t]), "({s},{t}) end");
+                assert!(
+                    sp.path.length <= sp.distance * (1.0 + crate::route::EPS_PATH) + 1e-9,
+                    "({s},{t}): path {} breaks EPS_PATH vs {}",
+                    sp.path.length,
+                    sp.distance
+                );
+                if a.is_cross_tile(s, t) {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(cross > 0, "fixture must exercise portal routes");
+    }
+
+    #[test]
+    #[should_panic(expected = "no path layer")]
+    fn distance_only_atlas_rejects_path_queries() {
+        let (a, _, _) = atlas(8, 5, 0.25);
+        assert!(!a.has_paths());
+        a.shortest_path(0, 1);
+    }
+
+    #[test]
+    fn detour_matches_the_dual_sweep_over_the_atlas_metric() {
+        let (a, _, _) = atlas(20, 7, 0.2);
+        for (s, t) in [(0usize, 1usize), (3, 17), (11, 2)] {
+            let d_st = a.distance(s, t);
+            for delta in [0.0, 0.3 * d_st, 3.0 * d_st] {
+                let got = a.pois_within_detour(s, t, delta);
+                let budget = d_st + delta;
+                let mut want: Vec<DetourPoi> = (0..a.n_sites())
+                    .filter(|&p| p != s && p != t)
+                    .map(|p| DetourPoi {
+                        site: p,
+                        from_s: a.distance(s, p),
+                        to_t: a.distance(p, t),
+                    })
+                    .filter(|d| d.via() <= budget)
+                    .collect();
+                want.sort_by(|x, y| (x.via(), x.site).partial_cmp(&(y.via(), y.site)).unwrap());
+                assert_eq!(got, want, "s={s} t={t} delta={delta}");
+            }
+        }
     }
 }

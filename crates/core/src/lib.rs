@@ -24,8 +24,10 @@
 //! Beyond the paper's text, three extensions it motivates or names as
 //! future work:
 //!
-//! * [`proximity`] — kNN / range / reverse-kNN search over the oracle
-//!   (the proximity queries of §1.1/§4.1);
+//! * [`proximity`] — kNN / range / reverse-kNN search and the in-path
+//!   detour query over the oracle (the proximity queries of §1.1/§4.1);
+//! * [`route`] — path reporting: [`route::PathIndex`] +
+//!   [`oracle::SeOracle::shortest_path`], routes alongside distances;
 //! * [`dynamic`] — POI insertion/removal without a rebuild (the
 //!   conclusion's open problem, via the dynamic-WSPD idea of \[14\]);
 //! * [`persist`] — versioned, checksummed binary oracle images;
@@ -67,6 +69,7 @@ pub mod oracle;
 pub mod p2p;
 pub mod persist;
 pub mod proximity;
+pub mod route;
 pub mod serve;
 pub mod tree;
 pub mod wspd;
@@ -78,6 +81,7 @@ pub use dynamic::{DynamicError, DynamicOracle, SubsetSpace};
 pub use oracle::{BuildConfig, BuildError, BuildStats, ConstructionMethod, QueryStats, SeOracle};
 pub use p2p::{EngineKind, P2PError, P2POracle};
 pub use persist::PersistError;
-pub use proximity::{Neighbor, ProximityIndex};
+pub use proximity::{DetourPoi, Neighbor, ProximityIndex};
+pub use route::{PathIndex, ShortestPath, EPS_PATH};
 pub use serve::QueryHandle;
 pub use tree::{PartitionTree, SelectionStrategy, TreeError};

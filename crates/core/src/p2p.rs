@@ -177,6 +177,21 @@ impl P2POracle {
         &self.mesh
     }
 
+    /// Refined-mesh vertex of each distinct site, in site-id order — the
+    /// site set a [`crate::route::PathIndex`] is built over.
+    pub fn site_vertices(&self) -> &[VertexId] {
+        &self.site_vertices
+    }
+
+    /// The site id POI `poi` was merged into (co-located POIs share a
+    /// site; distinct POIs map one-to-one).
+    ///
+    /// # Panics
+    /// Panics if `poi` is out of range.
+    pub fn site_of_poi(&self, poi: usize) -> usize {
+        self.site_of_poi[poi]
+    }
+
     /// The engine used for construction.
     pub fn engine(&self) -> &Arc<dyn GeodesicEngine> {
         &self.engine

@@ -288,6 +288,85 @@ impl<'a> ProximityIndex<'a> {
     }
 }
 
+/// One in-path query result: a POI reachable within the detour budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetourPoi {
+    /// Site index of the POI.
+    pub site: usize,
+    /// Oracle distance `d̃(s, site)` from the route's start.
+    pub from_s: f64,
+    /// Oracle distance `d̃(site, t)` to the route's end.
+    pub to_t: f64,
+}
+
+impl DetourPoi {
+    /// Total length of the `s → site → t` route through this POI.
+    pub fn via(&self) -> f64 {
+        self.from_s + self.to_t
+    }
+}
+
+impl SeOracle {
+    /// All POIs worth a detour of at most `delta` on a trip `s → t`: every
+    /// site `p ∉ {s, t}` with `d̃(s,p) + d̃(p,t) ≤ d̃(s,t) + delta`, sorted
+    /// by `(via-length, site)`.
+    ///
+    /// The in-path query of §1.1 ("restaurants on the way"), answered
+    /// entirely by the oracle metric. Instead of the brute-force dual sweep
+    /// (two distance evaluations per site), the compressed partition tree
+    /// is pruned branch-and-bound: for a node `O` the module-level lower
+    /// bound gives `d̃(q,p) ≥ lo(q, O)` for every `p` below `O`, so the
+    /// whole subtree is skipped when `lo(s,O) + lo(t,O)` already exceeds
+    /// the budget. Both bounds are conservative, so the result is
+    /// *identical* to the brute-force sweep — only cheaper.
+    ///
+    /// # Panics
+    /// Panics if an id is out of range or `delta` is negative or non-finite.
+    pub fn pois_within_detour(&self, s: usize, t: usize, delta: f64) -> Vec<DetourPoi> {
+        assert!(
+            delta >= 0.0 && delta.is_finite(),
+            "detour budget must be finite and non-negative, got {delta}"
+        );
+        let budget = self.distance(s, t) + delta; // validates s and t
+        let tree = self.tree();
+        let eps = self.epsilon();
+        let lo = |q: usize, node: u32| -> f64 {
+            let c = tree.nodes[node as usize].center as usize;
+            let dc = if c == q { 0.0 } else { self.distance(q, c) };
+            let r = tree.enlarged_radius(node);
+            (1.0 - eps).max(0.0) * (dc / (1.0 + eps) - r).max(0.0)
+        };
+        let mut out = Vec::new();
+        let mut stack = vec![tree.root];
+        while let Some(node) = stack.pop() {
+            let n = &tree.nodes[node as usize];
+            if n.children.is_empty() {
+                let p = n.center as usize;
+                if p == s || p == t {
+                    continue;
+                }
+                let from_s = self.distance(s, p);
+                if from_s > budget {
+                    continue; // via-length can only be larger still
+                }
+                let to_t = self.distance(p, t);
+                if from_s + to_t <= budget {
+                    out.push(DetourPoi { site: p, from_s, to_t });
+                }
+            } else {
+                if lo(s, node) + lo(t, node) > budget {
+                    continue; // no site below can meet the budget
+                }
+                stack.extend(n.children.iter().copied());
+            }
+        }
+        out.sort_by(|a, b| {
+            (a.via(), a.site).partial_cmp(&(b.via(), b.site)).expect("finite distances")
+        });
+        out
+    }
+}
+
 /// The layer array of a site, exposed for diagnostics: which compressed
 /// tree nodes lie on its root path at each layer (`NO_NODE` where the
 /// path skips a layer).
@@ -347,6 +426,56 @@ mod tests {
         for q in 0..o.n_sites() {
             assert_eq!(idx.knn(q, 5), brute_knn(&o, q, 5), "q={q}");
         }
+    }
+
+    fn brute_detour(o: &SeOracle, s: usize, t: usize, delta: f64) -> Vec<DetourPoi> {
+        let budget = o.distance(s, t) + delta;
+        let mut all: Vec<DetourPoi> = (0..o.n_sites())
+            .filter(|&p| p != s && p != t)
+            .map(|p| DetourPoi { site: p, from_s: o.distance(s, p), to_t: o.distance(p, t) })
+            .filter(|d| d.via() <= budget)
+            .collect();
+        all.sort_by(|a, b| (a.via(), a.site).partial_cmp(&(b.via(), b.site)).unwrap());
+        all
+    }
+
+    #[test]
+    fn detour_matches_brute_force_dual_sweep() {
+        let o = oracle(26, 11, 0.2);
+        let diam = (0..o.n_sites())
+            .flat_map(|a| (0..o.n_sites()).map(move |b| (a, b)))
+            .map(|(a, b)| o.distance(a, b))
+            .fold(0.0, f64::max);
+        for (s, t) in [(0usize, 1usize), (3, 17), (9, 9), (25, 4)] {
+            for delta in [0.0, 0.05 * diam, 0.3 * diam, 2.0 * diam] {
+                assert_eq!(
+                    o.pois_within_detour(s, t, delta),
+                    brute_detour(&o, s, t, delta),
+                    "s={s} t={t} delta={delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detour_degenerate_cases() {
+        let o = oracle(12, 13, 0.25);
+        // Huge budget: everything except the endpoints qualifies.
+        let all = o.pois_within_detour(2, 5, f64::MAX / 4.0);
+        assert_eq!(all.len(), o.n_sites() - 2);
+        assert!(all.iter().all(|d| d.site != 2 && d.site != 5));
+        // via() is always within the budget it was admitted under.
+        let d_st = o.distance(3, 8);
+        for p in o.pois_within_detour(3, 8, 0.1 * d_st) {
+            assert!(p.via() <= d_st * 1.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn detour_rejects_negative_budget() {
+        let o = oracle(8, 17, 0.2);
+        o.pois_within_detour(0, 1, -1.0);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Path reporting: the oracle's distance answers, promoted to routes.
+//!
+//! The paper scopes the SE oracle to *distance* queries, but its motivating
+//! scenarios (§1.1 hiking / vehicle routing) need the route itself. This
+//! module adds a [`PathIndex`] — a Steiner graph over the oracle's refined
+//! mesh, keyed by site id — and [`SeOracle::shortest_path`], which pairs the
+//! oracle's `O(h)` distance answer with an on-surface polyline
+//! reconstructed by Steiner-graph backtracking plus straightening
+//! ([`geodesic::path::shortest_path_straightened`]).
+//!
+//! # The path contract ([`EPS_PATH`])
+//!
+//! The polyline lies on the surface, so its length can never undercut the
+//! true geodesic distance `d_geo`; the Steiner discretisation bounds it
+//! from above by `(1 + ε_m) · d_geo`, where `ε_m` shrinks as
+//! `points_per_edge` grows. Combining both with the oracle's own
+//! `d̃ ∈ [(1 − ε) d_geo, (1 + ε) d_geo]` guarantee gives, for every query:
+//!
+//! ```text
+//! distance / (1 + ε)  ≤  path.length  ≤  distance · (1 + EPS_PATH)
+//! ```
+//!
+//! The upper bound holds for `ε ≤ 0.25` and `points_per_edge ≥ 3`
+//! (measured worst-case Steiner looseness `ε_m ≈ 0.10` at `m = 3`, so
+//! `(1 + ε_m) / (1 − ε) ≤ 1.10 · 4/3 < 1 + EPS_PATH`) with **any** engine,
+//! because every engine metric is an on-surface path length, hence
+//! `≥ d_geo`. Straightening is what makes the bound *relative*: the raw
+//! graph path carries an additive quantisation error of up to half the
+//! Steiner spacing (ruinous for near-coincident sites separated by a mesh
+//! edge), which sliding each waypoint to its mirror optimum sheds. The
+//! lower bound additionally needs the oracle's engine metric to *equal*
+//! `d_geo` ([`crate::p2p::EngineKind::Exact`]); under an approximate
+//! engine it loosens by that engine's own stretch (e.g. up to `√2` for
+//! [`crate::p2p::EngineKind::EdgeGraph`] on grid triangulations — the
+//! reported path can legitimately be *shorter* than an overshooting
+//! engine's distance). This is the same style of documented,
+//! test-enforced ceiling as the atlas [`crate::atlas::EPS_ROUTE`].
+
+use crate::oracle::SeOracle;
+use crate::p2p::P2POracle;
+use geodesic::path::{shortest_vertex_path_straightened, SurfacePath};
+use geodesic::steiner::SteinerGraph;
+use std::sync::Arc;
+use terrain::{TerrainMesh, VertexId};
+
+/// Guaranteed ceiling on `path.length / distance − 1` for
+/// [`SeOracle::shortest_path`], valid for oracle `ε ≤ 0.25` and a
+/// [`PathIndex`] with at least 3 Steiner points per edge (see the module
+/// docs for the derivation).
+pub const EPS_PATH: f64 = 0.5;
+
+/// A distance answer together with the route realising it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPath {
+    /// The oracle's `ε`-approximate geodesic distance (bit-identical to
+    /// what the plain distance query returns).
+    pub distance: f64,
+    /// On-surface polyline between the two sites; its length obeys the
+    /// [`EPS_PATH`] contract relative to `distance`.
+    pub path: SurfacePath,
+}
+
+/// Steiner-graph path index over an oracle's site set.
+///
+/// Built once next to the oracle, queried read-only — the same
+/// shared-nothing shape as the oracle itself, so it is `Send + Sync` and
+/// every query is bit-deterministic regardless of thread count.
+#[derive(Debug, Clone)]
+pub struct PathIndex {
+    graph: SteinerGraph,
+    site_vertices: Vec<VertexId>,
+    points_per_edge: usize,
+}
+
+impl PathIndex {
+    /// Builds a path index over `mesh` with `site_vertices[s]` the mesh
+    /// vertex of site `s` (the refined mesh and vertex list the oracle was
+    /// built from) and `points_per_edge` Steiner points per mesh edge.
+    pub fn build(
+        mesh: Arc<TerrainMesh>,
+        site_vertices: Vec<VertexId>,
+        points_per_edge: usize,
+    ) -> Self {
+        let n_verts = mesh.n_vertices() as VertexId;
+        for &v in &site_vertices {
+            assert!(v < n_verts, "site vertex {v} out of range for a mesh of {n_verts} vertices");
+        }
+        let graph = SteinerGraph::with_points_per_edge(mesh, points_per_edge);
+        PathIndex { graph, site_vertices, points_per_edge }
+    }
+
+    /// Builds the index for a [`P2POracle`]'s site set over its refined
+    /// mesh. `points_per_edge ≥ 3` keeps the [`EPS_PATH`] contract.
+    pub fn for_p2p(p2p: &P2POracle, points_per_edge: usize) -> Self {
+        PathIndex::build(p2p.mesh().clone(), p2p.site_vertices().to_vec(), points_per_edge)
+    }
+
+    /// Number of sites the index answers for.
+    pub fn n_sites(&self) -> usize {
+        self.site_vertices.len()
+    }
+
+    /// Steiner points per mesh edge the index was built with.
+    pub fn points_per_edge(&self) -> usize {
+        self.points_per_edge
+    }
+
+    /// The underlying Steiner graph.
+    pub fn graph(&self) -> &SteinerGraph {
+        &self.graph
+    }
+
+    /// Mesh vertex of site `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn site_vertex(&self, s: usize) -> VertexId {
+        self.site_vertices[s]
+    }
+
+    /// On-surface shortest path between two sites: Steiner-graph Dijkstra
+    /// followed by straightening (each Steiner waypoint slides along its
+    /// host edge to the length-minimising position), so the discrete
+    /// quantisation of the graph does not survive into the polyline.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range.
+    pub fn path_between(&self, s: usize, t: usize) -> SurfacePath {
+        let n = self.n_sites();
+        assert!(s < n && t < n, "site pair ({s}, {t}) out of range for {n} sites");
+        shortest_vertex_path_straightened(&self.graph, self.site_vertices[s], self.site_vertices[t])
+            .expect("sites lie on one connected mesh")
+    }
+
+    /// Heap footprint of the index (graph + site table).
+    pub fn storage_bytes(&self) -> usize {
+        self.graph.storage_bytes() + self.site_vertices.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+impl SeOracle {
+    /// Answers a distance query *and* reports a route realising it.
+    ///
+    /// `distance` is exactly [`SeOracle::distance`]`(s, t)` — bit-identical,
+    /// so serving layers can mix path and distance traffic freely. The
+    /// polyline comes from `paths` and obeys the [`EPS_PATH`] contract.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range or if `paths` was built for a
+    /// different site count than this oracle.
+    pub fn shortest_path(&self, s: usize, t: usize, paths: &PathIndex) -> ShortestPath {
+        assert_eq!(
+            paths.n_sites(),
+            self.n_sites(),
+            "path index covers {} sites but the oracle has {}; build it from the same site set",
+            paths.n_sites(),
+            self.n_sites()
+        );
+        let distance = self.distance(s, t);
+        ShortestPath { distance, path: paths.path_between(s, t) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::BuildConfig;
+    use crate::p2p::EngineKind;
+    use terrain::gen::diamond_square;
+    use terrain::poi::sample_uniform;
+
+    fn p2p(n: usize, seed: u64, eps: f64, engine: EngineKind) -> P2POracle {
+        let mesh = diamond_square(4, 0.6, seed).to_mesh();
+        let pois = sample_uniform(&mesh, n, seed ^ 0xABC);
+        P2POracle::build(&mesh, &pois, eps, engine, &BuildConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn path_obeys_the_eps_path_contract() {
+        // The two-sided contract needs the exact engine (module docs).
+        let eps = 0.2;
+        let p = p2p(14, 61, eps, EngineKind::Exact);
+        let paths = PathIndex::for_p2p(&p, 3);
+        let o = p.oracle();
+        for s in 0..o.n_sites() {
+            for t in 0..o.n_sites() {
+                let sp = o.shortest_path(s, t, &paths);
+                assert_eq!(sp.distance.to_bits(), o.distance(s, t).to_bits());
+                if s == t {
+                    assert_eq!(sp.path.length, 0.0);
+                    continue;
+                }
+                assert!(
+                    sp.path.length >= sp.distance / (1.0 + eps) - 1e-9,
+                    "({s},{t}): path {} undercuts distance {}",
+                    sp.path.length,
+                    sp.distance
+                );
+                assert!(
+                    sp.path.length <= sp.distance * (1.0 + EPS_PATH) + 1e-9,
+                    "({s},{t}): path {} breaks EPS_PATH vs {}",
+                    sp.path.length,
+                    sp.distance
+                );
+                assert_eq!(sp.path.points[0], paths.graph().position(paths.site_vertex(s)));
+                assert_eq!(
+                    *sp.path.points.last().unwrap(),
+                    paths.graph().position(paths.site_vertex(t))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_engines_keep_the_upper_bound() {
+        // EdgeGraph overshoots d_geo, so only the EPS_PATH ceiling is
+        // promised; the path may undercut distance/(1+ε).
+        let p = p2p(12, 63, 0.25, EngineKind::EdgeGraph);
+        let paths = PathIndex::for_p2p(&p, 3);
+        let o = p.oracle();
+        for s in 0..o.n_sites() {
+            for t in s + 1..o.n_sites() {
+                let sp = o.shortest_path(s, t, &paths);
+                assert!(
+                    sp.path.length <= sp.distance * (1.0 + EPS_PATH) + 1e-9,
+                    "({s},{t}): path {} breaks EPS_PATH vs {}",
+                    sp.path.length,
+                    sp.distance
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "path index covers")]
+    fn mismatched_index_is_rejected() {
+        let a = p2p(10, 61, 0.2, EngineKind::EdgeGraph);
+        let b = p2p(12, 62, 0.2, EngineKind::EdgeGraph);
+        let paths = PathIndex::for_p2p(&b, 3);
+        a.oracle().shortest_path(0, 1, &paths);
+    }
+}

@@ -18,6 +18,8 @@
 //! construction pipeline's determinism contract.
 
 use crate::oracle::SeOracle;
+use crate::proximity::DetourPoi;
+use crate::route::{PathIndex, ShortestPath};
 use std::sync::Arc;
 
 /// Compile-time proof of the thread-safety contract: a built oracle (and
@@ -57,17 +59,68 @@ const _: () = {
 #[derive(Clone)]
 pub struct QueryHandle {
     oracle: Arc<SeOracle>,
+    paths: Option<Arc<PathIndex>>,
 }
 
 impl QueryHandle {
     /// Freezes `oracle` into a shareable handle.
     pub fn new(oracle: SeOracle) -> Self {
-        Self { oracle: Arc::new(oracle) }
+        Self { oracle: Arc::new(oracle), paths: None }
     }
 
     /// Wraps an oracle that is already shared.
     pub fn from_arc(oracle: Arc<SeOracle>) -> Self {
-        Self { oracle }
+        Self { oracle, paths: None }
+    }
+
+    /// Attaches a [`PathIndex`] so the handle can serve
+    /// [`Self::shortest_path`] alongside distances. The index is shared by
+    /// every clone, read-only, exactly like the oracle itself.
+    ///
+    /// # Panics
+    /// Panics if the index covers a different site count than the oracle.
+    pub fn with_paths(mut self, paths: PathIndex) -> Self {
+        assert_eq!(
+            paths.n_sites(),
+            self.oracle.n_sites(),
+            "path index covers {} sites but the oracle has {}; build it from the same site set",
+            paths.n_sites(),
+            self.oracle.n_sites()
+        );
+        self.paths = Some(Arc::new(paths));
+        self
+    }
+
+    /// Whether a [`PathIndex`] is attached ([`Self::shortest_path`] is
+    /// available).
+    pub fn has_paths(&self) -> bool {
+        self.paths.is_some()
+    }
+
+    /// The attached path index, if any.
+    pub fn paths(&self) -> Option<&PathIndex> {
+        self.paths.as_deref()
+    }
+
+    /// See [`SeOracle::shortest_path`]. Answers are pure functions of the
+    /// query — bit-identical across clones and thread counts, like every
+    /// other query on the handle.
+    ///
+    /// # Panics
+    /// Panics if no path index is attached ([`Self::with_paths`]) or an id
+    /// is out of range.
+    pub fn shortest_path(&self, s: usize, t: usize) -> ShortestPath {
+        let paths = self
+            .paths
+            .as_deref()
+            .expect("no path index attached; build one with QueryHandle::with_paths");
+        self.oracle.shortest_path(s, t, paths)
+    }
+
+    /// See [`SeOracle::pois_within_detour`]. Needs no path index — the
+    /// query runs entirely on the oracle metric.
+    pub fn pois_within_detour(&self, s: usize, t: usize, delta: f64) -> Vec<DetourPoi> {
+        self.oracle.pois_within_detour(s, t, delta)
     }
 
     /// The underlying oracle (every [`SeOracle`] accessor is available
@@ -157,6 +210,7 @@ impl std::fmt::Debug for QueryHandle {
             .field("n_sites", &self.n_sites())
             .field("epsilon", &self.epsilon())
             .field("n_pairs", &self.oracle.n_pairs())
+            .field("has_paths", &self.has_paths())
             .finish()
     }
 }
@@ -353,6 +407,39 @@ mod tests {
             let tp = h.try_distance_many_par(&pairs, threads);
             assert_eq!(tp, seq.iter().map(|&d| Some(d)).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn handle_serves_paths_when_attached() {
+        use crate::p2p::{EngineKind, P2POracle};
+        let mesh = diamond_square(4, 0.6, 23).to_mesh();
+        let pois = sample_uniform(&mesh, 12, 23 ^ 0x5E44);
+        let p2p =
+            P2POracle::build(&mesh, &pois, 0.2, EngineKind::EdgeGraph, &BuildConfig::default())
+                .unwrap();
+        let paths = PathIndex::for_p2p(&p2p, 3);
+        let h = QueryHandle::new(p2p.into_oracle()).with_paths(paths);
+        assert!(h.has_paths());
+        let c = h.clone();
+        assert!(
+            std::ptr::eq(h.paths().unwrap(), c.paths().unwrap()),
+            "clone must share the path index"
+        );
+        let sp = h.shortest_path(0, 5);
+        assert_eq!(sp.distance.to_bits(), h.distance(0, 5).to_bits());
+        assert_eq!(c.shortest_path(0, 5), sp);
+        // The detour query needs no index and agrees through the handle.
+        let delta = 0.5 * h.distance(0, 5);
+        assert_eq!(h.pois_within_detour(0, 5, delta), h.oracle().pois_within_detour(0, 5, delta));
+        let dbg = format!("{h:?}");
+        assert!(dbg.contains("has_paths: true"), "{dbg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no path index attached")]
+    fn path_query_without_index_panics() {
+        let h = handle(6, 25, 0.3);
+        h.shortest_path(0, 1);
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub use cache::{CacheStats, CachingSiteSpace};
 pub use dijkstra::EdgeGraphEngine;
 pub use engine::{GeodesicEngine, SsadResult, SsadStats, Stop};
 pub use ich::IchEngine;
-pub use path::{shortest_path, shortest_vertex_path, trace_descent_path, SurfacePath};
+pub use path::{
+    shortest_path, shortest_path_straightened, shortest_vertex_path,
+    shortest_vertex_path_straightened, trace_descent_path, SurfacePath,
+};
 pub use pool::{resolve_threads, run_indexed};
 pub use sitespace::{GraphSiteSpace, SiteSpace, VertexSiteSpace};
 pub use steiner::{SteinerEngine, SteinerGraph};

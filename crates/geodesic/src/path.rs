@@ -13,7 +13,7 @@
 //! With `m = 0` the graph degenerates to the mesh edge graph, giving the
 //! cheap network-path approximation.
 
-use crate::heap::MinHeap;
+use crate::heap::IndexedMinHeap;
 use crate::steiner::{NodeId, SteinerGraph};
 use terrain::geom::Vec3;
 use terrain::VertexId;
@@ -31,7 +31,9 @@ pub struct SurfacePath {
 impl SurfacePath {
     /// Builds a path from its points, computing the length.
     pub fn from_points(points: Vec<Vec3>) -> Self {
-        let length = points.windows(2).map(|w| w[0].dist(w[1])).sum();
+        // The empty f64 sum is IEEE `-0.0`; `abs` normalises single-point
+        // paths to plain zero (segment lengths are never negative).
+        let length = points.windows(2).map(|w| w[0].dist(w[1])).sum::<f64>().abs();
         Self { points, length }
     }
 
@@ -58,28 +60,48 @@ impl SurfacePath {
         *self.points.last().expect("non-empty path")
     }
 
-    /// Drops interior points that are collinear with their neighbours
-    /// (within `tol` of the straight chord), shortening the representation
-    /// without changing the geometry. Along-edge Steiner chains collapse to
-    /// single segments.
+    /// Drops interior points that are collinear with their neighbours,
+    /// shortening the representation without changing the geometry.
+    /// Along-edge Steiner chains collapse to single segments.
+    ///
+    /// The guarantee is on the **original polyline**: every dropped point
+    /// stays within `tol` of the chord that replaced it, so the simplified
+    /// path never deviates from the input by more than `tol` anywhere.
+    /// (Testing each candidate only against its immediate neighbours would
+    /// let sub-`tol` deviations compound — a long gentle arc could collapse
+    /// with total deviation far beyond `tol`.)
     pub fn simplify_collinear(&self, tol: f64) -> SurfacePath {
         if self.points.len() <= 2 {
             return self.clone();
         }
         let mut out = vec![self.points[0]];
+        // Index of the last kept *original* point: the running chord starts
+        // there and may only swallow point `i` if every original point it
+        // would replace lies within `tol` of the extended chord.
+        let mut anchor = 0usize;
         for i in 1..self.points.len() - 1 {
-            let a = *out.last().expect("non-empty");
-            let b = self.points[i];
+            let a = self.points[anchor];
             let c = self.points[i + 1];
-            let direct = a.dist(c);
-            let through = a.dist(b) + b.dist(c);
-            if through - direct > tol {
-                out.push(b);
+            let within = (anchor + 1..=i).all(|j| dist_point_segment(self.points[j], a, c) <= tol);
+            if !within {
+                out.push(self.points[i]);
+                anchor = i;
             }
         }
         out.push(*self.points.last().expect("non-empty"));
         SurfacePath::from_points(out)
     }
+}
+
+/// Distance from `p` to the closed segment `a → b`.
+fn dist_point_segment(p: Vec3, a: Vec3, b: Vec3) -> f64 {
+    let ab = b - a;
+    let len2 = ab.dot(ab);
+    if len2 <= 0.0 {
+        return p.dist(a);
+    }
+    let t = ((p - a).dot(ab) / len2).clamp(0.0, 1.0);
+    p.dist(a.lerp(b, t))
 }
 
 /// Reconstructs the shortest `s → t` path on the Steiner graph.
@@ -88,19 +110,31 @@ impl SurfacePath {
 /// meshes [`terrain::TerrainMesh`] validates, but the contract is explicit
 /// for forward compatibility with partial graphs).
 pub fn shortest_path(graph: &SteinerGraph, s: NodeId, t: NodeId) -> Option<SurfacePath> {
+    let (nodes, dist) = shortest_node_sequence(graph, s, t)?;
+    let points: Vec<Vec3> = nodes.iter().map(|&nd| graph.position(nd)).collect();
+    let path = SurfacePath::from_points(points);
+    debug_assert!((path.length - dist).abs() <= 1e-9 * (1.0 + path.length));
+    Some(path)
+}
+
+/// Dijkstra + backtrack: the graph-shortest `s → t` node sequence and its
+/// graph length. `None` when `t` is unreachable.
+fn shortest_node_sequence(
+    graph: &SteinerGraph,
+    s: NodeId,
+    t: NodeId,
+) -> Option<(Vec<NodeId>, f64)> {
     if s == t {
-        return Some(SurfacePath { points: vec![graph.position(s)], length: 0.0 });
+        return Some((vec![s], 0.0));
     }
     let n = graph.n_nodes();
     let mut dist = vec![f64::INFINITY; n];
     let mut prev: Vec<NodeId> = vec![NodeId::MAX; n];
-    let mut heap: MinHeap<NodeId> = MinHeap::with_capacity(64);
+    let mut heap = IndexedMinHeap::new();
+    heap.reset(n);
     dist[s as usize] = 0.0;
-    heap.push(0.0, s);
+    heap.push_or_decrease(s, 0.0);
     while let Some((key, v)) = heap.pop() {
-        if key > dist[v as usize] {
-            continue;
-        }
         if v == t {
             break;
         }
@@ -109,7 +143,7 @@ pub fn shortest_path(graph: &SteinerGraph, s: NodeId, t: NodeId) -> Option<Surfa
             if nd < dist[u as usize] {
                 dist[u as usize] = nd;
                 prev[u as usize] = v;
-                heap.push(nd, u);
+                heap.push_or_decrease(u, nd);
             }
         }
     }
@@ -124,16 +158,120 @@ pub fn shortest_path(graph: &SteinerGraph, s: NodeId, t: NodeId) -> Option<Surfa
         nodes.push(cur);
     }
     nodes.reverse();
-    let points: Vec<Vec3> = nodes.iter().map(|&nd| graph.position(nd)).collect();
-    let path = SurfacePath::from_points(points);
-    debug_assert!((path.length - dist[t as usize]).abs() <= 1e-9 * (1.0 + path.length));
-    Some(path)
+    Some((nodes, dist[t as usize]))
 }
 
 /// Shortest path between two mesh *vertices* (vertices keep their ids as
 /// graph nodes).
 pub fn shortest_vertex_path(graph: &SteinerGraph, s: VertexId, t: VertexId) -> Option<SurfacePath> {
     shortest_path(graph, s as NodeId, t as NodeId)
+}
+
+/// [`shortest_path`] followed by straightening: each Steiner waypoint is
+/// slid along its host mesh edge to the position minimising the length of
+/// its two incident segments (the classic string-pulling step, constrained
+/// to the edge sequence the graph path found), swept until the length
+/// converges.
+///
+/// Sliding preserves the on-surface invariant: consecutive path points
+/// always share a mesh face, every host edge belongs to that (convex)
+/// face, so the connecting segments stay inside it. The result is never
+/// longer than the raw graph path and, crucially, sheds the *quantisation*
+/// error of the discrete Steiner placement — without straightening, a pair
+/// of near-coincident points separated by a mesh edge must detour to the
+/// nearest discrete edge point, an additive error of up to half the
+/// Steiner spacing that no relative bound survives. Mesh vertices
+/// (including the endpoints) never move.
+pub fn shortest_path_straightened(
+    graph: &SteinerGraph,
+    s: NodeId,
+    t: NodeId,
+) -> Option<SurfacePath> {
+    let (nodes, _) = shortest_node_sequence(graph, s, t)?;
+    Some(straighten_on_edges(graph, &nodes))
+}
+
+/// [`shortest_path_straightened`] between two mesh *vertices*.
+pub fn shortest_vertex_path_straightened(
+    graph: &SteinerGraph,
+    s: VertexId,
+    t: VertexId,
+) -> Option<SurfacePath> {
+    shortest_path_straightened(graph, s as NodeId, t as NodeId)
+}
+
+/// Coordinate-descent straightening over a graph node sequence: interior
+/// Steiner nodes slide along their host edge (closed-form per-point
+/// optimum), vertices stay put. Deterministic: fixed sweep order, fixed
+/// convergence rule, pure arithmetic.
+fn straighten_on_edges(graph: &SteinerGraph, nodes: &[NodeId]) -> SurfacePath {
+    let mut pts: Vec<Vec3> = nodes.iter().map(|&nd| graph.position(nd)).collect();
+    if pts.len() > 2 {
+        let mesh = graph.mesh();
+        let nv = mesh.n_vertices();
+        let m = graph.points_per_edge();
+        // Host segment of each waypoint: `None` pins it (mesh vertices and
+        // the two endpoints), `Some((a, b))` lets it slide along edge a–b.
+        let hosts: Vec<Option<(Vec3, Vec3)>> = nodes
+            .iter()
+            .enumerate()
+            .map(|(k, &nd)| {
+                let i = nd as usize;
+                if k == 0 || k == nodes.len() - 1 || i < nv || m == 0 {
+                    None
+                } else {
+                    let e = ((i - nv) / m) as terrain::EdgeId;
+                    let [va, vb] = mesh.edge(e).v;
+                    Some((mesh.vertex(va), mesh.vertex(vb)))
+                }
+            })
+            .collect();
+        let mut len: f64 = pts.windows(2).map(|w| w[0].dist(w[1])).sum();
+        for _ in 0..64 {
+            for i in 1..pts.len() - 1 {
+                if let Some((a, b)) = hosts[i] {
+                    pts[i] = optimal_edge_point(pts[i - 1], pts[i + 1], a, b);
+                }
+            }
+            let new_len: f64 = pts.windows(2).map(|w| w[0].dist(w[1])).sum();
+            let converged = len - new_len <= 1e-12 * len;
+            len = new_len;
+            if converged {
+                break;
+            }
+        }
+        // Sliding can park a waypoint exactly on its neighbour (e.g. at a
+        // shared vertex); collapse those zero-length segments.
+        pts.dedup();
+    }
+    SurfacePath::from_points(pts)
+}
+
+/// The point `q` on segment `a → b` minimising `|p − q| + |q − n|`
+/// (convex; solved by the mirror construction in the (along-edge,
+/// radial-distance) plane, then clamped to the segment).
+fn optimal_edge_point(p: Vec3, n: Vec3, a: Vec3, b: Vec3) -> Vec3 {
+    let d = b - a;
+    let l2 = d.dot(d);
+    if l2 <= 0.0 {
+        return a;
+    }
+    let l = l2.sqrt();
+    // Arc-length coordinates of the two anchors along the edge line, and
+    // their radial distances from it.
+    let sp = (p - a).dot(d) / l;
+    let sn = (n - a).dot(d) / l;
+    let rp = p.dist(a.lerp(b, sp / l));
+    let rn = n.dist(a.lerp(b, sn / l));
+    let x = if rp + rn > 0.0 {
+        // Straight line from (sp, rp) to (sn, −rn) crosses the edge axis
+        // at the reflection optimum.
+        sp + rp * (sn - sp) / (rp + rn)
+    } else {
+        // Both anchors on the edge line: any point between them is optimal.
+        0.5 * (sp + sn)
+    };
+    a.lerp(b, (x / l).clamp(0.0, 1.0))
 }
 
 /// Traces a near-exact geodesic path by steepest descent over an *exact*
@@ -181,7 +319,9 @@ pub fn trace_descent_path(
     let mut loc = Loc::Vertex(target);
     let mut pos = mesh.vertex(target);
     let mut d_cur = dist[target as usize];
-    let scale = 1e-12 * (1.0 + d_cur.abs());
+    // All tolerances are relative to the path scale `dist[target]` so the
+    // trace behaves identically on metre-scale and micrometre-scale meshes.
+    let scale = 1e-12 * d_cur.abs();
     let max_steps = 8 * mesh.n_faces() + 64;
 
     'outer: for _ in 0..max_steps {
@@ -263,8 +403,17 @@ pub fn trace_descent_path(
         }
     }
 
-    if pts.last().map(|p| p.dist(src_pos) > 1e-9) == Some(true) {
-        pts.push(src_pos);
+    // Close the polyline at the exact source position. The tolerance is
+    // relative to the path scale: an absolute cutoff would append a
+    // near-duplicate endpoint on large meshes and skip closing entirely on
+    // tiny ones. Within tolerance the last point is *snapped* to the source
+    // (no degenerate closing segment); beyond it a closing segment is added.
+    let close_tol = 1e-9 * dist[target as usize];
+    match pts.last().copied() {
+        Some(p) if p.dist(src_pos) <= close_tol => {
+            *pts.last_mut().expect("non-empty") = src_pos;
+        }
+        _ => pts.push(src_pos),
     }
     pts.reverse();
     SurfacePath::from_points(pts)
@@ -357,6 +506,97 @@ mod tests {
 
     fn flat_graph(m: usize) -> SteinerGraph {
         SteinerGraph::with_points_per_edge(Arc::new(Heightfield::flat(5, 5, 1.0, 1.0).to_mesh()), m)
+    }
+
+    #[test]
+    fn straightening_never_lengthens_and_respects_the_geodesic_floor() {
+        // Flat mesh: the true geodesic is the straight planar segment, so
+        // it floors every on-surface path.
+        let mesh = Arc::new(Heightfield::flat(6, 6, 1.0, 1.0).to_mesh());
+        let g = SteinerGraph::with_points_per_edge(mesh.clone(), 3);
+        for (s, t) in [(0u32, 35u32), (0, 29), (2, 33), (6, 17)] {
+            let raw = shortest_vertex_path(&g, s, t).unwrap();
+            let straight = shortest_vertex_path_straightened(&g, s, t).unwrap();
+            let chord = mesh.vertex(s).dist(mesh.vertex(t));
+            assert!(
+                straight.length <= raw.length + 1e-12,
+                "({s},{t}): straightened {} longer than raw {}",
+                straight.length,
+                raw.length
+            );
+            assert!(
+                straight.length >= chord - 1e-9,
+                "({s},{t}): straightened {} below the planar geodesic {chord}",
+                straight.length
+            );
+            assert_eq!(straight.points[0], mesh.vertex(s));
+            assert_eq!(*straight.points.last().unwrap(), mesh.vertex(t));
+        }
+    }
+
+    #[test]
+    fn straightening_collapses_edge_quantisation() {
+        // Two points a hair either side of an interior mesh edge: the raw
+        // Steiner path must detour to a discrete edge point (an additive
+        // error of up to half the Steiner spacing), while straightening
+        // slides the crossing to the mirror optimum — here the straight
+        // planar segment.
+        use terrain::poi::SurfacePoint;
+        use terrain::refine::insert_surface_points;
+        let mesh = Heightfield::flat(3, 3, 1.0, 1.0).to_mesh();
+        let (e, f, other) = (0..mesh.n_edges() as terrain::EdgeId)
+            .find_map(|e| {
+                let f = mesh.edge(e).faces[0];
+                mesh.other_face(e, f).map(|g| (e, f, g))
+            })
+            .expect("interior edge");
+        let centroid = |f: terrain::FaceId| {
+            let [a, b, c] = mesh.face(f);
+            (mesh.vertex(a) + mesh.vertex(b) + mesh.vertex(c)) * (1.0 / 3.0)
+        };
+        let [ea, eb] = mesh.edge(e).v;
+        let mid = mesh.vertex(ea).lerp(mesh.vertex(eb), 0.43);
+        let pois = [
+            SurfacePoint { face: f, pos: mid.lerp(centroid(f), 0.04) },
+            SurfacePoint { face: other, pos: mid.lerp(centroid(other), 0.04) },
+        ];
+        let refined = insert_surface_points(&mesh, &pois, None).unwrap();
+        let (s, t) = (refined.poi_vertices[0], refined.poi_vertices[1]);
+        let g = SteinerGraph::with_points_per_edge(Arc::new(refined.mesh), 3);
+        let chord = pois[0].pos.dist(pois[1].pos);
+        let raw = shortest_vertex_path(&g, s, t).unwrap();
+        let straight = shortest_vertex_path_straightened(&g, s, t).unwrap();
+        assert!(raw.length > 2.0 * chord, "fixture must exhibit quantisation: {}", raw.length);
+        assert!(
+            (straight.length - chord).abs() <= 1e-9 * (1.0 + chord),
+            "straightened {} should reach the planar optimum {chord}",
+            straight.length
+        );
+    }
+
+    #[test]
+    fn optimal_edge_point_matches_scan() {
+        // The closed-form mirror point beats (or ties) a dense parameter
+        // scan, including clamped configurations.
+        let a = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+        let b = Vec3 { x: 2.0, y: 0.0, z: 0.5 };
+        for (p, n) in [
+            (Vec3 { x: 0.3, y: 1.0, z: 0.0 }, Vec3 { x: 1.4, y: -2.0, z: 0.3 }),
+            (Vec3 { x: -1.0, y: 0.5, z: 0.0 }, Vec3 { x: -2.0, y: -0.5, z: 0.0 }), // clamp at a
+            (Vec3 { x: 3.0, y: 0.2, z: 0.5 }, Vec3 { x: 4.0, y: -0.1, z: 0.5 }),   // clamp at b
+            (Vec3 { x: 0.5, y: 0.0, z: 0.125 }, Vec3 { x: 1.5, y: 0.0, z: 0.375 }), // on-line
+        ] {
+            let q = optimal_edge_point(p, n, a, b);
+            let best = q.dist(p) + q.dist(n);
+            for k in 0..=1000 {
+                let cand = a.lerp(b, k as f64 / 1000.0);
+                assert!(
+                    best <= cand.dist(p) + cand.dist(n) + 1e-9,
+                    "scan found a better point at t={}",
+                    k as f64 / 1000.0
+                );
+            }
+        }
     }
 
     #[test]
@@ -511,6 +751,92 @@ mod tests {
         // Adjacent vertex: single segment.
         let p = trace_descent_path(&mesh, &r.dist, 5, 6);
         assert!((p.length - 1.0).abs() < 1e-9, "adjacent trace {}", p.length);
+    }
+
+    /// Max distance from any point of `original` to the polyline `simplified`.
+    fn max_deviation(original: &SurfacePath, simplified: &SurfacePath) -> f64 {
+        original
+            .points
+            .iter()
+            .map(|&p| {
+                simplified
+                    .points
+                    .windows(2)
+                    .map(|w| dist_point_segment(p, w[0], w[1]))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn simplify_bounds_deviation_on_gentle_arcs() {
+        // A long gentle circular arc: every consecutive-triple detour is far
+        // below `tol`, but the sagitta of the whole arc is ~0.01 — four
+        // orders of magnitude above it. Chord-compounding simplification
+        // collapses the arc almost entirely; the fixed version must keep the
+        // original polyline within `tol` everywhere.
+        let n = 3000usize;
+        let pts: Vec<Vec3> = (0..=n)
+            .map(|i| {
+                let th = i as f64 * 1e-4;
+                Vec3::new(th.cos(), th.sin(), 0.0)
+            })
+            .collect();
+        let p = SurfacePath::from_points(pts);
+        let tol = 1e-6;
+        let s = p.simplify_collinear(tol);
+        assert!(s.points.len() < p.points.len(), "nothing simplified at all");
+        assert_eq!(s.points[0], p.points[0]);
+        assert_eq!(s.points.last(), p.points.last());
+        let dev = max_deviation(&p, &s);
+        assert!(dev <= tol * (1.0 + 1e-9), "arc deviates {dev} from the simplified path");
+        // Length can only shrink, and only by the deviation budget.
+        assert!(s.length <= p.length + 1e-12);
+    }
+
+    #[test]
+    fn descent_trace_is_scale_invariant() {
+        use crate::engine::{GeodesicEngine, Stop};
+        use crate::ich::IchEngine;
+        // Identical flat grids at 1e7 (metre-and-up regime) and 1e-7
+        // (micro regime) spacing: the trace must behave identically —
+        // exact endpoints, straight-line length, no degenerate slivers.
+        for s in [1e7, 1e-7] {
+            let mesh = Arc::new(Heightfield::flat(6, 6, s, s).to_mesh());
+            let eng = IchEngine::new(mesh.clone());
+            let r = eng.ssad(0, Stop::Exhaust);
+            let p = trace_descent_path(&mesh, &r.dist, 0, 35);
+            let exact = 50f64.sqrt() * s;
+            assert!(
+                (p.length - exact).abs() <= 1e-6 * exact,
+                "scale {s}: trace {} vs {exact}",
+                p.length
+            );
+            assert_eq!(p.points[0], mesh.vertex(0), "scale {s}: wrong start");
+            assert_eq!(*p.points.last().unwrap(), mesh.vertex(35), "scale {s}: wrong end");
+            for w in p.points.windows(2) {
+                assert!(
+                    w[0].dist(w[1]) > 1e-9 * p.length,
+                    "scale {s}: near-duplicate point on the trace"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn descent_trace_closes_on_tiny_mesh_with_degenerate_field() {
+        // A constant label field never descends, so the trace breaks
+        // immediately at the target and relies on the closing step. On a
+        // 1e-10-scale mesh every point is within the old absolute 1e-9
+        // cutoff, which skipped closing and returned a path that never
+        // reached the source.
+        let mesh = Heightfield::flat(4, 4, 1e-10, 1e-10).to_mesh();
+        let labels = vec![1e-10; mesh.n_vertices()];
+        let p = trace_descent_path(&mesh, &labels, 0, 15);
+        assert_eq!(p.points[0], mesh.vertex(0), "path must start at the source");
+        assert_eq!(*p.points.last().unwrap(), mesh.vertex(15));
+        let chord = mesh.vertex(0).dist(mesh.vertex(15));
+        assert!((p.length - chord).abs() <= 1e-12 * chord, "degenerate close is the chord");
     }
 
     #[test]

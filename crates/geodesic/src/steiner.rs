@@ -13,7 +13,7 @@
 //! [`SteinerEngine`].
 
 use crate::engine::{GeodesicEngine, SsadResult, SsadStats, Stop};
-use crate::heap::MinHeap;
+use crate::heap::IndexedMinHeap;
 use std::sync::Arc;
 use terrain::geom::Vec3;
 use terrain::{EdgeId, FaceId, TerrainMesh, VertexId};
@@ -192,9 +192,10 @@ impl SteinerGraph {
     pub fn dijkstra(&self, source: NodeId, stop: GraphStop<'_>) -> GraphResult {
         let n = self.n_nodes();
         let mut dist = vec![f64::INFINITY; n];
-        let mut heap: MinHeap<NodeId> = MinHeap::with_capacity(64);
+        let mut heap = IndexedMinHeap::new();
+        heap.reset(n);
         dist[source as usize] = 0.0;
-        heap.push(0.0, source);
+        heap.push_or_decrease(source, 0.0);
         let mut pops = 0u64;
 
         let mut remaining = 0usize;
@@ -214,10 +215,11 @@ impl SteinerGraph {
         let mut max_target = f64::INFINITY;
 
         let mut stopped = false;
+        // Decrease-key keeps at most one live entry per node, so every pop
+        // is a settled node — no stale-entry filter. The relaxation sequence
+        // (and therefore every label and the pop count) is identical to the
+        // old lazy-deletion binary heap.
         while let Some((key, v)) = heap.pop() {
-            if key > dist[v as usize] {
-                continue;
-            }
             pops += 1;
             match stop {
                 GraphStop::Radius(r) if key > r => {
@@ -248,7 +250,7 @@ impl SteinerGraph {
                         remaining -= 1;
                     }
                     dist[u as usize] = nd;
-                    heap.push(nd, u);
+                    heap.push_or_decrease(u, nd);
                 }
             }
         }

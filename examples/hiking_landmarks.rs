@@ -3,8 +3,9 @@
 //!
 //! Builds an SE oracle over clustered landmarks (huts, peaks, trailheads
 //! cluster in reality), then answers the proximity queries the paper says
-//! are built on shortest-distance queries: nearest-neighbour and
-//! range ("what can I reach within my daily hiking budget?").
+//! are built on shortest-distance queries: nearest-neighbour, range
+//! ("what can I reach within my daily hiking budget?"), the route itself,
+//! and detour search ("which huts can I pass without adding much?").
 //!
 //! Run with `cargo run --release --example hiking_landmarks`.
 
@@ -48,6 +49,26 @@ fn main() {
     let budget = 5_000.0;
     let reachable = idx.range(trailhead, budget);
     println!("{} landmarks within a {budget:.0} m hike of #0", reachable.len());
+
+    // Commit to the furthest reachable landmark and fetch the actual
+    // trail as an on-surface polyline. Proximity results are site ids, so
+    // the path/detour queries below stay in site-id space too.
+    let paths = PathIndex::for_p2p(&oracle, 3);
+    let dest = reachable.last().expect("at least one landmark in range").site;
+    let trailhead_site = oracle.site_of_poi(trailhead);
+    let sp = oracle.oracle().shortest_path(trailhead_site, dest, &paths);
+    println!(
+        "trail to #{dest}: {:.0} m on the ground for a {:.0} m oracle estimate",
+        sp.path.length, sp.distance
+    );
+
+    // Huts worth a stopover: everything reachable with ≤ 20% extra hiking.
+    let delta = 0.2 * sp.distance;
+    let stopovers = oracle.oracle().pois_within_detour(trailhead_site, dest, delta);
+    println!("{} landmarks within a {delta:.0} m detour of that trail", stopovers.len());
+    for p in stopovers.iter().filter(|p| p.site != trailhead_site && p.site != dest).take(3) {
+        println!("  #{:2}  +{:4.0} m extra", p.site, p.via() - sp.distance);
+    }
 
     // Walking distance vs straight-line distance: terrain matters.
     let mut max_ratio: f64 = 0.0;

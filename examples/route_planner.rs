@@ -1,11 +1,13 @@
 //! Route planning: the oracle answers "how far?" in microseconds; when the
-//! user commits to a destination, the Steiner graph reconstructs the
-//! actual route as a surface polyline (§1.1's hiking/vehicle scenarios
-//! need both).
+//! user commits to a destination, [`QueryHandle::shortest_path`] returns
+//! the actual route as a surface polyline (§1.1's hiking/vehicle scenarios
+//! need both), and [`QueryHandle::pois_within_detour`] finds stopovers
+//! that barely lengthen the trip.
 //!
 //! Run with `cargo run --release --example route_planner`.
 
 use std::sync::Arc;
+use terrain_oracle::oracle::EPS_PATH;
 use terrain_oracle::prelude::*;
 
 fn main() {
@@ -21,24 +23,28 @@ fn main() {
         oracle.storage_bytes() as f64 / 1024.0
     );
 
+    // A path index over the same site set turns distance answers into
+    // routes. Build both into one serving handle.
+    let paths = PathIndex::for_p2p(&oracle, 3);
+    println!("path index: {:.1} KiB", paths.storage_bytes() as f64 / 1024.0);
+    let handle = QueryHandle::new(oracle.into_oracle()).with_paths(paths);
+
     // Screening phase: rank all destinations from waypoint 0 by distance —
     // one oracle probe each, no shortest-path computation.
     let src = 0usize;
     let mut ranked: Vec<(usize, f64)> =
-        (1..oracle.n_pois()).map(|i| (i, oracle.distance(src, i))).collect();
+        (1..handle.n_sites()).map(|i| (i, handle.distance(src, i))).collect();
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     println!("closest 3 destinations from waypoint #0:");
     for &(i, d) in ranked.iter().take(3) {
         println!("  #{i:2}  ≈{:6.0} m", d);
     }
 
-    // Commit phase: reconstruct the route to the top pick. The polyline
-    // lives on the refined mesh (POIs are vertices there).
+    // Commit phase: one call answers distance and route together.
     let (dest, est) = ranked[0];
-    let graph = SteinerGraph::with_points_per_edge(oracle.mesh().clone(), 3);
-    let path = shortest_vertex_path(&graph, oracle.poi_vertex(src), oracle.poi_vertex(dest))
-        .expect("connected mesh");
-    let route = path.simplify_collinear(1e-6);
+    let sp = handle.shortest_path(src, dest);
+    assert_eq!(sp.distance, est, "path queries reuse the distance answer bit-for-bit");
+    let route = sp.path.simplify_collinear(1e-6);
     println!(
         "route to #{dest}: {:.0} m over {} segments (oracle estimated {est:.0} m)",
         route.length,
@@ -47,24 +53,36 @@ fn main() {
 
     // The polyline is on-surface, so it can only be ≥ the true geodesic;
     // the oracle estimate is within ε of it. Their ratio is bounded by the
-    // product of the two approximation factors.
+    // EPS_PATH contract.
     let ratio = route.length / (est / (1.0 + eps));
     println!("route/lower-bound ratio: {ratio:.3}");
     assert!(ratio >= 1.0 - 1e-9, "surface path below the ε-deflated estimate");
-    assert!(ratio <= 1.30, "path reconstruction unexpectedly loose: {ratio}");
+    assert!(route.length <= est * (1.0 + EPS_PATH) + 1e-9, "path breaks the EPS_PATH contract");
 
-    // Emit waypoints every ~500 m for a GPS device.
-    let step = 500.0;
-    let mut marks = Vec::new();
-    let mut at = 0.0;
-    while at < route.length {
-        marks.push(route.point_at(at));
-        at += step;
+    // Which waypoints could we visit on the way for ≤ 20% extra walking?
+    let detour = handle.pois_within_detour(src, dest, 0.2 * est);
+    println!("stopovers within a 20% detour to #{dest}:");
+    for p in detour.iter().filter(|p| p.site != src && p.site != dest) {
+        println!("  #{:2}  +{:4.0} m", p.site, p.via() - est);
     }
-    marks.push(route.point_at(route.length));
+
+    // Emit waypoints every ~500 m for a GPS device. Index-scaled arc
+    // lengths avoid accumulating a running `at += step` error, and the
+    // final point is appended exactly once even when the route length is
+    // an exact multiple of the step.
+    let step = 500.0;
+    let n_steps = (route.length / step).ceil() as usize;
+    let marks: Vec<Vec3> = (0..n_steps)
+        .map(|i| route.point_at(i as f64 * step))
+        .chain(std::iter::once(route.point_at(route.length)))
+        .collect();
     println!("GPS track: {} waypoints at {step:.0} m spacing", marks.len());
     for (i, p) in marks.iter().take(4).enumerate() {
         println!("  wp{i}: ({:8.1}, {:8.1}, {:6.1})", p.x, p.y, p.z);
     }
+    assert!(
+        marks.windows(2).all(|w| w[0] != w[1]),
+        "GPS track must not contain consecutive duplicate waypoints"
+    );
     println!("done");
 }

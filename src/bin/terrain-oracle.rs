@@ -5,6 +5,10 @@
 //! terrain-oracle build --mesh t.off --pois p.csv --eps 0.1 --out oracle.seor
 //! terrain-oracle info  --oracle oracle.seor
 //! terrain-oracle query --oracle oracle.seor --pairs "0 5" "3 17"
+//! terrain-oracle query-path --mesh t.off --pois p.csv --eps 0.1
+//!                           --pairs "0 5" "3 17"
+//! terrain-oracle query-detour --mesh t.off --pois p.csv --eps 0.1
+//!                             --from 0 --to 5 --delta 0.4
 //! terrain-oracle knn   --oracle oracle.seor --site 4 --k 3
 //! terrain-oracle gen   --preset sf-small --scale 0.5 --out t.off
 //! terrain-oracle atlas-build --mesh t.off --pois p.csv --eps 0.1
@@ -19,6 +23,7 @@
 use se_oracle::atlas::{Atlas, AtlasConfig, AtlasHandle};
 use se_oracle::oracle::{BuildConfig, SeOracle};
 use se_oracle::p2p::{EngineKind, P2POracle};
+use se_oracle::route::PathIndex;
 use se_oracle::serve::QueryHandle;
 use se_oracle::ProximityIndex;
 use std::process::ExitCode;
@@ -35,6 +40,8 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("query-batch") => cmd_query_batch(&args[1..]),
+        Some("query-path") => cmd_query_path(&args[1..]),
+        Some("query-detour") => cmd_query_detour(&args[1..]),
         Some("atlas-build") => cmd_atlas_build(&args[1..]),
         Some("atlas-query") => cmd_atlas_query(&args[1..]),
         Some("knn") => cmd_knn(&args[1..]),
@@ -66,6 +73,16 @@ USAGE:
   terrain-oracle query-batch --oracle <file.seor> [--pairs-file <f>]
                        [--threads <n>]   (pairs from the file or stdin, one
                        '<s> <t>' per line; 0 threads = auto-detect)
+  terrain-oracle query-path --mesh <file.off> --pois <file.csv> --eps <f>
+                       --pairs \"<s> <t>\" ... [--engine exact|edge|steiner]
+                       [--steiner-points <m>] [--threads <n>]
+                       (ids are POI indices from the CSV; prints one
+                       '<s> <t> <distance> <length> <points>' per pair)
+  terrain-oracle query-detour --mesh <file.off> --pois <file.csv> --eps <f>
+                       --from <s> --to <t> --delta <f>
+                       [--engine exact|edge|steiner] [--threads <n>]
+                       (POIs p with d(s,p) + d(p,t) <= d(s,t) + delta;
+                       prints one '<p> <d_sp> <d_pt> <total>' per POI)
   terrain-oracle atlas-build --mesh <file.off> --pois <file.csv> --eps <f>
                        --out <file.seat> [--grid <nx>x<ny>] [--overlap <f>]
                        [--portal-spacing <k>] [--engine exact|edge|steiner]
@@ -313,6 +330,90 @@ fn cmd_query_batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses one `"<s> <t>"` pair spec against an id bound.
+fn parse_pair_spec(spec: &str, n: usize, what: &str) -> Result<(usize, usize), String> {
+    let mut it = spec.split_whitespace();
+    let (s, t) = match (it.next(), it.next(), it.next()) {
+        (Some(s), Some(t), None) => (s, t),
+        _ => return Err(format!("bad pair '{spec}' (expected \"<s> <t>\")")),
+    };
+    let s: usize = s.parse().map_err(|_| format!("bad {what} '{s}'"))?;
+    let t: usize = t.parse().map_err(|_| format!("bad {what} '{t}'"))?;
+    if s >= n || t >= n {
+        return Err(format!("pair ({s}, {t}) out of range ({n} {what}s)"));
+    }
+    Ok((s, t))
+}
+
+/// Shared front half of `query-path` / `query-detour`: build a fresh
+/// P2P oracle from `--mesh`/`--pois`/`--eps` (persisted `.seor` images
+/// answer distances only — the mesh is needed for routes).
+fn build_p2p_cli(rest: &mut Vec<String>) -> Result<P2POracle, String> {
+    let mesh_path = require(rest, "--mesh")?;
+    let poi_path = require(rest, "--pois")?;
+    let eps: f64 =
+        require(rest, "--eps")?.parse().map_err(|_| "--eps needs a number".to_string())?;
+    let engine = parse_engine(rest)?;
+    let threads = parse_threads(rest)?;
+    let mesh = load_mesh(&mesh_path)?;
+    let pois = load_pois(&poi_path, &mesh)?;
+    let cfg = BuildConfig { threads, ..Default::default() };
+    P2POracle::build(&mesh, &pois, eps, engine, &cfg).map_err(|e| e.to_string())
+}
+
+fn cmd_query_path(args: &[String]) -> Result<(), String> {
+    let mut rest = args.to_vec();
+    let m: usize = match take_opt(&mut rest, "--steiner-points") {
+        Some(s) => {
+            s.parse().ok().filter(|&m| m >= 1).ok_or("--steiner-points needs a positive integer")?
+        }
+        None => 3,
+    };
+    let at = rest.iter().position(|a| a == "--pairs").ok_or("missing required option --pairs")?;
+    let pair_args: Vec<String> = rest.drain(at..).skip(1).collect();
+    if pair_args.is_empty() {
+        return Err("--pairs needs at least one \"<s> <t>\" argument".into());
+    }
+    let p2p = build_p2p_cli(&mut rest)?;
+    reject_leftovers(&rest)?;
+    let pairs = pair_args
+        .iter()
+        .map(|spec| parse_pair_spec(spec, p2p.n_pois(), "POI"))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let paths = PathIndex::for_p2p(&p2p, m);
+    for (s, t) in pairs {
+        let sp = p2p.oracle().shortest_path(p2p.site_of_poi(s), p2p.site_of_poi(t), &paths);
+        println!("{s} {t} {} {} {}", sp.distance, sp.path.length, sp.path.points.len());
+    }
+    Ok(())
+}
+
+fn cmd_query_detour(args: &[String]) -> Result<(), String> {
+    let mut rest = args.to_vec();
+    let from: usize = require(&mut rest, "--from")?
+        .parse()
+        .map_err(|_| "--from needs a POI index".to_string())?;
+    let to: usize =
+        require(&mut rest, "--to")?.parse().map_err(|_| "--to needs a POI index".to_string())?;
+    let delta: f64 = require(&mut rest, "--delta")?
+        .parse()
+        .ok()
+        .filter(|d: &f64| d.is_finite() && *d >= 0.0)
+        .ok_or("--delta needs a finite non-negative number")?;
+    let p2p = build_p2p_cli(&mut rest)?;
+    reject_leftovers(&rest)?;
+    for (name, id) in [("--from", from), ("--to", to)] {
+        if id >= p2p.n_pois() {
+            return Err(format!("{name} {id} out of range ({} POIs)", p2p.n_pois()));
+        }
+    }
+    for p in p2p.oracle().pois_within_detour(p2p.site_of_poi(from), p2p.site_of_poi(to), delta) {
+        println!("{} {} {} {}", p.site, p.from_s, p.to_t, p.via());
+    }
+    Ok(())
+}
+
 fn cmd_atlas_build(args: &[String]) -> Result<(), String> {
     let mut rest = args.to_vec();
     let mesh_path = require(&mut rest, "--mesh")?;
@@ -351,7 +452,11 @@ fn cmd_atlas_build(args: &[String]) -> Result<(), String> {
         pois.len(),
         mesh.n_vertices()
     );
-    let cfg = AtlasConfig { grid, build: BuildConfig { threads, ..Default::default() } };
+    let cfg = AtlasConfig {
+        grid,
+        build: BuildConfig { threads, ..Default::default() },
+        path_points_per_edge: None,
+    };
     let atlas = Atlas::build(&mesh, &pois, eps, engine, &cfg).map_err(|e| e.to_string())?;
     let s = atlas.build_stats();
     eprintln!(
@@ -488,6 +593,21 @@ mod tests {
         let v: Vec<String> = vec!["--bogus".into()];
         assert!(reject_leftovers(&v).is_err());
         assert!(reject_leftovers(&[]).is_ok());
+    }
+
+    #[test]
+    fn pair_specs_parse_and_bound_check() {
+        assert_eq!(parse_pair_spec("3 7", 10, "POI").unwrap(), (3, 7));
+        assert_eq!(parse_pair_spec(" 0  9 ", 10, "POI").unwrap(), (0, 9));
+        for (spec, needle) in [
+            ("3", "bad pair"),
+            ("1 2 3", "bad pair"),
+            ("a 2", "bad POI 'a'"),
+            ("3 10", "out of range (10 POIs)"),
+        ] {
+            let err = parse_pair_spec(spec, 10, "POI").unwrap_err();
+            assert!(err.contains(needle), "error '{err}' should contain '{needle}'");
+        }
     }
 
     #[test]

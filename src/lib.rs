@@ -46,12 +46,14 @@ pub mod prelude {
     pub use baselines::{KAlgo, SpOracle};
     pub use geodesic::engine::{GeodesicEngine, Stop};
     pub use geodesic::{
-        geodesic_voronoi, shortest_path, shortest_vertex_path, trace_descent_path, EdgeGraphEngine,
-        IchEngine, SteinerEngine, SteinerGraph, SurfacePath, VoronoiResult,
+        geodesic_voronoi, shortest_path, shortest_path_straightened, shortest_vertex_path,
+        shortest_vertex_path_straightened, trace_descent_path, EdgeGraphEngine, IchEngine,
+        SteinerEngine, SteinerGraph, SurfacePath, VoronoiResult,
     };
     pub use se_oracle::{
-        A2AOracle, Atlas, AtlasConfig, AtlasHandle, BuildConfig, ConstructionMethod, DynamicOracle,
-        EngineKind, Neighbor, P2POracle, ProximityIndex, QueryHandle, SeOracle, SelectionStrategy,
+        A2AOracle, Atlas, AtlasConfig, AtlasHandle, BuildConfig, ConstructionMethod, DetourPoi,
+        DynamicOracle, EngineKind, Neighbor, P2POracle, PathIndex, ProximityIndex, QueryHandle,
+        SeOracle, SelectionStrategy, ShortestPath,
     };
     pub use terrain::gen::{diamond_square, Heightfield, Preset};
     pub use terrain::poi::{

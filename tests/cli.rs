@@ -93,6 +93,126 @@ fn full_workflow_gen_build_info_query_knn() {
 }
 
 #[test]
+fn path_and_detour_workflow() {
+    let dir = tmp_dir("pathflow");
+    let mesh = dir.join("t.off");
+    let pois = dir.join("p.csv");
+
+    let o =
+        run(&["gen", "--preset", "sf-small", "--scale", "0.3", "--out", mesh.to_str().unwrap()]);
+    assert!(o.status.success(), "gen failed: {}", stderr(&o));
+    std::fs::write(&pois, "100,100\n700,300\n1200,900\n300,800\n900,600\n500,200\n").unwrap();
+    let (mesh, pois) = (mesh.to_str().unwrap(), pois.to_str().unwrap());
+
+    // query-path: one line per pair, `<s> <t> <distance> <length> <points>`
+    // with the EPS_PATH ceiling holding (exact engine default).
+    let o = run(&[
+        "query-path",
+        "--mesh",
+        mesh,
+        "--pois",
+        pois,
+        "--eps",
+        "0.15",
+        "--pairs",
+        "0 2",
+        "1 4",
+        "3 3",
+    ]);
+    assert!(o.status.success(), "query-path failed: {}", stderr(&o));
+    let out = stdout(&o);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 3, "query-path output:\n{out}");
+    for line in &lines[..2] {
+        let f: Vec<f64> = line.split_whitespace().map(|x| x.parse().unwrap()).collect();
+        assert_eq!(f.len(), 5, "bad line '{line}'");
+        let (d, len, pts) = (f[2], f[3], f[4]);
+        assert!(d > 0.0 && len >= d / 1.15 - 1e-9 && len <= d * 1.5 + 1e-9, "'{line}'");
+        assert!(pts >= 2.0, "'{line}'");
+    }
+    assert!(lines[2].ends_with(" 0 0 1"), "degenerate pair line: '{}'", lines[2]);
+
+    // query-detour: every other POI fits inside a huge budget, sorted by
+    // total detour length, with total = d(s,p) + d(p,t).
+    let o = run(&[
+        "query-detour",
+        "--mesh",
+        mesh,
+        "--pois",
+        pois,
+        "--eps",
+        "0.15",
+        "--from",
+        "0",
+        "--to",
+        "2",
+        "--delta",
+        "1e9",
+    ]);
+    assert!(o.status.success(), "query-detour failed: {}", stderr(&o));
+    let out = stdout(&o);
+    assert_eq!(out.lines().count(), 4, "query-detour output:\n{out}");
+    let mut prev_total = 0.0;
+    for line in out.lines() {
+        let f: Vec<f64> = line.split_whitespace().map(|x| x.parse().unwrap()).collect();
+        assert_eq!(f.len(), 4, "bad line '{line}'");
+        assert!((f[1] + f[2] - f[3]).abs() <= 1e-9, "total mismatch in '{line}'");
+        assert!(f[3] >= prev_total, "not sorted by total: '{line}'");
+        prev_total = f[3];
+    }
+
+    // A zero budget keeps only POIs already on a shortest path — none, on
+    // this spread-out fixture.
+    let o = run(&[
+        "query-detour",
+        "--mesh",
+        mesh,
+        "--pois",
+        pois,
+        "--eps",
+        "0.15",
+        "--from",
+        "0",
+        "--to",
+        "2",
+        "--delta",
+        "0",
+    ]);
+    assert!(o.status.success(), "zero-delta query-detour failed: {}", stderr(&o));
+    assert!(stdout(&o).is_empty(), "zero budget admitted POIs:\n{}", stdout(&o));
+
+    // Errors: negative budget, missing pairs, out-of-range ids.
+    let o = run(&[
+        "query-detour",
+        "--mesh",
+        mesh,
+        "--pois",
+        pois,
+        "--eps",
+        "0.15",
+        "--from",
+        "0",
+        "--to",
+        "2",
+        "--delta",
+        "-1",
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("non-negative"), "{}", stderr(&o));
+
+    let o = run(&["query-path", "--mesh", mesh, "--pois", pois, "--eps", "0.15"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--pairs"), "{}", stderr(&o));
+
+    let o =
+        run(&["query-path", "--mesh", mesh, "--pois", pois, "--eps", "0.15", "--pairs", "0 99"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("out of range"), "{}", stderr(&o));
+
+    std::fs::remove_dir_all(std::path::Path::new(mesh).parent().unwrap()).ok();
+}
+
+#[test]
 fn helpful_errors_and_usage() {
     // No args → usage on stdout, success.
     let o = run(&[]);

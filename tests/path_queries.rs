@@ -1,0 +1,284 @@
+//! The path workload's contracts, exercised end to end:
+//!
+//! 1. **EPS_PATH** — every `shortest_path` answer reuses the distance
+//!    answer bit for bit, starts and ends exactly at the queried sites,
+//!    and its polyline length never exceeds `distance · (1 + EPS_PATH)`;
+//!    with the exact engine the two-sided contract (including the
+//!    `distance / (1 + ε)` floor and the true-geodesic floor) holds at
+//!    fixture levels 3, 4 and 5.
+//! 2. **Detour ≡ brute force** — `pois_within_detour` returns exactly the
+//!    brute-force dual sweep's answer, element for element.
+//! 3. **Concurrent ≡ serial** — 8 threads mixing path and detour traffic
+//!    on one shared [`QueryHandle`] (and on an [`AtlasHandle`] whose
+//!    routes concatenate across portal graphs) observe bit-identical
+//!    answers to a single-threaded replay.
+
+mod common;
+
+use common::*;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use terrain_oracle::oracle::atlas::{Atlas, AtlasConfig, AtlasHandle};
+use terrain_oracle::oracle::route::{PathIndex, EPS_PATH};
+use terrain_oracle::oracle::serve::pair_stream;
+use terrain_oracle::oracle::DetourPoi;
+use terrain_oracle::prelude::*;
+use terrain_oracle::terrain::tile::TileGridConfig;
+
+/// ε shared by every fixture in this file.
+const FIX_EPS: f64 = 0.2;
+
+/// Serving fixture: an edge-graph oracle with an attached path index —
+/// built once, then only queried.
+fn shared_handle() -> &'static QueryHandle {
+    static H: OnceLock<QueryHandle> = OnceLock::new();
+    H.get_or_init(|| {
+        let p2p = build_p2p(307, 18, FIX_EPS, EngineKind::EdgeGraph);
+        let paths = PathIndex::for_p2p(&p2p, 3);
+        QueryHandle::new(p2p.into_oracle()).with_paths(paths)
+    })
+}
+
+/// Atlas fixture with a path layer: portal spacing 2 keeps cross-tile
+/// routes common at level 4 (see the `se_oracle::atlas` docs).
+fn shared_atlas() -> &'static AtlasHandle {
+    static A: OnceLock<AtlasHandle> = OnceLock::new();
+    A.get_or_init(|| {
+        let (mesh, pois) = mesh_with_pois(4, 0.6, 409, 24);
+        let (refined, sites) = refine_sites(&mesh, &pois);
+        let cfg = AtlasConfig {
+            grid: TileGridConfig { portal_spacing: 2, ..Default::default() },
+            path_points_per_edge: Some(3),
+            ..Default::default()
+        };
+        let atlas = Atlas::build_over_vertices(
+            Arc::new(refined.mesh),
+            sites,
+            FIX_EPS,
+            EngineKind::EdgeGraph,
+            &cfg,
+        )
+        .unwrap();
+        AtlasHandle::new(atlas)
+    })
+}
+
+/// Brute-force dual sweep: the spec `pois_within_detour` must match.
+fn brute_detour(h: &QueryHandle, s: usize, t: usize, delta: f64) -> Vec<DetourPoi> {
+    let budget = h.distance(s, t) + delta;
+    let mut out: Vec<DetourPoi> = (0..h.n_sites())
+        .filter(|&p| p != s && p != t)
+        .map(|p| DetourPoi { site: p, from_s: h.distance(s, p), to_t: h.distance(p, t) })
+        .filter(|d| d.via() <= budget)
+        .collect();
+    out.sort_by(|a, b| {
+        (a.via(), a.site).partial_cmp(&(b.via(), b.site)).expect("finite distances")
+    });
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, rng_seed: 0x9A78_0001, ..ProptestConfig::default() })]
+
+    /// Contract 1 on the serving handle (edge-graph engine, so only the
+    /// upper bound is promised): distance reuse, exact endpoints, and the
+    /// EPS_PATH ceiling over arbitrary in-range pairs.
+    #[test]
+    fn random_pairs_obey_the_path_contract(
+        raw in proptest::collection::vec((0u32..1000, 0u32..1000), 1..40),
+    ) {
+        let h = shared_handle();
+        let n = h.n_sites() as u32;
+        let paths = h.paths().expect("fixture has a path index");
+        for &(s, t) in &raw {
+            let (s, t) = ((s % n) as usize, (t % n) as usize);
+            let sp = h.shortest_path(s, t);
+            prop_assert_eq!(sp.distance.to_bits(), h.distance(s, t).to_bits());
+            if s == t {
+                prop_assert_eq!(sp.path.length, 0.0);
+                continue;
+            }
+            prop_assert!(
+                sp.path.length <= sp.distance * (1.0 + EPS_PATH) + 1e-9,
+                "({}, {}): path {} breaks EPS_PATH vs {}", s, t, sp.path.length, sp.distance
+            );
+            prop_assert_eq!(sp.path.points[0], paths.graph().position(paths.site_vertex(s)));
+            prop_assert_eq!(
+                *sp.path.points.last().expect("non-empty"),
+                paths.graph().position(paths.site_vertex(t))
+            );
+        }
+    }
+
+    /// Contract 2 on the serving handle: random endpoints and budgets
+    /// (zero, sub-diameter, and effectively unbounded).
+    #[test]
+    fn detour_matches_brute_force(
+        s in 0usize..18,
+        t in 0usize..18,
+        frac in 0.0f64..2.0,
+    ) {
+        let h = shared_handle();
+        let n = h.n_sites();
+        let (s, t) = (s % n, t % n);
+        let diam = (0..n).map(|p| h.distance(s, p)).fold(0.0f64, f64::max);
+        for delta in [0.0, frac * diam] {
+            prop_assert_eq!(h.pois_within_detour(s, t, delta), brute_detour(h, s, t, delta));
+        }
+    }
+}
+
+/// Contract 1, two-sided: with the exact engine the polyline can never
+/// undercut either the true geodesic or the ε-deflated oracle answer, at
+/// every fixture level (3, 4, 5 — the last above the ~1k-vertex ceiling).
+#[test]
+fn exact_engine_paths_hold_both_bounds_across_levels() {
+    for (k, seed, n_pois) in [(3u32, 331u64, 10usize), (4, 337, 12), (5, 347, 10)] {
+        let (mesh, pois) = mesh_with_pois(k, 0.6, seed, n_pois);
+        if k == 5 {
+            assert!(mesh.n_vertices() > 1000, "level-5 fixture must exceed ~1k vertices");
+        }
+        let p2p =
+            P2POracle::build(&mesh, &pois, FIX_EPS, EngineKind::Exact, &BuildConfig::default())
+                .unwrap();
+        let paths = PathIndex::for_p2p(&p2p, 3);
+        for a in 0..p2p.n_pois() {
+            for b in a + 1..p2p.n_pois() {
+                let (s, t) = (p2p.site_of_poi(a), p2p.site_of_poi(b));
+                let sp = p2p.oracle().shortest_path(s, t, &paths);
+                let d_geo = p2p.engine_distance(a, b);
+                assert!(
+                    sp.path.length >= d_geo - 1e-9,
+                    "level {k} ({a},{b}): on-surface path {} below exact geodesic {d_geo}",
+                    sp.path.length
+                );
+                assert!(
+                    sp.path.length >= sp.distance / (1.0 + FIX_EPS) - 1e-9,
+                    "level {k} ({a},{b}): path {} undercuts the ε floor of {}",
+                    sp.path.length,
+                    sp.distance
+                );
+                assert!(
+                    sp.path.length <= sp.distance * (1.0 + EPS_PATH) + 1e-9,
+                    "level {k} ({a},{b}): path {} breaks EPS_PATH vs {}",
+                    sp.path.length,
+                    sp.distance
+                );
+            }
+        }
+    }
+}
+
+/// Per-pair digest of a mixed path + detour query: everything a client
+/// could observe, reduced to bit patterns.
+type Digest = (u64, u64, usize, Vec<(usize, u64, u64)>);
+
+fn digest_query(
+    sp_distance: f64,
+    sp_length: f64,
+    sp_points: usize,
+    detour: Vec<DetourPoi>,
+) -> Digest {
+    (
+        sp_distance.to_bits(),
+        sp_length.to_bits(),
+        sp_points,
+        detour.into_iter().map(|d| (d.site, d.from_s.to_bits(), d.to_t.to_bits())).collect(),
+    )
+}
+
+/// Contract 3 on the serving handle: 8 threads × mixed path/detour
+/// traffic, compared digest-for-digest against a serial replay.
+#[test]
+fn eight_threads_replay_path_traffic_bit_identically() {
+    const THREADS: u64 = 8;
+    const QUERIES: usize = 200;
+    let h = shared_handle();
+    let n = h.n_sites();
+    let run = |worker: &QueryHandle, tid: u64| -> Vec<Digest> {
+        pair_stream(0x9A78_0002, tid, QUERIES, n)
+            .into_iter()
+            .map(|(s, t)| {
+                let (s, t) = (s as usize, t as usize);
+                let sp = worker.shortest_path(s, t);
+                let detour = worker.pois_within_detour(s, t, 0.25 * sp.distance);
+                digest_query(sp.distance, sp.path.length, sp.path.points.len(), detour)
+            })
+            .collect()
+    };
+
+    let replay: Vec<Vec<Digest>> = (0..THREADS).map(|tid| run(h, tid)).collect();
+    let live: Vec<Vec<Digest>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let worker = h.clone();
+                scope.spawn(move || run(&worker, tid))
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("path-serving thread panicked")).collect()
+    });
+    for (tid, (l, r)) in live.iter().zip(&replay).enumerate() {
+        assert_eq!(l, r, "thread {tid} observed path answers differing from the serial replay");
+    }
+}
+
+/// Contract 1 on the atlas: path answers reuse the routed distance bit
+/// for bit and keep the EPS_PATH ceiling even when the polyline is
+/// concatenated from per-tile legs across the portal graph.
+#[test]
+fn atlas_paths_reuse_routed_distances() {
+    let h = shared_atlas();
+    let n = h.n_sites();
+    let mut cross = 0usize;
+    for s in 0..n {
+        for t in 0..n {
+            let sp = h.shortest_path(s, t);
+            assert_eq!(sp.distance.to_bits(), h.distance(s, t).to_bits());
+            if s != t {
+                assert!(
+                    sp.path.length <= sp.distance * (1.0 + EPS_PATH) + 1e-9,
+                    "({s},{t}): atlas path {} breaks EPS_PATH vs {}",
+                    sp.path.length,
+                    sp.distance
+                );
+            }
+            cross += h.atlas().is_cross_tile(s, t) as usize;
+        }
+    }
+    assert!(cross > 0, "fixture never exercised a portal route");
+}
+
+/// Contract 3 on the atlas: portal-route concatenation stays
+/// bit-deterministic under 8 concurrent threads.
+#[test]
+fn atlas_threads_replay_path_traffic_bit_identically() {
+    const THREADS: u64 = 8;
+    const QUERIES: usize = 200;
+    let h = shared_atlas();
+    let n = h.n_sites();
+    let run = |worker: &AtlasHandle, tid: u64| -> Vec<Digest> {
+        pair_stream(0x9A78_0003, tid, QUERIES, n)
+            .into_iter()
+            .map(|(s, t)| {
+                let (s, t) = (s as usize, t as usize);
+                let sp = worker.shortest_path(s, t);
+                let detour = worker.pois_within_detour(s, t, 0.25 * sp.distance);
+                digest_query(sp.distance, sp.path.length, sp.path.points.len(), detour)
+            })
+            .collect()
+    };
+
+    let replay: Vec<Vec<Digest>> = (0..THREADS).map(|tid| run(h, tid)).collect();
+    let live: Vec<Vec<Digest>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let worker = h.clone();
+                scope.spawn(move || run(&worker, tid))
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("atlas path thread panicked")).collect()
+    });
+    for (tid, (l, r)) in live.iter().zip(&replay).enumerate() {
+        assert_eq!(l, r, "thread {tid} observed atlas answers differing from the serial replay");
+    }
+}
