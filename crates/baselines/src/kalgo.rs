@@ -11,6 +11,7 @@
 use geodesic::heap::MinHeap;
 use geodesic::steiner::{GraphStop, NodeId, SteinerGraph};
 use std::sync::Arc;
+// lint: allow(d2, "timing types for query stats; wall-clock never feeds oracle data")
 use std::time::{Duration, Instant};
 use terrain::locate::FaceLocator;
 use terrain::poi::SurfacePoint;
@@ -27,6 +28,7 @@ pub struct KAlgo {
 impl KAlgo {
     /// Builds the Steiner graph once; queries run on demand.
     pub fn new(mesh: Arc<TerrainMesh>, points_per_edge: usize) -> Self {
+        // lint: allow(d2, "query timing recorded in stats only; never feeds computed distances")
         let t0 = Instant::now();
         let graph = Arc::new(SteinerGraph::with_points_per_edge(mesh.clone(), points_per_edge));
         let locator = FaceLocator::build(&mesh);

@@ -10,6 +10,7 @@
 //! The third baseline, SE(Naive), is the `ConstructionMethod::Naive` /
 //! `distance_naive` configuration of the `se-oracle` crate itself.
 
+#![forbid(unsafe_code)]
 pub mod kalgo;
 pub mod sp_oracle;
 

@@ -1,0 +1,99 @@
+//! Emits a `BENCH_*.json` perf snapshot: the three numbers the roadmap
+//! tracks across PRs, in a machine-diffable shape.
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin snapshot            # BENCH_baseline.json
+//! $ cargo run --release -p bench --bin snapshot -- pr12    # BENCH_pr12.json
+//! ```
+//!
+//! The three measurements mirror the CI-run workloads:
+//!
+//! - `quickstart_build_ms` — the `examples/quickstart.rs` setup: SE(ε=0.1)
+//!   over the exact engine on the SfSmall preset with 60 POIs;
+//! - `query_batch_ns_per_op` — `benches/query_batch.rs`'s 10k-pair batch
+//!   through `QueryHandle::distance_many`, per-pair;
+//! - `path_query_us_per_op` — `benches/path_query.rs`'s 64-pair
+//!   `shortest_path` sweep, per-query.
+//!
+//! Each timing is the median of several repetitions, so a snapshot is
+//! stable enough to eyeball across commits without a criterion run.
+
+use bench::setup::{query_pairs, Workload};
+use se_oracle::oracle::BuildConfig;
+use se_oracle::p2p::{EngineKind, P2POracle};
+use se_oracle::route::PathIndex;
+use se_oracle::serve::QueryHandle;
+use std::hint::black_box;
+use std::time::Instant;
+use terrain::gen::Preset;
+
+const BATCH: usize = 10_000;
+const PATH_PAIRS: usize = 64;
+
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "baseline".to_string());
+
+    // 1. Quickstart build: exact engine, as in examples/quickstart.rs.
+    let mesh = Preset::SfSmall.mesh(1.0);
+    let pois = terrain::poi::sample_uniform(&mesh, 60, 42);
+    let build_ms = median_ms(3, || {
+        let oracle =
+            P2POracle::build(&mesh, &pois, 0.1, EngineKind::Exact, &BuildConfig::default())
+                .expect("oracle construction");
+        black_box(oracle.oracle().n_pairs());
+    });
+
+    // 2. Query batch: 10k pairs through the amortized layer-array driver.
+    let w = Workload::preset(Preset::SfSmall, 0.3, 60);
+    let built =
+        P2POracle::build(&w.mesh, &w.pois, 0.15, EngineKind::EdgeGraph, &BuildConfig::default())
+            .expect("oracle construction");
+    let paths = PathIndex::for_p2p(&built, 3);
+    let handle = QueryHandle::new(built.into_oracle()).with_paths(paths);
+    let pairs: Vec<(u32, u32)> = query_pairs(handle.n_sites(), BATCH, 0xBA7C)
+        .into_iter()
+        .map(|(s, t)| (s as u32, t as u32))
+        .collect();
+    let batch_ms = median_ms(9, || {
+        black_box(handle.distance_many(&pairs));
+    });
+    let query_ns = batch_ms * 1e6 / BATCH as f64;
+
+    // 3. Path queries: the 64-pair shortest_path sweep.
+    let route_pairs = query_pairs(handle.n_sites(), PATH_PAIRS, 0x9A7B);
+    let path_ms = median_ms(9, || {
+        let mut acc = 0.0;
+        for &(s, t) in &route_pairs {
+            acc += handle.shortest_path(s, t).path.length;
+        }
+        black_box(acc);
+    });
+    let path_us = path_ms * 1e3 / PATH_PAIRS as f64;
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"label\": \"{label}\",\n  \"generator\": \
+         \"cargo run --release -p bench --bin snapshot\",\n  \"measurements\": [\n    \
+         {{ \"name\": \"quickstart_build_ms\", \"value\": {build_ms:.2}, \"unit\": \"ms\", \
+         \"detail\": \"SE(eps=0.1), exact engine, SfSmall x1.0, 60 POIs, median of 3\" }},\n    \
+         {{ \"name\": \"query_batch_ns_per_op\", \"value\": {query_ns:.1}, \"unit\": \"ns\", \
+         \"detail\": \"10k-pair distance_many batch, median of 9\" }},\n    \
+         {{ \"name\": \"path_query_us_per_op\", \"value\": {path_us:.2}, \"unit\": \"us\", \
+         \"detail\": \"64-pair shortest_path sweep, median of 9\" }}\n  ]\n}}\n"
+    );
+    let out = format!("BENCH_{label}.json");
+    std::fs::write(&out, &json).expect("write snapshot");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

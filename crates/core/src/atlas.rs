@@ -52,6 +52,7 @@
 //! batch/parallel drivers reassemble shard results in input order — an
 //! [`AtlasHandle`] answers bit-identically from any number of threads.
 
+// lint: query-path
 use crate::oracle::{BuildConfig, BuildError, SeOracle};
 use crate::p2p::{make_engine, EngineKind};
 use crate::proximity::DetourPoi;
@@ -61,9 +62,10 @@ use geodesic::path::{shortest_vertex_path_straightened, SurfacePath};
 use geodesic::sitespace::VertexSiteSpace;
 use geodesic::steiner::SteinerGraph;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 use std::sync::Arc;
+// lint: allow(d2, "timing types for build stats; wall-clock never feeds oracle data")
 use std::time::{Duration, Instant};
 use terrain::poi::SurfacePoint;
 use terrain::refine::insert_surface_points;
@@ -285,6 +287,7 @@ impl Atlas {
         if !(eps > 0.0 && eps.is_finite()) {
             return Err(AtlasError::InvalidEpsilon(eps));
         }
+        // lint: allow(d2, "build timing recorded in BuildStats only; never feeds the atlas image")
         let t_start = Instant::now();
         let partition = TilePartition::build(&mesh, &cfg.grid)?;
         let n_tiles = partition.n_tiles();
@@ -303,7 +306,7 @@ impl Atlas {
         }
         let mut plans: Vec<Plan> =
             (0..n_tiles).map(|_| Plan { verts: Vec::new(), portals: Vec::new() }).collect();
-        let mut vert_site: Vec<HashMap<VertexId, u32>> = vec![HashMap::new(); n_tiles];
+        let mut vert_site: Vec<BTreeMap<VertexId, u32>> = vec![BTreeMap::new(); n_tiles];
         let mut site_home = vec![0u32; site_vertices.len()];
         let mut site_members: Vec<Vec<(u32, u32)>> = vec![Vec::new(); site_vertices.len()];
         for (s, &v) in site_vertices.iter().enumerate() {
@@ -342,6 +345,7 @@ impl Atlas {
         let workers = cfg.build.resolved_threads();
         let tile_workers = workers.min(n_tiles).max(1);
         let inner_cfg = BuildConfig { threads: (workers / tile_workers).max(1), ..cfg.build };
+        // lint: allow(d2, "per-tile build timing lands in BuildStats only; never in the image")
         let t0 = Instant::now();
         let built: Vec<Result<(SeOracle, Vec<f64>), BuildError>> =
             geodesic::pool::run_indexed(tile_workers, n_tiles, |t| {
@@ -568,6 +572,7 @@ impl Atlas {
         if let Some((i, &(s, t))) =
             pairs.iter().enumerate().find(|&(_, &(s, t))| s as usize >= n || t as usize >= n)
         {
+            // lint: allow(panic, "documented panic contract for out-of-range ids; try_distance_many is the checked alternative")
             panic!(
                 "pair #{i} ({s}, {t}) out of range for an atlas over {n} sites \
                  (valid ids are 0..{n}); use Atlas::try_distance_many for a checked batch"
@@ -713,6 +718,7 @@ impl Atlas {
     /// persisted image).
     pub fn shortest_path(&self, s: usize, t: usize) -> ShortestPath {
         self.check_sites(s, t);
+        // lint: allow(panic, "documented panic contract; persisted atlas images are distance-only by design")
         let paths = self.paths.as_ref().expect(
             "atlas has no path layer; build it with AtlasConfig::path_points_per_edge \
              (persisted atlas images answer distances only)",
@@ -762,6 +768,7 @@ impl Atlas {
         );
         let path = match routed {
             None => {
+                // lint: allow(panic, "invariant: a finite unrouted distance can only come from a shared-tile direct answer")
                 let (tile, a, b) = direct.expect("finite distance implies a shared tile");
                 tile_leg(&paths.tiles[tile], a, b)
             }
@@ -859,7 +866,9 @@ impl Atlas {
         lt: u32,
         chain: &[u32],
     ) -> SurfacePath {
+        // lint: allow(panic, "invariant: a routed answer crosses at least one portal")
         let entry = chain.first().expect("a routed answer always crosses a portal");
+        // lint: allow(panic, "invariant: chain verified non-empty one line up")
         let exit = chain.last().expect("non-empty chain");
         let mut pts = tile_leg(&paths.tiles[ts], ls, self.portal_site_in(ts, *entry)).points;
         for w in chain.windows(2) {
@@ -883,6 +892,7 @@ impl Atlas {
         let portals = &self.tiles[t].portals;
         let k = portals
             .binary_search_by_key(&gid, |&(g, _)| g)
+            // lint: allow(panic, "invariant: routes only cross portals of member tiles; a miss means a corrupt image")
             .expect("portal not a member of the tile its route crossed");
         portals[k].1
     }
@@ -895,6 +905,7 @@ impl Atlas {
         let (lo, hi) = (self.graph_off[a as usize], self.graph_off[a as usize + 1]);
         let row = &self.graph_adj[lo as usize..hi as usize];
         let w =
+            // lint: allow(panic, "invariant: the dedup in build_portal_graph keeps some tile's entry verbatim")
             row[row.binary_search_by_key(&b, |&(v, _)| v).expect("edge absent from the graph")].1;
         for (t, tile) in self.tiles.iter().enumerate() {
             let Ok(pi) = tile.portals.binary_search_by_key(&a, |&(g, _)| g) else { continue };
@@ -941,9 +952,7 @@ impl Atlas {
                 out.push(DetourPoi { site: p, from_s, to_t });
             }
         }
-        out.sort_by(|a, b| {
-            (a.via(), a.site).partial_cmp(&(b.via(), b.site)).expect("finite distances")
-        });
+        out.sort_by(|a, b| a.via().total_cmp(&b.via()).then(a.site.cmp(&b.site)));
         out
     }
 }
@@ -957,6 +966,7 @@ fn tile_leg(tile: &TilePaths, a: u32, b: u32) -> SurfacePath {
         tile.site_vertex[a as usize],
         tile.site_vertex[b as usize],
     )
+    // lint: allow(panic, "invariant: tile sub-meshes are validated connected at construction")
     .expect("tile sub-meshes are connected")
 }
 
@@ -993,6 +1003,7 @@ fn local_in(members: &[(u32, u32)], tile: u32) -> u32 {
     members
         .iter()
         .find(|&&(t, _)| t == tile)
+        // lint: allow(panic, "invariant: every site's membership list contains its home tile")
         .expect("home tile missing from site membership list")
         .1
 }

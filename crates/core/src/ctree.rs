@@ -7,6 +7,7 @@
 //! `2n − 1` nodes (Lemma 9) — the key to the oracle's `O(n)`-space
 //! "space-efficient" property.
 
+// lint: query-path
 use crate::tree::{PartitionTree, NO_NODE};
 
 /// A node of the compressed partition tree.

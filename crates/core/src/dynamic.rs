@@ -30,7 +30,7 @@
 use crate::oracle::{BuildConfig, BuildError, SeOracle};
 use geodesic::sitespace::SiteSpace;
 use phash::pair_key;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use terrain::geom::Vec3;
 
 /// Sentinel in the universe → member translation table.
@@ -160,9 +160,9 @@ pub struct DynamicOracle<'s> {
     n_overlay_removed: usize,
     /// `(overlay slot, ctree node)` → exact SSAD distance to the node
     /// center; the per-insertion WSPD patch.
-    patch: HashMap<u64, f64>,
+    patch: BTreeMap<u64, f64>,
     /// `pair_key(slot_min, slot_max)` → exact overlay-overlay distance.
-    overlay_pairs: HashMap<u64, f64>,
+    overlay_pairs: BTreeMap<u64, f64>,
     insert_ssad_runs: u64,
 }
 
@@ -207,8 +207,8 @@ impl<'s> DynamicOracle<'s> {
             overlay_of: vec![NOT_MEMBER; space.n_sites()],
             overlay_removed: Vec::new(),
             n_overlay_removed: 0,
-            patch: HashMap::new(),
-            overlay_pairs: HashMap::new(),
+            patch: BTreeMap::new(),
+            overlay_pairs: BTreeMap::new(),
             insert_ssad_runs: 0,
         })
     }
@@ -381,6 +381,7 @@ impl<'s> DynamicOracle<'s> {
             | (ActiveRef::Base(s), ActiveRef::Overlay(o)) => self.patch_distance(o as u32, s),
             (ActiveRef::Overlay(x), ActiveRef::Overlay(y)) => {
                 let k = pair_key((x as u32).min(y as u32), (x as u32).max(y as u32));
+                // lint: allow(panic, "invariant: overlay pairs are recorded at insertion; the patch-cover assertion guards the other path")
                 *self.overlay_pairs.get(&k).expect("overlay pair recorded at insertion")
             }
         })

@@ -9,11 +9,12 @@
 //! joint walk up the two leaf-to-root paths — replacing one SSAD per
 //! considered pair (the naive method) with one SSAD per tree node.
 
+// lint: query-path
 use crate::tree::PartitionTree;
 use crate::wspd::PairDistanceResolver;
 use geodesic::sitespace::SiteSpace;
 use phash::{pair_key, PerfectMap};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The enhanced-edge index.
 pub struct EnhancedEdges {
@@ -44,7 +45,7 @@ impl EnhancedEdges {
 
         // Same-layer center → node lookup.
         // center_node[layer] : site → node id.
-        let center_node: Vec<HashMap<u32, u32>> = org
+        let center_node: Vec<BTreeMap<u32, u32>> = org
             .layers
             .iter()
             .map(|layer| layer.iter().map(|&nid| (org.nodes[nid as usize].center, nid)).collect())
@@ -56,7 +57,7 @@ impl EnhancedEdges {
         // so with a caching space the first (widest) SSAD of the group
         // serves every deeper repeat without cross-worker duplication.
         let mut groups: Vec<Vec<u32>> = Vec::new();
-        let mut group_of_center: HashMap<u32, usize> = HashMap::new();
+        let mut group_of_center: BTreeMap<u32, usize> = BTreeMap::new();
         let mut n_work = 0u64;
         for layer in org.layers.iter().filter(|layer| layer.len() >= 2) {
             for &nid in layer {

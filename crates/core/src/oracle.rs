@@ -1,5 +1,6 @@
 //! The SE distance oracle: construction (§3.5) and query processing (§3.4).
 
+// lint: query-path
 use crate::ctree::CompressedTree;
 use crate::enhanced::{EnhancedEdges, EnhancedResolver};
 use crate::tree::{PartitionTree, SelectionStrategy, TreeError, NO_NODE};
@@ -7,6 +8,7 @@ use crate::wspd::{self, PairDistanceResolver};
 use geodesic::cache::CachingSiteSpace;
 use geodesic::sitespace::SiteSpace;
 use phash::{pair_key, PerfectMap};
+// lint: allow(d2, "timing types for build stats; wall-clock never feeds oracle data")
 use std::time::{Duration, Instant};
 
 /// How node-pair distances are obtained during construction.
@@ -145,6 +147,7 @@ impl SeOracle {
         if !(eps > 0.0 && eps.is_finite()) {
             return Err(BuildError::InvalidEpsilon(eps));
         }
+        // lint: allow(d2, "build timing recorded in BuildStats only; never feeds the oracle image")
         let t_start = Instant::now();
         let mut stats = BuildStats::default();
         let workers = cfg.resolved_threads();
@@ -160,6 +163,7 @@ impl SeOracle {
         let space = CachingSiteSpace::new(space);
 
         // Step 1: partition tree + compressed partition tree.
+        // lint: allow(d2, "phase timing lands in BuildStats only; never in oracle data")
         let t = Instant::now();
         let (org, tree_stats) = PartitionTree::build_with(&space, cfg.strategy, cfg.seed, workers)?;
         let ctree = CompressedTree::from_partition_tree(&org);
@@ -173,11 +177,13 @@ impl SeOracle {
         // Steps 2–4: node pair set, with distances resolved per the method.
         let set = match cfg.method {
             ConstructionMethod::Efficient => {
+                // lint: allow(d2, "phase timing lands in BuildStats only; never in oracle data")
                 let t = Instant::now();
                 let edges = EnhancedEdges::build(&org, &space, eps, workers, cfg.seed);
                 stats.enhanced = t.elapsed();
                 stats.ssad_runs += edges.ssad_runs;
 
+                // lint: allow(d2, "phase timing lands in BuildStats only; never in oracle data")
                 let t = Instant::now();
                 let mut resolver = EnhancedResolver::new(&org, &edges, &space);
                 let set = wspd::generate(&ctree, eps, &mut resolver);
@@ -197,6 +203,7 @@ impl SeOracle {
                         self.space.distance(a, b)
                     }
                 }
+                // lint: allow(d2, "phase timing lands in BuildStats only; never in oracle data")
                 let t = Instant::now();
                 let mut resolver = Ssad { space: &space, runs: 0 };
                 let set = wspd::generate(&ctree, eps, &mut resolver);
@@ -359,6 +366,7 @@ impl SeOracle {
         if let Some((i, &(s, t))) =
             pairs.iter().enumerate().find(|&(_, &(s, t))| s as usize >= n || t as usize >= n)
         {
+            // lint: allow(panic, "documented panic contract for out-of-range ids; try_distance_many is the checked alternative")
             panic!(
                 "pair #{i} ({s}, {t}) out of range for an oracle over {n} sites \
                  (valid ids are 0..{n}); use SeOracle::try_distance_many for a checked batch"

@@ -7,6 +7,7 @@
 //! the [`SeOracle`] over the resulting vertex sites. V2V queries (§5.2.2)
 //! are the special case `P = V` with no refinement.
 
+// lint: query-path
 use crate::oracle::{BuildConfig, BuildError, SeOracle};
 use geodesic::dijkstra::EdgeGraphEngine;
 use geodesic::engine::GeodesicEngine;
@@ -120,7 +121,7 @@ impl P2POracle {
         cfg: &BuildConfig,
     ) -> Result<Self, P2PError> {
         // Merge co-located POIs: distinct sites in first-appearance order.
-        let mut site_of_vertex = std::collections::HashMap::new();
+        let mut site_of_vertex = std::collections::BTreeMap::new();
         let mut site_vertices: Vec<VertexId> = Vec::new();
         let mut site_of_poi = Vec::with_capacity(poi_vertices.len());
         for &v in &poi_vertices {

@@ -148,15 +148,15 @@ fn read_framed<R: Read>(
 ) -> Result<Vec<u8>, PersistError> {
     let mut head = [0u8; 16];
     r.read_exact(&mut head)?;
-    let found_magic: [u8; 4] = head[0..4].try_into().expect("4 bytes");
+    let found_magic: [u8; 4] = arr(&head[0..4]);
     if found_magic != magic {
         return Err(PersistError::BadMagic(found_magic));
     }
-    let found = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+    let found = u32::from_le_bytes(arr(&head[4..8]));
     if found != supported {
         return Err(PersistError::BadVersion { found, supported });
     }
-    let len = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(arr(&head[8..16]));
     if len > (1 << 40) {
         return Err(PersistError::Corrupt("implausible payload length"));
     }
@@ -168,6 +168,15 @@ fn read_framed<R: Read>(
         return Err(PersistError::Corrupt("checksum mismatch"));
     }
     Ok(payload)
+}
+
+/// Infallible slice→array copy for reads whose length is fixed by
+/// construction (`copy_from_slice` is length-checked at the call site by
+/// `take(N)`/slicing, so no panic path survives into release builds).
+fn arr<const N: usize>(s: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(s);
+    out
 }
 
 struct Cursor<'a> {
@@ -188,15 +197,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(arr(self.take(4)?)))
     }
 
     fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(arr(self.take(8)?)))
     }
 
     fn f64(&mut self) -> Result<f64, PersistError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(arr(self.take(8)?)))
     }
 }
 
@@ -232,6 +241,7 @@ impl SeOracle {
     /// Serializes to an in-memory buffer.
     pub fn save_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        // lint: allow(panic, "Vec<u8> writes are infallible")
         self.save_to(&mut out).expect("Vec<u8> writes are infallible");
         out
     }
@@ -353,6 +363,7 @@ impl Atlas {
     /// Serializes to an in-memory buffer.
     pub fn save_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        // lint: allow(panic, "Vec<u8> writes are infallible")
         self.save_to(&mut out).expect("Vec<u8> writes are infallible");
         out
     }

@@ -34,6 +34,7 @@
 //! Both bounds are conservative w.r.t. the `d̃` ranking, so branch-and-bound
 //! returns *identical* results to the brute-force scan.
 
+// lint: query-path
 use crate::ctree::CompressedTree;
 use crate::oracle::SeOracle;
 use crate::tree::NO_NODE;
@@ -130,7 +131,7 @@ impl<'a> ProximityIndex<'a> {
             if best.len() < k {
                 f64::INFINITY
             } else {
-                best.last().expect("k > 0").distance
+                best.last().map_or(f64::INFINITY, |n| n.distance)
             }
         };
         heap.push(0.0, t.root);
@@ -150,9 +151,7 @@ impl<'a> ProximityIndex<'a> {
                 if d < kth(&best) || (d == kth(&best) && best.last().is_some_and(|b| site < b.site))
                 {
                     let at = best
-                        .binary_search_by(|x| {
-                            (x.distance, x.site).partial_cmp(&(d, site)).expect("finite distances")
-                        })
+                        .binary_search_by(|x| x.distance.total_cmp(&d).then(x.site.cmp(&site)))
                         .unwrap_or_else(|i| i);
                     best.insert(at, Neighbor { site, distance: d });
                     best.truncate(k);
@@ -210,9 +209,7 @@ impl<'a> ProximityIndex<'a> {
                 stack.extend(n.children.iter().copied());
             }
         }
-        out.sort_by(|a, b| {
-            (a.distance, a.site).partial_cmp(&(b.distance, b.site)).expect("finite distances")
-        });
+        out.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.site.cmp(&b.site)));
         (out, stats)
     }
 
@@ -360,9 +357,7 @@ impl SeOracle {
                 stack.extend(n.children.iter().copied());
             }
         }
-        out.sort_by(|a, b| {
-            (a.via(), a.site).partial_cmp(&(b.via(), b.site)).expect("finite distances")
-        });
+        out.sort_by(|a, b| a.via().total_cmp(&b.via()).then(a.site.cmp(&b.site)));
         out
     }
 }

@@ -36,6 +36,7 @@
 //! engine's distance). This is the same style of documented,
 //! test-enforced ceiling as the atlas [`crate::atlas::EPS_ROUTE`].
 
+// lint: query-path
 use crate::oracle::SeOracle;
 use crate::p2p::P2POracle;
 use geodesic::path::{shortest_vertex_path_straightened, SurfacePath};
@@ -129,6 +130,7 @@ impl PathIndex {
         let n = self.n_sites();
         assert!(s < n && t < n, "site pair ({s}, {t}) out of range for {n} sites");
         shortest_vertex_path_straightened(&self.graph, self.site_vertices[s], self.site_vertices[t])
+            // lint: allow(panic, "invariant: refined meshes are validated connected, so a vertex path always exists")
             .expect("sites lie on one connected mesh")
     }
 

@@ -17,6 +17,7 @@
 //! independent of the thread count and of scheduling, exactly like the
 //! construction pipeline's determinism contract.
 
+// lint: query-path
 use crate::oracle::SeOracle;
 use crate::proximity::DetourPoi;
 use crate::route::{PathIndex, ShortestPath};
@@ -113,6 +114,7 @@ impl QueryHandle {
         let paths = self
             .paths
             .as_deref()
+            // lint: allow(panic, "documented panic contract; with_paths states the requirement and the message names the fix")
             .expect("no path index attached; build one with QueryHandle::with_paths");
         self.oracle.shortest_path(s, t, paths)
     }

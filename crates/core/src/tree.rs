@@ -13,7 +13,7 @@
 use geodesic::sitespace::SiteSpace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Sentinel for "no node".
 pub const NO_NODE: u32 = u32::MAX;
@@ -203,7 +203,7 @@ impl PartitionTree {
 
         // Step 2: build layers until one has n nodes.
         // site → node id in the previous layer (for parent lookup).
-        let mut prev_center_node: HashMap<u32, u32> = HashMap::new();
+        let mut prev_center_node: BTreeMap<u32, u32> = BTreeMap::new();
         prev_center_node.insert(root_center as u32, 0);
 
         for layer in 1..=64u32 {
@@ -211,7 +211,7 @@ impl PartitionTree {
             let mut uncovered = vec![true; n];
             let mut n_uncovered = n;
             let mut this_layer: Vec<u32> = Vec::new();
-            let mut center_node: HashMap<u32, u32> = HashMap::with_capacity(n);
+            let mut center_node: BTreeMap<u32, u32> = BTreeMap::new();
 
             // Greedy bookkeeping (built lazily only when needed).
             let mut grid = if strategy == SelectionStrategy::Greedy {
@@ -235,14 +235,14 @@ impl PartitionTree {
             // Parallel prefetch: every queued previous-layer center is
             // guaranteed to be re-selected, so its bounded SSAD can run on
             // the pool before the sequential covering loop needs it.
-            let mut prefetched: HashMap<u32, Vec<(usize, f64)>> =
+            let mut prefetched: BTreeMap<u32, Vec<(usize, f64)>> =
                 if threads > 1 && prev_centers.len() >= 2 {
                     let runs = geodesic::pool::run_indexed(threads, prev_centers.len(), |k| {
                         space.sites_within(prev_centers[k] as usize, search_radius)
                     });
                     prev_centers.iter().copied().zip(runs).collect()
                 } else {
-                    HashMap::new()
+                    BTreeMap::new()
                 };
 
             while n_uncovered > 0 {
@@ -276,6 +276,7 @@ impl PartitionTree {
                             pick
                         }
                         SelectionStrategy::Greedy => {
+                            // lint: allow(panic, "invariant: the grid is built whenever the greedy strategy is selected")
                             grid.as_mut().expect("greedy grid exists").pick(&uncovered, &mut rng)
                         }
                     },
@@ -388,8 +389,8 @@ impl PartitionTree {
 /// plane, with a lazily-revalidated max-heap over cell occupancy.
 struct DensityGrid {
     /// cell → indices of sites originally in it (compacted lazily).
-    cells: HashMap<(i64, i64), Vec<u32>>,
-    counts: HashMap<(i64, i64), usize>,
+    cells: BTreeMap<(i64, i64), Vec<u32>>,
+    counts: BTreeMap<(i64, i64), usize>,
     heap: crate::maxheap::LazyMaxHeap<(i64, i64)>,
     site_cell: Vec<(i64, i64)>,
 }
@@ -397,7 +398,7 @@ struct DensityGrid {
 impl DensityGrid {
     fn new(space: &dyn SiteSpace, ri: f64) -> Self {
         let cell = ri.max(1e-12);
-        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        let mut cells: BTreeMap<(i64, i64), Vec<u32>> = BTreeMap::new();
         let mut site_cell = Vec::with_capacity(space.n_sites());
         for s in 0..space.n_sites() {
             let p = space.site_position(s);
@@ -406,7 +407,7 @@ impl DensityGrid {
             site_cell.push(key);
         }
         let mut heap = crate::maxheap::LazyMaxHeap::new();
-        let mut counts = HashMap::with_capacity(cells.len());
+        let mut counts = BTreeMap::new();
         for (&k, v) in &cells {
             counts.insert(k, v.len());
             heap.push(v.len(), k);
@@ -427,8 +428,10 @@ impl DensityGrid {
             let key = self
                 .heap
                 .pop_valid(|k| self.counts.get(k).copied().unwrap_or(0))
+                // lint: allow(panic, "invariant: callers hold n_uncovered > 0, so a non-empty cell exists")
                 .expect("uncovered sites remain, so some cell is non-empty");
             // Compact the cell to live members, pick one at random.
+            // lint: allow(panic, "invariant: a just-popped grid cell is present in the cell map")
             let members = self.cells.get_mut(&key).expect("cell exists");
             members.retain(|&s| uncovered[s as usize]);
             if members.is_empty() {

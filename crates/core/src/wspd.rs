@@ -70,7 +70,7 @@ pub fn generate(
         }
         // Split the node with the larger radius; ties by smaller node id.
         // (Enlarged radii order identically to radii.)
-        let split_a = match ra.partial_cmp(&rb).expect("radii are finite") {
+        let split_a = match ra.total_cmp(&rb) {
             std::cmp::Ordering::Greater => true,
             std::cmp::Ordering::Less => false,
             std::cmp::Ordering::Equal => a <= b,

@@ -18,7 +18,7 @@
 //! construction pipeline's determinism guarantee rests on.
 
 use crate::sitespace::SiteSpace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use terrain::geom::Vec3;
@@ -60,8 +60,8 @@ pub struct CacheStats {
 ///   resolver-fallback path).
 pub struct CachingSiteSpace<'a> {
     inner: &'a dyn SiteSpace,
-    entries: RwLock<HashMap<usize, Entry>>,
-    pair_memo: RwLock<HashMap<(usize, usize), f64>>,
+    entries: RwLock<BTreeMap<usize, Entry>>,
+    pair_memo: RwLock<BTreeMap<(usize, usize), f64>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -71,8 +71,8 @@ impl<'a> CachingSiteSpace<'a> {
     pub fn new(inner: &'a dyn SiteSpace) -> Self {
         Self {
             inner,
-            entries: RwLock::new(HashMap::new()),
-            pair_memo: RwLock::new(HashMap::new()),
+            entries: RwLock::new(BTreeMap::new()),
+            pair_memo: RwLock::new(BTreeMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -88,12 +88,14 @@ impl<'a> CachingSiteSpace<'a> {
     }
 
     fn lookup(&self, site: usize) -> Option<Entry> {
+        // lint: allow(panic, "lock poisoning means a builder thread already panicked; propagating is correct")
         self.entries.read().expect("cache lock poisoned").get(&site).cloned()
     }
 
     /// Inserts `candidate` unless a wider entry is already present (another
     /// worker may have raced us there).
     fn store(&self, site: usize, candidate: Entry) {
+        // lint: allow(panic, "lock poisoning means a builder thread already panicked; propagating is correct")
         let mut map = self.entries.write().expect("cache lock poisoned");
         match (map.get(&site), &candidate) {
             (Some(Entry::Full(_)), _) => {}
@@ -181,6 +183,7 @@ impl SiteSpace for CachingSiteSpace<'_> {
     /// answers, half the bytes — so retained memory per released site is
     /// bounded by one dense array, exactly as for full sweeps.
     fn release(&self, site: usize) {
+        // lint: allow(panic, "lock poisoning means a builder thread already panicked; propagating is correct")
         let mut map = self.entries.write().expect("cache lock poisoned");
         if let Some(Entry::Bounded { radius, pairs }) = map.get(&site) {
             if radius.is_finite() {
@@ -222,12 +225,14 @@ impl SiteSpace for CachingSiteSpace<'_> {
             }
         }
         let key = (a.min(b), a.max(b));
+        // lint: allow(panic, "lock poisoning means a builder thread already panicked; propagating is correct")
         if let Some(&d) = self.pair_memo.read().expect("cache lock poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return d;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let d = self.inner.distance(key.0, key.1);
+        // lint: allow(panic, "lock poisoning means a builder thread already panicked; propagating is correct")
         self.pair_memo.write().expect("cache lock poisoned").insert(key, d);
         d
     }

@@ -203,6 +203,7 @@ impl IndexedMinHeap {
         }
         let last = self.items.len() - 1;
         self.items.swap(0, last);
+        // lint: allow(panic, "invariant: guarded by the is_empty check above")
         let out = self.items.pop().expect("non-empty");
         self.pos[out.1 as usize] = ABSENT;
         if !self.items.is_empty() {

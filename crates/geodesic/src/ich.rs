@@ -171,8 +171,10 @@ impl GeodesicEngine for IchEngine {
 
     fn ssad(&self, source: VertexId, stop: Stop<'_>) -> SsadResult {
         let mut scratch =
+            // lint: allow(panic, "scratch-arena lock; poisoning means a sibling engine run already panicked")
             self.scratch.lock().expect("scratch pool poisoned").pop().unwrap_or_default();
         let result = Search::new(&self.mesh, self.max_windows, &mut scratch).run(source, stop);
+        // lint: allow(panic, "scratch-arena lock; poisoning means a sibling engine run already panicked")
         self.scratch.lock().expect("scratch pool poisoned").push(scratch);
         result
     }
@@ -293,6 +295,7 @@ impl<'m> Search<'m> {
                     let ev = self.mesh.edge(e).v;
                     ev[0] != v && ev[1] != v
                 })
+                // lint: allow(panic, "invariant: every validated mesh face has an edge opposite each vertex")
                 .expect("face has an edge opposite each vertex");
             let ev = self.mesh.edge(e).v;
             let pv = self.mesh.vertex(v);
@@ -448,6 +451,7 @@ impl<'m> Search<'m> {
             return;
         }
         let e =
+            // lint: allow(panic, "invariant: windows propagate only across edges of the face being unfolded")
             self.mesh.edge_between(from_v, to_v).expect("face edge exists between its vertices");
         let len = self.mesh.edge_len(e);
         let p_lo = pa + (pb - pa) * u_lo;

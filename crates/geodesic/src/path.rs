@@ -33,6 +33,7 @@ impl SurfacePath {
     pub fn from_points(points: Vec<Vec3>) -> Self {
         // The empty f64 sum is IEEE `-0.0`; `abs` normalises single-point
         // paths to plain zero (segment lengths are never negative).
+        // lint: allow(h2, "sequential sum over the polyline windows in index order — fixed evaluation order")
         let length = points.windows(2).map(|w| w[0].dist(w[1])).sum::<f64>().abs();
         Self { points, length }
     }
@@ -57,6 +58,7 @@ impl SurfacePath {
             }
             remaining -= seg;
         }
+        // lint: allow(panic, "invariant: SurfacePath construction rejects empty point lists")
         *self.points.last().expect("non-empty path")
     }
 
@@ -88,6 +90,7 @@ impl SurfacePath {
                 anchor = i;
             }
         }
+        // lint: allow(panic, "invariant: SurfacePath construction rejects empty point lists")
         out.push(*self.points.last().expect("non-empty"));
         SurfacePath::from_points(out)
     }
@@ -411,6 +414,7 @@ pub fn trace_descent_path(
     let close_tol = 1e-9 * dist[target as usize];
     match pts.last().copied() {
         Some(p) if p.dist(src_pos) <= close_tol => {
+            // lint: allow(panic, "invariant: a traced path always contains the target point")
             *pts.last_mut().expect("non-empty") = src_pos;
         }
         _ => pts.push(src_pos),

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// platform cannot report it); any other value is taken literally.
 pub fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
+        // lint: allow(d2, "thread-count autodetect only; results are bit-identical across thread counts (tests/parallel_build.rs)")
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
     } else {
         threads
@@ -57,6 +58,7 @@ where
                 })
             })
             .collect();
+        // lint: allow(panic, "worker panics must propagate to the caller; join fails only on panic")
         handles.into_iter().flat_map(|h| h.join().expect("construction worker panicked")).collect()
     });
 

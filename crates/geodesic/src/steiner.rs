@@ -12,6 +12,7 @@
 //! the A2A oracle of Appendix C, and of the fast approximate
 //! [`SteinerEngine`].
 
+// lint: query-path
 use crate::engine::{GeodesicEngine, SsadResult, SsadStats, Stop};
 use crate::heap::IndexedMinHeap;
 use std::sync::Arc;

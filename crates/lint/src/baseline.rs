@@ -1,0 +1,385 @@
+//! The machine-readable baseline: known pre-existing hits the check
+//! tolerates while the debt is paid down.
+//!
+//! Format (`lint-baseline.json` at the workspace root):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": [
+//!     { "rule": "h1", "file": "crates/core/src/dynamic.rs", "count": 29 }
+//!   ]
+//! }
+//! ```
+//!
+//! Only hot-path rules (H1/H2) may be baselined — see
+//! [`Rule::baselinable`]; determinism rules must be fixed or carry an
+//! inline written reason. The JSON codec is hand-rolled for exactly this
+//! schema (the workspace is offline; no serde).
+
+use crate::rules::Rule;
+use std::collections::BTreeMap;
+
+/// Parsed baseline: `(rule, file) → tolerated hit count`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// Tolerated counts, keyed by rule and workspace-relative path.
+    pub entries: BTreeMap<(Rule, String), u32>,
+}
+
+impl Baseline {
+    /// Parses the JSON document. Errors are strings — the CLI surfaces them
+    /// verbatim.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("baseline root must be an object")?;
+        match obj.get("version") {
+            Some(json::Value::Number(n)) if *n == 1.0 => {}
+            _ => return Err("baseline `version` must be the number 1".to_string()),
+        }
+        let entries = obj
+            .get("entries")
+            .and_then(|v| v.as_array())
+            .ok_or("baseline `entries` must be an array")?;
+        let mut out = Baseline::default();
+        for (i, e) in entries.iter().enumerate() {
+            let e = e.as_object().ok_or_else(|| format!("entries[{i}] must be an object"))?;
+            let rule_name = e
+                .get("rule")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("entries[{i}].rule must be a string"))?;
+            let rule = Rule::parse(rule_name)
+                .ok_or_else(|| format!("entries[{i}].rule: unknown rule `{rule_name}`"))?;
+            if !rule.baselinable() {
+                return Err(format!(
+                    "entries[{i}]: rule `{}` may not be baselined — determinism rules require \
+                     an inline `// lint: allow({}, \"<reason>\")` or a fix",
+                    rule.id(),
+                    rule.id()
+                ));
+            }
+            let file = e
+                .get("file")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("entries[{i}].file must be a string"))?;
+            let count = e
+                .get("count")
+                .and_then(|v| v.as_number())
+                .filter(|n| *n >= 1.0 && n.fract() == 0.0)
+                .ok_or_else(|| format!("entries[{i}].count must be a positive integer"))?;
+            if out.entries.insert((rule, file.to_string()), count as u32).is_some() {
+                return Err(format!("duplicate baseline entry for ({rule_name}, {file})"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serializes in the canonical (sorted, pretty) form.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        let mut first = true;
+        for ((rule, file), count) in &self.entries {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\n    {{ \"rule\": \"{}\", \"file\": \"{}\", \"count\": {} }}",
+                rule.id(),
+                json::escape(file),
+                count
+            ));
+        }
+        if !first {
+            s.push('\n');
+            s.push_str("  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// A minimal JSON parser — objects, arrays, strings, numbers, booleans,
+/// null. Enough for the baseline schema and strict about everything else.
+mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (f64 carries every count we store).
+        Number(f64),
+        /// String (unescaped).
+        Str(String),
+        /// Array.
+        Array(Vec<Value>),
+        /// Object with string keys.
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_number(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    /// Escapes a string for embedding in JSON output.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing content at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            self.skip_ws();
+            if self.i < self.b.len() && self.b[self.i] == c {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", c as char, self.i))
+            }
+        }
+
+        fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.b.get(self.i).copied()
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek().ok_or("unexpected end of input")? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' => self.literal("true", Value::Bool(true)),
+                b'f' => self.literal("false", Value::Bool(false)),
+                b'n' => self.literal("null", Value::Null),
+                _ => self.number(),
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+            if self.b[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.i))
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut map = BTreeMap::new();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                let val = self.value()?;
+                map.insert(key, val);
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut out = Vec::new();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(Value::Array(out));
+            }
+            loop {
+                out.push(self.value()?);
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(Value::Array(out));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            while self.i < self.b.len() {
+                match self.b[self.i] {
+                    b'"' => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    b'\\' => {
+                        self.i += 1;
+                        let e = *self.b.get(self.i).ok_or("unterminated escape")?;
+                        self.i += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex =
+                                    self.b.get(self.i..self.i + 4).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                self.i += 4;
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            _ => return Err(format!("bad escape `\\{}`", e as char)),
+                        }
+                    }
+                    c => {
+                        // Multi-byte UTF-8 passes through unchanged.
+                        let s = &self.b[self.i..];
+                        let ch_len = utf8_len(c);
+                        let chunk = std::str::from_utf8(&s[..ch_len.min(s.len())])
+                            .map_err(|e| e.to_string())?;
+                        out.push_str(chunk);
+                        self.i += ch_len;
+                    }
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            let start = self.i;
+            while self.i < self.b.len()
+                && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                self.i += 1;
+            }
+            std::str::from_utf8(&self.b[start..self.i])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Value::Number)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            _ => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut b = Baseline::default();
+        b.entries.insert((Rule::H1, "crates/core/src/a.rs".to_string()), 3);
+        b.entries.insert((Rule::H2, "crates/terrain/src/b.rs".to_string()), 1);
+        let text = b.to_json();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let b = Baseline::default();
+        assert_eq!(Baseline::parse(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn determinism_rules_rejected() {
+        let text =
+            r#"{ "version": 1, "entries": [ { "rule": "d1", "file": "x.rs", "count": 1 } ] }"#;
+        let err = Baseline::parse(text).unwrap_err();
+        assert!(err.contains("may not be baselined"), "{err}");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(Baseline::parse("").is_err());
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse(r#"{ "version": 2, "entries": [] }"#).is_err());
+        assert!(Baseline::parse(
+            r#"{ "version": 1, "entries": [ { "rule": "h1", "file": "x", "count": 0 } ] }"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! A minimal Rust lexer — just enough structure for lexical lint rules.
+//!
+//! The scanner distinguishes identifiers, punctuation, string/char/number
+//! literals and lifetimes, skips comments (collecting `// lint:` directives),
+//! and understands raw strings and raw identifiers. It does **not** parse:
+//! every rule downstream works on the flat token stream plus brace matching.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `r#type`).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `::` is two tokens).
+    Punct,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Integer literal.
+    Int,
+    /// Floating-point literal (`0.0`, `1e-9`, `2.5f64`).
+    Float,
+    /// Lifetime (`'a`) — kept distinct so `'a` never looks like a char.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token<'a> {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text of the token (for `Str`, includes the quotes).
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A `// lint: …` comment, surfaced separately from the token stream.
+#[derive(Debug, Clone)]
+pub struct Directive<'a> {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Text after `lint:`, trimmed.
+    pub text: &'a str,
+}
+
+/// Output of [`lex`].
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token<'a>>,
+    /// All `// lint: …` directives in source order.
+    pub directives: Vec<Directive<'a>>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Lexes `src`. Invalid UTF-8 is impossible (`&str` input); lexically
+/// malformed Rust degrades gracefully (unknown bytes become `Punct`).
+pub fn lex(src: &str) -> Lexed<'_> {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &src[start..i];
+                // Strip leading slashes and `!` (handles `//`, `///`, `//!`).
+                let body = comment.trim_start_matches('/').trim_start_matches('!').trim_start();
+                if let Some(rest) = body.strip_prefix("lint:") {
+                    out.directives.push(Directive { line, text: rest.trim() });
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (end, nl) = scan_string(b, i);
+                out.tokens.push(Token { kind: TokKind::Str, text: &src[i..end], line });
+                line += nl;
+                i = end;
+            }
+            b'r' | b'b' if raw_or_byte_string_start(b, i) => {
+                let (end, nl) = scan_raw_or_byte(b, i);
+                let kind = if b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'\'' {
+                    TokKind::Char
+                } else {
+                    TokKind::Str
+                };
+                out.tokens.push(Token { kind, text: &src[i..end], line });
+                line += nl;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'a` followed by anything but a
+                // closing quote is a lifetime; `'a'`, `'\n'`, `'\u{…}'` are
+                // chars.
+                if i + 1 < b.len()
+                    && is_ident_start(b[i + 1])
+                    && !(i + 2 < b.len() && b[i + 2] == b'\'')
+                {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token { kind: TokKind::Lifetime, text: &src[start..i], line });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.tokens.push(Token { kind: TokKind::Char, text: &src[start..i], line });
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                // Raw identifier `r#name` is handled by the raw-string guard
+                // above not firing (next char after `#` must be ident-start).
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token { kind: TokKind::Ident, text: &src[start..i], line });
+            }
+            c if c.is_ascii_digit() => {
+                let (end, is_float) = scan_number(b, i);
+                let kind = if is_float { TokKind::Float } else { TokKind::Int };
+                out.tokens.push(Token { kind, text: &src[i..end], line });
+                i = end;
+            }
+            _ => {
+                out.tokens.push(Token { kind: TokKind::Punct, text: &src[i..i + 1], line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte string or byte char
+/// rather than a plain identifier.
+fn raw_or_byte_string_start(b: &[u8], i: usize) -> bool {
+    let next = |k: usize| b.get(i + k).copied().unwrap_or(0);
+    match b[i] {
+        b'r' => {
+            // r"…" or r#…"  (r#ident is a raw identifier, not a string)
+            next(1) == b'"' || (next(1) == b'#' && (next(2) == b'"' || next(2) == b'#'))
+        }
+        b'b' => {
+            // b"…", b'…', br"…", br#"…"
+            next(1) == b'"'
+                || next(1) == b'\''
+                || (next(1) == b'r' && (next(2) == b'"' || next(2) == b'#'))
+        }
+        _ => false,
+    }
+}
+
+/// Scans a plain `"…"` string starting at `i`; returns (end index, newlines).
+fn scan_string(b: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => {
+                // A line-continuation escape (`\` + newline) still ends a
+                // source line — count it or every later token drifts.
+                if b.get(j + 1) == Some(&b'\n') {
+                    nl += 1;
+                }
+                j += 2;
+            }
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            b'"' => return (j + 1, nl),
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+/// Scans a raw string `r#*"…"#*`, byte string `b"…"`, byte-raw `br#"…"#`, or
+/// byte char `b'…'` starting at `i`; returns (end index, newlines).
+fn scan_raw_or_byte(b: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        // byte char
+        j += 1;
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j += 2,
+                b'\'' => return (j + 1, 0),
+                _ => j += 1,
+            }
+        }
+        return (j, 0);
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == b'"');
+    j += 1; // opening quote
+    let mut nl = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            b'\\' if !raw => {
+                if b.get(j + 1) == Some(&b'\n') {
+                    nl += 1;
+                }
+                j += 2;
+            }
+            b'"' => {
+                // Need `hashes` trailing #s to close a raw string.
+                let mut k = 0usize;
+                while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return (j + 1 + hashes, nl);
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+/// Scans a number starting at digit `i`; returns (end index, is_float).
+fn scan_number(b: &[u8], i: usize) -> (usize, bool) {
+    let mut j = i;
+    let mut is_float = false;
+    // Radix prefixes never produce floats.
+    if b[j] == b'0' && j + 1 < b.len() && matches!(b[j + 1], b'x' | b'o' | b'b') {
+        j += 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (j, false);
+    }
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fractional part: a dot followed by a digit (or end-of-literal dot that
+    // is not a range `..` and not a method call `1.max(…)`).
+    if j < b.len() && b[j] == b'.' {
+        let after = b.get(j + 1).copied().unwrap_or(0);
+        if after.is_ascii_digit() {
+            is_float = true;
+            j += 1;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        } else if after != b'.' && !is_ident_start(after) {
+            is_float = true;
+            j += 1;
+        }
+    }
+    // Exponent.
+    if j < b.len() && (b[j] == b'e' || b[j] == b'E') {
+        let mut k = j + 1;
+        if k < b.len() && (b[k] == b'+' || b[k] == b'-') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Suffix (u32, f64, …).
+    let suffix_start = j;
+    while j < b.len() && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    let suffix = &b[suffix_start..j];
+    if suffix.starts_with(b"f32") || suffix.starts_with(b"f64") {
+        is_float = true;
+    }
+    (j, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src).tokens.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" string"#;
+            let c = 'H';
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|&&t| t == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.tokens.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks.tokens.iter().any(|t| t.kind == TokKind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn float_detection() {
+        let toks = lex("a(0.0, 1e-9, 2.5f64, 7, 0..10, x.1, 3.max(y), 0xff)");
+        let floats: Vec<&str> =
+            toks.tokens.iter().filter(|t| t.kind == TokKind::Float).map(|t| t.text).collect();
+        assert_eq!(floats, vec!["0.0", "1e-9", "2.5f64"]);
+        let ints: Vec<&str> =
+            toks.tokens.iter().filter(|t| t.kind == TokKind::Int).map(|t| t.text).collect();
+        assert!(ints.contains(&"7") && ints.contains(&"0xff"));
+    }
+
+    #[test]
+    fn directives_are_collected() {
+        let src = "let x = 1; // lint: allow(h1, \"why\")\n// lint: query-path\n/// lint: doc\n";
+        let l = lex(src);
+        assert_eq!(l.directives.len(), 3);
+        assert_eq!(l.directives[0].line, 1);
+        assert!(l.directives[0].text.starts_with("allow(h1"));
+        assert_eq!(l.directives[1].text, "query-path");
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let src = "let s = \"a\nb\nc\";\nHashMap";
+        let l = lex(src);
+        let h = l.tokens.iter().find(|t| t.text == "HashMap").unwrap();
+        assert_eq!(h.line, 4);
+    }
+
+    #[test]
+    fn escaped_newline_continuations_track_lines() {
+        let src = "let s = \"first \\\n    second\";\nHashMap";
+        let l = lex(src);
+        let h = l.tokens.iter().find(|t| t.text == "HashMap").unwrap();
+        assert_eq!(h.line, 3);
+    }
+}

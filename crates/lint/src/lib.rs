@@ -1,0 +1,183 @@
+//! `oracle-lint` — the workspace static-analysis pass that makes the
+//! determinism and hot-path contracts mechanical instead of folkloric.
+//!
+//! The repo's core guarantee is that oracle builds and queries are
+//! *bit-identical* across thread counts, cache states, and serialization
+//! round trips (`tests/parallel_build.rs`, `tests/engine_cross_validation.rs`
+//! prove it dynamically). This crate enforces the static side of that
+//! contract: no hash-randomized iteration, no wall-clock or environment
+//! inputs, no interior mutability on the query path, no undocumented panics
+//! or unordered float reductions in library code.
+//!
+//! Run it as `cargo run -p oracle-lint -- check` (CI adds
+//! `--deny-warnings`). Rules, annotation syntax, and the baseline format are
+//! documented in `docs/ARCHITECTURE.md` § "Determinism enforcement".
+//!
+//! The linter is a hand-rolled token scanner ([`lexer`]) — the container has
+//! no registry access, so `syn` is not an option, and lexical rules turn out
+//! to be enough: each rule is written so a match is either a real violation
+//! or something that deserves the inline written reason the annotation
+//! requires.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use baseline::Baseline;
+use rules::{scan_source, DirectiveError, Rule, Violation, LIBRARY_CRATES};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Everything one `check` run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed violations (after inline allows and the baseline).
+    pub violations: Vec<Violation>,
+    /// Hits suppressed by an inline allow (reason in `allowed`).
+    pub allowed: Vec<Violation>,
+    /// `(rule, file, hits)` suppressed by the baseline.
+    pub baselined: Vec<(Rule, String, u32)>,
+    /// Baseline entries whose tolerated count exceeds the live hit count
+    /// `(rule, file, tolerated, actual)` — the debt shrank; tighten with
+    /// `--update-baseline`.
+    pub stale_baseline: Vec<(Rule, String, u32, u32)>,
+    /// Malformed or unused `// lint:` directives — always fatal.
+    pub errors: Vec<DirectiveError>,
+    /// Per-library-crate-root unsafe gate status `(path, gated)`.
+    pub unsafe_gates: Vec<(String, bool)>,
+    /// Total `#[allow(unsafe_code)]` count across scanned files.
+    pub unsafe_allows: u32,
+}
+
+impl Report {
+    /// Whether the run found nothing actionable.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+}
+
+/// Walks the workspace and applies every rule. `baseline` suppresses known
+/// H1/H2 debt. Paths in the report are workspace-relative with `/`
+/// separators.
+pub fn check_workspace(root: &Path, baseline: &Baseline) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "tests", "examples"] {
+        collect_rs_files(&root.join(top), root, &mut files)?;
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    let mut pre_baseline: Vec<Violation> = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let scan = scan_source(&rel_str, &src);
+        report.files_scanned += 1;
+        report.errors.extend(scan.errors);
+        report.unsafe_allows += scan.unsafe_allows;
+        if LIBRARY_CRATES.iter().any(|(_, p)| format!("{p}lib.rs") == rel_str) {
+            report.unsafe_gates.push((rel_str.clone(), scan.unsafe_gate));
+        }
+        for v in scan.violations {
+            if v.allowed.is_some() {
+                report.allowed.push(v);
+            } else {
+                pre_baseline.push(v);
+            }
+        }
+    }
+
+    // Apply the baseline per (rule, file): tolerate up to `count` hits.
+    let mut by_key: BTreeMap<(Rule, String), Vec<Violation>> = BTreeMap::new();
+    for v in pre_baseline {
+        by_key.entry((v.rule, v.file.clone())).or_default().push(v);
+    }
+    for (key, tolerated) in &baseline.entries {
+        let actual = by_key.get(key).map_or(0, |v| v.len() as u32);
+        if actual < *tolerated {
+            report.stale_baseline.push((key.0, key.1.clone(), *tolerated, actual));
+        }
+    }
+    for ((rule, file), hits) in by_key {
+        let tolerated = baseline.entries.get(&(rule, file.clone())).copied().unwrap_or(0) as usize;
+        let n = hits.len();
+        if tolerated > 0 {
+            report.baselined.push((rule, file, n.min(tolerated) as u32));
+        }
+        report.violations.extend(hits.into_iter().skip(tolerated));
+        let _ = n;
+    }
+    Ok(report)
+}
+
+/// Computes the baseline that would make the current tree pass: every
+/// unsuppressed hit of a baselinable rule, grouped by file.
+pub fn compute_baseline(root: &Path) -> std::io::Result<Baseline> {
+    let report = check_workspace(root, &Baseline::default())?;
+    let mut out = Baseline::default();
+    for v in report.violations {
+        if v.rule.baselinable() {
+            *out.entries.entry((v.rule, v.file)).or_insert(0) += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`, pushing root-relative
+/// paths. Skips build output, vendored dependency stubs, and the linter's
+/// own deliberately-violating test fixtures.
+fn collect_rs_files(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let rel = dir.strip_prefix(root).unwrap_or(dir).to_string_lossy().replace('\\', "/");
+    if rel.starts_with("target")
+        || rel.starts_with("vendor")
+        || rel.starts_with("crates/lint/tests/fixtures")
+    {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: walks up from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_from_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("ROADMAP.md").exists());
+    }
+}

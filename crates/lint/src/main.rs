@@ -1,0 +1,225 @@
+//! CLI front end: `cargo run -p oracle-lint -- check [flags]`.
+
+use oracle_lint::baseline::Baseline;
+use oracle_lint::rules::Rule;
+use oracle_lint::{check_workspace, compute_baseline, find_workspace_root, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+oracle-lint — workspace determinism & hot-path contract checker
+
+USAGE:
+    oracle-lint check [--deny-warnings] [--report] [--update-baseline]
+                      [--root <dir>] [--baseline <file>]
+
+FLAGS:
+    --deny-warnings     exit non-zero on any unsuppressed violation (CI mode)
+    --report            print the allow/baseline/unsafe summary
+    --update-baseline   rewrite the baseline from the current tree and exit
+    --root <dir>        workspace root (default: walk up from cwd)
+    --baseline <file>   baseline path (default: <root>/lint-baseline.json)
+
+Rules (see docs/ARCHITECTURE.md § Determinism enforcement):
+    D1 hash-order    D2 env-input    D3 query-path-interior-mutability
+    H1 library-panic H2 float-reduction U1 unsafe-gate
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut deny = false;
+    let mut want_report = false;
+    let mut update = false;
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--deny-warnings" => deny = true,
+            "--report" => want_report = true,
+            "--update-baseline" => update = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_err("--root needs a value"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage_err("--baseline needs a value"),
+            },
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let root =
+        match root.or_else(|| std::env::current_dir().ok().and_then(|d| find_workspace_root(&d))) {
+            Some(r) => r,
+            None => {
+                eprintln!("error: no workspace root found (pass --root)");
+                return ExitCode::from(2);
+            }
+        };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    if update {
+        let computed = match compute_baseline(&root) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&baseline_path, computed.to_json()) {
+            eprintln!("error writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {} ({} entries)", baseline_path.display(), computed.entries.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error in {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Baseline::default(),
+    };
+
+    let report = match check_workspace(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print_findings(&report, deny);
+    if want_report {
+        print_summary(&report);
+    }
+
+    if !report.errors.is_empty() {
+        return ExitCode::from(2);
+    }
+    if deny && !report.violations.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn print_findings(report: &Report, deny: bool) {
+    for e in &report.errors {
+        eprintln!("error[lint]: {}:{}: {}", e.file, e.line, e.message);
+    }
+    let severity = if deny { "error" } else { "warning" };
+    for v in &report.violations {
+        eprintln!(
+            "{severity}[{} {}]: {}:{}: {} — {}",
+            v.rule.id(),
+            v.rule.label(),
+            v.file,
+            v.line,
+            v.what,
+            remedy(v.rule)
+        );
+    }
+    let status =
+        if report.violations.is_empty() && report.errors.is_empty() { "clean" } else { "dirty" };
+    println!(
+        "oracle-lint: {} files scanned, {} violation(s), {} inline allow(s), {} baselined, \
+         {} directive error(s) — {status}",
+        report.files_scanned,
+        report.violations.len(),
+        report.allowed.len(),
+        report.baselined.iter().map(|(_, _, n)| *n as usize).sum::<usize>(),
+        report.errors.len(),
+    );
+    for (rule, file, tolerated, actual) in &report.stale_baseline {
+        println!(
+            "note: stale baseline entry ({}, {file}): tolerates {tolerated}, found {actual} — \
+             run `cargo run -p oracle-lint -- check --update-baseline` to ratchet down",
+            rule.id()
+        );
+    }
+}
+
+fn remedy(rule: Rule) -> &'static str {
+    match rule {
+        Rule::D1 => {
+            "hash-randomized iteration order must not reach oracle data; use BTreeMap/BTreeSet \
+             or sort explicitly and annotate"
+        }
+        Rule::D2 => {
+            "wall-clock/environment input in library code; keep it out of oracle data and \
+             annotate why, or remove it"
+        }
+        Rule::D3 => {
+            "interior mutability in a `// lint: query-path` module breaks the frozen-handle \
+             invariant; move it out of the query path or annotate a scratch arena"
+        }
+        Rule::H1 => {
+            "library panic; return a typed error, or annotate \
+             `// lint: allow(panic, \"<reason>\")`"
+        }
+        Rule::H2 => {
+            "float reduction whose result depends on evaluation order; sum in a fixed order \
+             and annotate, or restructure"
+        }
+        Rule::U1 => "add `#![forbid(unsafe_code)]` to the crate root",
+    }
+}
+
+fn print_summary(report: &Report) {
+    println!("\n== oracle-lint report ==");
+    println!("inline allows ({}):", report.allowed.len());
+    for v in &report.allowed {
+        println!(
+            "  {}:{} [{}] {} — \"{}\"",
+            v.file,
+            v.line,
+            v.rule.id(),
+            v.what,
+            v.allowed.as_deref().unwrap_or("")
+        );
+    }
+    println!("baseline suppressions:");
+    if report.baselined.is_empty() {
+        println!("  (none)");
+    }
+    for (rule, file, n) in &report.baselined {
+        println!("  {file} [{}] {n} hit(s)", rule.id());
+    }
+    println!("unsafe gate:");
+    let gated = report.unsafe_gates.iter().filter(|(_, g)| *g).count();
+    println!(
+        "  {}/{} library crate roots carry #![forbid(unsafe_code)]; \
+         {} #[allow(unsafe_code)] site(s)",
+        gated,
+        report.unsafe_gates.len(),
+        report.unsafe_allows
+    );
+    for (file, g) in &report.unsafe_gates {
+        if !g {
+            println!("  missing gate: {file}");
+        }
+    }
+}

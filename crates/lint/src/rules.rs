@@ -1,0 +1,594 @@
+//! The rule set and the per-file scanner.
+//!
+//! Rules are **lexical**: they match token patterns, not types. That is the
+//! deal the workspace makes for a dependency-free linter — the rules are
+//! written so a lexical match is either a real violation or something worth
+//! an inline justification. See `docs/ARCHITECTURE.md` § "Determinism
+//! enforcement" for the contract each rule pins.
+
+use crate::lexer::{lex, Directive, TokKind, Token};
+
+/// The enforced rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No `HashMap`/`HashSet` in `geodesic`/`core`/`terrain` library code —
+    /// hash-randomized iteration order must never feed an oracle image.
+    D1,
+    /// No wall-clock / environment reads (`Instant`, `SystemTime`,
+    /// `thread::current`, `env::var`, `available_parallelism`,
+    /// `RandomState`, `DefaultHasher`) in library code without a written
+    /// reason they never feed oracle data.
+    D2,
+    /// No interior mutability (`Mutex`, `RwLock`, `Cell`, `RefCell`, …) in
+    /// modules tagged `// lint: query-path`.
+    D3,
+    /// No `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!`
+    /// in non-test library code without an annotation or baseline entry.
+    H1,
+    /// No unordered float reduction (`.sum::<f64>()`, float-accumulator
+    /// `fold`) in `geodesic`/`core`/`terrain` library code; `f64::min`/
+    /// `f64::max` folds are exempt (order-insensitive).
+    H2,
+    /// Every library crate root must carry `#![forbid(unsafe_code)]` (or
+    /// `deny` with counted allows).
+    U1,
+}
+
+impl Rule {
+    /// Stable lower-case id used in annotations and the baseline file.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "d1",
+            Rule::D2 => "d2",
+            Rule::D3 => "d3",
+            Rule::H1 => "h1",
+            Rule::H2 => "h2",
+            Rule::U1 => "u1",
+        }
+    }
+
+    /// Short human label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rule::D1 => "hash-order",
+            Rule::D2 => "env-input",
+            Rule::D3 => "query-path-interior-mutability",
+            Rule::H1 => "library-panic",
+            Rule::H2 => "float-reduction",
+            Rule::U1 => "unsafe-gate",
+        }
+    }
+
+    /// Parses an annotation rule name (`h1`, `H1`, and the `panic` alias).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.to_ascii_lowercase().as_str() {
+            "d1" => Some(Rule::D1),
+            "d2" => Some(Rule::D2),
+            "d3" => Some(Rule::D3),
+            "h1" | "panic" => Some(Rule::H1),
+            "h2" => Some(Rule::H2),
+            "u1" => Some(Rule::U1),
+            _ => None,
+        }
+    }
+
+    /// Whether the baseline file may carry entries for this rule.
+    /// Determinism rules (D1–D3) and the unsafe gate may **not** be
+    /// baselined: every surviving hit needs an inline written reason.
+    pub fn baselinable(self) -> bool {
+        matches!(self, Rule::H1 | Rule::H2)
+    }
+
+    /// All rules, for iteration in reports.
+    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::H1, Rule::H2, Rule::U1];
+}
+
+/// One rule hit in one file.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What matched (for the message).
+    pub what: String,
+    /// `Some(reason)` when an inline `// lint: allow` suppressed the hit.
+    pub allowed: Option<String>,
+}
+
+/// A malformed `// lint:` directive — always an error, never suppressible.
+#[derive(Debug, Clone)]
+pub struct DirectiveError {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Every rule hit (suppressed hits carry `allowed: Some(reason)`).
+    pub violations: Vec<Violation>,
+    /// Malformed directives.
+    pub errors: Vec<DirectiveError>,
+    /// Whether the file is tagged `// lint: query-path`.
+    pub query_path: bool,
+    /// `#[allow(unsafe_code)]` occurrences (surfaced in the report).
+    pub unsafe_allows: u32,
+    /// Whether a crate root carries `#![forbid(unsafe_code)]`/`deny`.
+    pub unsafe_gate: bool,
+}
+
+/// Which rule families apply to a file, derived from its workspace path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scope {
+    /// D1 + H2: deterministic-structure rules.
+    pub deterministic: bool,
+    /// D2 + H1: all library source.
+    pub library: bool,
+    /// U1: this file is a library crate root (`lib.rs`).
+    pub crate_root: bool,
+}
+
+/// The six library crates (crate name, source prefix). `crates/bench` and
+/// `crates/lint` are tooling, not part of the served artifact, and are out
+/// of scope; `vendor/` holds offline dependency stubs.
+pub const LIBRARY_CRATES: [(&str, &str); 6] = [
+    ("terrain", "crates/terrain/src/"),
+    ("geodesic", "crates/geodesic/src/"),
+    ("phash", "crates/phash/src/"),
+    ("se-oracle", "crates/core/src/"),
+    ("baselines", "crates/baselines/src/"),
+    ("terrain-oracle", "src/"),
+];
+
+/// Crates whose data structures feed oracle images directly (D1/H2 scope).
+const DETERMINISTIC_PREFIXES: [&str; 3] =
+    ["crates/geodesic/src/", "crates/core/src/", "crates/terrain/src/"];
+
+/// Classifies a workspace-relative path (`/`-separated).
+pub fn scope_of(path: &str) -> Scope {
+    // Binaries under src/bin are CLI front ends, not library code.
+    let library = LIBRARY_CRATES.iter().any(|(_, p)| path.starts_with(p))
+        && !path.starts_with("src/bin/")
+        && !path.contains("/bin/");
+    Scope {
+        deterministic: DETERMINISTIC_PREFIXES.iter().any(|p| path.starts_with(p)),
+        library,
+        crate_root: LIBRARY_CRATES.iter().any(|(_, p)| format!("{p}lib.rs") == path),
+    }
+}
+
+/// An inline allow annotation.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: Rule,
+    line: u32,
+    reason: String,
+}
+
+/// Parses the directives of a file into allows / tags / errors.
+fn parse_directives(
+    directives: &[Directive<'_>],
+    file: &str,
+) -> (Vec<Allow>, bool, Vec<DirectiveError>) {
+    let mut allows = Vec::new();
+    let mut query_path = false;
+    let mut errors = Vec::new();
+    for d in directives {
+        let err =
+            |message: String| DirectiveError { file: file.to_string(), line: d.line, message };
+        if d.text == "query-path" {
+            query_path = true;
+            continue;
+        }
+        if let Some(rest) = d.text.strip_prefix("allow") {
+            let rest = rest.trim_start();
+            let Some(inner) = rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) else {
+                errors.push(err(format!("malformed allow: `{}`", d.text)));
+                continue;
+            };
+            let Some((name, reason)) = inner.split_once(',') else {
+                errors
+                    .push(err(format!("allow needs a reason: `lint: allow({inner}, \"<why>\")`")));
+                continue;
+            };
+            let Some(rule) = Rule::parse(name.trim()) else {
+                errors.push(err(format!("unknown rule `{}` in allow", name.trim())));
+                continue;
+            };
+            let reason = reason.trim();
+            let Some(reason) = reason.strip_prefix('"').and_then(|r| r.strip_suffix('"')) else {
+                errors.push(err("allow reason must be a quoted string".to_string()));
+                continue;
+            };
+            if reason.trim().is_empty() {
+                errors.push(err("allow reason must not be empty".to_string()));
+                continue;
+            }
+            allows.push(Allow { rule, line: d.line, reason: reason.to_string() });
+        } else {
+            errors.push(err(format!(
+                "unknown lint directive `{}` (expected `allow(<rule>, \"<reason>\")` or \
+                 `query-path`)",
+                d.text
+            )));
+        }
+    }
+    (allows, query_path, errors)
+}
+
+/// Returns the retained token indices after removing `#[cfg(test)]` items.
+///
+/// Conservative and purely lexical: an outer attribute whose bracket group
+/// mentions `cfg` and `test` hides the item it is attached to (through the
+/// item's brace block or trailing `;` at bracket depth 0).
+fn non_test_token_indices(tokens: &[Token<'_>]) -> Vec<usize> {
+    let mut keep = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#"
+            && i + 1 < tokens.len()
+            && tokens[i + 1].text == "["
+            && attr_is_cfg_test(tokens, i + 1)
+        {
+            i = skip_attributed_item(tokens, i);
+            continue;
+        }
+        keep.push(i);
+        i += 1;
+    }
+    keep
+}
+
+/// Whether the attribute bracket group opening at `open` (`[`) contains both
+/// `cfg` and `test` idents.
+fn attr_is_cfg_test(tokens: &[Token<'_>], open: usize) -> bool {
+    let close = match matching_bracket(tokens, open, "[", "]") {
+        Some(c) => c,
+        None => return false,
+    };
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    for t in &tokens[open + 1..close] {
+        if t.kind == TokKind::Ident {
+            saw_cfg |= t.text == "cfg";
+            saw_test |= t.text == "test";
+        }
+    }
+    saw_cfg && saw_test
+}
+
+/// Skips an item that starts with the attribute at `attr_start` (`#`):
+/// consumes any further attributes, then either a brace block or a trailing
+/// `;`. Returns the index just past the item.
+fn skip_attributed_item(tokens: &[Token<'_>], attr_start: usize) -> usize {
+    let mut i = attr_start;
+    // Consume consecutive outer attributes.
+    while i + 1 < tokens.len() && tokens[i].text == "#" && tokens[i + 1].text == "[" {
+        match matching_bracket(tokens, i + 1, "[", "]") {
+            Some(close) => i = close + 1,
+            None => return tokens.len(),
+        }
+    }
+    // Consume the item: first `{…}` block at bracket depth 0, or `;`.
+    let mut depth_round = 0i32;
+    let mut depth_square = 0i32;
+    while i < tokens.len() {
+        match tokens[i].text {
+            "(" => depth_round += 1,
+            ")" => depth_round -= 1,
+            "[" => depth_square += 1,
+            "]" => depth_square -= 1,
+            "{" if depth_round == 0 && depth_square == 0 => {
+                return match matching_bracket(tokens, i, "{", "}") {
+                    Some(close) => close + 1,
+                    None => tokens.len(),
+                };
+            }
+            ";" if depth_round == 0 && depth_square == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the bracket matching `tokens[open]`.
+fn matching_bracket(tokens: &[Token<'_>], open: usize, op: &str, cl: &str) -> Option<usize> {
+    debug_assert_eq!(tokens[open].text, op);
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == op {
+                depth += 1;
+            } else if t.text == cl {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+        let _ = k;
+    }
+    None
+}
+
+const D2_IDENTS: [&str; 5] =
+    ["Instant", "SystemTime", "RandomState", "DefaultHasher", "available_parallelism"];
+const D3_IDENTS: [&str; 9] = [
+    "Mutex",
+    "RwLock",
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyCell",
+    "LazyLock",
+];
+
+/// Scans one file's source. `path` is the workspace-relative path (used for
+/// rule scoping); fixture tests pass synthetic paths to opt into scopes.
+pub fn scan_source(path: &str, src: &str) -> FileScan {
+    let lexed = lex(src);
+    let (allows, query_path, errors) = parse_directives(&lexed.directives, path);
+    let scope = scope_of(path);
+    let mut scan = FileScan { errors, query_path, ..FileScan::default() };
+
+    let toks = &lexed.tokens;
+    let keep = non_test_token_indices(toks);
+
+    // U1 bookkeeping runs on the full stream (attributes are real tokens).
+    for w in toks.windows(7) {
+        if w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && (w[3].text == "forbid" || w[3].text == "deny")
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+        {
+            scan.unsafe_gate = true;
+        }
+    }
+    for w in toks.windows(5) {
+        if w[0].text == "#"
+            && w[1].text == "["
+            && w[2].text == "allow"
+            && w[3].text == "("
+            && w[4].text == "unsafe_code"
+        {
+            scan.unsafe_allows += 1;
+        }
+    }
+
+    let mut hits: Vec<(Rule, u32, String)> = Vec::new();
+    if scope.crate_root && !scan.unsafe_gate {
+        hits.push((Rule::U1, 1, "library crate root lacks `#![forbid(unsafe_code)]`".to_string()));
+    }
+
+    // Helper views over retained (non-test) tokens.
+    let tk = |k: usize| -> &Token<'_> { &toks[keep[k]] };
+    let n = keep.len();
+    let is = |k: usize, text: &str| k < n && tk(k).text == text;
+    let is_ident =
+        |k: usize, text: &str| k < n && tk(k).kind == TokKind::Ident && tk(k).text == text;
+
+    for k in 0..n {
+        let t = tk(k);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // D1 — hash-randomized collections anywhere in deterministic crates.
+        if scope.deterministic && (t.text == "HashMap" || t.text == "HashSet") {
+            hits.push((Rule::D1, t.line, format!("`{}`", t.text)));
+        }
+        // D2 — wall-clock / environment inputs in library code.
+        if scope.library {
+            if D2_IDENTS.contains(&t.text) {
+                hits.push((Rule::D2, t.line, format!("`{}`", t.text)));
+            }
+            if t.text == "thread" && is(k + 1, ":") && is(k + 2, ":") && is_ident(k + 3, "current")
+            {
+                hits.push((Rule::D2, t.line, "`thread::current`".to_string()));
+            }
+            if t.text == "env"
+                && is(k + 1, ":")
+                && is(k + 2, ":")
+                && k + 3 < n
+                && ["var", "vars", "var_os", "vars_os"].contains(&tk(k + 3).text)
+            {
+                hits.push((Rule::D2, t.line, format!("`env::{}`", tk(k + 3).text)));
+            }
+        }
+        // D3 — interior mutability in query-path modules.
+        if query_path && D3_IDENTS.contains(&t.text) {
+            hits.push((Rule::D3, t.line, format!("`{}`", t.text)));
+        }
+        // H1 — panics in library code.
+        if scope.library {
+            if (t.text == "unwrap" || t.text == "expect")
+                && k >= 1
+                && is(k - 1, ".")
+                && is(k + 1, "(")
+            {
+                hits.push((Rule::H1, t.line, format!("`.{}()`", t.text)));
+            }
+            if ["panic", "todo", "unimplemented"].contains(&t.text) && is(k + 1, "!") {
+                hits.push((Rule::H1, t.line, format!("`{}!`", t.text)));
+            }
+        }
+        // H2 — unordered float reductions in deterministic crates.
+        if scope.deterministic {
+            if (t.text == "sum" || t.text == "product")
+                && is(k + 1, ":")
+                && is(k + 2, ":")
+                && is(k + 3, "<")
+                && k + 4 < n
+                && (tk(k + 4).text == "f64" || tk(k + 4).text == "f32")
+            {
+                hits.push((Rule::H2, t.line, format!("`.{}::<{}>()`", t.text, tk(k + 4).text)));
+            }
+            if t.text == "fold" && is(k + 1, "(") {
+                if let Some(close) = matching_keep_bracket(toks, &keep, k + 1) {
+                    let args = &keep[k + 2..close];
+                    let has_float = args.iter().any(|&j| toks[j].kind == TokKind::Float);
+                    let min_max = args.windows(4).any(|w| {
+                        (toks[w[0]].text == "f64" || toks[w[0]].text == "f32")
+                            && toks[w[1]].text == ":"
+                            && toks[w[2]].text == ":"
+                            && (toks[w[3]].text == "min" || toks[w[3]].text == "max")
+                    });
+                    if has_float && !min_max {
+                        hits.push((
+                            Rule::H2,
+                            t.line,
+                            "float-accumulator `fold` (not a min/max fold)".to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Apply inline allows: a hit is suppressed by an allow for its rule on
+    // the same line, or on the line directly above when that line is a
+    // standalone comment (carries no code tokens of its own).
+    let lines_with_code: std::collections::BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
+    let mut used = vec![false; allows.len()];
+    for (rule, line, what) in hits {
+        let reason = allows.iter().enumerate().find_map(|(ai, a)| {
+            let applies = a.rule == rule
+                && (a.line == line || (a.line + 1 == line && !lines_with_code.contains(&a.line)));
+            applies.then(|| {
+                used[ai] = true;
+                a.reason.clone()
+            })
+        });
+        scan.violations.push(Violation {
+            rule,
+            file: path.to_string(),
+            line,
+            what,
+            allowed: reason,
+        });
+    }
+    // Unused allows are errors: stale justifications must not accumulate.
+    for (ai, a) in allows.iter().enumerate() {
+        if !used[ai] {
+            scan.errors.push(DirectiveError {
+                file: path.to_string(),
+                line: a.line,
+                message: format!(
+                    "unused allow({}) — no {} hit on this or the next line",
+                    a.rule.id(),
+                    a.rule.id()
+                ),
+            });
+        }
+    }
+    scan
+}
+
+/// `matching_bracket` but `open_k` indexes into `keep`.
+fn matching_keep_bracket(tokens: &[Token<'_>], keep: &[usize], open_k: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, &j) in keep.iter().enumerate().skip(open_k) {
+        let t = &tokens[j];
+        if t.kind == TokKind::Punct {
+            if t.text == "(" {
+                depth += 1;
+            } else if t.text == ")" {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(path: &str, src: &str) -> Vec<(Rule, u32, bool)> {
+        scan_source(path, src)
+            .violations
+            .iter()
+            .map(|v| (v.rule, v.line, v.allowed.is_some()))
+            .collect()
+    }
+
+    #[test]
+    fn d1_fires_only_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(hits("crates/core/src/x.rs", src), vec![(Rule::D1, 1, false)]);
+        assert_eq!(hits("crates/bench/src/x.rs", src), vec![]);
+        assert_eq!(hits("crates/phash/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn b() { x.unwrap(); }\n}\n";
+        assert_eq!(hits("crates/core/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn allow_same_line_and_line_above() {
+        let src = "// lint: allow(h1, \"reason one\")\nx.unwrap();\ny.unwrap(); // lint: allow(panic, \"reason two\")\nz.unwrap();\n";
+        let v = hits("crates/core/src/x.rs", src);
+        assert_eq!(v, vec![(Rule::H1, 2, true), (Rule::H1, 3, true), (Rule::H1, 4, false)]);
+    }
+
+    #[test]
+    fn d3_requires_tag() {
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(hits("crates/core/src/x.rs", src), vec![]);
+        let tagged = format!("// lint: query-path\n{src}");
+        assert_eq!(hits("crates/core/src/x.rs", &tagged), vec![(Rule::D3, 2, false)]);
+    }
+
+    #[test]
+    fn h2_exempts_min_max_folds() {
+        let src = "let a = xs.iter().fold(0.0, f64::max);\nlet b = xs.iter().fold(0.0, |p, q| p + q);\nlet c = xs.iter().sum::<f64>();\n";
+        let v = hits("crates/geodesic/src/x.rs", src);
+        assert_eq!(v, vec![(Rule::H2, 2, false), (Rule::H2, 3, false)]);
+    }
+
+    #[test]
+    fn unused_allow_is_an_error() {
+        let scan = scan_source(
+            "crates/core/src/x.rs",
+            "// lint: allow(h1, \"nothing here\")\nlet x = 1;\n",
+        );
+        assert_eq!(scan.errors.len(), 1);
+        assert!(scan.errors[0].message.contains("unused allow"));
+    }
+
+    #[test]
+    fn u1_checks_crate_roots() {
+        let v = hits("crates/core/src/lib.rs", "pub mod x;\n");
+        assert_eq!(v, vec![(Rule::U1, 1, false)]);
+        let ok = scan_source("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\npub mod x;\n");
+        assert!(ok.violations.is_empty());
+        assert!(ok.unsafe_gate);
+    }
+
+    #[test]
+    fn d2_patterns() {
+        let src =
+            "let t = Instant::now();\nlet id = thread::current().id();\nlet v = env::var(\"X\");\n";
+        let v = hits("crates/core/src/x.rs", src);
+        assert_eq!(
+            v.iter().map(|(r, l, _)| (*r, *l)).collect::<Vec<_>>(),
+            vec![(Rule::D2, 1), (Rule::D2, 2), (Rule::D2, 3)]
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end tests of the `oracle-lint` binary: the self-check on the real
+//! workspace, baseline round trips on a scratch workspace, and exit codes.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_oracle-lint"))
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+/// Builds a throwaway workspace under `CARGO_TARGET_TMPDIR` whose single
+/// library file carries `n_unwraps` H1 hits.
+fn scratch_workspace(name: &str, n_unwraps: usize) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    // Wipe leftovers from previous runs — a stale baseline would flip the
+    // expected exit codes.
+    let _ = std::fs::remove_dir_all(&root);
+    let src = root.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("mkdir scratch workspace");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    let mut body = String::from("pub fn f(v: &[u32]) -> u32 {\n    let mut acc = 0;\n");
+    for i in 0..n_unwraps {
+        body.push_str(&format!("    acc += *v.get({i}).unwrap();\n"));
+    }
+    body.push_str("    acc\n}\n");
+    std::fs::write(src.join("debt.rs"), body).expect("write debt.rs");
+    root
+}
+
+#[test]
+fn real_workspace_is_clean_under_deny_warnings() {
+    let out = bin()
+        .args(["check", "--deny-warnings", "--report"])
+        .arg("--root")
+        .arg(repo_root())
+        .output()
+        .expect("run oracle-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "lint dirty on the real workspace:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("— clean"), "missing clean summary:\n{stdout}");
+    assert!(
+        stdout.contains("6/6 library crate roots carry #![forbid(unsafe_code)]"),
+        "unsafe gate summary missing:\n{stdout}"
+    );
+}
+
+#[test]
+fn deny_warnings_fails_on_violations_and_baseline_absorbs_them() {
+    let root = scratch_workspace("lint-ws-baseline", 2);
+    let baseline = root.join("lint-baseline.json");
+
+    // Dirty without a baseline: exit 1 under --deny-warnings, 0 without.
+    let dirty =
+        bin().args(["check", "--deny-warnings", "--root"]).arg(&root).output().expect("run");
+    assert_eq!(dirty.status.code(), Some(1), "expected exit 1 on unsuppressed violations");
+    let warn_only = bin().args(["check", "--root"]).arg(&root).output().expect("run");
+    assert_eq!(warn_only.status.code(), Some(0), "warnings alone must not fail");
+
+    // --update-baseline captures the debt, after which CI mode passes.
+    let upd =
+        bin().args(["check", "--update-baseline", "--root"]).arg(&root).output().expect("run");
+    assert!(upd.status.success());
+    let text = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(text.contains("\"rule\": \"h1\""), "baseline should record h1 debt: {text}");
+    assert!(text.contains("\"count\": 2"), "baseline should count both hits: {text}");
+    let clean =
+        bin().args(["check", "--deny-warnings", "--root"]).arg(&root).output().expect("run");
+    assert!(clean.status.success(), "baselined workspace should pass CI mode");
+}
+
+#[test]
+fn stale_baseline_entries_are_reported() {
+    let root = scratch_workspace("lint-ws-stale", 1);
+    std::fs::write(
+        root.join("lint-baseline.json"),
+        r#"{
+  "version": 1,
+  "entries": [
+    { "rule": "h1", "file": "crates/core/src/debt.rs", "count": 3 }
+  ]
+}
+"#,
+    )
+    .expect("write baseline");
+    let out = bin().args(["check", "--deny-warnings", "--root"]).arg(&root).output().expect("run");
+    assert!(out.status.success(), "over-tolerant baseline still passes");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stale baseline entry"), "expected ratchet note:\n{stdout}");
+}
+
+#[test]
+fn deterministic_rules_may_not_be_baselined() {
+    let root = scratch_workspace("lint-ws-d1-baseline", 0);
+    std::fs::write(
+        root.join("lint-baseline.json"),
+        r#"{
+  "version": 1,
+  "entries": [
+    { "rule": "d1", "file": "crates/core/src/debt.rs", "count": 1 }
+  ]
+}
+"#,
+    )
+    .expect("write baseline");
+    let out = bin().args(["check", "--root"]).arg(&root).output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "d1 baseline entry must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("may not be baselined"), "unexpected error text:\n{stderr}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = bin().args(["check", "--no-such-flag"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["frobnicate"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let help = bin().args(["--help"]).output().expect("run");
+    assert!(help.status.success());
+    assert!(String::from_utf8_lossy(&help.stdout).contains("oracle-lint"));
+}

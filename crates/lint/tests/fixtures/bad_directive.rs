@@ -1,0 +1,9 @@
+// Fixture: malformed directives are fatal errors, and an allow that matches
+// nothing is an error too (anti-staleness).
+// lint: allow(d1)
+// lint: allow(z9, "no such rule")
+// lint: frobnicate
+// lint: allow(h1, "nothing on this or the next line panics")
+pub fn fine() -> u32 {
+    3
+}

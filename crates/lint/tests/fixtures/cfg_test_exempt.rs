@@ -1,0 +1,21 @@
+// Fixture: rules must not fire inside #[cfg(test)] items.
+pub fn lib_code() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_only_code_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let t = Instant::now();
+        assert!(m.is_empty());
+        let _ = t.elapsed();
+        assert_eq!(super::lib_code(), 7);
+        let v: Vec<u32> = vec![1];
+        let _ = v.first().unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: D1 suppressed by an inline allow with a written reason.
+// lint: allow(d1, "keys are sorted before any iteration reaches oracle data")
+use std::collections::HashMap;
+
+pub fn scratch(pairs: &[(u64, f64)]) -> Vec<(u64, f64)> {
+    // lint: allow(d1, "drained through a sort on the next line")
+    let m: HashMap<u64, f64> = pairs.iter().copied().collect();
+    let mut v: Vec<(u64, f64)> = m.into_iter().collect();
+    v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    v
+}

@@ -1,0 +1,6 @@
+// Fixture: D1 positive — hash-randomized collection in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn build_index(pairs: &[(u64, f64)]) -> HashMap<u64, f64> {
+    pairs.iter().copied().collect()
+}

@@ -1,0 +1,9 @@
+// Fixture: D2 suppressed by inline allows.
+// lint: allow(d2, "timing types for build stats; never feeds oracle data")
+use std::time::Instant;
+
+pub fn timed_build() -> f64 {
+    // lint: allow(d2, "build timing lands in stats only")
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

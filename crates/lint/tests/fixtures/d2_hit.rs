@@ -1,0 +1,11 @@
+// Fixture: D2 positive — wall-clock and environment inputs in library code.
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let who = std::thread::current();
+    let _ = who.name();
+    let path = std::env::var("ORACLE_PATH").unwrap_or_default();
+    let _ = path;
+    t0.elapsed().as_nanos()
+}

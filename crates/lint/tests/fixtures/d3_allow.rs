@@ -1,0 +1,16 @@
+// Fixture: D3 scratch-arena case — tagged query-path, Mutex allowed with a
+// written justification.
+// lint: query-path
+// lint: allow(d3, "scratch arena: per-run buffers behind a lock; results stay bit-identical")
+use std::sync::Mutex;
+
+pub struct Arena {
+    // lint: allow(d3, "scratch arena: the lock never spans a query answer")
+    pool: Mutex<Vec<Vec<u32>>>,
+}
+
+impl Arena {
+    pub fn take(&self) -> Vec<u32> {
+        self.pool.lock().ok().and_then(|mut p| p.pop()).unwrap_or_default()
+    }
+}

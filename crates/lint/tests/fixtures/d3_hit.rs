@@ -1,0 +1,13 @@
+// Fixture: D3 positive — interior mutability in a query-path module.
+// lint: query-path
+use std::sync::Mutex;
+
+pub struct Handle {
+    cache: Mutex<Vec<f64>>,
+}
+
+impl Handle {
+    pub fn probe(&self) -> usize {
+        self.cache.lock().map(|v| v.len()).unwrap_or(0)
+    }
+}

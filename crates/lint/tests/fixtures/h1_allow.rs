@@ -1,0 +1,9 @@
+// Fixture: H1 suppressed via the `panic` alias, same-line and line-above.
+pub fn first(v: &[u32]) -> u32 {
+    // lint: allow(panic, "callers are documented to pass non-empty slices")
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("two elements") // lint: allow(h1, "invariant: len checked by caller")
+}

@@ -1,0 +1,12 @@
+// Fixture: H1 positives — unwrap/expect/panic! in library code.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("needs two elements")
+}
+
+pub fn never() -> ! {
+    panic!("unreachable by construction")
+}

@@ -1,0 +1,10 @@
+// Fixture: H2 — min/max folds are order-insensitive and exempt; a sequential
+// sum carries an allow.
+pub fn shortest(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    // lint: allow(h2, "sequential sum in index order — fixed evaluation order")
+    xs.iter().sum::<f64>()
+}

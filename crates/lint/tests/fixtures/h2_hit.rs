@@ -1,0 +1,8 @@
+// Fixture: H2 positives — float reductions in a deterministic crate.
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn accumulate(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, x| acc + x)
+}

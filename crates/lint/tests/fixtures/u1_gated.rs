@@ -1,0 +1,6 @@
+//! Fixture: U1 clean — gated crate root with one counted unsafe allow.
+
+#![forbid(unsafe_code)]
+
+#[allow(unsafe_code)]
+pub mod something {}

@@ -1,0 +1,3 @@
+//! Fixture: U1 positive — a library crate root without the unsafe gate.
+
+pub mod something {}

@@ -24,6 +24,7 @@
 //! assert_eq!(map.len(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 mod map;
 mod universal;
 

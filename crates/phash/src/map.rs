@@ -1,5 +1,6 @@
 //! The two-level FKS perfect map.
 
+// lint: query-path
 use crate::universal::{splitmix64, UniversalHash};
 
 /// Sentinel for empty second-level slots.
@@ -14,6 +15,23 @@ const EMPTY: u32 = u32::MAX;
 /// Values are stored in one contiguous `Vec<V>` in insertion order; the hash
 /// structure stores `u32` indices into it, so memory overhead is
 /// `~12 bytes × O(n)` on top of the values.
+///
+/// # Determinism
+///
+/// Unlike `std::collections::HashMap`, whose `RandomState` draws a fresh
+/// sip-hash key per process and therefore randomizes iteration order,
+/// `PerfectMap` is a pure function of `(entries, seed)`:
+///
+/// - every hash function is a [`UniversalHash`] derived from the explicit
+///   `seed` via [`splitmix64`] — no ambient randomness, no per-process state;
+/// - [`PerfectMap::iter`] walks the `keys`/`values` vectors directly, so
+///   iteration order is exactly the insertion order of `entries` and does
+///   not depend on the seed or on the hash layout at all.
+///
+/// This is why the oracle-lint D1 (hash-order) rule does not apply to this
+/// type: two builds from the same entry list produce bit-identical images
+/// and identical iteration, which `same_inputs_build_identical_images` and
+/// `iteration_order_ignores_seed` pin down in the test suite.
 #[derive(Debug, Clone)]
 pub struct PerfectMap<V> {
     level1: UniversalHash,
@@ -148,6 +166,10 @@ impl<V> PerfectMap<V> {
     }
 
     /// Iterates over `(key, &value)` in insertion order.
+    ///
+    /// The order is a property of the entry list passed to
+    /// [`PerfectMap::build`], not of the hash structure: it is identical
+    /// across builds, seeds, processes, and thread counts.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
         self.keys.iter().copied().zip(self.values.iter())
     }
@@ -259,6 +281,41 @@ mod tests {
         let map = PerfectMap::build(entries.clone(), 11);
         let collected: Vec<(u64, char)> = map.iter().map(|(k, &v)| (k, v)).collect();
         assert_eq!(collected, entries);
+    }
+
+    #[test]
+    fn iteration_order_ignores_seed() {
+        // The D1 whitelist rests on this: iteration order is the insertion
+        // order of the entry list, no matter which seed shaped the hash
+        // structure.
+        let entries: Vec<(u64, u32)> =
+            (0..500u64).map(|k| (splitmix64(k ^ 0x5eed), k as u32)).collect();
+        let reference: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+        for seed in [0, 1, 7, 0xdead_beef] {
+            let map = PerfectMap::build(entries.clone(), seed);
+            let order: Vec<u64> = map.iter().map(|(k, _)| k).collect();
+            assert_eq!(order, reference, "seed {seed} changed iteration order");
+        }
+    }
+
+    #[test]
+    fn same_inputs_build_identical_images() {
+        // Full structural determinism: same entries + same seed must yield
+        // byte-identical hash layout, not just equal lookups.
+        let entries: Vec<(u64, u32)> = (0..2000u64).map(|k| (splitmix64(k), k as u32)).collect();
+        let a = PerfectMap::build(entries.clone(), 42);
+        let b = PerfectMap::build(entries, 42);
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.buckets.len(), b.buckets.len());
+        for (x, y) in a.buckets.iter().zip(&b.buckets) {
+            match (x, y) {
+                (None, None) => {}
+                (Some(p), Some(q)) => assert_eq!(p.offset, q.offset),
+                _ => panic!("bucket occupancy diverged between identical builds"),
+            }
+        }
     }
 
     #[test]

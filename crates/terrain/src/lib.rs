@@ -35,6 +35,7 @@
 //! assert_eq!(refined.poi_vertices.len(), 10);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod dem;
 pub mod gen;
 pub mod geom;

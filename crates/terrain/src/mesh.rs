@@ -7,7 +7,7 @@
 //! (continuous Dijkstra) and the paper's SSAD subroutine rely on.
 
 use crate::geom::{triangle_angle, triangle_area, Vec3};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Index of a vertex in [`TerrainMesh::vertices`].
@@ -113,7 +113,7 @@ pub struct TerrainMesh {
     /// Sum of incident face angles per vertex (saddle detection).
     angle_sum: Vec<f64>,
     boundary_vertex: Vec<bool>,
-    edge_map: HashMap<(VertexId, VertexId), EdgeId>,
+    edge_map: BTreeMap<(VertexId, VertexId), EdgeId>,
 }
 
 impl TerrainMesh {
@@ -145,8 +145,7 @@ impl TerrainMesh {
         // Edge table. Track traversal direction per incident face for the
         // orientation check: in a consistently oriented manifold every
         // interior edge is traversed once in each direction.
-        let mut edge_map: HashMap<(VertexId, VertexId), EdgeId> =
-            HashMap::with_capacity(faces.len() * 3 / 2);
+        let mut edge_map: BTreeMap<(VertexId, VertexId), EdgeId> = BTreeMap::new();
         let mut edges: Vec<Edge> = Vec::with_capacity(faces.len() * 3 / 2);
         let mut edge_dirs: Vec<[bool; 2]> = Vec::new(); // true = traversed as (v0 → v1)
         let mut face_edges: Vec<[EdgeId; 3]> = vec![[0; 3]; faces.len()];

@@ -11,7 +11,7 @@
 use crate::geom::{barycentric_xy, Vec3};
 use crate::mesh::{FaceId, MeshError, TerrainMesh, VertexId, NO_FACE};
 use crate::poi::SurfacePoint;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of [`insert_surface_points`].
 #[derive(Debug)]
@@ -66,7 +66,7 @@ struct Refiner {
     /// Live version occupying each face slot.
     version_of_slot: Vec<u32>,
     /// Live undirected edge → incident faces (`NO_FACE` on boundary).
-    edge_faces: HashMap<(VertexId, VertexId), [FaceId; 2]>,
+    edge_faces: BTreeMap<(VertexId, VertexId), [FaceId; 2]>,
 }
 
 impl Refiner {
@@ -79,7 +79,7 @@ impl Refiner {
             .map(|(slot, &verts)| FaceVersion { verts, slot: slot as FaceId, children: Vec::new() })
             .collect();
         let version_of_slot = (0..faces.len() as u32).collect();
-        let mut edge_faces = HashMap::with_capacity(mesh.n_edges());
+        let mut edge_faces = BTreeMap::new();
         for e in 0..mesh.n_edges() as u32 {
             let edge = mesh.edge(e);
             edge_faces.insert((edge.v[0], edge.v[1]), edge.faces);

@@ -209,6 +209,7 @@ impl TilePartition {
                     faces.iter().flat_map(|&f| mesh.face(f)).collect();
                 let global_of_vertex: Vec<VertexId> = vert_set.into_iter().collect();
                 let local_of = |v: VertexId| {
+                    // lint: allow(panic, "invariant: local vertex ids come from the same collected set")
                     global_of_vertex.binary_search(&v).expect("face vertex collected") as VertexId
                 };
                 let vertices: Vec<Vec3> =

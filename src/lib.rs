@@ -35,6 +35,7 @@
 //! assert!(d > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 pub use baselines;
 pub use geodesic;
 pub use phash;
