@@ -6,29 +6,36 @@
 //! $ cargo run --release -p bench --bin snapshot -- pr12    # BENCH_pr12.json
 //! ```
 //!
-//! The three measurements mirror the CI-run workloads:
+//! The measurements mirror the CI-run workloads:
 //!
 //! - `quickstart_build_ms` — the `examples/quickstart.rs` setup: SE(ε=0.1)
 //!   over the exact engine on the SfSmall preset with 60 POIs;
 //! - `query_batch_ns_per_op` — `benches/query_batch.rs`'s 10k-pair batch
 //!   through `QueryHandle::distance_many`, per-pair;
 //! - `path_query_us_per_op` — `benches/path_query.rs`'s 64-pair
-//!   `shortest_path` sweep, per-query.
+//!   `shortest_path` sweep, per-query;
+//! - `socket_pairs_per_s` / `socket_p99_us` — the `oracled` server core on
+//!   a loopback socket, saturated by 4 concurrent clients (the CI serving
+//!   smoke, measured).
 //!
 //! Each timing is the median of several repetitions, so a snapshot is
 //! stable enough to eyeball across commits without a criterion run.
 
 use bench::setup::{query_pairs, Workload};
+use se_oracle::net::{Backend, Connection, OracleServer, Request, Response, ServeConfig};
 use se_oracle::oracle::BuildConfig;
 use se_oracle::p2p::{EngineKind, P2POracle};
 use se_oracle::route::PathIndex;
-use se_oracle::serve::QueryHandle;
+use se_oracle::serve::{pair_stream, QueryHandle};
 use std::hint::black_box;
 use std::time::Instant;
 use terrain::gen::Preset;
 
 const BATCH: usize = 10_000;
 const PATH_PAIRS: usize = 64;
+const SOCK_CLIENTS: u64 = 4;
+const SOCK_REQUESTS: u64 = 250;
+const SOCK_PAIRS: usize = 64;
 
 fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..reps)
@@ -82,6 +89,45 @@ fn main() {
     });
     let path_us = path_ms * 1e3 / PATH_PAIRS as f64;
 
+    // 4. Socket serving: `oracled`'s server core on an ephemeral port,
+    //    pushed by pipelining clients until the single batcher core is the
+    //    bottleneck — aggregate pair throughput and p99 request latency.
+    let server =
+        OracleServer::bind("127.0.0.1:0", Backend::Oracle(handle.clone()), ServeConfig::default())
+            .expect("bind server");
+    let addr = server.local_addr().expect("server addr");
+    let server = std::thread::spawn(move || server.serve());
+    let n_sites = handle.n_sites();
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..SOCK_CLIENTS)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(addr).expect("connect");
+                let mut lat_us = Vec::with_capacity(SOCK_REQUESTS as usize);
+                for r in 0..SOCK_REQUESTS {
+                    let stream = client * SOCK_REQUESTS + r;
+                    let pairs = pair_stream(0xBEAC, stream, SOCK_PAIRS, n_sites);
+                    let t = Instant::now();
+                    match conn.roundtrip(&Request::Distance { id: stream, pairs }) {
+                        Ok(Response::Distances { .. }) => {}
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                    lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                }
+                lat_us
+            })
+        })
+        .collect();
+    let mut lat_us: Vec<f64> =
+        clients.into_iter().flat_map(|c| c.join().expect("client thread")).collect();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut ctl = Connection::connect(addr).expect("connect");
+    let _ = ctl.roundtrip(&Request::Shutdown { id: 0 });
+    let _ = server.join();
+    lat_us.sort_by(f64::total_cmp);
+    let socket_qps = (SOCK_CLIENTS * SOCK_REQUESTS) as f64 * SOCK_PAIRS as f64 / elapsed;
+    let socket_p99_us = lat_us[((lat_us.len() - 1) as f64 * 0.99).round() as usize];
+
     let json = format!(
         "{{\n  \"schema\": 1,\n  \"label\": \"{label}\",\n  \"generator\": \
          \"cargo run --release -p bench --bin snapshot\",\n  \"measurements\": [\n    \
@@ -90,7 +136,11 @@ fn main() {
          {{ \"name\": \"query_batch_ns_per_op\", \"value\": {query_ns:.1}, \"unit\": \"ns\", \
          \"detail\": \"10k-pair distance_many batch, median of 9\" }},\n    \
          {{ \"name\": \"path_query_us_per_op\", \"value\": {path_us:.2}, \"unit\": \"us\", \
-         \"detail\": \"64-pair shortest_path sweep, median of 9\" }}\n  ]\n}}\n"
+         \"detail\": \"64-pair shortest_path sweep, median of 9\" }},\n    \
+         {{ \"name\": \"socket_pairs_per_s\", \"value\": {socket_qps:.0}, \"unit\": \"pairs/s\", \
+         \"detail\": \"oracled server core, 4 clients x 250 requests x 64 pairs, default admission\" }},\n    \
+         {{ \"name\": \"socket_p99_us\", \"value\": {socket_p99_us:.1}, \"unit\": \"us\", \
+         \"detail\": \"p99 request latency over the same socket run\" }}\n  ]\n}}\n"
     );
     let out = format!("BENCH_{label}.json");
     std::fs::write(&out, &json).expect("write snapshot");

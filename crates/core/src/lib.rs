@@ -36,7 +36,10 @@
 //!   pool-sharded multi-threaded batch driver;
 //! * [`atlas`] — the terrain atlas: tiled per-piece oracles with a portal
 //!   graph routing cross-tile queries (the scaling layer past one
-//!   monolithic construction).
+//!   monolithic construction);
+//! * [`net`] — the network serving front end: the `oracled` wire protocol
+//!   (sharing [`persist`]'s hardened frame decoder), a coalescing
+//!   thread-per-connection server, and a blocking client.
 //!
 //! # Quickstart
 //!
@@ -66,6 +69,7 @@ pub mod dimension;
 pub mod dynamic;
 pub mod enhanced;
 pub mod maxheap;
+pub mod net;
 pub mod oracle;
 pub mod p2p;
 pub mod persist;
@@ -79,7 +83,9 @@ pub use a2a::A2AOracle;
 pub use atlas::{Atlas, AtlasConfig, AtlasError, AtlasHandle};
 pub use ctree::CompressedTree;
 pub use dynamic::{DynamicError, DynamicOracle, SubsetSpace};
-pub use oracle::{BuildConfig, BuildError, BuildStats, ConstructionMethod, QueryStats, SeOracle};
+pub use oracle::{
+    BuildConfig, BuildError, BuildStats, ConstructionMethod, QueryError, QueryStats, SeOracle,
+};
 pub use p2p::{EngineKind, P2PError, P2POracle};
 pub use persist::PersistError;
 pub use proximity::{DetourPoi, Neighbor, ProximityIndex};

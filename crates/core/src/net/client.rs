@@ -1,0 +1,59 @@
+//! A minimal blocking client for the `oracled` wire protocol — what
+//! `oracle-loadgen`, the CI smoke test, and the integration suite speak.
+
+use super::protocol::{decode_response, encode_request, FrameReader, Request, Response};
+use super::NetError;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One blocking connection to an `oracled` server.
+///
+/// Requests may be pipelined: `send` any number of requests, then `recv`
+/// responses and match them to requests by the echoed `id`.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    frames: FrameReader,
+    chunk: Box<[u8; 16 * 1024]>,
+}
+
+impl Connection {
+    /// Connects to `addr` with `TCP_NODELAY` set (the protocol is
+    /// request/response; Nagle only adds latency).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Connection { stream, frames: FrameReader::new(), chunk: Box::new([0u8; 16 * 1024]) })
+    }
+
+    /// Writes one encoded request frame.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.stream.write_all(&encode_request(req))
+    }
+
+    /// Blocks until the next complete response frame arrives.
+    pub fn recv(&mut self) -> Result<Response, NetError> {
+        loop {
+            if let Some(payload) = self.frames.next_payload()? {
+                return Ok(decode_response(&payload)?);
+            }
+            let n = self.stream.read(&mut self.chunk[..])?;
+            if n == 0 {
+                return Err(NetError::Disconnected);
+            }
+            self.frames.feed(&self.chunk[..n]);
+        }
+    }
+
+    /// `send` + `recv` for strict request/response use.
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response, NetError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// The underlying stream, for tests that need raw byte-level control
+    /// (oversized frames, mid-frame disconnects).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,109 @@
+//! Lock-free serving counters.
+//!
+//! Every counter is a relaxed [`AtomicU64`]: the hot path (request
+//! admission, batch completion) only ever does `fetch_add`/`fetch_max`, so
+//! accounting never serializes connections against each other and never
+//! touches a lock — which keeps this file inside the `query-path` lint
+//! contract. A [`StatsSnapshot`] read is a set of independent relaxed
+//! loads: each counter is exact, the set as a whole is a point-in-time
+//! approximation (fine for an operational `STATS` verb).
+
+// lint: query-path
+
+use super::protocol::StatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two batch-size buckets: bucket 16 absorbs every
+/// batch above 32768 pairs (half the per-request cap, so realistic
+/// coalesced batches always land in a real bucket).
+pub(crate) const HIST_BUCKETS: usize = 17;
+
+/// Aggregate serving counters shared by every connection thread and the
+/// batcher.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) pairs: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) busy_rejections: AtomicU64,
+    pub(crate) malformed: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    queue_depth: AtomicU64,
+    max_queue_depth: AtomicU64,
+    batch_hist: [AtomicU64; HIST_BUCKETS],
+}
+
+/// Histogram bucket for a batch of `pairs` pairs: `⌈log2(pairs)⌉`, clamped
+/// to the last bucket (bucket 0 holds single-pair batches).
+fn bucket(pairs: usize) -> usize {
+    let p = pairs.max(1) as u64;
+    ((64 - (p - 1).leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+impl Counters {
+    /// Records the queue depth after an enqueue or drain, maintaining the
+    /// high-water mark.
+    pub(crate) fn note_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Records a completed batch of `pairs` total pairs.
+    pub(crate) fn note_batch(&self, pairs: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_hist[bucket(pairs)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot; `n_sites`/`epsilon` describe the backend
+    /// image and come from the caller.
+    pub(crate) fn snapshot(&self, n_sites: usize, epsilon: f64) -> StatsSnapshot {
+        StatsSnapshot {
+            n_sites: n_sites as u64,
+            epsilon,
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            pairs: self.pairs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            batch_size_hist: self.batch_hist.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 2);
+        assert_eq!(bucket(5), 3);
+        assert_eq!(bucket(1 << 16), 16);
+        assert_eq!(bucket(usize::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_notes() {
+        let c = Counters::default();
+        c.note_depth(3);
+        c.note_depth(1);
+        c.note_batch(5);
+        c.note_batch(1);
+        let s = c.snapshot(10, 0.25);
+        assert_eq!(s.n_sites, 10);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.max_queue_depth, 3);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batch_size_hist[0], 1);
+        assert_eq!(s.batch_size_hist[3], 1);
+    }
+}

@@ -121,6 +121,49 @@ pub struct BuildStats {
     pub resolver_fallbacks: u64,
 }
 
+/// Typed failure of a checked query ([`SeOracle::distance_many_checked`])
+/// — what a serving process reports instead of panicking when a request or
+/// a persisted image turns out to be invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// A pair referenced a site id outside `0..n_sites`.
+    SiteOutOfRange {
+        /// Index of the offending pair in the batch.
+        index: usize,
+        /// The out-of-range id.
+        site: u32,
+        /// Number of sites the oracle covers.
+        n_sites: usize,
+    },
+    /// No stored node pair covers `(s, t)` — the unique-node-pair-match
+    /// property (Theorem 1) is violated, which only a corrupt or hostile
+    /// persisted image can produce.
+    NoCoveringPair {
+        /// First site of the uncovered query.
+        s: usize,
+        /// Second site of the uncovered query.
+        t: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::SiteOutOfRange { index, site, n_sites } => write!(
+                f,
+                "pair #{index}: site id {site} out of range for an oracle over {n_sites} sites"
+            ),
+            QueryError::NoCoveringPair { s, t } => write!(
+                f,
+                "no stored node pair covers sites ({s}, {t}) — corrupt oracle image \
+                 (Theorem 1 violated); rebuild the image"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 /// Per-query counters (for the `O(h)` vs `O(h²)` ablation).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
@@ -357,6 +400,48 @@ impl SeOracle {
         }
     }
 
+    /// Fully checked batch query for serving **untrusted or persisted**
+    /// images: every failure mode is a typed error, never a panic.
+    ///
+    /// Unlike [`Self::try_distance_many`] (which only checks id ranges and
+    /// still inherits the corrupt-image panic from the probe), this is the
+    /// entry point a network daemon uses — a checksum-valid but hostile
+    /// image can ship a pair set violating Theorem 1, and bytes from disk
+    /// must never crash a serving process. Successful answers are
+    /// bit-identical to [`Self::distance_many`] on the same pairs.
+    pub fn distance_many_checked(&self, pairs: &[(u32, u32)]) -> Result<Vec<f64>, QueryError> {
+        let n = self.n_sites();
+        if let Some((index, &(s, t))) =
+            pairs.iter().enumerate().find(|&(_, &(s, t))| s as usize >= n || t as usize >= n)
+        {
+            let site = if s as usize >= n { s } else { t };
+            return Err(QueryError::SiteOutOfRange { index, site, n_sites: n });
+        }
+        let probe_or_err = |s: usize, t: usize, a: &[u32], b: &[u32]| {
+            self.probe_checked(a, b).map(|(d, _)| d).ok_or(QueryError::NoCoveringPair { s, t })
+        };
+        if pairs.len() >= n {
+            let d = self.dense_layers();
+            pairs
+                .iter()
+                .map(|&(s, t)| {
+                    let (s, t) = (s as usize, t as usize);
+                    probe_or_err(s, t, d.row(s), d.row(t))
+                })
+                .collect()
+        } else {
+            let mut scratch = LayerScratch::default();
+            pairs
+                .iter()
+                .map(|&(s, t)| {
+                    let (s, t) = (s as usize, t as usize);
+                    let (i, j) = scratch.pair_slots(&self.ctree, s, t);
+                    probe_or_err(s, t, &scratch.arrays[i], &scratch.arrays[j])
+                })
+                .collect()
+        }
+    }
+
     /// Validates a batch with the same actionable panic contract as
     /// [`Self::check_sites`] (shared with the parallel driver, which
     /// validates before sharding so the panic fires on the caller's
@@ -420,7 +505,28 @@ impl SeOracle {
     /// The `O(h)` probe sequence of §3.4 over pre-computed layer arrays.
     /// Separated from [`Self::distance_with_stats`] so batch queries can
     /// amortize the layer-array computation across many pairs.
+    ///
+    /// A probe miss means the unique-node-pair-match property (Theorem 1)
+    /// does not hold for `(s, t)` — impossible for a built oracle, but a
+    /// checksum-valid yet hostile persisted image can ship an arbitrary
+    /// pair set. Direct callers keep the documented loud panic; the
+    /// serving path goes through [`Self::probe_checked`] so bytes from
+    /// disk or the wire can never crash a serving process.
     fn probe(&self, s: usize, t: usize, a: &[u32], b: &[u32]) -> (f64, QueryStats) {
+        self.probe_checked(a, b).unwrap_or_else(|| {
+            // lint: allow(panic, "documented corrupt-image panic; probe_checked is the serving-path alternative")
+            panic!(
+                "no stored node pair covers sites ({s}, {t}) although both ids are in range — \
+                 the unique node pair match property (Theorem 1) is violated, which means the \
+                 oracle's pair set is corrupt (a construction bug or a mismatched seed when \
+                 reassembling a persisted oracle); rebuild the oracle and report this if it recurs"
+            )
+        })
+    }
+
+    /// [`Self::probe`] without the corrupt-image panic: `None` when no
+    /// stored node pair covers the two sites behind layer arrays `a`/`b`.
+    fn probe_checked(&self, a: &[u32], b: &[u32]) -> Option<(f64, QueryStats)> {
         let h = self.ctree.h as usize;
         let nodes = &self.ctree.nodes;
         let mut qs = QueryStats::default();
@@ -430,7 +536,7 @@ impl SeOracle {
             if a[i] != NO_NODE && b[i] != NO_NODE {
                 qs.pairs_checked += 1;
                 if let Some(&d) = self.pairs.get(pair_key(a[i], b[i])) {
-                    return (d, qs);
+                    return Some((d, qs));
                 }
             }
         }
@@ -445,7 +551,7 @@ impl SeOracle {
                 if ak != NO_NODE {
                     qs.pairs_checked += 1;
                     if let Some(&d) = self.pairs.get(pair_key(ak, b[i])) {
-                        return (d, qs);
+                        return Some((d, qs));
                     }
                 }
             }
@@ -461,17 +567,12 @@ impl SeOracle {
                 if bk != NO_NODE {
                     qs.pairs_checked += 1;
                     if let Some(&d) = self.pairs.get(pair_key(a[i], bk)) {
-                        return (d, qs);
+                        return Some((d, qs));
                     }
                 }
             }
         }
-        unreachable!(
-            "no stored node pair covers sites ({s}, {t}) although both ids are in range — \
-             the unique node pair match property (Theorem 1) is violated, which means the \
-             oracle's pair set is corrupt (a construction bug or a mismatched seed when \
-             reassembling a persisted oracle); rebuild the oracle and report this if it recurs"
-        )
+        None
     }
 
     /// The paper's naive `O(h²)` query (baseline for the query ablation):

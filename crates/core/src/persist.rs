@@ -60,15 +60,24 @@ use crate::oracle::SeOracle;
 use crate::tree::NO_NODE;
 use std::io::{self, Read, Write};
 
-const MAGIC: [u8; 4] = *b"SEOR";
+/// Magic of monolithic (`SEOR`) oracle images — public so deployment
+/// front ends (e.g. `oracled`) can sniff an image's kind from its first
+/// four bytes before choosing a loader.
+pub const ORACLE_MAGIC: [u8; 4] = *b"SEOR";
+const MAGIC: [u8; 4] = ORACLE_MAGIC;
 /// Format version of monolithic (`SEOR`) oracle images.
 pub const ORACLE_VERSION: u32 = 1;
-const ATLAS_MAGIC: [u8; 4] = *b"SEAT";
+/// Magic of atlas (`SEAT`) images (see [`ORACLE_MAGIC`]).
+pub const ATLAS_MAGIC: [u8; 4] = *b"SEAT";
 /// Format version of atlas (`SEAT`) images.
 pub const ATLAS_VERSION: u32 = 1;
 /// Salt for the rebuilt perfect hash; any value works, a fixed one keeps
 /// loads deterministic.
 const REBUILD_SEED: u64 = 0x5E0A_AC1E_0F11_E5ED;
+/// Hard cap on the stored tree height `h`. The paper reports `h < 30` on
+/// every dataset; `h + 1` sizes each per-query layer array, so an
+/// image-supplied height must not be an allocation amplifier.
+const MAX_TREE_HEIGHT: u32 = 4096;
 
 /// Deserialization failures.
 #[derive(Debug)]
@@ -85,6 +94,24 @@ pub enum PersistError {
         /// Newest version this build reads.
         supported: u32,
     },
+    /// The frame header declared more payload bytes than the input holds —
+    /// a truncated file or a connection cut mid-frame. Reported before any
+    /// allocation proportional to the declared length.
+    Truncated {
+        /// Payload length the header declared.
+        declared: u64,
+        /// Bytes actually available after the header.
+        available: u64,
+    },
+    /// The declared payload length exceeds the hard cap for this frame
+    /// kind (a corrupt length field, or a hostile peer requesting a
+    /// multi-GB allocation). Nothing was allocated.
+    FrameTooLarge {
+        /// Payload length the header declared.
+        declared: u64,
+        /// Hard cap for this frame kind.
+        cap: u64,
+    },
     /// Structurally invalid image (message names the first violation).
     Corrupt(&'static str),
 }
@@ -98,6 +125,16 @@ impl std::fmt::Display for PersistError {
                 f,
                 "image format version {found} not readable by this build \
                  (supported version: {supported})"
+            ),
+            PersistError::Truncated { declared, available } => write!(
+                f,
+                "truncated frame: header declares {declared} payload bytes \
+                 but only {available} are available"
+            ),
+            PersistError::FrameTooLarge { declared, cap } => write!(
+                f,
+                "frame too large: header declares {declared} payload bytes, \
+                 hard cap is {cap}"
             ),
             PersistError::Corrupt(msg) => write!(f, "corrupt oracle image: {msg}"),
         }
@@ -121,10 +158,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Hard cap on a stored image's payload (1 TiB — far above any oracle an
+/// in-memory load could serve, far below what a corrupt length field can
+/// declare). The network protocol passes its own, much smaller cap.
+pub(crate) const IMAGE_FRAME_CAP: u64 = 1 << 40;
+
 /// Writes the shared image frame: magic, explicit format version, payload
 /// length, payload, FNV-1a checksum. Every image kind serializes through
-/// this one helper.
-fn write_framed<W: Write>(
+/// this one helper (the network protocol reuses it for wire frames).
+pub(crate) fn write_framed<W: Write>(
     w: &mut W,
     magic: [u8; 4],
     version: u32,
@@ -139,15 +181,51 @@ fn write_framed<W: Write>(
 }
 
 /// Reads and validates the frame written by [`write_framed`] — magic,
-/// version-against-`supported`, plausible length, checksum — returning the
-/// payload for the kind-specific parser.
-fn read_framed<R: Read>(
+/// version-against-`supported`, length-against-`cap`, checksum — returning
+/// the payload for the kind-specific parser.
+///
+/// The declared length is **untrusted**: it is checked against `cap`
+/// before anything is allocated, and the payload buffer grows with the
+/// bytes actually read (never pre-sized to the declared length), so a
+/// truncated or hostile input can never cost more memory than it supplies.
+/// Fewer bytes than declared yield [`PersistError::Truncated`].
+pub(crate) fn read_framed<R: Read>(
     r: &mut R,
     magic: [u8; 4],
     supported: u32,
+    cap: u64,
 ) -> Result<Vec<u8>, PersistError> {
     let mut head = [0u8; 16];
     r.read_exact(&mut head)?;
+    let len = parse_frame_header(&head, magic, supported, cap)?;
+    // Grow-as-read: `take(len)` bounds the read, `read_to_end` grows the
+    // buffer geometrically with the bytes that actually arrive (no
+    // pre-reservation from the untrusted length at all), so a declared
+    // length beyond the real input is reported as Truncated after costing
+    // at most ~2× the bytes that exist.
+    let mut payload = Vec::new();
+    r.take(len).read_to_end(&mut payload)?;
+    if (payload.len() as u64) < len {
+        return Err(PersistError::Truncated { declared: len, available: payload.len() as u64 });
+    }
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum)?;
+    if u64::from_le_bytes(sum) != fnv1a(&payload) {
+        return Err(PersistError::Corrupt("checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+/// Validates the 16-byte frame header (magic, version, declared length
+/// against `cap`) and returns the declared payload length. Shared by
+/// [`read_framed`] and the network protocol's incremental frame reader, so
+/// the wire format and the image format enforce one hardened contract.
+pub(crate) fn parse_frame_header(
+    head: &[u8; 16],
+    magic: [u8; 4],
+    supported: u32,
+    cap: u64,
+) -> Result<u64, PersistError> {
     let found_magic: [u8; 4] = arr(&head[0..4]);
     if found_magic != magic {
         return Err(PersistError::BadMagic(found_magic));
@@ -157,17 +235,10 @@ fn read_framed<R: Read>(
         return Err(PersistError::BadVersion { found, supported });
     }
     let len = u64::from_le_bytes(arr(&head[8..16]));
-    if len > (1 << 40) {
-        return Err(PersistError::Corrupt("implausible payload length"));
+    if len > cap {
+        return Err(PersistError::FrameTooLarge { declared: len, cap });
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    let mut sum = [0u8; 8];
-    r.read_exact(&mut sum)?;
-    if u64::from_le_bytes(sum) != fnv1a(&payload) {
-        return Err(PersistError::Corrupt("checksum mismatch"));
-    }
-    Ok(payload)
+    Ok(len)
 }
 
 /// Infallible slice→array copy for reads whose length is fixed by
@@ -179,13 +250,24 @@ fn arr<const N: usize>(s: &[u8]) -> [u8; N] {
     out
 }
 
-struct Cursor<'a> {
-    buf: &'a [u8],
-    at: usize,
+/// Bounds-checked reader over an untrusted payload — the one decode
+/// primitive every image kind **and** the network protocol parse through.
+/// Every read is validated against the remaining input, and count fields
+/// must be pre-validated against [`Cursor::remaining`] before anything is
+/// allocated in proportion to them.
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) at: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+    /// Bytes not yet consumed — the bound any image-supplied count must be
+    /// validated against before driving an allocation.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
         // `n` can be a hostile u64 from the payload (e.g. a nested-image
         // length), so the comparison must not compute `self.at + n`.
         if n > self.buf.len() - self.at {
@@ -196,15 +278,19 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32, PersistError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
         Ok(u32::from_le_bytes(arr(self.take(4)?)))
     }
 
-    fn u64(&mut self) -> Result<u64, PersistError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
         Ok(u64::from_le_bytes(arr(self.take(8)?)))
     }
 
-    fn f64(&mut self) -> Result<f64, PersistError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, PersistError> {
         Ok(f64::from_le_bytes(arr(self.take(8)?)))
     }
 }
@@ -250,35 +336,69 @@ impl SeOracle {
     /// checksum and every structural invariant (tree shape, layer
     /// monotonicity, leaf mapping) before returning.
     pub fn load_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
-        let payload = read_framed(r, MAGIC, ORACLE_VERSION)?;
+        let payload = read_framed(r, MAGIC, ORACLE_VERSION, IMAGE_FRAME_CAP)?;
         let mut c = Cursor { buf: &payload, at: 0 };
         let eps = c.f64()?;
         if !(eps > 0.0 && eps.is_finite()) {
             return Err(PersistError::Corrupt("invalid ε"));
         }
         let r0 = c.f64()?;
+        if !(r0.is_finite() && r0 >= 0.0) {
+            return Err(PersistError::Corrupt("root radius not a finite length"));
+        }
         let h = c.u32()?;
+        // `h + 1` sizes every layer array (and, times n_sites, the dense
+        // batch table), so a hostile height is an allocation amplifier.
+        // The paper reports h < 30 on every dataset; 4096 is far beyond
+        // any real terrain while keeping one layer array at 16 KiB.
+        if h > MAX_TREE_HEIGHT {
+            return Err(PersistError::Corrupt("implausible tree height"));
+        }
         let root = c.u32()?;
+        // Counts are image-supplied and drive allocations; bound each by
+        // what the remaining payload could possibly encode (a node costs
+        // 20 bytes, a leaf entry 4, a pair entry 16) before reserving.
         let n_nodes = c.u32()? as usize;
+        if n_nodes > c.remaining() / 20 {
+            return Err(PersistError::Corrupt("implausible node count"));
+        }
         let mut nodes = Vec::with_capacity(n_nodes);
         for _ in 0..n_nodes {
-            nodes.push(CNode {
+            let node = CNode {
                 center: c.u32()?,
                 layer: c.u32()?,
                 parent: c.u32()?,
                 children: Vec::new(),
                 radius: c.f64()?,
-            });
+            };
+            if node.layer > h {
+                return Err(PersistError::Corrupt("node layer exceeds tree height"));
+            }
+            if !(node.radius.is_finite() && node.radius >= 0.0) {
+                return Err(PersistError::Corrupt("node radius not a finite length"));
+            }
+            nodes.push(node);
         }
         let n_sites = c.u32()? as usize;
+        if n_sites > c.remaining() / 4 {
+            return Err(PersistError::Corrupt("implausible site count"));
+        }
         let mut leaf_of_site = Vec::with_capacity(n_sites);
         for _ in 0..n_sites {
             leaf_of_site.push(c.u32()?);
         }
         let n_pairs = c.u64()? as usize;
+        if n_pairs > c.remaining() / 16 {
+            return Err(PersistError::Corrupt("implausible pair count"));
+        }
         let mut entries = Vec::with_capacity(n_pairs);
         for _ in 0..n_pairs {
-            entries.push((c.u64()?, c.f64()?));
+            let k = c.u64()?;
+            let d = c.f64()?;
+            if !(d.is_finite() && d >= 0.0) {
+                return Err(PersistError::Corrupt("pair distance not a finite length"));
+            }
+            entries.push((k, d));
         }
         if c.at != payload.len() {
             return Err(PersistError::Corrupt("trailing bytes in payload"));
@@ -311,6 +431,13 @@ impl SeOracle {
             if !ok {
                 return Err(PersistError::Corrupt("leaf_of_site mapping broken"));
             }
+        }
+        // The perfect-hash rebuild requires distinct keys (duplicates are a
+        // construction-time panic, which bytes from disk must never reach).
+        let mut keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        if keys.windows(2).any(|w| w[0] == w[1]) {
+            return Err(PersistError::Corrupt("duplicate node-pair key"));
         }
 
         let ctree = CompressedTree { nodes, root, r0, h, leaf_of_site };
@@ -372,7 +499,7 @@ impl Atlas {
     /// checksum, every nested oracle image, the membership and portal
     /// tables, and tile routability before returning.
     pub fn load_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
-        let payload = read_framed(r, ATLAS_MAGIC, ATLAS_VERSION)?;
+        let payload = read_framed(r, ATLAS_MAGIC, ATLAS_VERSION, IMAGE_FRAME_CAP)?;
         let mut c = Cursor { buf: &payload, at: 0 };
         let eps = c.f64()?;
         if !(eps > 0.0 && eps.is_finite()) {
@@ -443,6 +570,12 @@ impl Atlas {
             let tl = c.u64()? as usize;
             if tl != np * np {
                 return Err(PersistError::Corrupt("portal table is not |portals|²"));
+            }
+            // `np ≤ n_portals` bounds `tl` only quadratically; check it
+            // against the bytes actually left (8 per entry) before
+            // reserving, like every other image-supplied count.
+            if tl > c.remaining() / 8 {
+                return Err(PersistError::Corrupt("truncated portal table"));
             }
             let mut portal_table = Vec::with_capacity(tl);
             for _ in 0..tl {

@@ -1,0 +1,360 @@
+//! `oracle-loadgen` — replay a deterministic pair workload against an
+//! `oracled` server and report latency/throughput, optionally verifying
+//! every answer bit-for-bit against an in-process replay.
+//!
+//! ```text
+//! oracle-loadgen --addr 127.0.0.1:7474 --clients 8 --requests 200 --pairs 64
+//! oracle-loadgen --addr 127.0.0.1:7474 --verify --image oracle.seor
+//! oracle-loadgen --addr 127.0.0.1:7474 --stats
+//! oracle-loadgen --addr 127.0.0.1:7474 --shutdown
+//! ```
+//!
+//! Workloads come from `se_oracle::serve::pair_stream`, a splitmix64
+//! generator keyed by `(salt, stream)` — client `c`'s request `r` uses
+//! stream `c·requests + r`, so a serial in-process replay regenerates any
+//! worker's workload exactly. That is what makes `--verify` meaningful:
+//! socket answers must equal `distance_many` on the same image, bit for
+//! bit, regardless of how the server coalesced them.
+
+use se_oracle::atlas::{Atlas, AtlasHandle};
+use se_oracle::net::{Connection, NetError, Request, Response};
+use se_oracle::oracle::SeOracle;
+use se_oracle::persist::{ATLAS_MAGIC, ORACLE_MAGIC};
+use se_oracle::serve::{pair_stream, QueryHandle};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+oracle-loadgen — drive an oracled server with a deterministic pair workload
+
+USAGE:
+  oracle-loadgen --addr <host:port> [--clients <n>] [--requests <n>]
+                 [--pairs <n>] [--salt <u64>]
+                 [--verify --image <file.seor|file.seat>]
+  oracle-loadgen --addr <host:port> --stats      print server counters
+  oracle-loadgen --addr <host:port> --shutdown   stop the server
+
+OPTIONS:
+  --clients <n>    concurrent connections (default 4)
+  --requests <n>   requests per client (default 100)
+  --pairs <n>      pairs per request (default 64)
+  --salt <u64>     workload seed (default 42)
+  --verify         assert every socket answer is bit-identical to an
+                   in-process distance_many replay of the same image
+  --image <file>   the image oracled serves (required with --verify)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(args.first().map(String::as_str), Some("--help") | Some("-h")) {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pulls the value following `--name`, removing both from `rest`.
+fn take_opt(rest: &mut Vec<String>, name: &str) -> Option<String> {
+    let at = rest.iter().position(|a| a == name)?;
+    if at + 1 >= rest.len() {
+        return None;
+    }
+    let v = rest.remove(at + 1);
+    rest.remove(at);
+    Some(v)
+}
+
+/// Pulls a bare flag, removing it from `rest`.
+fn take_flag(rest: &mut Vec<String>, name: &str) -> bool {
+    if let Some(at) = rest.iter().position(|a| a == name) {
+        rest.remove(at);
+        true
+    } else {
+        false
+    }
+}
+
+fn require(rest: &mut Vec<String>, name: &str) -> Result<String, String> {
+    take_opt(rest, name).ok_or_else(|| format!("missing required option {name}"))
+}
+
+fn reject_leftovers(rest: &[String]) -> Result<(), String> {
+    if let Some(stray) = rest.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("unknown option '{stray}'\n{USAGE}"));
+    }
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("invalid {what}: '{v}'"))
+}
+
+/// Connects with retries so a just-spawned daemon (CI smoke) has time to
+/// bind.
+fn connect(addr: &str) -> Result<Connection, String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Connection::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!("connecting to {addr}: {e}"));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// The in-process reference for `--verify`: the same batch API the server
+/// coalesces into, over the same image bytes.
+#[derive(Clone)]
+enum Reference {
+    Oracle(QueryHandle),
+    Atlas(AtlasHandle),
+}
+
+impl Reference {
+    fn load(path: &str) -> Result<Self, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        match bytes.get(..4) {
+            Some(m) if m == ORACLE_MAGIC => {
+                let o = SeOracle::load_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?;
+                Ok(Reference::Oracle(QueryHandle::new(o)))
+            }
+            Some(m) if m == ATLAS_MAGIC => {
+                let a = Atlas::load_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?;
+                Ok(Reference::Atlas(AtlasHandle::new(a)))
+            }
+            _ => Err(format!("{path}: not an oracle (.seor) or atlas (.seat) image")),
+        }
+    }
+
+    fn distance_many(&self, pairs: &[(u32, u32)]) -> Vec<f64> {
+        match self {
+            Reference::Oracle(h) => h.distance_many(pairs),
+            Reference::Atlas(h) => h.distance_many(pairs),
+        }
+    }
+}
+
+struct ClientReport {
+    latencies_us: Vec<u64>,
+    pairs_answered: u64,
+    busy_retries: u64,
+    errors: Vec<String>,
+    mismatches: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_worker(
+    addr: String,
+    client: u64,
+    requests: u64,
+    pairs_per_req: usize,
+    salt: u64,
+    n_sites: usize,
+    reference: Option<Arc<Reference>>,
+) -> Result<ClientReport, String> {
+    let mut conn = connect(&addr)?;
+    let mut report = ClientReport {
+        latencies_us: Vec::with_capacity(requests as usize),
+        pairs_answered: 0,
+        busy_retries: 0,
+        errors: Vec::new(),
+        mismatches: 0,
+    };
+    for r in 0..requests {
+        let stream = client * requests + r;
+        let pairs = pair_stream(salt, stream, pairs_per_req, n_sites);
+        let t0 = Instant::now();
+        let resp = loop {
+            let resp = conn
+                .roundtrip(&Request::Distance { id: stream, pairs: pairs.clone() })
+                .map_err(|e| format!("client {client}: {e}"))?;
+            match resp {
+                Response::Busy { .. } => {
+                    report.busy_retries += 1;
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                other => break other,
+            }
+        };
+        report.latencies_us.push(t0.elapsed().as_micros() as u64);
+        match resp {
+            Response::Distances { id, distances } => {
+                if id != stream {
+                    return Err(format!("client {client}: response id {id} for request {stream}"));
+                }
+                if distances.len() != pairs.len() {
+                    return Err(format!(
+                        "client {client}: {} answers for {} pairs",
+                        distances.len(),
+                        pairs.len()
+                    ));
+                }
+                report.pairs_answered += distances.len() as u64;
+                if let Some(reference) = &reference {
+                    let expect = reference.distance_many(&pairs);
+                    for (i, (&got, &want)) in distances.iter().zip(expect.iter()).enumerate() {
+                        if got.to_bits() != want.to_bits() {
+                            if report.mismatches < 3 {
+                                report.errors.push(format!(
+                                    "client {client} stream {stream} pair #{i} \
+                                     ({}, {}): socket {got:?} != replay {want:?}",
+                                    pairs[i].0, pairs[i].1
+                                ));
+                            }
+                            report.mismatches += 1;
+                        }
+                    }
+                }
+            }
+            Response::Error { code, message, .. } => {
+                report.errors.push(format!("client {client} stream {stream}: {code:?}: {message}"));
+            }
+            other => {
+                return Err(format!("client {client}: unexpected response {other:?}"));
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let at = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[at.min(sorted_us.len() - 1)] as f64
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut rest = args;
+    let addr = require(&mut rest, "--addr")?;
+
+    if take_flag(&mut rest, "--shutdown") {
+        reject_leftovers(&rest)?;
+        let mut conn = connect(&addr)?;
+        match conn.roundtrip(&Request::Shutdown { id: 0 }) {
+            Ok(Response::ShuttingDown { .. }) => {
+                println!("server at {addr} is shutting down");
+                Ok(())
+            }
+            Ok(other) => Err(format!("unexpected response {other:?}")),
+            // The server may close the socket right after draining.
+            Err(NetError::Disconnected) => {
+                println!("server at {addr} is shutting down");
+                Ok(())
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    } else if take_flag(&mut rest, "--stats") {
+        reject_leftovers(&rest)?;
+        let mut conn = connect(&addr)?;
+        match conn.roundtrip(&Request::Stats { id: 0 }) {
+            Ok(Response::Stats { stats, .. }) => {
+                println!("{stats:#?}");
+                Ok(())
+            }
+            Ok(other) => Err(format!("unexpected response {other:?}")),
+            Err(e) => Err(e.to_string()),
+        }
+    } else {
+        let clients: u64 =
+            parse(&take_opt(&mut rest, "--clients").unwrap_or("4".into()), "--clients")?;
+        let requests: u64 =
+            parse(&take_opt(&mut rest, "--requests").unwrap_or("100".into()), "--requests")?;
+        let pairs_per_req: usize =
+            parse(&take_opt(&mut rest, "--pairs").unwrap_or("64".into()), "--pairs")?;
+        let salt: u64 = parse(&take_opt(&mut rest, "--salt").unwrap_or("42".into()), "--salt")?;
+        let verify = take_flag(&mut rest, "--verify");
+        let image = take_opt(&mut rest, "--image");
+        reject_leftovers(&rest)?;
+        if clients == 0 || requests == 0 || pairs_per_req == 0 {
+            return Err("--clients, --requests and --pairs must be positive".into());
+        }
+
+        let reference = if verify {
+            let path = image.ok_or("--verify requires --image <file>")?;
+            Some(Arc::new(Reference::load(&path)?))
+        } else {
+            None
+        };
+
+        // One control roundtrip for the workload domain.
+        let mut control = connect(&addr)?;
+        let stats = match control.roundtrip(&Request::Stats { id: 0 }) {
+            Ok(Response::Stats { stats, .. }) => stats,
+            Ok(other) => return Err(format!("unexpected response {other:?}")),
+            Err(e) => return Err(e.to_string()),
+        };
+        let n_sites = stats.n_sites as usize;
+        if n_sites == 0 {
+            return Err("server reports an image with 0 sites".into());
+        }
+
+        println!(
+            "oracle-loadgen: {clients} clients x {requests} requests x {pairs_per_req} pairs \
+             against {addr} ({n_sites} sites, eps {})",
+            stats.epsilon
+        );
+
+        let t0 = Instant::now();
+        let mut handles = Vec::new();
+        for client in 0..clients {
+            let addr = addr.clone();
+            let reference = reference.clone();
+            handles.push(std::thread::spawn(move || {
+                client_worker(addr, client, requests, pairs_per_req, salt, n_sites, reference)
+            }));
+        }
+        let mut latencies = Vec::new();
+        let mut pairs_answered = 0u64;
+        let mut busy_retries = 0u64;
+        let mut mismatches = 0u64;
+        let mut errors = Vec::new();
+        for h in handles {
+            let report = h.join().map_err(|_| "client thread panicked".to_string())??;
+            latencies.extend(report.latencies_us);
+            pairs_answered += report.pairs_answered;
+            busy_retries += report.busy_retries;
+            mismatches += report.mismatches;
+            errors.extend(report.errors);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+
+        latencies.sort_unstable();
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        let qps = if elapsed > 0.0 { pairs_answered as f64 / elapsed } else { 0.0 };
+        println!(
+            "requests: {} answered, {busy_retries} busy-retries, {} request errors",
+            latencies.len(),
+            errors.len()
+        );
+        println!("latency:  p50 {p50:.1} us   p99 {p99:.1} us");
+        println!("throughput: {qps:.0} pairs/s ({pairs_answered} pairs in {elapsed:.3} s)");
+        for e in errors.iter().take(5) {
+            eprintln!("  {e}");
+        }
+        if let Some(_reference) = &reference {
+            if mismatches == 0 && errors.is_empty() {
+                println!("verify: {pairs_answered}/{pairs_answered} answers bit-identical to in-process replay");
+            } else {
+                return Err(format!(
+                    "verify FAILED: {mismatches} mismatched answers, {} request errors",
+                    errors.len()
+                ));
+            }
+        } else if !errors.is_empty() {
+            return Err(format!("{} requests failed", errors.len()));
+        }
+        Ok(())
+    }
+}

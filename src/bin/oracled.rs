@@ -1,0 +1,142 @@
+//! `oracled` — serve a persisted oracle image (`.seor`) or atlas image
+//! (`.seat`) over TCP.
+//!
+//! ```text
+//! oracled --image oracle.seor --addr 127.0.0.1:7474
+//! ```
+//!
+//! The image kind is sniffed from the magic bytes. The daemon runs until a
+//! client sends the protocol's `SHUTDOWN` verb (`oracle-loadgen
+//! --shutdown`), drains every admitted request, prints the final counters,
+//! and exits.
+
+use se_oracle::atlas::{Atlas, AtlasHandle};
+use se_oracle::net::{Backend, OracleServer, ServeConfig};
+use se_oracle::oracle::SeOracle;
+use se_oracle::persist::{ATLAS_MAGIC, ORACLE_MAGIC};
+use se_oracle::serve::QueryHandle;
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+oracled — serve an oracle image over TCP
+
+USAGE:
+  oracled --image <file.seor|file.seat> --addr <host:port>
+          [--max-batch <pairs>]   target pairs per coalesced batch (default 4096)
+          [--max-wait-us <us>]    how long an under-full batch waits (default 200)
+          [--queue-cap <n>]       request queue bound; overflow answers Busy
+                                  (default 256)
+
+Stops on the protocol SHUTDOWN verb (`oracle-loadgen --addr <addr> --shutdown`).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(args.first().map(String::as_str), Some("--help") | Some("-h")) {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pulls the value following `--name`, removing both from `rest`.
+fn take_opt(rest: &mut Vec<String>, name: &str) -> Option<String> {
+    let at = rest.iter().position(|a| a == name)?;
+    if at + 1 >= rest.len() {
+        return None;
+    }
+    let v = rest.remove(at + 1);
+    rest.remove(at);
+    Some(v)
+}
+
+fn require(rest: &mut Vec<String>, name: &str) -> Result<String, String> {
+    take_opt(rest, name).ok_or_else(|| format!("missing required option {name}"))
+}
+
+fn reject_leftovers(rest: &[String]) -> Result<(), String> {
+    if let Some(stray) = rest.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("unknown option '{stray}'\n{USAGE}"));
+    }
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("invalid {what}: '{v}'"))
+}
+
+/// Loads either image kind, dispatching on the magic bytes — the file
+/// never has to be named truthfully.
+fn load_backend(path: &str) -> Result<Backend, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    match bytes.get(..4) {
+        Some(m) if m == ORACLE_MAGIC => {
+            let oracle =
+                SeOracle::load_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?;
+            Ok(Backend::Oracle(QueryHandle::new(oracle)))
+        }
+        Some(m) if m == ATLAS_MAGIC => {
+            let atlas = Atlas::load_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?;
+            Ok(Backend::Atlas(AtlasHandle::new(atlas)))
+        }
+        _ => Err(format!("{path}: not an oracle (.seor) or atlas (.seat) image")),
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut rest = args;
+    let image = require(&mut rest, "--image")?;
+    let addr = require(&mut rest, "--addr")?;
+    let mut cfg = ServeConfig::default();
+    if let Some(v) = take_opt(&mut rest, "--max-batch") {
+        cfg.max_batch_pairs = parse(&v, "--max-batch")?;
+    }
+    if let Some(v) = take_opt(&mut rest, "--max-wait-us") {
+        cfg.max_wait = Duration::from_micros(parse(&v, "--max-wait-us")?);
+    }
+    if let Some(v) = take_opt(&mut rest, "--queue-cap") {
+        cfg.queue_cap = parse(&v, "--queue-cap")?;
+    }
+    reject_leftovers(&rest)?;
+
+    let backend = load_backend(&image)?;
+    let kind = match &backend {
+        Backend::Oracle(_) => "oracle",
+        Backend::Atlas(_) => "atlas",
+    };
+    let server = OracleServer::bind(&*addr, backend, cfg.clone())
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| format!("local addr: {e}"))?;
+    // One parseable line on stdout, flushed, so wrappers (CI smoke, the
+    // bench harness) can wait for readiness and scrape the port.
+    println!("oracled listening on {bound} ({kind} image {image})");
+    let _ = std::io::stdout().flush();
+
+    let stats = server.serve();
+    println!("oracled shut down after draining in-flight work");
+    println!("  connections:     {}", stats.connections);
+    println!("  requests:        {}", stats.requests);
+    println!("  pairs:           {}", stats.pairs);
+    println!("  batches:         {}", stats.batches);
+    println!("  busy rejections: {}", stats.busy_rejections);
+    println!("  malformed:       {}", stats.malformed);
+    println!("  errors:          {}", stats.errors);
+    println!("  max queue depth: {}", stats.max_queue_depth);
+    let hist: Vec<String> = stats
+        .batch_size_hist
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| format!("<=2^{i}:{c}"))
+        .collect();
+    println!("  batch sizes:     {}", if hist.is_empty() { "-".into() } else { hist.join(" ") });
+    Ok(())
+}

@@ -1,0 +1,299 @@
+//! Corruption suite for the persisted image decoders (`SEOR` oracle
+//! images and `SEAT` atlas images): **every** single-byte flip and
+//! **every** truncation of a valid image must yield a typed `Err` — never
+//! a panic, and never an allocation larger than (a small multiple of) the
+//! input itself.
+//!
+//! The allocation bound is enforced for real: a tracking global allocator
+//! records the largest single allocation requested on the loading thread,
+//! which is exactly the regression the hardened decoder fixed — a corrupt
+//! length field used to drive `vec![0u8; len]` before any byte of the
+//! declared payload was checked against reality.
+//!
+//! Level-4 images are covered exhaustively (every offset × several flip
+//! masks; every truncation point). Level-5 images are larger, so they get
+//! exhaustive coverage of the header and trailer plus a prime-strided
+//! sweep of the interior — same property, sampled.
+
+mod common;
+
+use common::{build_p2p, mesh_with_pois, refine_sites};
+use proptest::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::{Arc, OnceLock};
+use terrain_oracle::oracle::atlas::{Atlas, AtlasConfig};
+use terrain_oracle::oracle::persist::PersistError;
+use terrain_oracle::oracle::SeOracle;
+use terrain_oracle::prelude::*;
+use terrain_oracle::terrain::tile::TileGridConfig;
+
+// ---------------------------------------------------------------------------
+// Per-thread peak-allocation tracking.
+//
+// Integration tests run on many threads at once, so a process-global
+// high-water mark would blame this suite for a neighbour's allocations;
+// tracking per thread keeps every measurement honest. `try_with` guards
+// the TLS-teardown window.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static PEAK_ALLOC: Cell<usize> = const { Cell::new(0) };
+}
+
+struct PeakTracking;
+
+fn note(size: usize) {
+    let _ = PEAK_ALLOC.try_with(|c| c.set(c.get().max(size)));
+}
+
+unsafe impl GlobalAlloc for PeakTracking {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        note(l.size());
+        System.alloc(l)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        note(l.size());
+        System.alloc_zeroed(l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        note(new_size);
+        System.realloc(p, l, new_size)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakTracking = PeakTracking;
+
+fn reset_peak() {
+    let _ = PEAK_ALLOC.try_with(|c| c.set(0));
+}
+
+fn peak() -> usize {
+    PEAK_ALLOC.try_with(|c| c.get()).unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures: valid images, built once per kind and level.
+// ---------------------------------------------------------------------------
+
+fn seor_level4() -> &'static Vec<u8> {
+    static B: OnceLock<Vec<u8>> = OnceLock::new();
+    B.get_or_init(|| build_p2p(101, 16, 0.25, EngineKind::EdgeGraph).into_oracle().save_bytes())
+}
+
+fn seor_level5() -> &'static Vec<u8> {
+    static B: OnceLock<Vec<u8>> = OnceLock::new();
+    B.get_or_init(|| {
+        let (mesh, pois) = mesh_with_pois(5, 0.6, 102, 24);
+        P2POracle::build(&mesh, &pois, 0.25, EngineKind::EdgeGraph, &BuildConfig::default())
+            .unwrap()
+            .into_oracle()
+            .save_bytes()
+    })
+}
+
+fn seat_level4() -> &'static Vec<u8> {
+    static B: OnceLock<Vec<u8>> = OnceLock::new();
+    B.get_or_init(|| build_atlas_bytes(4, 409, 24))
+}
+
+fn seat_level5() -> &'static Vec<u8> {
+    static B: OnceLock<Vec<u8>> = OnceLock::new();
+    B.get_or_init(|| build_atlas_bytes(5, 410, 28))
+}
+
+fn build_atlas_bytes(level: u32, seed: u64, n: usize) -> Vec<u8> {
+    let (mesh, pois) = mesh_with_pois(level, 0.6, seed, n);
+    let (refined, sites) = refine_sites(&mesh, &pois);
+    let cfg = AtlasConfig {
+        grid: TileGridConfig { portal_spacing: 2, ..Default::default() },
+        ..Default::default()
+    };
+    Atlas::build_over_vertices(Arc::new(refined.mesh), sites, 0.25, EngineKind::EdgeGraph, &cfg)
+        .unwrap()
+        .save_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// The property itself.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Oracle,
+    Atlas,
+}
+
+/// Loads a (presumed corrupt) image and asserts the hardening contract:
+/// a typed error — no panic — and no single allocation beyond a small
+/// multiple of the input (geometric `read_to_end` growth can reach ~2×;
+/// 4 KiB of slack covers fixed-size scratch).
+fn assert_rejected_bounded(kind: Kind, bytes: &[u8], what: &str) {
+    let bound = 2 * bytes.len() + 4096;
+    reset_peak();
+    let err = match kind {
+        Kind::Oracle => SeOracle::load_bytes(bytes).err(),
+        Kind::Atlas => Atlas::load_bytes(bytes).err(),
+    };
+    let observed = peak();
+    assert!(err.is_some(), "{what}: corrupt image loaded successfully");
+    assert!(
+        observed <= bound,
+        "{what}: allocation of {observed} bytes while rejecting a {}-byte input",
+        bytes.len()
+    );
+}
+
+fn exhaustive_flips(kind: Kind, image: &[u8], tag: &str) {
+    let mut work = image.to_vec();
+    for at in 0..image.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            work[at] ^= mask;
+            assert_rejected_bounded(kind, &work, &format!("{tag}: flip {mask:#04x} at {at}"));
+            work[at] ^= mask; // restore
+        }
+    }
+    // The suite must not have corrupted its own fixture.
+    assert_eq!(work, image);
+}
+
+fn exhaustive_truncations(kind: Kind, image: &[u8], tag: &str) {
+    for cut in 0..image.len() {
+        assert_rejected_bounded(kind, &image[..cut], &format!("{tag}: truncated to {cut}"));
+    }
+}
+
+/// Strided variant for the larger level-5 images: full coverage of the
+/// 64-byte header and trailer regions (where every structural field
+/// lives), a prime stride through the interior.
+fn strided_flips_and_truncations(kind: Kind, image: &[u8], tag: &str) {
+    let len = image.len();
+    let edge = 64.min(len);
+    let mut offsets: Vec<usize> = (0..edge).chain(len.saturating_sub(edge)..len).collect();
+    offsets.extend((edge..len.saturating_sub(edge)).step_by(97));
+    let mut work = image.to_vec();
+    for &at in &offsets {
+        work[at] ^= 0xFF;
+        assert_rejected_bounded(kind, &work, &format!("{tag}: flip at {at}"));
+        work[at] ^= 0xFF;
+    }
+    let mut cuts: Vec<usize> = (0..edge).collect();
+    cuts.extend((edge..len).step_by(53));
+    for &cut in &cuts {
+        assert_rejected_bounded(kind, &image[..cut], &format!("{tag}: truncated to {cut}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seor_level4_loads_clean() {
+    // Sanity: the fixture itself must round-trip (otherwise every
+    // "rejected" assertion below would be vacuous).
+    let o = SeOracle::load_bytes(seor_level4()).unwrap();
+    assert!(o.n_sites() > 1);
+}
+
+#[test]
+fn seat_level4_loads_clean() {
+    let a = Atlas::load_bytes(seat_level4()).unwrap();
+    assert!(a.n_sites() > 1);
+}
+
+#[test]
+fn seor_level4_every_byte_flip_rejected() {
+    exhaustive_flips(Kind::Oracle, seor_level4(), "seor-l4");
+}
+
+#[test]
+fn seor_level4_every_truncation_rejected() {
+    exhaustive_truncations(Kind::Oracle, seor_level4(), "seor-l4");
+}
+
+#[test]
+fn seat_level4_every_byte_flip_rejected() {
+    exhaustive_flips(Kind::Atlas, seat_level4(), "seat-l4");
+}
+
+#[test]
+fn seat_level4_every_truncation_rejected() {
+    exhaustive_truncations(Kind::Atlas, seat_level4(), "seat-l4");
+}
+
+#[test]
+fn seor_level5_strided_corruption_rejected() {
+    strided_flips_and_truncations(Kind::Oracle, seor_level5(), "seor-l5");
+}
+
+#[test]
+fn seat_level5_strided_corruption_rejected() {
+    strided_flips_and_truncations(Kind::Atlas, seat_level5(), "seat-l5");
+}
+
+#[test]
+fn inflated_length_field_is_cheap_to_reject() {
+    // The original bug, replayed directly: a corrupt declared length must
+    // not drive an allocation. Just under the image cap reports
+    // Truncated; over it reports FrameTooLarge — both after allocating no
+    // more than the real input.
+    let image = seor_level4();
+    for declared in [1u64 << 32, (1 << 40) - 1, 1 << 40, u64::MAX] {
+        let mut bad = image.clone();
+        bad[8..16].copy_from_slice(&declared.to_le_bytes());
+        reset_peak();
+        let err = SeOracle::load_bytes(&bad).expect_err("inflated length accepted");
+        assert!(
+            matches!(err, PersistError::Truncated { .. } | PersistError::FrameTooLarge { .. }),
+            "unexpected error class for declared={declared}: {err:?}"
+        );
+        assert!(peak() <= 2 * image.len() + 4096, "declared={declared} allocated {} bytes", peak());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, rng_seed: 0x0C0_44A7, ..ProptestConfig::default() })]
+
+    /// Randomized multi-byte corruption on top of the exhaustive
+    /// single-byte sweeps: scribble 1–8 random bytes over a valid image
+    /// (or truncate and scribble), which must still be rejected within
+    /// the allocation bound.
+    #[test]
+    fn random_scribbles_rejected(
+        seed in 0u64..u64::MAX,
+        n_writes in 1usize..8,
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        for (kind, image) in [
+            (Kind::Oracle, seor_level4()),
+            (Kind::Atlas, seat_level4()),
+        ] {
+            let mut bad = image.clone();
+            // Truncate to a pseudo-random prefix (sometimes full length).
+            let keep = if cut_ppm < 500_000 {
+                bad.len()
+            } else {
+                (bad.len() as u64 * (cut_ppm as u64) / 1_000_000) as usize
+            };
+            bad.truncate(keep.max(1));
+            let mut x = seed | 1;
+            let mut changed = keep < image.len();
+            for _ in 0..n_writes {
+                // splitmix-ish scramble for position and value.
+                x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xB5);
+                let at = (x >> 16) as usize % bad.len();
+                let val = (x >> 8) as u8;
+                changed |= bad[at] != val;
+                bad[at] = val;
+            }
+            if changed {
+                assert_rejected_bounded(kind, &bad, "random scribble");
+            }
+        }
+    }
+}
