@@ -44,6 +44,15 @@ pub const WIRE_FRAME_CAP: u64 = 1 << 20;
 /// [`WIRE_FRAME_CAP`] with room to spare.
 pub const MAX_PAIRS_PER_REQUEST: usize = 65_536;
 
+/// Most polyline points a [`Response::Path`] may carry: the largest `n`
+/// for which the encoded payload (`kind: u8`, `id: u64`, `distance: f64`,
+/// `count: u32`, then 24 bytes per point — 21 + 24·n) still fits
+/// [`WIRE_FRAME_CAP`]. A longer polyline would frame fine on the server
+/// but be rejected by the peer's [`FrameReader`] as `FrameTooLarge`,
+/// killing the connection over a legitimate answer — so the server bounds
+/// it at the source and answers [`ErrorCode::PathTooLong`] instead.
+pub const MAX_PATH_POINTS: usize = (WIRE_FRAME_CAP as usize - 21) / 24;
+
 const REQ_DISTANCE: u8 = 1;
 const REQ_PATH: u8 = 2;
 const REQ_STATS: u8 = 3;
@@ -102,6 +111,10 @@ pub enum ErrorCode {
     Unsupported,
     /// The server is draining and no longer admits new work.
     ShuttingDown,
+    /// The answer polyline exceeds [`MAX_PATH_POINTS`], so its encoding
+    /// would not fit a wire frame; the distance-only `Distance` verb still
+    /// works for the pair.
+    PathTooLong,
 }
 
 impl ErrorCode {
@@ -112,6 +125,7 @@ impl ErrorCode {
             ErrorCode::CorruptImage => 3,
             ErrorCode::Unsupported => 4,
             ErrorCode::ShuttingDown => 5,
+            ErrorCode::PathTooLong => 6,
         }
     }
 
@@ -122,6 +136,7 @@ impl ErrorCode {
             3 => ErrorCode::CorruptImage,
             4 => ErrorCode::Unsupported,
             5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::PathTooLong,
             _ => return Err(PersistError::Corrupt("unknown error code")),
         })
     }
@@ -565,6 +580,26 @@ mod tests {
             let payload = fr.next_payload().unwrap().unwrap();
             assert_eq!(&decode_response(&payload).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn maximal_path_response_fits_the_frame_cap_and_roundtrips() {
+        // A polyline at exactly MAX_PATH_POINTS must encode within the
+        // wire cap and survive the full FrameReader path; one more point
+        // would overflow the cap, which is why the server refuses longer
+        // answers with PathTooLong instead of framing them.
+        let points: Vec<(f64, f64, f64)> =
+            (0..MAX_PATH_POINTS).map(|i| (i as f64, i as f64 + 0.5, -(i as f64))).collect();
+        let resp = Response::Path { id: 42, distance: 123.456, points };
+        let framed = encode_response(&resp);
+        let payload_len = framed.len() - 24; // 16-byte header + 8-byte checksum
+        assert!(payload_len as u64 <= WIRE_FRAME_CAP);
+        assert!((21 + 24 * (MAX_PATH_POINTS as u64 + 1)) > WIRE_FRAME_CAP);
+        let mut fr = FrameReader::new();
+        fr.feed(&framed);
+        let payload = fr.next_payload().unwrap().unwrap();
+        assert_eq!(decode_response(&payload).unwrap(), resp);
+        assert_eq!(fr.buffered(), 0);
     }
 
     #[test]

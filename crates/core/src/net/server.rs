@@ -29,6 +29,7 @@
 
 use super::protocol::{
     decode_request, encode_response, ErrorCode, FrameReader, Request, Response, StatsSnapshot,
+    MAX_PATH_POINTS,
 };
 use super::stats::Counters;
 use crate::atlas::AtlasHandle;
@@ -269,8 +270,12 @@ impl OracleServer {
             let sh = Arc::clone(&self.shared);
             thread::spawn(move || batcher_loop(&sh))
         };
-        let mut conns = Vec::new();
+        let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
         while !self.shared.shutting_down() {
+            // Reap handles of connections that already hung up, so a
+            // long-running daemon doesn't grow one JoinHandle per
+            // connection ever accepted.
+            conns.retain(|c| !c.is_finished());
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     self.shared.stats.connections.fetch_add(1, Ordering::Relaxed);
@@ -309,6 +314,11 @@ fn connection_loop(stream: TcpStream, sh: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     // The read timeout doubles as the shutdown poll interval.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    // Without a write timeout, a client that sends requests but never
+    // reads answers would block write_all forever once kernel buffers
+    // fill, wedging the writer thread — and graceful shutdown, which
+    // joins it. A peer that absorbs nothing for this long is gone.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let writer_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -323,12 +333,42 @@ fn connection_loop(stream: TcpStream, sh: &Arc<Shared>) {
 }
 
 fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Vec<u8>>) {
+    let mut dead = false;
     while let Ok(frame) = rx.recv() {
-        // A failed write means the client is gone; keep draining so
-        // in-flight batch completions never block.
-        let _ = stream.write_all(&frame);
+        if dead {
+            // Keep draining so in-flight batch completions never block on
+            // a connection we already gave up on.
+            continue;
+        }
+        if write_frame(&mut stream, &frame).is_err() {
+            // The client is gone or stopped reading (write timed out with
+            // zero progress). A partial frame may be on the wire, so the
+            // stream is unusable: tear down both directions — the read
+            // half too, so the reader thread stops admitting work from a
+            // peer we can no longer answer.
+            dead = true;
+            let _ = stream.shutdown(SockShutdown::Both);
+        }
     }
     let _ = stream.shutdown(SockShutdown::Write);
+}
+
+/// `write_all`, except a timeout only fails the connection when the socket
+/// made no progress for a whole timeout window (a slow-but-live client
+/// keeps resetting the clock with every accepted byte).
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> io::Result<()> {
+    let mut at = 0usize;
+    while at < frame.len() {
+        match stream.write(&frame[at..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // WouldBlock/TimedOut here means a full write-timeout window
+            // passed without the peer accepting a single byte.
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 fn reader_loop(mut stream: TcpStream, sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>) {
@@ -451,7 +491,16 @@ fn handle_frame(payload: &[u8], sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>) ->
 
 /// Admission: bounded-queue push or an immediate `Busy`.
 fn enqueue(sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>, id: u64, job: Job) {
+    let mut q = sh.lock_queue();
+    // The shutdown flag must be read under the queue lock: the batcher's
+    // exit decision (queue empty && shutting down) happens under this same
+    // mutex, so a lock-free check here would race it — a job pushed after
+    // the batcher exits would never be answered and its reply sender would
+    // wedge the writer thread (and graceful shutdown) forever. Under the
+    // lock, either we push before the batcher's final look at the queue
+    // (it drains us) or we observe the flag and refuse.
     if sh.shutting_down() {
+        drop(q);
         let _ = tx.send(encode_response(&Response::Error {
             id,
             code: ErrorCode::ShuttingDown,
@@ -459,7 +508,6 @@ fn enqueue(sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>, id: u64, job: Job) {
         }));
         return;
     }
-    let mut q = sh.lock_queue();
     if q.len() >= sh.cfg.queue_cap {
         let depth = q.len();
         drop(q);
@@ -570,6 +618,22 @@ fn run_batch(sh: &Arc<Shared>, batch: Vec<Job>, total_pairs: usize) {
             }
             Job::Path { id, s, t, reply } => {
                 let resp = match sh.backend.path(*s as usize, *t as usize) {
+                    // A polyline past MAX_PATH_POINTS would encode to a
+                    // frame the client's FrameReader must reject as
+                    // FrameTooLarge, losing the connection over a valid
+                    // answer — refuse it with a typed error instead.
+                    Ok((_, points)) if points.len() > MAX_PATH_POINTS => {
+                        sh.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        Response::Error {
+                            id: *id,
+                            code: ErrorCode::PathTooLong,
+                            message: format!(
+                                "path has {} points; the wire frame cap allows {}",
+                                points.len(),
+                                MAX_PATH_POINTS
+                            ),
+                        }
+                    }
                     Ok((distance, points)) => Response::Path { id: *id, distance, points },
                     Err((code, message)) => {
                         sh.stats.errors.fetch_add(1, Ordering::Relaxed);
