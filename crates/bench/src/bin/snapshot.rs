@@ -16,7 +16,9 @@
 //!   `shortest_path` sweep, per-query;
 //! - `socket_pairs_per_s` / `socket_p99_us` — the `oracled` server core on
 //!   a loopback socket, saturated by 4 concurrent clients (the CI serving
-//!   smoke, measured).
+//!   smoke, measured). Pair throughput is scraped from the server's own
+//!   telemetry registry over the wire `Metrics` verb; latency quantiles
+//!   come from an `obs` log-bucket histogram.
 //!
 //! Each timing is the median of several repetitions, so a snapshot is
 //! stable enough to eyeball across commits without a criterion run.
@@ -112,21 +114,33 @@ fn main() {
                         Ok(Response::Distances { .. }) => {}
                         other => panic!("unexpected response: {other:?}"),
                     }
-                    lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                    lat_us.push(t.elapsed().as_micros() as u64);
                 }
                 lat_us
             })
         })
         .collect();
-    let mut lat_us: Vec<f64> =
-        clients.into_iter().flat_map(|c| c.join().expect("client thread")).collect();
+    let hist = obs::Histogram::default();
+    for c in clients {
+        for us in c.join().expect("client thread") {
+            hist.observe(us);
+        }
+    }
     let elapsed = t0.elapsed().as_secs_f64();
+    // Throughput comes from the server's own telemetry registry (the wire
+    // `Metrics` verb), not from recounting what this process sent — the
+    // snapshot reports what the server actually served.
     let mut ctl = Connection::connect(addr).expect("connect");
+    let served_pairs = match ctl.roundtrip(&Request::Metrics { id: 0 }) {
+        Ok(Response::Metrics { text, .. }) => {
+            obs::lookup(&text, "serve_pairs_total").expect("serve_pairs_total in metrics")
+        }
+        other => panic!("unexpected response: {other:?}"),
+    };
     let _ = ctl.roundtrip(&Request::Shutdown { id: 0 });
     let _ = server.join();
-    lat_us.sort_by(f64::total_cmp);
-    let socket_qps = (SOCK_CLIENTS * SOCK_REQUESTS) as f64 * SOCK_PAIRS as f64 / elapsed;
-    let socket_p99_us = lat_us[((lat_us.len() - 1) as f64 * 0.99).round() as usize];
+    let socket_qps = served_pairs as f64 / elapsed;
+    let socket_p99_us = hist.snapshot().quantile(0.99) as f64;
 
     let json = format!(
         "{{\n  \"schema\": 1,\n  \"label\": \"{label}\",\n  \"generator\": \

@@ -73,6 +73,7 @@ pub fn estimate_beta(space: &dyn SiteSpace, opts: &BetaOptions) -> BetaEstimate 
     if n < 3 {
         return BetaEstimate { beta: 0.0, balls: 0 };
     }
+    let _span = obs::trace::span("build", "beta-packing");
     // Center picks from one sequential stream: deterministic and
     // independent of how the per-center work is scheduled below.
     let mut rng = StdRng::seed_from_u64(opts.seed);

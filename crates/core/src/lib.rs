@@ -39,7 +39,10 @@
 //!   monolithic construction);
 //! * [`net`] — the network serving front end: the `oracled` wire protocol
 //!   (sharing [`persist`]'s hardened frame decoder), a coalescing
-//!   thread-per-connection server, and a blocking client.
+//!   thread-per-connection server, and a blocking client;
+//! * [`telemetry`] — the `obs` observability crate re-exported: metrics
+//!   registry (scraped over the wire via [`net`]'s `Metrics` verb),
+//!   build-trace spans, and structured logging.
 //!
 //! # Quickstart
 //!
@@ -79,12 +82,15 @@ pub mod serve;
 pub mod tree;
 pub mod wspd;
 
+pub use obs as telemetry;
+
 pub use a2a::A2AOracle;
 pub use atlas::{Atlas, AtlasConfig, AtlasError, AtlasHandle};
 pub use ctree::CompressedTree;
 pub use dynamic::{DynamicError, DynamicOracle, SubsetSpace};
 pub use oracle::{
-    BuildConfig, BuildError, BuildStats, ConstructionMethod, QueryError, QueryStats, SeOracle,
+    BuildConfig, BuildError, BuildStats, ConstructionMethod, ProbeStats, QueryError, QueryStats,
+    SeOracle,
 };
 pub use p2p::{EngineKind, P2PError, P2POracle};
 pub use persist::PersistError;

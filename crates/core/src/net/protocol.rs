@@ -1,5 +1,6 @@
 //! Wire protocol for `oracled`: length-prefixed binary frames carrying
-//! distance / path / stats / shutdown requests and their responses.
+//! distance / path / stats / metrics / shutdown requests and their
+//! responses.
 //!
 //! A wire frame is **exactly** the persisted-image frame of [`crate::persist`]
 //! — magic, version, declared payload length, payload, FNV-1a checksum —
@@ -32,7 +33,8 @@ use crate::persist::{parse_frame_header, read_framed, write_framed, Cursor, Pers
 pub const WIRE_MAGIC: [u8; 4] = *b"SEWF";
 
 /// Wire protocol version; bumped on any frame- or payload-layout change.
-pub const WIRE_VERSION: u32 = 1;
+/// Version 2 added the `Metrics` verb (request kind 5, response kind 7).
+pub const WIRE_VERSION: u32 = 2;
 
 /// Hard cap on a wire frame's declared payload length. Anything larger is
 /// rejected from the 16-byte header alone — before a single payload byte
@@ -53,10 +55,16 @@ pub const MAX_PAIRS_PER_REQUEST: usize = 65_536;
 /// it at the source and answers [`ErrorCode::PathTooLong`] instead.
 pub const MAX_PATH_POINTS: usize = (WIRE_FRAME_CAP as usize - 21) / 24;
 
+/// Longest metrics exposition a [`Response::Metrics`] may carry; longer
+/// texts are truncated at the encoder so the frame always fits
+/// [`WIRE_FRAME_CAP`] (21 bytes of framing + payload header around it).
+pub const MAX_METRICS_TEXT: usize = WIRE_FRAME_CAP as usize / 2;
+
 const REQ_DISTANCE: u8 = 1;
 const REQ_PATH: u8 = 2;
 const REQ_STATS: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
+const REQ_METRICS: u8 = 5;
 
 const RESP_DISTANCES: u8 = 1;
 const RESP_PATH: u8 = 2;
@@ -64,6 +72,7 @@ const RESP_BUSY: u8 = 3;
 const RESP_ERROR: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_SHUTTING_DOWN: u8 = 6;
+const RESP_METRICS: u8 = 7;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +95,12 @@ pub enum Request {
     },
     /// Ask for the server's aggregate counters.
     Stats {
+        /// Client-chosen token echoed on the response.
+        id: u64,
+    },
+    /// Ask for the server's full metrics registry in text exposition
+    /// format (the scrape-friendly superset of `Stats`).
+    Metrics {
         /// Client-chosen token echoed on the response.
         id: u64,
     },
@@ -218,6 +233,15 @@ pub enum Response {
         /// The counters at snapshot time.
         stats: StatsSnapshot,
     },
+    /// Registry snapshot for a [`Request::Metrics`].
+    Metrics {
+        /// Echo of the request id.
+        id: u64,
+        /// Text exposition of the server's metrics registry
+        /// ([`obs::Registry::expose`] output), truncated at
+        /// [`MAX_METRICS_TEXT`] bytes.
+        text: String,
+    },
     /// Acknowledgement of a [`Request::Shutdown`]; queued answers still
     /// drain before the server exits.
     ShuttingDown {
@@ -272,6 +296,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             p.push(REQ_STATS);
             put_u64(&mut p, *id);
         }
+        Request::Metrics { id } => {
+            p.push(REQ_METRICS);
+            put_u64(&mut p, *id);
+        }
         Request::Shutdown { id } => {
             p.push(REQ_SHUTDOWN);
             put_u64(&mut p, *id);
@@ -310,6 +338,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, PersistError> {
             Request::Path { id, s, t }
         }
         REQ_STATS => Request::Stats { id },
+        REQ_METRICS => Request::Metrics { id },
         REQ_SHUTDOWN => Request::Shutdown { id },
         _ => return Err(PersistError::Corrupt("unknown request kind")),
     };
@@ -374,6 +403,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             for &b in &stats.batch_size_hist {
                 put_u64(&mut p, b);
             }
+        }
+        Response::Metrics { id, text } => {
+            p.push(RESP_METRICS);
+            put_u64(&mut p, *id);
+            let bytes = text.as_bytes();
+            let take = bytes.len().min(MAX_METRICS_TEXT);
+            put_u32(&mut p, take as u32);
+            p.extend_from_slice(&bytes[..take]);
         }
         Response::ShuttingDown { id } => {
             p.push(RESP_SHUTTING_DOWN);
@@ -464,6 +501,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, PersistError> {
                 },
             }
         }
+        RESP_METRICS => {
+            let n = c.u32()? as usize;
+            if n > MAX_METRICS_TEXT || n > c.remaining() {
+                return Err(PersistError::Corrupt("truncated metrics text"));
+            }
+            let text = String::from_utf8_lossy(c.take(n)?).into_owned();
+            Response::Metrics { id, text }
+        }
         RESP_SHUTTING_DOWN => Response::ShuttingDown { id },
         _ => return Err(PersistError::Corrupt("unknown response kind")),
     };
@@ -538,6 +583,7 @@ mod tests {
             Request::Distance { id: 8, pairs: vec![] },
             Request::Path { id: 9, s: 4, t: 5 },
             Request::Stats { id: 10 },
+            Request::Metrics { id: 12 },
             Request::Shutdown { id: 11 },
         ];
         for req in &reqs {
@@ -570,6 +616,10 @@ mod tests {
                     batch_size_hist: vec![0; 17],
                     ..StatsSnapshot::default()
                 },
+            },
+            Response::Metrics {
+                id: 7,
+                text: "# TYPE serve_requests_total counter\nserve_requests_total 4\n".into(),
             },
             Response::ShuttingDown { id: 6 },
         ];

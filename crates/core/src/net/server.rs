@@ -33,8 +33,9 @@ use super::protocol::{
 };
 use super::stats::Counters;
 use crate::atlas::AtlasHandle;
-use crate::oracle::QueryError;
+use crate::oracle::{ProbeStats, QueryError};
 use crate::serve::QueryHandle;
+use obs::log;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -109,12 +110,19 @@ impl Backend {
     /// Batch distances with every failure mode contained: typed errors
     /// from the checked oracle path, and a panic fence around the atlas
     /// path (whose internal expects assume a well-formed image — bytes
-    /// from disk must not crash a serving process).
-    fn distances(&self, pairs: &[(u32, u32)]) -> Result<Vec<f64>, (ErrorCode, String)> {
+    /// from disk must not crash a serving process). Successful answers
+    /// carry per-batch [`ProbeStats`] (zero for the atlas backend, which
+    /// has no probe counters).
+    fn distances(
+        &self,
+        pairs: &[(u32, u32)],
+    ) -> Result<(Vec<f64>, ProbeStats), (ErrorCode, String)> {
         match self {
             Backend::Oracle(h) => {
                 let handle = h.clone();
-                let run = AssertUnwindSafe(move || handle.oracle().distance_many_checked(pairs));
+                let run = AssertUnwindSafe(move || {
+                    handle.oracle().distance_many_checked_with_stats(pairs)
+                });
                 match catch_unwind(run) {
                     Ok(Ok(d)) => Ok(d),
                     Ok(Err(e @ QueryError::SiteOutOfRange { .. })) => {
@@ -146,7 +154,7 @@ impl Backend {
                                 }
                             }
                         }
-                        Ok(out)
+                        Ok((out, ProbeStats::default()))
                     }
                     Err(_) => Err((
                         ErrorCode::CorruptImage,
@@ -244,7 +252,7 @@ impl OracleServer {
             cfg,
             queue: Mutex::new(VecDeque::new()),
             job_ready: Condvar::new(),
-            stats: Counters::default(),
+            stats: Counters::new(obs::Registry::new()),
             shutdown: AtomicBool::new(false),
         });
         Ok(OracleServer { listener, shared })
@@ -277,8 +285,9 @@ impl OracleServer {
             // connection ever accepted.
             conns.retain(|c| !c.is_finished());
             match self.listener.accept() {
-                Ok((stream, _)) => {
-                    self.shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                Ok((stream, peer)) => {
+                    self.shared.stats.connections.inc();
+                    log::info("conn_open", &[("peer", peer.to_string())]);
                     let sh = Arc::clone(&self.shared);
                     conns.push(thread::spawn(move || connection_loop(stream, &sh)));
                 }
@@ -297,6 +306,13 @@ impl OracleServer {
         // to drain the remainder and exit.
         self.shared.job_ready.notify_all();
         let _ = batcher.join();
+        log::info(
+            "drained",
+            &[
+                ("requests", self.shared.stats.requests.get().to_string()),
+                ("errors", self.shared.stats.errors.get().to_string()),
+            ],
+        );
         self.shared.stats.snapshot(self.shared.backend.n_sites(), self.shared.backend.epsilon())
     }
 }
@@ -326,6 +342,7 @@ fn connection_loop(stream: TcpStream, sh: &Arc<Shared>) {
     let (tx, rx) = mpsc::channel::<Vec<u8>>();
     let writer = thread::spawn(move || writer_loop(writer_stream, rx));
     reader_loop(stream, sh, &tx);
+    log::info("conn_close", &[]);
     drop(tx);
     // The writer exits once every outstanding job's reply sender drops —
     // i.e. after all admitted answers for this connection are written.
@@ -406,7 +423,8 @@ fn reader_loop(mut stream: TcpStream, sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8
                     // Framing is lost (bad magic/version/length/checksum):
                     // report and close — resynchronisation on a byte
                     // stream is not possible.
-                    sh.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    sh.stats.malformed.inc();
+                    log::debug("malformed_frame", &[("error", e.to_string())]);
                     let _ = tx.send(encode_response(&Response::Error {
                         id: 0,
                         code: ErrorCode::BadRequest,
@@ -425,7 +443,8 @@ fn handle_frame(payload: &[u8], sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>) ->
     let req = match decode_request(payload) {
         Ok(r) => r,
         Err(e) => {
-            sh.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            sh.stats.malformed.inc();
+            log::debug("malformed_request", &[("error", e.to_string())]);
             let _ = tx.send(encode_response(&Response::Error {
                 id: 0,
                 code: ErrorCode::BadRequest,
@@ -441,7 +460,7 @@ fn handle_frame(payload: &[u8], sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>) ->
                 pairs.iter().enumerate().find(|&(_, &(s, t))| s as usize >= n || t as usize >= n)
             {
                 let site = if s as usize >= n { s } else { t };
-                sh.stats.errors.fetch_add(1, Ordering::Relaxed);
+                sh.stats.errors.inc();
                 let _ = tx.send(encode_response(&Response::Error {
                     id,
                     code: ErrorCode::SiteOutOfRange,
@@ -454,7 +473,7 @@ fn handle_frame(payload: &[u8], sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>) ->
         Request::Path { id, s, t } => {
             let n = sh.backend.n_sites();
             if !sh.backend.has_paths() {
-                sh.stats.errors.fetch_add(1, Ordering::Relaxed);
+                sh.stats.errors.inc();
                 let _ = tx.send(encode_response(&Response::Error {
                     id,
                     code: ErrorCode::Unsupported,
@@ -464,7 +483,7 @@ fn handle_frame(payload: &[u8], sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>) ->
             }
             if s as usize >= n || t as usize >= n {
                 let site = if s as usize >= n { s } else { t };
-                sh.stats.errors.fetch_add(1, Ordering::Relaxed);
+                sh.stats.errors.inc();
                 let _ = tx.send(encode_response(&Response::Error {
                     id,
                     code: ErrorCode::SiteOutOfRange,
@@ -478,10 +497,15 @@ fn handle_frame(payload: &[u8], sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>) ->
             let stats = sh.stats.snapshot(sh.backend.n_sites(), sh.backend.epsilon());
             let _ = tx.send(encode_response(&Response::Stats { id, stats }));
         }
+        Request::Metrics { id } => {
+            let text = sh.stats.registry.expose();
+            let _ = tx.send(encode_response(&Response::Metrics { id, text }));
+        }
         Request::Shutdown { id } => {
             // Ack first (the frame is already queued to the writer before
             // the flag stops anything), then stop admissions everywhere.
             let _ = tx.send(encode_response(&Response::ShuttingDown { id }));
+            log::info("shutdown_requested", &[]);
             sh.shutdown.store(true, Ordering::SeqCst);
             sh.job_ready.notify_all();
         }
@@ -511,12 +535,13 @@ fn enqueue(sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>, id: u64, job: Job) {
     if q.len() >= sh.cfg.queue_cap {
         let depth = q.len();
         drop(q);
-        sh.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        sh.stats.busy_rejections.inc();
+        log::debug("busy_rejection", &[("queue_depth", depth.to_string())]);
         let _ = tx.send(encode_response(&Response::Busy { id, queue_depth: depth as u32 }));
         return;
     }
-    sh.stats.requests.fetch_add(1, Ordering::Relaxed);
-    sh.stats.pairs.fetch_add(job.n_pairs() as u64, Ordering::Relaxed);
+    sh.stats.requests.inc();
+    sh.stats.pairs.add(job.n_pairs() as u64);
     q.push_back(job);
     let depth = q.len();
     drop(q);
@@ -585,6 +610,7 @@ fn batcher_loop(sh: &Arc<Shared>) {
 }
 
 fn run_batch(sh: &Arc<Shared>, batch: Vec<Job>, total_pairs: usize) {
+    let _span = obs::trace::span("serve", "batch");
     sh.stats.note_batch(total_pairs);
     let mut concat: Vec<(u32, u32)> = Vec::with_capacity(total_pairs);
     for job in &batch {
@@ -592,13 +618,21 @@ fn run_batch(sh: &Arc<Shared>, batch: Vec<Job>, total_pairs: usize) {
             concat.extend_from_slice(pairs);
         }
     }
-    let coalesced = if concat.is_empty() { Ok(Vec::new()) } else { sh.backend.distances(&concat) };
+    let coalesced = if concat.is_empty() {
+        Ok((Vec::new(), ProbeStats::default()))
+    } else {
+        sh.backend.distances(&concat)
+    };
+    if let Ok((_, ps)) = &coalesced {
+        sh.stats.probe_pairs.add(ps.probes);
+        sh.stats.scratch_hits.add(ps.scratch_hits);
+    }
     let mut at = 0usize;
     for job in &batch {
         match job {
             Job::Distance { id, pairs, reply } => {
                 let resp = match &coalesced {
-                    Ok(all) => {
+                    Ok((all, _)) => {
                         let slice = all[at..at + pairs.len()].to_vec();
                         at += pairs.len();
                         Response::Distances { id: *id, distances: slice }
@@ -607,9 +641,13 @@ fn run_batch(sh: &Arc<Shared>, batch: Vec<Job>, total_pairs: usize) {
                     // so only the offending request errors, not the whole
                     // batch.
                     Err(_) => match sh.backend.distances(pairs) {
-                        Ok(d) => Response::Distances { id: *id, distances: d },
+                        Ok((d, ps)) => {
+                            sh.stats.probe_pairs.add(ps.probes);
+                            sh.stats.scratch_hits.add(ps.scratch_hits);
+                            Response::Distances { id: *id, distances: d }
+                        }
                         Err((code, message)) => {
-                            sh.stats.errors.fetch_add(1, Ordering::Relaxed);
+                            sh.stats.errors.inc();
                             Response::Error { id: *id, code, message }
                         }
                     },
@@ -623,7 +661,7 @@ fn run_batch(sh: &Arc<Shared>, batch: Vec<Job>, total_pairs: usize) {
                     // FrameTooLarge, losing the connection over a valid
                     // answer — refuse it with a typed error instead.
                     Ok((_, points)) if points.len() > MAX_PATH_POINTS => {
-                        sh.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        sh.stats.errors.inc();
                         Response::Error {
                             id: *id,
                             code: ErrorCode::PathTooLong,
@@ -636,7 +674,7 @@ fn run_batch(sh: &Arc<Shared>, batch: Vec<Job>, total_pairs: usize) {
                     }
                     Ok((distance, points)) => Response::Path { id: *id, distance, points },
                     Err((code, message)) => {
-                        sh.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        sh.stats.errors.inc();
                         Response::Error { id: *id, code, message }
                     }
                 };

@@ -1,17 +1,25 @@
-//! Lock-free serving counters.
+//! Lock-free serving counters, backed by a per-server metrics registry.
 //!
-//! Every counter is a relaxed [`AtomicU64`]: the hot path (request
-//! admission, batch completion) only ever does `fetch_add`/`fetch_max`, so
-//! accounting never serializes connections against each other and never
-//! touches a lock — which keeps this file inside the `query-path` lint
-//! contract. A [`StatsSnapshot`] read is a set of independent relaxed
-//! loads: each counter is exact, the set as a whole is a point-in-time
-//! approximation (fine for an operational `STATS` verb).
+//! Every counter is a handle into an [`obs::Registry`] owned by the
+//! server instance (so concurrent servers in one process never share
+//! numbers). Handle updates are single relaxed atomic operations: the
+//! hot path (request admission, batch completion) never touches a lock,
+//! which keeps this file inside the `query-path` lint contract — the
+//! registry's own locking happens once, in [`Counters::new`], before
+//! serving starts. A [`StatsSnapshot`] read is a set of independent
+//! relaxed loads: each counter is exact, the set as a whole is a
+//! point-in-time approximation (fine for an operational `STATS` verb).
+//!
+//! The same registry is what the wire `Metrics` verb exposes, so
+//! `oracle-loadgen --metrics` and `bench snapshot` read exactly the
+//! counters the server serves from.
 
 // lint: query-path
 
 use super::protocol::StatsSnapshot;
+use obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of power-of-two batch-size buckets: bucket 16 absorbs every
 /// batch above 32768 pairs (half the per-request cap, so realistic
@@ -19,18 +27,29 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub(crate) const HIST_BUCKETS: usize = 17;
 
 /// Aggregate serving counters shared by every connection thread and the
-/// batcher.
-#[derive(Debug, Default)]
+/// batcher, registered in one per-server [`Registry`].
 pub(crate) struct Counters {
-    pub(crate) connections: AtomicU64,
-    pub(crate) requests: AtomicU64,
-    pub(crate) pairs: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) busy_rejections: AtomicU64,
-    pub(crate) malformed: AtomicU64,
-    pub(crate) errors: AtomicU64,
-    queue_depth: AtomicU64,
-    max_queue_depth: AtomicU64,
+    /// The registry behind every handle below — what the `Metrics` wire
+    /// verb renders.
+    pub(crate) registry: Registry,
+    pub(crate) connections: Arc<Counter>,
+    pub(crate) requests: Arc<Counter>,
+    pub(crate) pairs: Arc<Counter>,
+    pub(crate) busy_rejections: Arc<Counter>,
+    pub(crate) malformed: Arc<Counter>,
+    pub(crate) errors: Arc<Counter>,
+    /// Node-pair hash probes performed by oracle batch answers
+    /// (`ProbeStats::probes` summed per batch; 0 for atlas backends).
+    pub(crate) probe_pairs: Arc<Counter>,
+    /// Layer-array scratch-slot hits from the same answers.
+    pub(crate) scratch_hits: Arc<Counter>,
+    batches: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    max_queue_depth: Arc<Gauge>,
+    batch_pairs: Arc<Histogram>,
+    /// Wire-format power-of-two histogram (the `StatsSnapshot` layout
+    /// predates the registry's log-linear buckets and is kept
+    /// bit-compatible).
     batch_hist: [AtomicU64; HIST_BUCKETS],
 }
 
@@ -42,16 +61,37 @@ fn bucket(pairs: usize) -> usize {
 }
 
 impl Counters {
+    /// Registers every serving metric in `registry` and keeps the handles.
+    pub(crate) fn new(registry: Registry) -> Counters {
+        Counters {
+            connections: registry.counter("serve_connections_total"),
+            requests: registry.counter("serve_requests_total"),
+            pairs: registry.counter("serve_pairs_total"),
+            busy_rejections: registry.counter("serve_busy_total"),
+            malformed: registry.counter("serve_malformed_total"),
+            errors: registry.counter("serve_errors_total"),
+            probe_pairs: registry.counter("serve_probe_pairs_total"),
+            scratch_hits: registry.counter("serve_scratch_hits_total"),
+            batches: registry.counter("serve_batches_total"),
+            queue_depth: registry.gauge("serve_queue_depth"),
+            max_queue_depth: registry.gauge("serve_queue_depth_max"),
+            batch_pairs: registry.histogram("serve_batch_pairs"),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            registry,
+        }
+    }
+
     /// Records the queue depth after an enqueue or drain, maintaining the
     /// high-water mark.
     pub(crate) fn note_depth(&self, depth: usize) {
-        self.queue_depth.store(depth as u64, Ordering::Relaxed);
-        self.max_queue_depth.fetch_max(depth as u64, Ordering::Relaxed);
+        self.queue_depth.set(depth as u64);
+        self.max_queue_depth.maximize(depth as u64);
     }
 
     /// Records a completed batch of `pairs` total pairs.
     pub(crate) fn note_batch(&self, pairs: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
+        self.batch_pairs.observe(pairs as u64);
         self.batch_hist[bucket(pairs)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -61,15 +101,15 @@ impl Counters {
         StatsSnapshot {
             n_sites: n_sites as u64,
             epsilon,
-            connections: self.connections.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            pairs: self.pairs.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
-            malformed: self.malformed.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            connections: self.connections.get(),
+            requests: self.requests.get(),
+            pairs: self.pairs.get(),
+            batches: self.batches.get(),
+            busy_rejections: self.busy_rejections.get(),
+            malformed: self.malformed.get(),
+            errors: self.errors.get(),
+            queue_depth: self.queue_depth.get(),
+            max_queue_depth: self.max_queue_depth.get(),
             batch_size_hist: self.batch_hist.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
         }
     }
@@ -93,7 +133,7 @@ mod tests {
 
     #[test]
     fn snapshot_reflects_notes() {
-        let c = Counters::default();
+        let c = Counters::new(Registry::new());
         c.note_depth(3);
         c.note_depth(1);
         c.note_batch(5);
@@ -105,5 +145,21 @@ mod tests {
         assert_eq!(s.batches, 2);
         assert_eq!(s.batch_size_hist[0], 1);
         assert_eq!(s.batch_size_hist[3], 1);
+    }
+
+    #[test]
+    fn registry_mirrors_the_wire_counters() {
+        let c = Counters::new(Registry::new());
+        c.requests.add(4);
+        c.pairs.add(64);
+        c.note_batch(64);
+        c.note_depth(2);
+        let text = c.registry.expose();
+        assert_eq!(obs::lookup(&text, "serve_requests_total"), Some(4));
+        assert_eq!(obs::lookup(&text, "serve_pairs_total"), Some(64));
+        assert_eq!(obs::lookup(&text, "serve_batches_total"), Some(1));
+        assert_eq!(obs::lookup(&text, "serve_batch_pairs_count"), Some(1));
+        assert_eq!(obs::lookup(&text, "serve_batch_pairs_max"), Some(64));
+        assert_eq!(obs::lookup(&text, "serve_queue_depth_max"), Some(2));
     }
 }

@@ -121,6 +121,32 @@ pub struct BuildStats {
     pub resolver_fallbacks: u64,
 }
 
+impl BuildStats {
+    /// Records these stats into `reg` under `build_*` metric names —
+    /// phase wall clocks as `_us` gauges, SSAD/cache tallies as
+    /// counters, and structural sizes as gauges. [`SeOracle::build`]
+    /// calls this on [`obs::global`] so any registry consumer (the
+    /// `Metrics` wire verb, `bench snapshot`) sees construction cost
+    /// without threading `BuildStats` around.
+    pub fn record_to(&self, reg: &obs::Registry) {
+        let us = |d: Duration| d.as_micros() as u64;
+        reg.gauge("build_total_us").set(us(self.total));
+        reg.gauge("build_tree_us").set(us(self.tree));
+        reg.gauge("build_enhanced_us").set(us(self.enhanced));
+        reg.gauge("build_pair_gen_us").set(us(self.pair_gen));
+        reg.counter("build_ssad_runs_total").add(self.ssad_runs);
+        reg.counter("build_cache_hits_total").add(self.cache_hits);
+        reg.counter("build_cache_misses_total").add(self.cache_misses);
+        reg.counter("build_considered_pairs_total").add(self.considered_pairs);
+        reg.counter("build_resolver_fallbacks_total").add(self.resolver_fallbacks);
+        reg.gauge("build_workers").set(self.workers as u64);
+        reg.gauge("build_stored_pairs").set(self.stored_pairs as u64);
+        reg.gauge("build_org_nodes").set(self.org_nodes as u64);
+        reg.gauge("build_compressed_nodes").set(self.compressed_nodes as u64);
+        reg.gauge("build_height").set(u64::from(self.height));
+    }
+}
+
 /// Typed failure of a checked query ([`SeOracle::distance_many_checked`])
 /// — what a serving process reports instead of panicking when a request or
 /// a persisted image turns out to be invalid.
@@ -171,6 +197,20 @@ pub struct QueryStats {
     pub pairs_checked: u32,
 }
 
+/// Per-batch probe counters from
+/// [`SeOracle::distance_many_checked_with_stats`] — pure counts (no
+/// timing), so the serving path can feed a metrics registry without
+/// violating the no-clocks query contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Node-pair hash probes performed across the whole batch.
+    pub probes: u64,
+    /// Endpoints whose layer array was already resident in the two-slot
+    /// scratch memo (always 0 on the dense path, which precomputes every
+    /// array up front).
+    pub scratch_hits: u64,
+}
+
 /// The Space-Efficient ε-approximate geodesic distance oracle.
 ///
 /// Built over any [`SiteSpace`]; answers site-to-site distance queries in
@@ -192,6 +232,7 @@ impl SeOracle {
         }
         // lint: allow(d2, "build timing recorded in BuildStats only; never feeds the oracle image")
         let t_start = Instant::now();
+        let span_build = obs::trace::span("build", "build");
         let mut stats = BuildStats::default();
         let workers = cfg.resolved_threads();
         stats.workers = workers;
@@ -208,8 +249,10 @@ impl SeOracle {
         // Step 1: partition tree + compressed partition tree.
         // lint: allow(d2, "phase timing lands in BuildStats only; never in oracle data")
         let t = Instant::now();
+        let span_tree = obs::trace::span("build", "tree");
         let (org, tree_stats) = PartitionTree::build_with(&space, cfg.strategy, cfg.seed, workers)?;
         let ctree = CompressedTree::from_partition_tree(&org);
+        drop(span_tree);
         stats.tree = t.elapsed();
         stats.ssad_runs += tree_stats.ssad_runs;
         stats.org_nodes = org.nodes.len();
@@ -222,14 +265,18 @@ impl SeOracle {
             ConstructionMethod::Efficient => {
                 // lint: allow(d2, "phase timing lands in BuildStats only; never in oracle data")
                 let t = Instant::now();
+                let span_enh = obs::trace::span("build", "enhanced-edges");
                 let edges = EnhancedEdges::build(&org, &space, eps, workers, cfg.seed);
+                drop(span_enh);
                 stats.enhanced = t.elapsed();
                 stats.ssad_runs += edges.ssad_runs;
 
                 // lint: allow(d2, "phase timing lands in BuildStats only; never in oracle data")
                 let t = Instant::now();
+                let span_pairs = obs::trace::span("build", "pair-gen");
                 let mut resolver = EnhancedResolver::new(&org, &edges, &space);
                 let set = wspd::generate(&ctree, eps, &mut resolver);
+                drop(span_pairs);
                 stats.pair_gen = t.elapsed();
                 stats.resolver_fallbacks = resolver.fallbacks;
                 stats.ssad_runs += resolver.fallbacks;
@@ -248,8 +295,10 @@ impl SeOracle {
                 }
                 // lint: allow(d2, "phase timing lands in BuildStats only; never in oracle data")
                 let t = Instant::now();
+                let span_pairs = obs::trace::span("build", "pair-gen");
                 let mut resolver = Ssad { space: &space, runs: 0 };
                 let set = wspd::generate(&ctree, eps, &mut resolver);
+                drop(span_pairs);
                 stats.pair_gen = t.elapsed();
                 stats.ssad_runs += resolver.runs;
                 set
@@ -265,6 +314,8 @@ impl SeOracle {
         stats.cache_hits = cache.hits;
         stats.cache_misses = cache.misses;
         stats.total = t_start.elapsed();
+        drop(span_build);
+        stats.record_to(obs::global());
 
         Ok(Self { eps, ctree, pairs, stats })
     }
@@ -410,6 +461,16 @@ impl SeOracle {
     /// must never crash a serving process. Successful answers are
     /// bit-identical to [`Self::distance_many`] on the same pairs.
     pub fn distance_many_checked(&self, pairs: &[(u32, u32)]) -> Result<Vec<f64>, QueryError> {
+        self.distance_many_checked_with_stats(pairs).map(|(d, _)| d)
+    }
+
+    /// [`Self::distance_many_checked`] plus per-batch [`ProbeStats`] — the
+    /// serving daemon's entry point, which feeds the telemetry registry
+    /// from counts alone (no clocks anywhere on the query path).
+    pub fn distance_many_checked_with_stats(
+        &self,
+        pairs: &[(u32, u32)],
+    ) -> Result<(Vec<f64>, ProbeStats), QueryError> {
         let n = self.n_sites();
         if let Some((index, &(s, t))) =
             pairs.iter().enumerate().find(|&(_, &(s, t))| s as usize >= n || t as usize >= n)
@@ -417,29 +478,35 @@ impl SeOracle {
             let site = if s as usize >= n { s } else { t };
             return Err(QueryError::SiteOutOfRange { index, site, n_sites: n });
         }
-        let probe_or_err = |s: usize, t: usize, a: &[u32], b: &[u32]| {
-            self.probe_checked(a, b).map(|(d, _)| d).ok_or(QueryError::NoCoveringPair { s, t })
+        let mut stats = ProbeStats::default();
+        let mut count = |probed: Option<(f64, QueryStats)>, s: usize, t: usize| {
+            let (d, qs) = probed.ok_or(QueryError::NoCoveringPair { s, t })?;
+            stats.probes += qs.pairs_checked as u64;
+            Ok(d)
         };
-        if pairs.len() >= n {
+        let answers: Result<Vec<f64>, QueryError> = if pairs.len() >= n {
             let d = self.dense_layers();
             pairs
                 .iter()
                 .map(|&(s, t)| {
                     let (s, t) = (s as usize, t as usize);
-                    probe_or_err(s, t, d.row(s), d.row(t))
+                    count(self.probe_checked(d.row(s), d.row(t)), s, t)
                 })
                 .collect()
         } else {
             let mut scratch = LayerScratch::default();
-            pairs
+            let collected = pairs
                 .iter()
                 .map(|&(s, t)| {
                     let (s, t) = (s as usize, t as usize);
                     let (i, j) = scratch.pair_slots(&self.ctree, s, t);
-                    probe_or_err(s, t, &scratch.arrays[i], &scratch.arrays[j])
+                    count(self.probe_checked(&scratch.arrays[i], &scratch.arrays[j]), s, t)
                 })
-                .collect()
-        }
+                .collect();
+            stats.scratch_hits = scratch.hits;
+            collected
+        };
+        answers.map(|v| (v, stats))
     }
 
     /// Validates a batch with the same actionable panic contract as
@@ -659,11 +726,14 @@ struct LayerScratch {
     /// Site whose layer array each slot holds, or [`NO_SITE`].
     sites: [u64; 2],
     arrays: [Vec<u32>; 2],
+    /// Endpoints served from a resident slot (telemetry; two hits means a
+    /// pair recomputed nothing).
+    hits: u64,
 }
 
 impl Default for LayerScratch {
     fn default() -> Self {
-        Self { sites: [NO_SITE; 2], arrays: [Vec::new(), Vec::new()] }
+        Self { sites: [NO_SITE; 2], arrays: [Vec::new(), Vec::new()], hits: 0 }
     }
 }
 
@@ -674,9 +744,18 @@ impl LayerScratch {
     fn pair_slots(&mut self, tree: &CompressedTree, s: usize, t: usize) -> (usize, usize) {
         let find = |sites: &[u64; 2], x: usize| sites.iter().position(|&w| w == x as u64);
         match (find(&self.sites, s), find(&self.sites, t)) {
-            (Some(i), Some(j)) => (i, j),
-            (Some(i), None) => (i, self.fill(tree, 1 - i, t)),
-            (None, Some(j)) => (self.fill(tree, 1 - j, s), j),
+            (Some(i), Some(j)) => {
+                self.hits += 2;
+                (i, j)
+            }
+            (Some(i), None) => {
+                self.hits += 1;
+                (i, self.fill(tree, 1 - i, t))
+            }
+            (None, Some(j)) => {
+                self.hits += 1;
+                (self.fill(tree, 1 - j, s), j)
+            }
             (None, None) => {
                 let i = self.fill(tree, 0, s);
                 let j = if t == s { i } else { self.fill(tree, 1, t) };

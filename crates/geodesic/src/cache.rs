@@ -64,6 +64,11 @@ pub struct CachingSiteSpace<'a> {
     pair_memo: RwLock<BTreeMap<(usize, usize), f64>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Mirrors of `hits`/`misses` in the process-wide metrics registry
+    /// (`geodesic_cache_{hits,misses}_total`), resolved once here so the
+    /// hot counting paths stay single relaxed atomic adds.
+    reg_hits: std::sync::Arc<obs::Counter>,
+    reg_misses: std::sync::Arc<obs::Counter>,
 }
 
 impl<'a> CachingSiteSpace<'a> {
@@ -75,7 +80,19 @@ impl<'a> CachingSiteSpace<'a> {
             pair_memo: RwLock::new(BTreeMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            reg_hits: obs::global().counter("geodesic_cache_hits_total"),
+            reg_misses: obs::global().counter("geodesic_cache_misses_total"),
         }
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.reg_hits.inc();
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.reg_misses.inc();
     }
 
     /// Counters so far. Hits and misses from concurrent workers are all
@@ -120,7 +137,7 @@ impl SiteSpace for CachingSiteSpace<'_> {
     fn sites_within(&self, site: usize, radius: f64) -> Vec<(usize, f64)> {
         match self.lookup(site) {
             Some(Entry::Full(dists)) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hit();
                 dists
                     .iter()
                     .enumerate()
@@ -129,16 +146,18 @@ impl SiteSpace for CachingSiteSpace<'_> {
                     .collect()
             }
             Some(Entry::Bounded { radius: have, pairs }) if have >= radius => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hit();
                 pairs.iter().copied().filter(|&(_, d)| d <= radius).collect()
             }
             _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.miss();
                 // Store the whole sweep at the horizon the engine actually
                 // certified — when the bounded run turned out exhaustive
                 // (horizon ∞), this one entry answers every later query
                 // from `site`, including `all_distances` and `distance`.
+                let span = obs::trace::span("ssad", "sites-within");
                 let sweep = self.inner.sites_within_horizon(site, radius);
+                drop(span);
                 let out = sweep.clipped(radius);
                 self.store(
                     site,
@@ -152,13 +171,13 @@ impl SiteSpace for CachingSiteSpace<'_> {
     fn all_distances(&self, site: usize) -> Vec<f64> {
         match self.lookup(site) {
             Some(Entry::Full(dists)) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hit();
                 (*dists).clone()
             }
             // An exhaustive bounded sweep knows every distance: absent
             // sites are unreachable. Densify once and upgrade the entry.
             Some(Entry::Bounded { radius, pairs }) if radius.is_infinite() => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hit();
                 let mut dists = vec![f64::INFINITY; self.inner.n_sites()];
                 for &(i, d) in pairs.iter() {
                     dists[i] = d;
@@ -167,8 +186,10 @@ impl SiteSpace for CachingSiteSpace<'_> {
                 dists
             }
             _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.miss();
+                let span = obs::trace::span("ssad", "all-distances");
                 let dists = self.inner.all_distances(site);
+                drop(span);
                 self.store(site, Entry::Full(Arc::new(dists.clone())));
                 dists
             }
@@ -208,16 +229,16 @@ impl SiteSpace for CachingSiteSpace<'_> {
         for (s, t) in [(a, b), (b, a)] {
             match self.lookup(s) {
                 Some(Entry::Full(dists)) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hit();
                     return dists[t];
                 }
                 Some(Entry::Bounded { radius, pairs }) => {
                     if let Ok(k) = pairs.binary_search_by_key(&t, |&(i, _)| i) {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.hit();
                         return pairs[k].1;
                     }
                     if radius.is_infinite() {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.hit();
                         return f64::INFINITY;
                     }
                 }
@@ -227,11 +248,13 @@ impl SiteSpace for CachingSiteSpace<'_> {
         let key = (a.min(b), a.max(b));
         // lint: allow(panic, "lock poisoning means a builder thread already panicked; propagating is correct")
         if let Some(&d) = self.pair_memo.read().expect("cache lock poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit();
             return d;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.miss();
+        let span = obs::trace::span("ssad", "pair-distance");
         let d = self.inner.distance(key.0, key.1);
+        drop(span);
         // lint: allow(panic, "lock poisoning means a builder thread already panicked; propagating is correct")
         self.pair_memo.write().expect("cache lock poisoned").insert(key, d);
         d

@@ -37,9 +37,16 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let threads = resolve_threads(threads).min(n);
+    // Pool telemetry: one batch, `n` jobs, `threads` workers actually
+    // spawned (0 extra workers on the inline path). Counting happens once
+    // per batch, off every job's hot path.
+    let reg = obs::global();
+    reg.counter("geodesic_pool_batches_total").inc();
+    reg.counter("geodesic_pool_jobs_total").add(n as u64);
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
+    reg.counter("geodesic_pool_workers_total").add(threads as u64);
 
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {

@@ -135,11 +135,12 @@ pub struct Scope {
     pub crate_root: bool,
 }
 
-/// The six library crates (crate name, source prefix). `crates/bench` and
+/// The seven library crates (crate name, source prefix). `crates/bench` and
 /// `crates/lint` are tooling, not part of the served artifact, and are out
 /// of scope; `vendor/` holds offline dependency stubs.
-pub const LIBRARY_CRATES: [(&str, &str); 6] = [
+pub const LIBRARY_CRATES: [(&str, &str); 7] = [
     ("terrain", "crates/terrain/src/"),
+    ("obs", "crates/obs/src/"),
     ("geodesic", "crates/geodesic/src/"),
     ("phash", "crates/phash/src/"),
     ("se-oracle", "crates/core/src/"),

@@ -44,7 +44,7 @@ fn real_workspace_is_clean_under_deny_warnings() {
     assert!(out.status.success(), "lint dirty on the real workspace:\n{stdout}\n{stderr}");
     assert!(stdout.contains("— clean"), "missing clean summary:\n{stdout}");
     assert!(
-        stdout.contains("6/6 library crate roots carry #![forbid(unsafe_code)]"),
+        stdout.contains("7/7 library crate roots carry #![forbid(unsafe_code)]"),
         "unsafe gate summary missing:\n{stdout}"
     );
 }

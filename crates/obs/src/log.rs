@@ -1,0 +1,121 @@
+//! Level-filtered structured logging: one `key=value` line per event on
+//! stderr.
+//!
+//! The filter is a process-wide atomic; the default ([`Level::Error`])
+//! keeps library code silent under tests. Binaries raise it from a
+//! `--log-level {error,info,debug}` flag (`oracled`). Lines look like:
+//!
+//! ```text
+//! level=info event=conn_open peer=127.0.0.1:51344
+//! ```
+//!
+//! Values containing whitespace, `=`, or `"` are double-quoted. No
+//! timestamps: wall clocks stay out of library code (see the d2 lint
+//! rule); a supervisor's log pipeline can stamp arrival times.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Failures that lose work or terminate a connection unexpectedly.
+    Error = 0,
+    /// Lifecycle events: connections, shutdown progress.
+    Info = 1,
+    /// Per-request noise: Busy rejections, malformed frames.
+    Debug = 2,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Parses a `--log-level` value.
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s {
+        "error" => Some(Level::Error),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Error as u8);
+
+/// Sets the process-wide log filter: events *above* `l` are dropped.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether events at `l` currently pass the filter.
+pub fn enabled(l: Level) -> bool {
+    l as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emits one structured line if `l` passes the filter. Write errors on
+/// stderr are ignored.
+pub fn emit(l: Level, event: &str, fields: &[(&str, String)]) {
+    if !enabled(l) {
+        return;
+    }
+    let mut line = format!("level={} event={event}", l.as_str());
+    for (k, v) in fields {
+        let needs_quotes = v.is_empty() || v.contains([' ', '\t', '=', '"']);
+        if needs_quotes {
+            line.push_str(&format!(" {k}=\"{}\"", v.replace('"', "'")));
+        } else {
+            line.push_str(&format!(" {k}={v}"));
+        }
+    }
+    let stderr = std::io::stderr();
+    let _ = writeln!(stderr.lock(), "{line}");
+}
+
+/// [`emit`] at [`Level::Error`].
+pub fn error(event: &str, fields: &[(&str, String)]) {
+    emit(Level::Error, event, fields);
+}
+
+/// [`emit`] at [`Level::Info`].
+pub fn info(event: &str, fields: &[(&str, String)]) {
+    emit(Level::Info, event, fields);
+}
+
+/// [`emit`] at [`Level::Debug`].
+pub fn debug(event: &str, fields: &[(&str, String)]) {
+    emit(Level::Debug, event, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_exactly_three_levels() {
+        assert_eq!(parse_level("error"), Some(Level::Error));
+        assert_eq!(parse_level("info"), Some(Level::Info));
+        assert_eq!(parse_level("debug"), Some(Level::Debug));
+        assert_eq!(parse_level("trace"), None);
+        assert_eq!(parse_level(""), None);
+    }
+
+    // Global filter state: keep every threshold assertion in one test.
+    #[test]
+    fn filter_orders_levels() {
+        set_level(Level::Error);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Info));
+        assert!(enabled(Level::Debug));
+        set_level(Level::Error);
+    }
+}

@@ -6,6 +6,7 @@
 //! oracle-loadgen --addr 127.0.0.1:7474 --clients 8 --requests 200 --pairs 64
 //! oracle-loadgen --addr 127.0.0.1:7474 --verify --image oracle.seor
 //! oracle-loadgen --addr 127.0.0.1:7474 --stats
+//! oracle-loadgen --addr 127.0.0.1:7474 --metrics
 //! oracle-loadgen --addr 127.0.0.1:7474 --shutdown
 //! ```
 //!
@@ -33,6 +34,8 @@ USAGE:
                  [--pairs <n>] [--salt <u64>]
                  [--verify --image <file.seor|file.seat>]
   oracle-loadgen --addr <host:port> --stats      print server counters
+  oracle-loadgen --addr <host:port> --metrics    print the server's metrics
+                                                 registry (text exposition)
   oracle-loadgen --addr <host:port> --shutdown   stop the server
 
 OPTIONS:
@@ -43,6 +46,12 @@ OPTIONS:
   --verify         assert every socket answer is bit-identical to an
                    in-process distance_many replay of the same image
   --image <file>   the image oracled serves (required with --verify)
+
+Latency quantiles (p50/p95/p99/p99.9) come from a log-bucketed histogram of
+completed round trips (<= 25% relative bucket error; max is exact). The load
+is closed-loop: each client waits for its answer (and sleeps on Busy) before
+sending the next request, so under backpressure these numbers understate the
+latency an open-loop arrival process would experience (coordinated omission).
 ";
 
 fn main() -> ExitCode {
@@ -226,14 +235,6 @@ fn client_worker(
     Ok(report)
 }
 
-fn percentile(sorted_us: &[u64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let at = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
-    sorted_us[at.min(sorted_us.len() - 1)] as f64
-}
-
 fn run(args: Vec<String>) -> Result<(), String> {
     let mut rest = args;
     let addr = require(&mut rest, "--addr")?;
@@ -260,6 +261,17 @@ fn run(args: Vec<String>) -> Result<(), String> {
         match conn.roundtrip(&Request::Stats { id: 0 }) {
             Ok(Response::Stats { stats, .. }) => {
                 println!("{stats:#?}");
+                Ok(())
+            }
+            Ok(other) => Err(format!("unexpected response {other:?}")),
+            Err(e) => Err(e.to_string()),
+        }
+    } else if take_flag(&mut rest, "--metrics") {
+        reject_leftovers(&rest)?;
+        let mut conn = connect(&addr)?;
+        match conn.roundtrip(&Request::Metrics { id: 0 }) {
+            Ok(Response::Metrics { text, .. }) => {
+                print!("{text}");
                 Ok(())
             }
             Ok(other) => Err(format!("unexpected response {other:?}")),
@@ -314,14 +326,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 client_worker(addr, client, requests, pairs_per_req, salt, n_sites, reference)
             }));
         }
-        let mut latencies = Vec::new();
+        let hist = se_oracle::telemetry::Histogram::default();
+        let mut answered = 0u64;
         let mut pairs_answered = 0u64;
         let mut busy_retries = 0u64;
         let mut mismatches = 0u64;
         let mut errors = Vec::new();
         for h in handles {
             let report = h.join().map_err(|_| "client thread panicked".to_string())??;
-            latencies.extend(report.latencies_us);
+            answered += report.latencies_us.len() as u64;
+            for &us in &report.latencies_us {
+                hist.observe(us);
+            }
             pairs_answered += report.pairs_answered;
             busy_retries += report.busy_retries;
             mismatches += report.mismatches;
@@ -329,16 +345,20 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         let elapsed = t0.elapsed().as_secs_f64();
 
-        latencies.sort_unstable();
-        let p50 = percentile(&latencies, 0.50);
-        let p99 = percentile(&latencies, 0.99);
+        let snap = hist.snapshot();
         let qps = if elapsed > 0.0 { pairs_answered as f64 / elapsed } else { 0.0 };
         println!(
-            "requests: {} answered, {busy_retries} busy-retries, {} request errors",
-            latencies.len(),
+            "requests: {answered} answered, {busy_retries} busy-retries, {} request errors",
             errors.len()
         );
-        println!("latency:  p50 {p50:.1} us   p99 {p99:.1} us");
+        println!(
+            "latency:  p50 {} us   p95 {} us   p99 {} us   p99.9 {} us   max {} us",
+            snap.quantile(0.50),
+            snap.quantile(0.95),
+            snap.quantile(0.99),
+            snap.quantile(0.999),
+            snap.max
+        );
         println!("throughput: {qps:.0} pairs/s ({pairs_answered} pairs in {elapsed:.3} s)");
         for e in errors.iter().take(5) {
             eprintln!("  {e}");

@@ -28,8 +28,14 @@ USAGE:
           [--max-wait-us <us>]    how long an under-full batch waits (default 200)
           [--queue-cap <n>]       request queue bound; overflow answers Busy
                                   (default 256)
+          [--log-level <l>]       structured key=value stderr logging:
+                                  error (default), info (connection and
+                                  shutdown lifecycle), debug (per-request
+                                  noise: Busy rejections, malformed frames)
 
 Stops on the protocol SHUTDOWN verb (`oracle-loadgen --addr <addr> --shutdown`).
+The METRICS verb (`oracle-loadgen --addr <addr> --metrics`) returns the full
+telemetry registry in text exposition format.
 ";
 
 fn main() -> ExitCode {
@@ -104,6 +110,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
     }
     if let Some(v) = take_opt(&mut rest, "--queue-cap") {
         cfg.queue_cap = parse(&v, "--queue-cap")?;
+    }
+    if let Some(v) = take_opt(&mut rest, "--log-level") {
+        let level = se_oracle::telemetry::log::parse_level(&v)
+            .ok_or_else(|| format!("invalid --log-level: '{v}' (error, info, or debug)"))?;
+        se_oracle::telemetry::log::set_level(level);
     }
     reject_leftovers(&rest)?;
 

@@ -68,6 +68,10 @@ USAGE:
   terrain-oracle build --mesh <file.off> --pois <file.csv> --eps <f>
                        --out <file.seor> [--engine exact|edge|steiner]
                        [--threads <n>]   (0 = auto-detect; default 0)
+                       [--trace <file.json>]  (write a Chrome trace-event
+                       JSON of the build phases; view in chrome://tracing
+                       or Perfetto. The built image is byte-identical with
+                       and without tracing.)
   terrain-oracle info  --oracle <file.seor>
   terrain-oracle query --oracle <file.seor> --pairs \"<s> <t>\" ...
   terrain-oracle query-batch --oracle <file.seor> [--pairs-file <f>]
@@ -179,6 +183,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let eps: f64 =
         require(&mut rest, "--eps")?.parse().map_err(|_| "--eps needs a number".to_string())?;
     let out_path = require(&mut rest, "--out")?;
+    let trace_path = take_opt(&mut rest, "--trace");
     let engine = parse_engine(&mut rest)?;
     let threads = parse_threads(&mut rest)?;
     reject_leftovers(&rest)?;
@@ -187,8 +192,20 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let pois = load_pois(&poi_path, &mesh)?;
     eprintln!("building SE(ε={eps}) over {} POIs on {} vertices…", pois.len(), mesh.n_vertices());
     let cfg = BuildConfig { threads, ..Default::default() };
+    if trace_path.is_some() {
+        se_oracle::telemetry::trace::enable();
+    }
     let t0 = std::time::Instant::now();
     let oracle = P2POracle::build(&mesh, &pois, eps, engine, &cfg).map_err(|e| e.to_string())?;
+    if let Some(trace_out) = &trace_path {
+        let events = se_oracle::telemetry::trace::take_events();
+        let json = se_oracle::telemetry::trace::export_chrome_json(&events);
+        std::fs::write(trace_out, json).map_err(|e| format!("writing {trace_out}: {e}"))?;
+        eprintln!(
+            "wrote {} trace event(s) to {trace_out} (open in chrome://tracing or Perfetto)",
+            events.len()
+        );
+    }
     let stats = oracle.oracle().build_stats();
     eprintln!(
         "built in {:.2?}: {} pairs, h = {}, {:.1} KiB ({} workers, SSAD cache {} hits / {} misses)",

@@ -107,6 +107,62 @@ fn happy_path_distance_stats_and_errors() {
 }
 
 #[test]
+fn metrics_verb_agrees_with_stats_and_the_client_ledger() {
+    use se_oracle::telemetry;
+
+    let handle = loaded_handle(31, 20);
+    let n = handle.n_sites();
+    let (addr, server) = start(Backend::Oracle(handle), ServeConfig::default());
+    let mut c = Connection::connect(addr).unwrap();
+
+    // Closed-loop sends with no retries, so every request is accounted
+    // exactly once: sent = served + busy.
+    let sent = 12u64;
+    let pairs_each = 8usize;
+    let mut served = 0u64;
+    let mut busy = 0u64;
+    for r in 0..sent {
+        let pairs = pair_stream(5, r, pairs_each, n);
+        match c.roundtrip(&Request::Distance { id: r, pairs }).unwrap() {
+            Response::Distances { .. } => served += 1,
+            Response::Busy { .. } => busy += 1,
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(served + busy, sent);
+
+    let text = match c.roundtrip(&Request::Metrics { id: 99 }).unwrap() {
+        Response::Metrics { id: 99, text } => text,
+        other => panic!("unexpected response: {other:?}"),
+    };
+    let stats = match c.roundtrip(&Request::Stats { id: 100 }).unwrap() {
+        Response::Stats { id: 100, stats } => stats,
+        other => panic!("unexpected response: {other:?}"),
+    };
+
+    // The registry is what the client observed...
+    assert_eq!(telemetry::lookup(&text, "serve_requests_total"), Some(served));
+    assert_eq!(telemetry::lookup(&text, "serve_busy_total"), Some(busy));
+    assert_eq!(telemetry::lookup(&text, "serve_pairs_total"), Some(served * pairs_each as u64));
+    // ...and the Stats verb reads the same counters (nothing else sends
+    // between the two scrapes on this single connection).
+    assert_eq!(telemetry::lookup(&text, "serve_requests_total"), Some(stats.requests));
+    assert_eq!(telemetry::lookup(&text, "serve_pairs_total"), Some(stats.pairs));
+    assert_eq!(telemetry::lookup(&text, "serve_busy_total"), Some(stats.busy_rejections));
+    assert_eq!(telemetry::lookup(&text, "serve_batches_total"), Some(stats.batches));
+    assert_eq!(telemetry::lookup(&text, "serve_connections_total"), Some(stats.connections));
+    // Query-path probe telemetry: every answered pair costs at least one
+    // node-pair hash probe (counted without any clock on the query path).
+    let probes = telemetry::lookup(&text, "serve_probe_pairs_total").unwrap();
+    assert!(probes >= stats.pairs, "probes {probes} < pairs {}", stats.pairs);
+    // The batch-size histogram is registered and counted batches.
+    assert_eq!(telemetry::lookup(&text, "serve_batch_pairs_count"), Some(stats.batches));
+
+    shutdown(addr);
+    server.join().unwrap();
+}
+
+#[test]
 fn path_requests_roundtrip_over_the_socket() {
     let p2p = build_p2p(307, 16, 0.25, EngineKind::EdgeGraph);
     let paths = PathIndex::for_p2p(&p2p, 3);
