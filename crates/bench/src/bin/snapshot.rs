@@ -17,13 +17,22 @@
 //! - `socket_pairs_per_s` / `socket_p99_us` — the `oracled` server core on
 //!   a loopback socket, saturated by 4 concurrent clients (the CI serving
 //!   smoke, measured). Pair throughput is scraped from the server's own
-//!   telemetry registry over the wire `Metrics` verb; latency quantiles
-//!   come from an `obs` log-bucket histogram.
+//!   telemetry registry over the wire `Metrics` verb; the p99 is the
+//!   exact nearest-rank quantile over the raw per-request samples (the
+//!   run is ≤64k requests, so there is no reason to pay a log-bucket
+//!   histogram's ≤25 % bucket error on a headline number);
+//! - `seat_bytes_v1` / `seat_bytes_v2` / `seat_compact_ratio` — the same
+//!   workload tiled into a 2×2 atlas, serialized as a v1 `SEAT` image and
+//!   as the compact v2 (`--compress`) image;
+//! - `ooc_pairs_per_s` — the compact image served out-of-core under a
+//!   resident budget of half its decoded size (eviction active), 10k
+//!   pairs through the parallel atlas driver.
 //!
 //! Each timing is the median of several repetitions, so a snapshot is
 //! stable enough to eyeball across commits without a criterion run.
 
 use bench::setup::{query_pairs, Workload};
+use se_oracle::atlas::{Atlas, AtlasConfig, AtlasHandle};
 use se_oracle::net::{Backend, Connection, OracleServer, Request, Response, ServeConfig};
 use se_oracle::oracle::BuildConfig;
 use se_oracle::p2p::{EngineKind, P2POracle};
@@ -32,6 +41,7 @@ use se_oracle::serve::{pair_stream, QueryHandle};
 use std::hint::black_box;
 use std::time::Instant;
 use terrain::gen::Preset;
+use terrain::tile::TileGridConfig;
 
 const BATCH: usize = 10_000;
 const PATH_PAIRS: usize = 64;
@@ -120,11 +130,12 @@ fn main() {
             })
         })
         .collect();
-    let hist = obs::Histogram::default();
+    // Raw samples, not a histogram: 1000 requests fit trivially, and the
+    // nearest-rank quantile is exact (a log-bucket histogram's p99 carries
+    // up to ~25 % bucket error — enough to swamp a real regression).
+    let mut lat_us: Vec<u64> = Vec::with_capacity((SOCK_CLIENTS * SOCK_REQUESTS) as usize);
     for c in clients {
-        for us in c.join().expect("client thread") {
-            hist.observe(us);
-        }
+        lat_us.extend(c.join().expect("client thread"));
     }
     let elapsed = t0.elapsed().as_secs_f64();
     // Throughput comes from the server's own telemetry registry (the wire
@@ -140,7 +151,37 @@ fn main() {
     let _ = ctl.roundtrip(&Request::Shutdown { id: 0 });
     let _ = server.join();
     let socket_qps = served_pairs as f64 / elapsed;
-    let socket_p99_us = hist.snapshot().quantile(0.99) as f64;
+    lat_us.sort_unstable();
+    let rank = ((lat_us.len() * 99).div_ceil(100)).saturating_sub(1);
+    let socket_p99_us = lat_us[rank] as f64;
+
+    // 5. Compressed image sizes + out-of-core throughput: the same
+    //    workload tiled 2×2, saved v1 and compact v2, then the compact
+    //    image served under a resident budget of half its decoded size.
+    let acfg = AtlasConfig {
+        grid: TileGridConfig::default(),
+        build: BuildConfig::default(),
+        path_points_per_edge: None,
+    };
+    let atlas = Atlas::build(&w.mesh, &w.pois, 0.15, EngineKind::EdgeGraph, &acfg)
+        .expect("atlas construction");
+    let v1_bytes = atlas.save_bytes().len();
+    let v2_image = atlas.save_bytes_compact(true);
+    let seat_ratio = v1_bytes as f64 / v2_image.len() as f64;
+    let budget = atlas.storage_bytes() / 2;
+    let seat_path =
+        std::env::temp_dir().join(format!("bench-snapshot-{}.seat", std::process::id()));
+    std::fs::write(&seat_path, &v2_image).expect("write atlas image");
+    let ooc = AtlasHandle::new(Atlas::open_out_of_core(&seat_path, budget).expect("open atlas"));
+    let ooc_pairs: Vec<(u32, u32)> = query_pairs(ooc.n_sites(), BATCH, 0x0A7A)
+        .into_iter()
+        .map(|(s, t)| (s as u32, t as u32))
+        .collect();
+    let ooc_ms = median_ms(5, || {
+        black_box(ooc.distance_many_par(&ooc_pairs, 0));
+    });
+    let ooc_qps = BATCH as f64 / (ooc_ms / 1e3);
+    let _ = std::fs::remove_file(&seat_path);
 
     let json = format!(
         "{{\n  \"schema\": 1,\n  \"label\": \"{label}\",\n  \"generator\": \
@@ -154,7 +195,16 @@ fn main() {
          {{ \"name\": \"socket_pairs_per_s\", \"value\": {socket_qps:.0}, \"unit\": \"pairs/s\", \
          \"detail\": \"oracled server core, 4 clients x 250 requests x 64 pairs, default admission\" }},\n    \
          {{ \"name\": \"socket_p99_us\", \"value\": {socket_p99_us:.1}, \"unit\": \"us\", \
-         \"detail\": \"p99 request latency over the same socket run\" }}\n  ]\n}}\n"
+         \"detail\": \"exact nearest-rank p99 request latency over the same socket run (raw samples)\" }},\n    \
+         {{ \"name\": \"seat_bytes_v1\", \"value\": {v1_bytes}, \"unit\": \"bytes\", \
+         \"detail\": \"2x2 atlas over the query workload, v1 SEAT image\" }},\n    \
+         {{ \"name\": \"seat_bytes_v2\", \"value\": {v2_len}, \"unit\": \"bytes\", \
+         \"detail\": \"same atlas, compact v2 (--compress) SEAT image\" }},\n    \
+         {{ \"name\": \"seat_compact_ratio\", \"value\": {seat_ratio:.2}, \"unit\": \"x\", \
+         \"detail\": \"v1 bytes / compressed v2 bytes\" }},\n    \
+         {{ \"name\": \"ooc_pairs_per_s\", \"value\": {ooc_qps:.0}, \"unit\": \"pairs/s\", \
+         \"detail\": \"10k-pair parallel batch, out-of-core atlas at half-decoded-size resident budget, median of 5\" }}\n  ]\n}}\n",
+        v2_len = v2_image.len()
     );
     let out = format!("BENCH_{label}.json");
     std::fs::write(&out, &json).expect("write snapshot");

@@ -55,9 +55,11 @@
 // lint: query-path
 use crate::oracle::{BuildConfig, BuildError, SeOracle};
 use crate::p2p::{make_engine, EngineKind};
+use crate::persist::PersistError;
 use crate::proximity::DetourPoi;
 use crate::route::ShortestPath;
 use crate::serve::shard_pairs;
+use crate::tilestore::TileStore;
 use geodesic::path::{shortest_vertex_path_straightened, SurfacePath};
 use geodesic::sitespace::VertexSiteSpace;
 use geodesic::steiner::SteinerGraph;
@@ -224,12 +226,34 @@ pub(crate) struct AtlasTile {
     pub(crate) portal_table: Vec<f64>,
 }
 
+impl AtlasTile {
+    /// Decoded in-memory size of this tile — the unit the out-of-core
+    /// resident budget is charged in.
+    pub(crate) fn footprint(&self) -> usize {
+        use std::mem::size_of;
+        self.oracle.storage_bytes()
+            + self.portals.len() * size_of::<(u32, u32)>()
+            + self.portal_table.len() * size_of::<f64>()
+    }
+}
+
+/// Where an atlas's decoded tiles live: fully resident (built or eagerly
+/// loaded) or behind the out-of-core [`TileStore`], which decodes tile
+/// segments on demand under a resident-byte budget. Query code touches
+/// tiles only through [`Atlas::tile`], which hands out an [`Arc`] either
+/// way — a query pins the tiles it is using, so eviction never invalidates
+/// an answer in flight.
+enum TileSet {
+    Resident(Vec<Arc<AtlasTile>>),
+    Store(TileStore),
+}
+
 /// A tiled SE oracle: per-tile oracles plus a portal graph for cross-tile
 /// routing. Built by [`Atlas::build`]; served through [`AtlasHandle`];
 /// persisted by `save_to`/`load_from` (see [`crate::persist`]).
 pub struct Atlas {
     eps: f64,
-    tiles: Vec<AtlasTile>,
+    tiles: TileSet,
     /// Home tile of each global site (the unique core cell containing it).
     site_home: Vec<u32>,
     /// Per global site: every `(tile, local site id)` membership —
@@ -386,11 +410,11 @@ impl Atlas {
                 r.map_err(|source| AtlasError::Build { tile: t, source })?;
             tiles.push(AtlasTile { oracle, portals: plan.portals, portal_table });
         }
-        if let Some(components) = routing_components(&tiles, n_portals) {
+        if let Some(components) = routing_components(&portal_views(&tiles), n_portals) {
             return Err(AtlasError::Unroutable { components });
         }
 
-        let (graph_off, graph_adj) = build_portal_graph(&tiles, n_portals);
+        let (graph_off, graph_adj) = build_portal_graph(&portal_views(&tiles), n_portals);
         let stats = AtlasBuildStats {
             total: t_start.elapsed(),
             tiling,
@@ -404,7 +428,7 @@ impl Atlas {
         };
         Ok(Self {
             eps,
-            tiles,
+            tiles: TileSet::Resident(tiles.into_iter().map(Arc::new).collect()),
             site_home,
             site_members,
             n_portals,
@@ -425,10 +449,10 @@ impl Atlas {
         site_members: Vec<Vec<(u32, u32)>>,
         n_portals: usize,
     ) -> Result<Self, &'static str> {
-        if routing_components(&tiles, n_portals).is_some() {
+        if routing_components(&portal_views(&tiles), n_portals).is_some() {
             return Err("portal graph does not connect every tile");
         }
-        let (graph_off, graph_adj) = build_portal_graph(&tiles, n_portals);
+        let (graph_off, graph_adj) = build_portal_graph(&portal_views(&tiles), n_portals);
         let stats = AtlasBuildStats {
             n_tiles: tiles.len(),
             n_portals,
@@ -440,7 +464,7 @@ impl Atlas {
         // distance-only (see [`AtlasConfig::path_points_per_edge`]).
         Ok(Self {
             eps,
-            tiles,
+            tiles: TileSet::Resident(tiles.into_iter().map(Arc::new).collect()),
             site_home,
             site_members,
             n_portals,
@@ -449,6 +473,70 @@ impl Atlas {
             stats,
             paths: None,
         })
+    }
+
+    /// Opens a `SEAT` image **out of core**: tile segments stay on disk
+    /// and are decoded on demand into an LRU of resident tiles capped at
+    /// `resident_budget` decoded bytes (a budget smaller than one tile
+    /// still admits that single tile — the floor is "one resident tile at
+    /// a time"). Opening validates the *entire* image once — frame
+    /// checksum, every tile segment, every membership — then drops the
+    /// decoded tiles again, so a corrupt image fails here and never inside
+    /// a query. Works for v1 and v2 images alike; answers are
+    /// bit-identical to a fully resident [`Atlas::load_from`] of the same
+    /// bytes, for any budget and any eviction schedule (see
+    /// `tests/out_of_core.rs`).
+    pub fn open_out_of_core(
+        path: &std::path::Path,
+        resident_budget: usize,
+    ) -> Result<Self, PersistError> {
+        Self::open_out_of_core_with(path, resident_budget, obs::Registry::new())
+    }
+
+    /// [`Self::open_out_of_core`] with the caller's metrics registry — the
+    /// store's hit/miss/load/eviction counters and resident gauges land
+    /// there (serving front ends pass the registry their `Metrics` verb
+    /// exposes).
+    pub fn open_out_of_core_with(
+        path: &std::path::Path,
+        resident_budget: usize,
+        registry: obs::Registry,
+    ) -> Result<Self, PersistError> {
+        let (store, meta) = TileStore::open(path, resident_budget, registry)?;
+        let views: Vec<PortalView<'_>> =
+            meta.portal_data.iter().map(|(p, t)| (p.as_slice(), t.as_slice())).collect();
+        if routing_components(&views, meta.n_portals).is_some() {
+            return Err(PersistError::Corrupt("portal graph does not connect every tile"));
+        }
+        let (graph_off, graph_adj) = build_portal_graph(&views, meta.n_portals);
+        let stats = AtlasBuildStats {
+            n_tiles: store.n_tiles(),
+            n_portals: meta.n_portals,
+            portal_edges: graph_adj.len(),
+            tile_sites: meta.tile_sites,
+            ..Default::default()
+        };
+        Ok(Self {
+            eps: meta.eps,
+            tiles: TileSet::Store(store),
+            site_home: meta.site_home,
+            site_members: meta.site_members,
+            n_portals: meta.n_portals,
+            graph_off,
+            graph_adj,
+            stats,
+            paths: None,
+        })
+    }
+
+    /// The out-of-core tile store behind this atlas, when it was opened
+    /// with [`Self::open_out_of_core`] (`None` for built or eagerly loaded
+    /// atlases). Exposes residency statistics and the metrics registry.
+    pub fn tile_store(&self) -> Option<&TileStore> {
+        match &self.tiles {
+            TileSet::Store(s) => Some(s),
+            TileSet::Resident(_) => None,
+        }
     }
 
     /// The error parameter ε of every tile oracle.
@@ -463,7 +551,10 @@ impl Atlas {
 
     /// Number of tiles.
     pub fn n_tiles(&self) -> usize {
-        self.tiles.len()
+        match &self.tiles {
+            TileSet::Resident(v) => v.len(),
+            TileSet::Store(s) => s.n_tiles(),
+        }
     }
 
     /// Number of portals in the routing graph.
@@ -488,25 +579,32 @@ impl Atlas {
     }
 
     /// Atlas size: every tile oracle plus the portal tables and graph.
+    /// For an out-of-core atlas the tile term is the *full* decoded size
+    /// (what a resident load would cost — the resident budget bounds what
+    /// is actually held; see [`TileStore::stats`]).
     pub fn storage_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.tiles
-            .iter()
-            .map(|t| {
-                t.oracle.storage_bytes()
-                    + t.portals.len() * size_of::<(u32, u32)>()
-                    + t.portal_table.len() * size_of::<f64>()
-            })
-            .sum::<usize>()
+        let tile_bytes = match &self.tiles {
+            TileSet::Resident(v) => v.iter().map(|t| t.footprint()).sum::<usize>(),
+            TileSet::Store(s) => s.decoded_bytes_total(),
+        };
+        tile_bytes
             + self.site_home.len() * size_of::<u32>()
             + self.site_members.iter().map(|m| m.len() * size_of::<(u32, u32)>()).sum::<usize>()
             + self.graph_off.len() * size_of::<u32>()
             + self.graph_adj.len() * size_of::<(u32, f64)>()
     }
 
-    /// Persistence accessors.
-    pub(crate) fn tiles(&self) -> &[AtlasTile] {
-        &self.tiles
+    /// The one way query (and persistence) code reaches a tile. Resident
+    /// atlases clone the tile's `Arc`; out-of-core atlases go through the
+    /// store, which may decode the segment (a miss) and evict others —
+    /// the returned `Arc` keeps this tile's data alive for the caller
+    /// regardless, so mid-query eviction cannot invalidate it.
+    pub(crate) fn tile(&self, t: usize) -> Arc<AtlasTile> {
+        match &self.tiles {
+            TileSet::Resident(v) => Arc::clone(&v[t]),
+            TileSet::Store(s) => s.tile(t),
+        }
     }
 
     pub(crate) fn site_homes(&self) -> &[u32] {
@@ -606,7 +704,7 @@ impl Atlas {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    let tile = &self.tiles[ms[i].0 as usize];
+                    let tile = self.tile(ms[i].0 as usize);
                     best = best.min(tile.oracle.distance(ms[i].1 as usize, mt[j].1 as usize));
                     i += 1;
                     j += 1;
@@ -631,8 +729,8 @@ impl Atlas {
     /// portal's oracle distance from `s`, settle the graph, and harvest
     /// the best completion through a destination portal.
     fn route(&self, ts: usize, ls: u32, tt: usize, lt: u32, scratch: &mut RouteScratch) -> f64 {
-        let src = &self.tiles[ts];
-        let dst = &self.tiles[tt];
+        let src = self.tile(ts);
+        let dst = self.tile(tt);
         debug_assert!(scratch.heap.is_empty() && scratch.touched.is_empty());
 
         scratch.pairs.clear();
@@ -736,7 +834,7 @@ impl Atlas {
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
                     let tile = ms[i].0 as usize;
-                    let d = self.tiles[tile].oracle.distance(ms[i].1 as usize, mt[j].1 as usize);
+                    let d = self.tile(tile).oracle.distance(ms[i].1 as usize, mt[j].1 as usize);
                     if d < best {
                         best = d;
                         direct = Some((tile, ms[i].1, mt[j].1));
@@ -789,8 +887,8 @@ impl Atlas {
         lt: u32,
         scratch: &mut RouteScratch,
     ) -> (f64, Vec<u32>) {
-        let src = &self.tiles[ts];
-        let dst = &self.tiles[tt];
+        let src = self.tile(ts);
+        let dst = self.tile(tt);
         debug_assert!(scratch.heap.is_empty() && scratch.touched.is_empty());
 
         // `u32::MAX` = label realised by direct seeding from the source.
@@ -889,12 +987,13 @@ impl Atlas {
     /// Local site id of global portal `gid` inside tile `t` (the portal
     /// must belong to the tile).
     fn portal_site_in(&self, t: usize, gid: u32) -> u32 {
-        let portals = &self.tiles[t].portals;
-        let k = portals
+        let tile = self.tile(t);
+        let k = tile
+            .portals
             .binary_search_by_key(&gid, |&(g, _)| g)
             // lint: allow(panic, "invariant: routes only cross portals of member tiles; a miss means a corrupt image")
             .expect("portal not a member of the tile its route crossed");
-        portals[k].1
+        tile.portals[k].1
     }
 
     /// The lowest-numbered tile whose portal table produced the portal
@@ -907,7 +1006,8 @@ impl Atlas {
         let w =
             // lint: allow(panic, "invariant: the dedup in build_portal_graph keeps some tile's entry verbatim")
             row[row.binary_search_by_key(&b, |&(v, _)| v).expect("edge absent from the graph")].1;
-        for (t, tile) in self.tiles.iter().enumerate() {
+        for t in 0..self.n_tiles() {
+            let tile = self.tile(t);
             let Ok(pi) = tile.portals.binary_search_by_key(&a, |&(g, _)| g) else { continue };
             let Ok(pj) = tile.portals.binary_search_by_key(&b, |&(g, _)| g) else { continue };
             if tile.portal_table[pi * tile.portals.len() + pj].to_bits() == w.to_bits() {
@@ -1070,9 +1170,20 @@ impl RouteScratch {
     }
 }
 
+/// One tile's contribution to the portal graph — its `(global, local)`
+/// portal list and row-major portal table — borrowed from wherever the
+/// tile currently lives (a resident [`AtlasTile`] or the out-of-core
+/// store's transient open-time decode).
+pub(crate) type PortalView<'a> = (&'a [(u32, u32)], &'a [f64]);
+
+/// The portal views of a resident tile slice.
+fn portal_views(tiles: &[AtlasTile]) -> Vec<PortalView<'_>> {
+    tiles.iter().map(|t| (t.portals.as_slice(), t.portal_table.as_slice())).collect()
+}
+
 /// Tiles that share a portal can route to each other; if that relation
 /// does not connect all tiles, returns `Some(component count)`.
-fn routing_components(tiles: &[AtlasTile], n_portals: usize) -> Option<usize> {
+fn routing_components(tiles: &[PortalView<'_>], n_portals: usize) -> Option<usize> {
     if tiles.len() <= 1 {
         return None;
     }
@@ -1085,8 +1196,8 @@ fn routing_components(tiles: &[AtlasTile], n_portals: usize) -> Option<usize> {
         x
     }
     let mut owner: Vec<u32> = vec![u32::MAX; n_portals];
-    for (t, tile) in tiles.iter().enumerate() {
-        for &(gid, _) in &tile.portals {
+    for (t, &(portals, _)) in tiles.iter().enumerate() {
+        for &(gid, _) in portals {
             let o = owner[gid as usize];
             if o == u32::MAX {
                 owner[gid as usize] = t as u32;
@@ -1105,15 +1216,15 @@ fn routing_components(tiles: &[AtlasTile], n_portals: usize) -> Option<usize> {
 /// Assembles the CSR portal graph from every tile's portal table:
 /// ascending neighbours per source, minimum weight kept when several tiles
 /// connect the same portal pair.
-fn build_portal_graph(tiles: &[AtlasTile], n_portals: usize) -> (Vec<u32>, Vec<(u32, f64)>) {
+fn build_portal_graph(tiles: &[PortalView<'_>], n_portals: usize) -> (Vec<u32>, Vec<(u32, f64)>) {
     let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_portals];
-    for tile in tiles {
-        let p = tile.portals.len();
+    for &(portals, table) in tiles {
+        let p = portals.len();
         for i in 0..p {
-            let gi = tile.portals[i].0 as usize;
+            let gi = portals[i].0 as usize;
             for j in 0..p {
                 if i != j {
-                    adj[gi].push((tile.portals[j].0, tile.portal_table[i * p + j]));
+                    adj[gi].push((portals[j].0, table[i * p + j]));
                 }
             }
         }

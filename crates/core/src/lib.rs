@@ -30,7 +30,12 @@
 //!   [`oracle::SeOracle::shortest_path`], routes alongside distances;
 //! * [`dynamic`] — POI insertion/removal without a rebuild (the
 //!   conclusion's open problem, via the dynamic-WSPD idea of \[14\]);
-//! * [`persist`] — versioned, checksummed binary oracle images;
+//! * [`persist`] — versioned, checksummed binary oracle images, with a
+//!   compact v2 encoding ([`quant`]: quantized + delta-coded tables,
+//!   worst-case decode error ≤ [`quant::EPS_QUANT`]);
+//! * [`tilestore`] — the out-of-core atlas backend: lazy per-tile decode
+//!   from one `SEAT` image behind a clock-free LRU with a resident-byte
+//!   budget;
 //! * [`serve`] — the query-serving layer: [`serve::QueryHandle`] (a
 //!   shared, `Send + Sync` read-only view), batch distance queries, and a
 //!   pool-sharded multi-threaded batch driver;
@@ -77,8 +82,10 @@ pub mod oracle;
 pub mod p2p;
 pub mod persist;
 pub mod proximity;
+pub mod quant;
 pub mod route;
 pub mod serve;
+pub mod tilestore;
 pub mod tree;
 pub mod wspd;
 
@@ -95,6 +102,8 @@ pub use oracle::{
 pub use p2p::{EngineKind, P2PError, P2POracle};
 pub use persist::PersistError;
 pub use proximity::{DetourPoi, Neighbor, ProximityIndex};
+pub use quant::EPS_QUANT;
 pub use route::{PathIndex, ShortestPath, EPS_PATH};
 pub use serve::QueryHandle;
+pub use tilestore::{TileStore, TileStoreStats};
 pub use tree::{PartitionTree, SelectionStrategy, TreeError};

@@ -558,7 +558,12 @@ impl FrameReader {
         }
         let mut head = [0u8; 16];
         head.copy_from_slice(&self.buf[..16]);
-        let len = parse_frame_header(&head, WIRE_MAGIC, WIRE_VERSION, WIRE_FRAME_CAP)? as usize;
+        // Peers negotiate versions out of band, so unlike the image
+        // loaders the wire accepts exactly one version (a single-element
+        // range).
+        let (_, len) =
+            parse_frame_header(&head, WIRE_MAGIC, WIRE_VERSION..=WIRE_VERSION, WIRE_FRAME_CAP)?;
+        let len = len as usize;
         let total = 16 + len + 8;
         if self.buf.len() < total {
             return Ok(None);
@@ -567,7 +572,8 @@ impl FrameReader {
         let whole = std::mem::replace(&mut self.buf, rest);
         // Re-run the full shared validation (magic, version, cap,
         // checksum) over the complete frame.
-        let payload = read_framed(&mut &whole[..], WIRE_MAGIC, WIRE_VERSION, WIRE_FRAME_CAP)?;
+        let (_, payload) =
+            read_framed(&mut &whole[..], WIRE_MAGIC, WIRE_VERSION..=WIRE_VERSION, WIRE_FRAME_CAP)?;
         Ok(Some(payload))
     }
 }
@@ -701,8 +707,9 @@ mod tests {
     #[test]
     fn corrupt_request_payloads_error_not_panic() {
         let framed = encode_request(&Request::Distance { id: 3, pairs: vec![(1, 2), (3, 4)] });
-        let payload =
-            read_framed(&mut &framed[..], WIRE_MAGIC, WIRE_VERSION, WIRE_FRAME_CAP).unwrap();
+        let (_, payload) =
+            read_framed(&mut &framed[..], WIRE_MAGIC, WIRE_VERSION..=WIRE_VERSION, WIRE_FRAME_CAP)
+                .unwrap();
         for i in 0..payload.len() {
             for flip in [0x01u8, 0x80] {
                 let mut bad = payload.clone();

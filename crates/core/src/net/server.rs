@@ -498,7 +498,14 @@ fn handle_frame(payload: &[u8], sh: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>) ->
             let _ = tx.send(encode_response(&Response::Stats { id, stats }));
         }
         Request::Metrics { id } => {
-            let text = sh.stats.registry.expose();
+            let mut text = sh.stats.registry.expose();
+            // An out-of-core atlas keeps its residency counters in the
+            // tile store's registry; append them so one scrape sees both.
+            if let Backend::Atlas(h) = &sh.backend {
+                if let Some(store) = h.atlas().tile_store() {
+                    text.push_str(&store.registry().expose());
+                }
+            }
             let _ = tx.send(encode_response(&Response::Metrics { id, text }));
         }
         Request::Shutdown { id } => {

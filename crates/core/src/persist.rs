@@ -53,24 +53,74 @@
 //! rationale as the perfect hash. Loading validates every structural
 //! invariant (nested images, membership tables, portal ids, routability)
 //! before returning, and a loaded image re-serializes byte-identically.
+//!
+//! # Compact (`v2`) images
+//!
+//! [`SeOracle::save_to_compact`] / [`Atlas::save_to_compact`] write format
+//! **version 2**, which replaces the fixed-width arrays with LEB128
+//! varints and routes every `f64` table (node radii, pair distances,
+//! portal tables) through the bounded-error quantizer of [`crate::quant`]
+//! (lossless raw mode when `compress` is off, so uncompressed v2 answers
+//! stay bit-identical; quantized mode bounds every value's relative decode
+//! error by [`crate::quant::EPS_QUANT`]). Both loaders accept v1 *and* v2
+//! via the version word in the frame — old images keep loading unchanged.
+//!
+//! Monolithic v2 payload (struct-of-arrays; `qtable` is the mode-tagged
+//! table of `crate::quant`, `varint` is LEB128):
+//!
+//! ```text
+//!   eps f64, r0 f64, h u32, root u32
+//!   node count u32, then centers (varint each), layers (varint each),
+//!                        parents (varint each), radii qtable
+//!   site count u32, then leaf_of_site varint each
+//!   pair count u64, then keys as ascending deltas (varint each; first is
+//!                   absolute), then distances qtable in the same order
+//! ```
+//!
+//! Atlas v2 payload:
+//!
+//! ```text
+//!   eps f64
+//!   site count u32, portal count u32, tile count u32
+//!   per site:  home varint, membership count varint,
+//!              then per membership: tile varint, local varint
+//!   tile directory: per tile, its segment length (varint) — the segments
+//!              follow concatenated, so any tile can be located and decoded
+//!              without touching the others (the out-of-core `TileStore`
+//!              reads exactly one segment per miss)
+//!   per tile segment: oracle image length u64, a complete nested SEOR
+//!              image (independently framed and checksummed), portal count
+//!              u32, per portal: global id varint, local varint, then the
+//!              portal table qtable (portal count², row-major)
+//! ```
 
 use crate::atlas::{Atlas, AtlasTile};
 use crate::ctree::{CNode, CompressedTree};
 use crate::oracle::SeOracle;
+use crate::quant::{read_qtable, read_varint, write_qtable, write_varint};
 use crate::tree::NO_NODE;
 use std::io::{self, Read, Write};
+use std::ops::RangeInclusive;
 
 /// Magic of monolithic (`SEOR`) oracle images — public so deployment
 /// front ends (e.g. `oracled`) can sniff an image's kind from its first
 /// four bytes before choosing a loader.
 pub const ORACLE_MAGIC: [u8; 4] = *b"SEOR";
 const MAGIC: [u8; 4] = ORACLE_MAGIC;
-/// Format version of monolithic (`SEOR`) oracle images.
+/// Format version of classic (fixed-width, lossless) monolithic `SEOR`
+/// oracle images — what [`SeOracle::save_to`] writes.
 pub const ORACLE_VERSION: u32 = 1;
+/// Format version of compact monolithic `SEOR` images (varint + qtable
+/// encoding; see the module docs) — what [`SeOracle::save_to_compact`]
+/// writes. Loaders accept both versions.
+pub const ORACLE_VERSION_COMPACT: u32 = 2;
 /// Magic of atlas (`SEAT`) images (see [`ORACLE_MAGIC`]).
 pub const ATLAS_MAGIC: [u8; 4] = *b"SEAT";
-/// Format version of atlas (`SEAT`) images.
+/// Format version of classic atlas (`SEAT`) images.
 pub const ATLAS_VERSION: u32 = 1;
+/// Format version of compact atlas images with a tile directory (the
+/// out-of-core–servable layout) — what [`Atlas::save_to_compact`] writes.
+pub const ATLAS_VERSION_COMPACT: u32 = 2;
 /// Salt for the rebuilt perfect hash; any value works, a fixed one keeps
 /// loads deterministic.
 const REBUILD_SEED: u64 = 0x5E0A_AC1E_0F11_E5ED;
@@ -149,7 +199,7 @@ impl From<io::Error> for PersistError {
     }
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -182,7 +232,11 @@ pub(crate) fn write_framed<W: Write>(
 
 /// Reads and validates the frame written by [`write_framed`] — magic,
 /// version-against-`supported`, length-against-`cap`, checksum — returning
-/// the payload for the kind-specific parser.
+/// the stamped version and the payload for the kind-specific parser.
+/// `supported` is an inclusive version range: image loaders pass
+/// `1..=VERSION_COMPACT` so every shipped revision stays readable, while
+/// the wire protocol passes a single-version range (peers negotiate, files
+/// don't).
 ///
 /// The declared length is **untrusted**: it is checked against `cap`
 /// before anything is allocated, and the payload buffer grows with the
@@ -192,12 +246,12 @@ pub(crate) fn write_framed<W: Write>(
 pub(crate) fn read_framed<R: Read>(
     r: &mut R,
     magic: [u8; 4],
-    supported: u32,
+    supported: RangeInclusive<u32>,
     cap: u64,
-) -> Result<Vec<u8>, PersistError> {
+) -> Result<(u32, Vec<u8>), PersistError> {
     let mut head = [0u8; 16];
     r.read_exact(&mut head)?;
-    let len = parse_frame_header(&head, magic, supported, cap)?;
+    let (version, len) = parse_frame_header(&head, magic, supported, cap)?;
     // Grow-as-read: `take(len)` bounds the read, `read_to_end` grows the
     // buffer geometrically with the bytes that actually arrive (no
     // pre-reservation from the untrusted length at all), so a declared
@@ -213,32 +267,33 @@ pub(crate) fn read_framed<R: Read>(
     if u64::from_le_bytes(sum) != fnv1a(&payload) {
         return Err(PersistError::Corrupt("checksum mismatch"));
     }
-    Ok(payload)
+    Ok((version, payload))
 }
 
-/// Validates the 16-byte frame header (magic, version, declared length
-/// against `cap`) and returns the declared payload length. Shared by
+/// Validates the 16-byte frame header (magic, version against the
+/// `supported` range, declared length against `cap`) and returns the
+/// stamped version plus the declared payload length. Shared by
 /// [`read_framed`] and the network protocol's incremental frame reader, so
 /// the wire format and the image format enforce one hardened contract.
 pub(crate) fn parse_frame_header(
     head: &[u8; 16],
     magic: [u8; 4],
-    supported: u32,
+    supported: RangeInclusive<u32>,
     cap: u64,
-) -> Result<u64, PersistError> {
+) -> Result<(u32, u64), PersistError> {
     let found_magic: [u8; 4] = arr(&head[0..4]);
     if found_magic != magic {
         return Err(PersistError::BadMagic(found_magic));
     }
     let found = u32::from_le_bytes(arr(&head[4..8]));
-    if found != supported {
-        return Err(PersistError::BadVersion { found, supported });
+    if !supported.contains(&found) {
+        return Err(PersistError::BadVersion { found, supported: *supported.end() });
     }
     let len = u64::from_le_bytes(arr(&head[8..16]));
     if len > cap {
         return Err(PersistError::FrameTooLarge { declared: len, cap });
     }
-    Ok(len)
+    Ok((found, len))
 }
 
 /// Infallible slice→array copy for reads whose length is fixed by
@@ -332,12 +387,81 @@ impl SeOracle {
         out
     }
 
-    /// Deserializes an oracle written by [`Self::save_to`], validating the
-    /// checksum and every structural invariant (tree shape, layer
-    /// monotonicity, leaf mapping) before returning.
+    /// Serializes the oracle in the compact v2 format (varints + qtables;
+    /// see the module docs). With `compress` off every table is written in
+    /// lossless raw mode — the loaded oracle answers bit-identically to
+    /// this one. With `compress` on, tables are quantized with a per-table
+    /// scale bounding every value's relative decode error by
+    /// [`crate::quant::EPS_QUANT`], so answers stay within
+    /// `(1+ε)(1+EPS_QUANT)` of the exact metric.
+    pub fn save_to_compact<W: Write>(&self, w: &mut W, compress: bool) -> io::Result<()> {
+        write_framed(w, MAGIC, ORACLE_VERSION_COMPACT, &self.payload_compact(compress))
+    }
+
+    /// [`Self::save_to_compact`] into an in-memory buffer.
+    pub fn save_bytes_compact(&self, compress: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        // lint: allow(panic, "Vec<u8> writes are infallible")
+        self.save_to_compact(&mut out, compress).expect("Vec<u8> writes are infallible");
+        out
+    }
+
+    /// The v2 payload: struct-of-arrays varint streams plus qtables, with
+    /// pair keys sorted ascending and delta-encoded (sorting makes the
+    /// encoding canonical — a decode/re-encode round trip is
+    /// byte-identical regardless of hash iteration order).
+    fn payload_compact(&self, compress: bool) -> Vec<u8> {
+        let t = self.tree();
+        let mut p: Vec<u8> = Vec::with_capacity(64 + 8 * t.n_nodes() + 6 * self.n_pairs());
+        p.extend_from_slice(&self.epsilon().to_le_bytes());
+        p.extend_from_slice(&t.r0.to_le_bytes());
+        p.extend_from_slice(&t.h.to_le_bytes());
+        p.extend_from_slice(&t.root.to_le_bytes());
+        p.extend_from_slice(&(t.n_nodes() as u32).to_le_bytes());
+        for n in &t.nodes {
+            write_varint(&mut p, n.center as u64);
+        }
+        for n in &t.nodes {
+            write_varint(&mut p, n.layer as u64);
+        }
+        for n in &t.nodes {
+            write_varint(&mut p, n.parent as u64);
+        }
+        let radii: Vec<f64> = t.nodes.iter().map(|n| n.radius).collect();
+        write_qtable(&mut p, &radii, compress);
+        p.extend_from_slice(&(t.leaf_of_site.len() as u32).to_le_bytes());
+        for &leaf in &t.leaf_of_site {
+            write_varint(&mut p, leaf as u64);
+        }
+        let mut pairs: Vec<(u64, f64)> = self.pair_entries().collect();
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        p.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+        let mut prev = 0u64;
+        for (i, &(k, _)) in pairs.iter().enumerate() {
+            write_varint(&mut p, if i == 0 { k } else { k - prev });
+            prev = k;
+        }
+        let dists: Vec<f64> = pairs.iter().map(|&(_, d)| d).collect();
+        write_qtable(&mut p, &dists, compress);
+        p
+    }
+
+    /// Deserializes an oracle written by [`Self::save_to`] (v1) or
+    /// [`Self::save_to_compact`] (v2), validating the checksum and every
+    /// structural invariant (tree shape, layer monotonicity, leaf mapping)
+    /// before returning.
     pub fn load_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
-        let payload = read_framed(r, MAGIC, ORACLE_VERSION, IMAGE_FRAME_CAP)?;
-        let mut c = Cursor { buf: &payload, at: 0 };
+        let (version, payload) =
+            read_framed(r, MAGIC, ORACLE_VERSION..=ORACLE_VERSION_COMPACT, IMAGE_FRAME_CAP)?;
+        if version == ORACLE_VERSION_COMPACT {
+            Self::parse_payload_compact(&payload)
+        } else {
+            Self::parse_payload_v1(&payload)
+        }
+    }
+
+    fn parse_payload_v1(payload: &[u8]) -> Result<Self, PersistError> {
+        let mut c = Cursor { buf: payload, at: 0 };
         let eps = c.f64()?;
         if !(eps > 0.0 && eps.is_finite()) {
             return Err(PersistError::Corrupt("invalid ε"));
@@ -404,44 +528,128 @@ impl SeOracle {
             return Err(PersistError::Corrupt("trailing bytes in payload"));
         }
 
-        // Rebuild children lists and validate the tree.
-        if root as usize >= n_nodes {
-            return Err(PersistError::Corrupt("root out of range"));
+        assemble_oracle(OracleParts {
+            eps,
+            r0,
+            h,
+            root,
+            nodes,
+            leaf_of_site,
+            entries,
+            keys_known_distinct: false,
+        })
+    }
+
+    /// Parses the v2 payload (see the module docs). Varint-decoded indices
+    /// are range-checked as they stream in; the two qtables carry their
+    /// own mode/scale validation; pair keys arrive as ascending deltas, so
+    /// distinctness is established during decoding (a zero delta is the
+    /// corrupt-duplicate case) instead of by a sort afterwards.
+    fn parse_payload_compact(payload: &[u8]) -> Result<Self, PersistError> {
+        let mut c = Cursor { buf: payload, at: 0 };
+        let eps = c.f64()?;
+        if !(eps > 0.0 && eps.is_finite()) {
+            return Err(PersistError::Corrupt("invalid ε"));
         }
-        let parents: Vec<u32> = nodes.iter().map(|n| n.parent).collect();
-        for (id, &p) in parents.iter().enumerate() {
-            if id as u32 == root {
-                if p != NO_NODE {
-                    return Err(PersistError::Corrupt("root has a parent"));
-                }
-                continue;
-            }
-            if p == NO_NODE || p as usize >= n_nodes {
-                return Err(PersistError::Corrupt("non-root node without valid parent"));
-            }
-            if nodes[p as usize].layer >= nodes[id].layer {
-                return Err(PersistError::Corrupt("parent layer not higher than child"));
-            }
-            nodes[p as usize].children.push(id as u32);
+        let r0 = c.f64()?;
+        if !(r0.is_finite() && r0 >= 0.0) {
+            return Err(PersistError::Corrupt("root radius not a finite length"));
         }
-        for (site, &leaf) in leaf_of_site.iter().enumerate() {
-            let ok = (leaf as usize) < n_nodes
-                && nodes[leaf as usize].children.is_empty()
-                && nodes[leaf as usize].center as usize == site;
-            if !ok {
+        let h = c.u32()?;
+        if h > MAX_TREE_HEIGHT {
+            return Err(PersistError::Corrupt("implausible tree height"));
+        }
+        let root = c.u32()?;
+        // A v2 node costs at least 4 payload bytes (three 1-byte varints
+        // plus ≥ 1 radii-table byte); bound the count before reserving.
+        let n_nodes = c.u32()? as usize;
+        if n_nodes > c.remaining() / 4 {
+            return Err(PersistError::Corrupt("implausible node count"));
+        }
+        let mut centers = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let v = read_varint(&mut c)?;
+            if v > u32::MAX as u64 {
+                return Err(PersistError::Corrupt("node center out of range"));
+            }
+            centers.push(v as u32);
+        }
+        let mut layers = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let v = read_varint(&mut c)?;
+            if v > h as u64 {
+                return Err(PersistError::Corrupt("node layer exceeds tree height"));
+            }
+            layers.push(v as u32);
+        }
+        let mut parents = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let v = read_varint(&mut c)?;
+            // NO_NODE (u32::MAX) is the root's valid sentinel.
+            if v > u32::MAX as u64 {
+                return Err(PersistError::Corrupt("node parent out of range"));
+            }
+            parents.push(v as u32);
+        }
+        let radii = read_qtable(&mut c, n_nodes)?;
+        let nodes: Vec<CNode> = (0..n_nodes)
+            .map(|i| CNode {
+                center: centers[i],
+                layer: layers[i],
+                parent: parents[i],
+                children: Vec::new(),
+                radius: radii[i],
+            })
+            .collect();
+        let n_sites = c.u32()? as usize;
+        if n_sites > c.remaining() {
+            return Err(PersistError::Corrupt("implausible site count"));
+        }
+        let mut leaf_of_site = Vec::with_capacity(n_sites);
+        for _ in 0..n_sites {
+            let v = read_varint(&mut c)?;
+            if v > u32::MAX as u64 {
                 return Err(PersistError::Corrupt("leaf_of_site mapping broken"));
             }
+            leaf_of_site.push(v as u32);
         }
-        // The perfect-hash rebuild requires distinct keys (duplicates are a
-        // construction-time panic, which bytes from disk must never reach).
-        let mut keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
-        keys.sort_unstable();
-        if keys.windows(2).any(|w| w[0] == w[1]) {
-            return Err(PersistError::Corrupt("duplicate node-pair key"));
+        // A v2 pair costs at least 2 bytes (1-byte key delta + ≥ 1
+        // distance-table byte).
+        let n_pairs = c.u64()? as usize;
+        if n_pairs > c.remaining() / 2 {
+            return Err(PersistError::Corrupt("implausible pair count"));
         }
+        let mut keys = Vec::with_capacity(n_pairs);
+        let mut prev = 0u64;
+        for i in 0..n_pairs {
+            let d = read_varint(&mut c)?;
+            let k = if i == 0 {
+                d
+            } else {
+                if d == 0 {
+                    return Err(PersistError::Corrupt("duplicate node-pair key"));
+                }
+                prev.checked_add(d).ok_or(PersistError::Corrupt("pair key overflow"))?
+            };
+            keys.push(k);
+            prev = k;
+        }
+        let dists = read_qtable(&mut c, n_pairs)?;
+        if c.at != payload.len() {
+            return Err(PersistError::Corrupt("trailing bytes in payload"));
+        }
+        let entries: Vec<(u64, f64)> = keys.into_iter().zip(dists).collect();
 
-        let ctree = CompressedTree { nodes, root, r0, h, leaf_of_site };
-        Ok(SeOracle::from_parts(eps, ctree, entries, REBUILD_SEED))
+        assemble_oracle(OracleParts {
+            eps,
+            r0,
+            h,
+            root,
+            nodes,
+            leaf_of_site,
+            entries,
+            keys_known_distinct: true,
+        })
     }
 
     /// Deserializes from an in-memory buffer.
@@ -449,6 +657,68 @@ impl SeOracle {
         let mut r = bytes;
         Self::load_from(&mut r)
     }
+}
+
+/// The decoded-but-unvalidated pieces of an oracle image, shared by the v1
+/// and v2 parsers so both formats pass one structural gauntlet.
+struct OracleParts {
+    eps: f64,
+    r0: f64,
+    h: u32,
+    root: u32,
+    nodes: Vec<CNode>,
+    leaf_of_site: Vec<u32>,
+    entries: Vec<(u64, f64)>,
+    /// v2's delta decoding already proves keys strictly ascending, so the
+    /// duplicate-key sort can be skipped.
+    keys_known_distinct: bool,
+}
+
+/// Rebuilds children lists, validates every tree invariant (root, parent
+/// layering, leaf mapping, key distinctness), and constructs the oracle.
+fn assemble_oracle(parts: OracleParts) -> Result<SeOracle, PersistError> {
+    let OracleParts { eps, r0, h, root, mut nodes, leaf_of_site, entries, keys_known_distinct } =
+        parts;
+    let n_nodes = nodes.len();
+    if root as usize >= n_nodes {
+        return Err(PersistError::Corrupt("root out of range"));
+    }
+    let parents: Vec<u32> = nodes.iter().map(|n| n.parent).collect();
+    for (id, &p) in parents.iter().enumerate() {
+        if id as u32 == root {
+            if p != NO_NODE {
+                return Err(PersistError::Corrupt("root has a parent"));
+            }
+            continue;
+        }
+        if p == NO_NODE || p as usize >= n_nodes {
+            return Err(PersistError::Corrupt("non-root node without valid parent"));
+        }
+        if nodes[p as usize].layer >= nodes[id].layer {
+            return Err(PersistError::Corrupt("parent layer not higher than child"));
+        }
+        nodes[p as usize].children.push(id as u32);
+    }
+    for (site, &leaf) in leaf_of_site.iter().enumerate() {
+        let ok = (leaf as usize) < n_nodes
+            && nodes[leaf as usize].children.is_empty()
+            && nodes[leaf as usize].center as usize == site;
+        if !ok {
+            return Err(PersistError::Corrupt("leaf_of_site mapping broken"));
+        }
+    }
+    // The perfect-hash rebuild requires distinct keys (duplicates are a
+    // construction-time panic, which bytes from disk must never reach).
+    if !keys_known_distinct {
+        let mut keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        if keys.windows(2).any(|w| w[0] == w[1]) {
+            return Err(PersistError::Corrupt("duplicate node-pair key"));
+        }
+    }
+
+    let ctree = CompressedTree { nodes, root, r0, h, leaf_of_site };
+    Ok(SeOracle::from_parts(eps, ctree, entries, REBUILD_SEED))
 }
 
 impl Atlas {
@@ -470,7 +740,8 @@ impl Atlas {
                 p.extend_from_slice(&local.to_le_bytes());
             }
         }
-        for tile in self.tiles() {
+        for t in 0..self.n_tiles() {
+            let tile = self.tile(t);
             let blob = tile.oracle.save_bytes();
             p.extend_from_slice(&(blob.len() as u64).to_le_bytes());
             p.extend_from_slice(&blob);
@@ -495,35 +766,161 @@ impl Atlas {
         out
     }
 
-    /// Deserializes an atlas written by [`Self::save_to`], validating the
-    /// checksum, every nested oracle image, the membership and portal
-    /// tables, and tile routability before returning.
-    pub fn load_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
-        let payload = read_framed(r, ATLAS_MAGIC, ATLAS_VERSION, IMAGE_FRAME_CAP)?;
-        let mut c = Cursor { buf: &payload, at: 0 };
-        let eps = c.f64()?;
-        if !(eps > 0.0 && eps.is_finite()) {
-            return Err(PersistError::Corrupt("invalid ε"));
+    /// Serializes the atlas in the compact v2 format: varint membership
+    /// records, a tile directory (so the out-of-core [`crate::tilestore`]
+    /// can seek straight to one tile's segment), nested compact oracle
+    /// images, and qtable portal tables. `compress` selects quantized
+    /// (bounded-error) vs raw (lossless) tables, exactly as in
+    /// [`SeOracle::save_to_compact`].
+    pub fn save_to_compact<W: Write>(&self, w: &mut W, compress: bool) -> io::Result<()> {
+        let mut p: Vec<u8> = Vec::new();
+        p.extend_from_slice(&self.epsilon().to_le_bytes());
+        p.extend_from_slice(&(self.n_sites() as u32).to_le_bytes());
+        p.extend_from_slice(&(self.n_portals() as u32).to_le_bytes());
+        p.extend_from_slice(&(self.n_tiles() as u32).to_le_bytes());
+        for (s, members) in self.site_members().iter().enumerate() {
+            write_varint(&mut p, self.site_homes()[s] as u64);
+            write_varint(&mut p, members.len() as u64);
+            for &(tile, local) in members {
+                write_varint(&mut p, tile as u64);
+                write_varint(&mut p, local as u64);
+            }
         }
-        let n_sites = c.u32()? as usize;
-        let n_portals = c.u32()? as usize;
-        let n_tiles = c.u32()? as usize;
-        if n_tiles == 0 || n_sites == 0 {
-            return Err(PersistError::Corrupt("atlas without tiles or sites"));
+        let mut segments: Vec<Vec<u8>> = Vec::with_capacity(self.n_tiles());
+        for t in 0..self.n_tiles() {
+            let tile = self.tile(t);
+            let blob = tile.oracle.save_bytes_compact(compress);
+            let mut s = Vec::with_capacity(blob.len() + 64);
+            s.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            s.extend_from_slice(&blob);
+            s.extend_from_slice(&(tile.portals.len() as u32).to_le_bytes());
+            for &(gid, local) in &tile.portals {
+                write_varint(&mut s, gid as u64);
+                write_varint(&mut s, local as u64);
+            }
+            write_qtable(&mut s, &tile.portal_table, compress);
+            segments.push(s);
         }
-        // Counts are image-supplied and drive allocations (membership
-        // vectors here, the portal graph in `from_parts`, routing scratch
-        // at query time), so bound them by what the payload could possibly
-        // hold — every site/tile/portal costs at least 8 payload bytes —
-        // before allocating anything proportional to them.
-        let rem = payload.len() - c.at;
-        if n_sites > rem / 8 || n_tiles > rem / 8 || n_portals > rem / 8 {
-            return Err(PersistError::Corrupt("implausible atlas counts"));
+        for s in &segments {
+            write_varint(&mut p, s.len() as u64);
         }
+        for s in &segments {
+            p.extend_from_slice(s);
+        }
+        write_framed(w, ATLAS_MAGIC, ATLAS_VERSION_COMPACT, &p)
+    }
 
-        let mut site_home = Vec::with_capacity(n_sites);
-        let mut site_members: Vec<Vec<(u32, u32)>> = Vec::with_capacity(n_sites);
-        for _ in 0..n_sites {
+    /// [`Self::save_to_compact`] into an in-memory buffer.
+    pub fn save_bytes_compact(&self, compress: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        // lint: allow(panic, "Vec<u8> writes are infallible")
+        self.save_to_compact(&mut out, compress).expect("Vec<u8> writes are infallible");
+        out
+    }
+
+    /// Deserializes an atlas written by [`Self::save_to`] (v1) or
+    /// [`Self::save_to_compact`] (v2), validating the checksum, every
+    /// nested oracle image, the membership and portal tables, and tile
+    /// routability before returning. Both versions flow through
+    /// `parse_seat_layout` + `decode_tile_segment` — the same pair the
+    /// out-of-core `TileStore` uses, so a fully-resident load and a lazy
+    /// one decode identical bytes identically.
+    pub fn load_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let (version, payload) =
+            read_framed(r, ATLAS_MAGIC, ATLAS_VERSION..=ATLAS_VERSION_COMPACT, IMAGE_FRAME_CAP)?;
+        let layout = parse_seat_layout(&payload, version)?;
+        let mut tiles = Vec::with_capacity(layout.segments.len());
+        for &(off, len) in &layout.segments {
+            tiles.push(decode_tile_segment(&payload[off..off + len], version, layout.n_portals)?);
+        }
+        for members in &layout.site_members {
+            let ok =
+                members.iter().all(|&(t, l)| (l as usize) < tiles[t as usize].oracle.n_sites());
+            if !ok {
+                return Err(PersistError::Corrupt("site membership local id out of range"));
+            }
+        }
+        Atlas::from_parts(
+            layout.eps,
+            tiles,
+            layout.site_home,
+            layout.site_members,
+            layout.n_portals,
+        )
+        .map_err(PersistError::Corrupt)
+    }
+
+    /// Deserializes from an in-memory buffer.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = bytes;
+        Self::load_from(&mut r)
+    }
+}
+
+/// The structural skeleton of a `SEAT` payload: everything *except* the
+/// decoded tiles — shared metadata plus the byte span of every tile
+/// segment (relative to the payload). [`Atlas::load_from`] decodes all
+/// segments eagerly; the out-of-core `TileStore` keeps the spans and
+/// decodes per miss.
+pub(crate) struct SeatLayout {
+    pub(crate) eps: f64,
+    pub(crate) n_portals: usize,
+    pub(crate) site_home: Vec<u32>,
+    pub(crate) site_members: Vec<Vec<(u32, u32)>>,
+    /// Per tile: `(offset, len)` of its segment within the payload.
+    pub(crate) segments: Vec<(usize, usize)>,
+}
+
+/// Parses the shared head of a `SEAT` payload (ε, counts, site membership
+/// records) and locates every tile segment — by structural walk for v1
+/// (each record's lengths are read and skipped), by the tile directory for
+/// v2. Validates every plausibility bound and membership invariant; tile
+/// *contents* are validated by [`decode_tile_segment`].
+pub(crate) fn parse_seat_layout(payload: &[u8], version: u32) -> Result<SeatLayout, PersistError> {
+    let compact = version == ATLAS_VERSION_COMPACT;
+    let mut c = Cursor { buf: payload, at: 0 };
+    let eps = c.f64()?;
+    if !(eps > 0.0 && eps.is_finite()) {
+        return Err(PersistError::Corrupt("invalid ε"));
+    }
+    let n_sites = c.u32()? as usize;
+    let n_portals = c.u32()? as usize;
+    let n_tiles = c.u32()? as usize;
+    if n_tiles == 0 || n_sites == 0 {
+        return Err(PersistError::Corrupt("atlas without tiles or sites"));
+    }
+    // Counts are image-supplied and drive allocations (membership vectors
+    // here, the portal graph in `from_parts`, routing scratch at query
+    // time), so bound them by what the payload could possibly hold before
+    // allocating anything proportional to them. v1 records cost at least
+    // 8 bytes per site/tile/portal; v2 varint records can be as small as
+    // 4 bytes per site (home + count + one 2-byte membership), 2 per
+    // portal occurrence, and 8+ per tile (its directory entry plus the
+    // nested image's frame).
+    let rem = payload.len() - c.at;
+    let plausible = if compact {
+        n_sites <= rem / 4 && n_tiles <= rem / 8 && n_portals <= rem / 2
+    } else {
+        n_sites <= rem / 8 && n_tiles <= rem / 8 && n_portals <= rem / 8
+    };
+    if !plausible {
+        return Err(PersistError::Corrupt("implausible atlas counts"));
+    }
+
+    let mut site_home = Vec::with_capacity(n_sites);
+    let mut site_members: Vec<Vec<(u32, u32)>> = Vec::with_capacity(n_sites);
+    for _ in 0..n_sites {
+        let (home, m) = if compact {
+            let home = read_varint(&mut c)?;
+            let m = read_varint(&mut c)?;
+            if home >= n_tiles as u64 {
+                return Err(PersistError::Corrupt("site home tile out of range"));
+            }
+            if m == 0 || m > n_tiles as u64 {
+                return Err(PersistError::Corrupt("implausible site membership count"));
+            }
+            (home as u32, m as usize)
+        } else {
             let home = c.u32()?;
             let m = c.u32()? as usize;
             if home as usize >= n_tiles {
@@ -532,80 +929,149 @@ impl Atlas {
             if m == 0 || m > n_tiles {
                 return Err(PersistError::Corrupt("implausible site membership count"));
             }
-            let mut members = Vec::with_capacity(m);
-            for _ in 0..m {
+            (home, m)
+        };
+        let mut members = Vec::with_capacity(m);
+        for _ in 0..m {
+            if compact {
+                let t = read_varint(&mut c)?;
+                let l = read_varint(&mut c)?;
+                if t >= n_tiles as u64 {
+                    return Err(PersistError::Corrupt("site membership tiles not ascending"));
+                }
+                if l > u32::MAX as u64 {
+                    return Err(PersistError::Corrupt("site membership local id out of range"));
+                }
+                members.push((t as u32, l as u32));
+            } else {
                 members.push((c.u32()?, c.u32()?));
             }
-            let ascending = members.windows(2).all(|w| w[0].0 < w[1].0);
-            if !ascending || members.iter().any(|&(t, _)| t as usize >= n_tiles) {
-                return Err(PersistError::Corrupt("site membership tiles not ascending"));
-            }
-            if !members.iter().any(|&(t, _)| t == home) {
-                return Err(PersistError::Corrupt("site home missing from its memberships"));
-            }
-            site_home.push(home);
-            site_members.push(members);
         }
+        let ascending = members.windows(2).all(|w| w[0].0 < w[1].0);
+        if !ascending || members.iter().any(|&(t, _)| t as usize >= n_tiles) {
+            return Err(PersistError::Corrupt("site membership tiles not ascending"));
+        }
+        if !members.iter().any(|&(t, _)| t == home) {
+            return Err(PersistError::Corrupt("site home missing from its memberships"));
+        }
+        site_home.push(home);
+        site_members.push(members);
+    }
 
-        let mut tiles = Vec::with_capacity(n_tiles);
+    let mut segments = Vec::with_capacity(n_tiles);
+    if compact {
+        // v2: the directory names each segment's length; they must tile
+        // the rest of the payload exactly.
+        let mut lens = Vec::with_capacity(n_tiles);
         for _ in 0..n_tiles {
+            lens.push(read_varint(&mut c)?);
+        }
+        let mut total = 0u64;
+        for &l in &lens {
+            total = total.checked_add(l).ok_or(PersistError::Corrupt("tile directory overflow"))?;
+        }
+        if total != c.remaining() as u64 {
+            return Err(PersistError::Corrupt("tile directory does not span payload"));
+        }
+        let mut at = c.at;
+        for &l in &lens {
+            segments.push((at, l as usize));
+            at += l as usize;
+        }
+    } else {
+        // v1: walk each tile record, validating the length fields exactly
+        // as the eager loader always has, and record its span.
+        for _ in 0..n_tiles {
+            let start = c.at;
             let blob_len = c.u64()? as usize;
-            let oracle = SeOracle::load_bytes(c.take(blob_len)?)?;
+            c.take(blob_len)?;
             let np = c.u32()? as usize;
             if np > n_portals {
                 return Err(PersistError::Corrupt("tile portal count exceeds total"));
             }
-            let mut portals = Vec::with_capacity(np);
-            for _ in 0..np {
-                portals.push((c.u32()?, c.u32()?));
-            }
-            let ascending = portals.windows(2).all(|w| w[0].0 < w[1].0);
-            if !ascending
-                || portals
-                    .iter()
-                    .any(|&(g, l)| g as usize >= n_portals || l as usize >= oracle.n_sites())
-            {
-                return Err(PersistError::Corrupt("tile portal table ids invalid"));
-            }
+            c.take(np * 8)?;
             let tl = c.u64()? as usize;
             if tl != np * np {
                 return Err(PersistError::Corrupt("portal table is not |portals|²"));
             }
             // `np ≤ n_portals` bounds `tl` only quadratically; check it
             // against the bytes actually left (8 per entry) before
-            // reserving, like every other image-supplied count.
+            // consuming, like every other image-supplied count.
             if tl > c.remaining() / 8 {
                 return Err(PersistError::Corrupt("truncated portal table"));
             }
-            let mut portal_table = Vec::with_capacity(tl);
-            for _ in 0..tl {
-                let d = c.f64()?;
-                if !(d.is_finite() && d >= 0.0) {
-                    return Err(PersistError::Corrupt("portal distance not a finite length"));
-                }
-                portal_table.push(d);
-            }
-            tiles.push(AtlasTile { oracle, portals, portal_table });
+            c.take(tl * 8)?;
+            segments.push((start, c.at - start));
         }
         if c.at != payload.len() {
             return Err(PersistError::Corrupt("trailing bytes in payload"));
         }
-        for members in &site_members {
-            let ok =
-                members.iter().all(|&(t, l)| (l as usize) < tiles[t as usize].oracle.n_sites());
-            if !ok {
-                return Err(PersistError::Corrupt("site membership local id out of range"));
-            }
-        }
-        Atlas::from_parts(eps, tiles, site_home, site_members, n_portals)
-            .map_err(PersistError::Corrupt)
     }
 
-    /// Deserializes from an in-memory buffer.
-    pub fn load_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
-        let mut r = bytes;
-        Self::load_from(&mut r)
+    Ok(SeatLayout { eps, n_portals, site_home, site_members, segments })
+}
+
+/// Decodes one tile segment located by [`parse_seat_layout`]: the nested
+/// oracle image (independently framed and checksummed — an out-of-core
+/// reload re-verifies the tile's integrity), the portal list, and the
+/// portal table. Validates portal ids against `n_portals` and the decoded
+/// oracle's site count.
+pub(crate) fn decode_tile_segment(
+    seg: &[u8],
+    version: u32,
+    n_portals: usize,
+) -> Result<AtlasTile, PersistError> {
+    let compact = version == ATLAS_VERSION_COMPACT;
+    let mut c = Cursor { buf: seg, at: 0 };
+    let blob_len = c.u64()? as usize;
+    let oracle = SeOracle::load_bytes(c.take(blob_len)?)?;
+    let np = c.u32()? as usize;
+    if np > n_portals {
+        return Err(PersistError::Corrupt("tile portal count exceeds total"));
     }
+    let mut portals = Vec::with_capacity(np);
+    for _ in 0..np {
+        if compact {
+            let g = read_varint(&mut c)?;
+            let l = read_varint(&mut c)?;
+            if g > u32::MAX as u64 || l > u32::MAX as u64 {
+                return Err(PersistError::Corrupt("tile portal table ids invalid"));
+            }
+            portals.push((g as u32, l as u32));
+        } else {
+            portals.push((c.u32()?, c.u32()?));
+        }
+    }
+    let ascending = portals.windows(2).all(|w| w[0].0 < w[1].0);
+    if !ascending
+        || portals.iter().any(|&(g, l)| g as usize >= n_portals || l as usize >= oracle.n_sites())
+    {
+        return Err(PersistError::Corrupt("tile portal table ids invalid"));
+    }
+    let portal_table = if compact {
+        read_qtable(&mut c, np * np)?
+    } else {
+        let tl = c.u64()? as usize;
+        if tl != np * np {
+            return Err(PersistError::Corrupt("portal table is not |portals|²"));
+        }
+        if tl > c.remaining() / 8 {
+            return Err(PersistError::Corrupt("truncated portal table"));
+        }
+        let mut table = Vec::with_capacity(tl);
+        for _ in 0..tl {
+            let d = c.f64()?;
+            if !(d.is_finite() && d >= 0.0) {
+                return Err(PersistError::Corrupt("portal distance not a finite length"));
+            }
+            table.push(d);
+        }
+        table
+    };
+    if c.at != seg.len() {
+        return Err(PersistError::Corrupt("trailing bytes in tile segment"));
+    }
+    Ok(AtlasTile { oracle, portals, portal_table })
 }
 
 #[cfg(test)]
@@ -672,10 +1138,13 @@ mod tests {
         let mut bytes = o.save_bytes();
         bytes[4] = 99;
         let err = SeOracle::load_bytes(&bytes).unwrap_err();
-        assert!(matches!(err, PersistError::BadVersion { found: 99, supported: ORACLE_VERSION }));
+        assert!(matches!(
+            err,
+            PersistError::BadVersion { found: 99, supported: ORACLE_VERSION_COMPACT }
+        ));
         let msg = err.to_string();
         assert!(
-            msg.contains("99") && msg.contains(&ORACLE_VERSION.to_string()),
+            msg.contains("99") && msg.contains(&ORACLE_VERSION_COMPACT.to_string()),
             "version error must name found and supported versions: {msg}"
         );
     }
@@ -750,7 +1219,93 @@ mod tests {
         bytes[4] = 7;
         assert!(matches!(
             Atlas::load_bytes(&bytes),
-            Err(PersistError::BadVersion { found: 7, supported: ATLAS_VERSION })
+            Err(PersistError::BadVersion { found: 7, supported: ATLAS_VERSION_COMPACT })
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Compact (v2) images
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn compact_uncompressed_oracle_is_lossless_and_canonical() {
+        let o = oracle(20, 51, 0.2);
+        let bytes = o.save_bytes_compact(false);
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), ORACLE_VERSION_COMPACT);
+        let loaded = SeOracle::load_bytes(&bytes).unwrap();
+        for s in 0..o.n_sites() {
+            for t in 0..o.n_sites() {
+                assert_eq!(
+                    loaded.distance(s, t).to_bits(),
+                    o.distance(s, t).to_bits(),
+                    "uncompressed v2 must answer bit-identically ({s},{t})"
+                );
+            }
+        }
+        // Canonical: a decode → re-encode round trip is byte-identical.
+        assert_eq!(loaded.save_bytes_compact(false), bytes);
+    }
+
+    #[test]
+    fn compact_compressed_oracle_stays_within_eps_quant() {
+        use crate::quant::EPS_QUANT;
+        let o = oracle(20, 53, 0.2);
+        let bytes = o.save_bytes_compact(true);
+        assert!(bytes.len() < o.save_bytes().len(), "compression must shrink the image");
+        let loaded = SeOracle::load_bytes(&bytes).unwrap();
+        for s in 0..o.n_sites() {
+            for t in 0..o.n_sites() {
+                let (a, b) = (o.distance(s, t), loaded.distance(s, t));
+                assert!((a - b).abs() <= EPS_QUANT * a, "({s},{t}): {a} vs {b}");
+            }
+        }
+        assert_eq!(loaded.save_bytes_compact(true), bytes, "compressed encoding is canonical");
+    }
+
+    #[test]
+    fn compact_atlas_roundtrips_and_v1_keeps_loading() {
+        let a = small_atlas(20, 55, 0.2);
+        let v1 = a.save_bytes();
+        let raw = a.save_bytes_compact(false);
+        let packed = a.save_bytes_compact(true);
+        assert_eq!(u32::from_le_bytes(raw[4..8].try_into().unwrap()), ATLAS_VERSION_COMPACT);
+        let from_v1 = Atlas::load_bytes(&v1).unwrap();
+        let from_raw = Atlas::load_bytes(&raw).unwrap();
+        let from_packed = Atlas::load_bytes(&packed).unwrap();
+        for s in 0..a.n_sites() {
+            for t in 0..a.n_sites() {
+                let d = a.distance(s, t);
+                assert_eq!(from_v1.distance(s, t).to_bits(), d.to_bits());
+                assert_eq!(from_raw.distance(s, t).to_bits(), d.to_bits());
+                let dq = from_packed.distance(s, t);
+                // Each routed answer sums ≤ 3 quantized legs and takes a
+                // min over candidates; relative error per value is
+                // ≤ EPS_QUANT and both operations preserve it.
+                assert!((d - dq).abs() <= crate::quant::EPS_QUANT * d + 1e-12, "({s},{t})");
+            }
+        }
+        assert_eq!(from_raw.save_bytes_compact(false), raw);
+        assert_eq!(from_packed.save_bytes_compact(true), packed);
+    }
+
+    #[test]
+    fn compact_truncations_and_version_skew_are_typed_errors() {
+        let a = small_atlas(10, 57, 0.25);
+        let bytes = a.save_bytes_compact(true);
+        for cut in [0usize, 3, 15, 40, bytes.len() / 2, bytes.len() - 4] {
+            assert!(Atlas::load_bytes(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        let o = oracle(8, 57, 0.25);
+        let ob = o.save_bytes_compact(true);
+        for cut in [0usize, 3, 15, 40, ob.len() / 2, ob.len() - 4] {
+            assert!(SeOracle::load_bytes(&ob[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // A v3 stamp is rejected with the newest supported version named.
+        let mut skew = bytes.clone();
+        skew[4] = 3;
+        assert!(matches!(
+            Atlas::load_bytes(&skew),
+            Err(PersistError::BadVersion { found: 3, supported: ATLAS_VERSION_COMPACT })
         ));
     }
 

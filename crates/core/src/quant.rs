@@ -1,0 +1,388 @@
+//! Bounded-error quantization for compact (`v2`) oracle images.
+//!
+//! The v2 image encoding shrinks every large `f64` table (node-pair
+//! distances, node radii, portal–portal tables) by storing each value as an
+//! integer multiple of one **per-table power-of-two scale** `s = 2^k`,
+//! written as LEB128 varints. The scale is chosen from the table's smallest
+//! nonzero value so that the worst-case decode error `s / 2` is at most
+//! [`EPS_QUANT`] × that minimum — hence at most `EPS_QUANT` *relative*
+//! error on every value in the table. Because `s` is a power of two and
+//! every quantized integer stays below `2^53`, the arithmetic
+//! (`round(v / s)` on encode, `u · s` on decode) is **exact** in `f64`:
+//! no libm, no platform variance, bit-identical everywhere.
+//!
+//! Two invariants the image format leans on:
+//!
+//! * **Determinism** — encoding the same table twice yields the same
+//!   bytes (pure integer/exponent arithmetic, no ambient state).
+//! * **Idempotency** — `encode(decode(encode(T)))` is byte-identical to
+//!   `encode(T)`. The subtle case is scale derivation: quantizing can
+//!   round the table minimum *up* across a power-of-two boundary, which
+//!   would re-derive a doubled scale on the next encode. The encoder
+//!   detects that one possible bump and applies it up front
+//!   (rounding *down* can never cross a boundary, because every power of
+//!   two is itself a grid point of `s`); the bumped scale is then a fixed
+//!   point, and its error `s / 2` still satisfies the `EPS_QUANT` bound.
+//!
+//! Tables whose dynamic range defeats the scheme (max/min ratio beyond
+//! `2^53 · EPS_QUANT`, or a minimum so small the scale would go subnormal)
+//! fall back to a verbatim `f64` **raw mode**, as does every table when
+//! compression is off — raw mode is lossless, so uncompressed v2 images
+//! stay bit-identical to their source oracle.
+//!
+//! Wire form of one table (count supplied by the surrounding format):
+//!
+//! ```text
+//! mode u8            0 = raw, 1 = quantized
+//! mode 0: count × f64 (little-endian)
+//! mode 1: scale f64, offset f64 (always 0.0 in this encoder version),
+//!         count × LEB128 varint, value = offset + u · scale
+//! ```
+
+use crate::persist::{Cursor, PersistError};
+
+/// Worst-case relative decode error a quantized table may introduce:
+/// `2⁻²⁰ ≈ 9.54 × 10⁻⁷`. Folded into the oracle's documented ε budget —
+/// compressed images answer within `(1 + ε)(1 + EPS_QUANT)` of the exact
+/// metric (see `docs/ARCHITECTURE.md` § Compressed images).
+pub const EPS_QUANT: f64 = 1.0 / ((1u64 << 20) as f64);
+
+/// `log2(1 / EPS_QUANT)` — the exponent gap between a table's minimum
+/// nonzero value and its quantization scale.
+const EPS_QUANT_BITS: i32 = 20;
+
+/// Quantized integers must stay strictly below `2^53` so `u as f64` and
+/// `u · s` are exact.
+const MAX_EXACT: f64 = (1u64 << 53) as f64;
+
+const MODE_RAW: u8 = 0;
+const MODE_QUANT: u8 = 1;
+
+/// Appends `v` as an LEB128 varint (7 value bits per byte, high bit =
+/// continuation; at most 10 bytes).
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint, rejecting encodings longer than 10 bytes or
+/// overflowing 64 bits.
+pub(crate) fn read_varint(c: &mut Cursor<'_>) -> Result<u64, PersistError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = c.u8()?;
+        if shift == 63 && (b & 0x7f) > 1 {
+            return Err(PersistError::Corrupt("varint overflows 64 bits"));
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(PersistError::Corrupt("varint longer than 10 bytes"));
+        }
+    }
+}
+
+/// `⌊log2 x⌋` for finite `x > 0`, from the exponent bits — no libm, so
+/// scale derivation is bit-deterministic across platforms.
+fn floor_log2(x: f64) -> i32 {
+    debug_assert!(x.is_finite() && x > 0.0);
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32;
+    if exp == 0 {
+        // Subnormal: x = m · 2⁻¹⁰⁷⁴ with 1 ≤ m < 2⁵².
+        let m = bits & ((1u64 << 52) - 1);
+        63 - m.leading_zeros() as i32 - 1074
+    } else {
+        exp - 1023
+    }
+}
+
+/// `2^k` for normal-range `k`, built from bits (exact).
+fn pow2(k: i32) -> f64 {
+    debug_assert!((-1022..=1023).contains(&k));
+    f64::from_bits(((k + 1023) as u64) << 52)
+}
+
+/// The per-table scale: `2^(⌊log2 min_nonzero⌋ − 20)`, bumped one binade
+/// when quantization would round the minimum up across a power of two
+/// (the idempotency fixed point — see the module docs). `None` when the
+/// table's range defeats exact integer quantization (raw-mode fallback).
+/// All-zero (or empty) tables canonically use scale `1.0`.
+fn choose_scale(values: &[f64]) -> Option<f64> {
+    let mut min_nz = f64::INFINITY;
+    let mut max = 0.0f64;
+    for &v in values {
+        debug_assert!(v.is_finite() && v >= 0.0, "quantizer input must be finite lengths");
+        if v > 0.0 && v < min_nz {
+            min_nz = v;
+        }
+        if v > max {
+            max = v;
+        }
+    }
+    if max == 0.0 {
+        return Some(1.0);
+    }
+    let mut k = floor_log2(min_nz) - EPS_QUANT_BITS;
+    if k < -1022 {
+        return None; // subnormal scale: keep the arithmetic in normal range
+    }
+    let s = pow2(k);
+    if (max / s).round() >= MAX_EXACT {
+        return None; // dynamic range beyond 2^53 · EPS_QUANT
+    }
+    // One-step fixed point: rounding the minimum up can land it exactly on
+    // the next power of two, which would re-derive k + 1 on re-encode.
+    let min_q = (min_nz / s).round() * s;
+    if floor_log2(min_q) > floor_log2(min_nz) {
+        k += 1;
+    }
+    Some(pow2(k))
+}
+
+/// Appends one table in wire form. With `compress` off every table is
+/// written raw (lossless); with it on, quantized whenever
+/// [`choose_scale`] admits the table.
+pub(crate) fn write_qtable(out: &mut Vec<u8>, values: &[f64], compress: bool) {
+    let scale = if compress { choose_scale(values) } else { None };
+    match scale {
+        None => {
+            out.push(MODE_RAW);
+            for &v in values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Some(s) => {
+            out.push(MODE_QUANT);
+            out.extend_from_slice(&s.to_le_bytes());
+            out.extend_from_slice(&0.0f64.to_le_bytes());
+            for &v in values {
+                write_varint(out, (v / s).round() as u64);
+            }
+        }
+    }
+}
+
+/// Reads one table of exactly `count` values, validating the mode byte,
+/// the scale/offset header, and every decoded value (finite, `≥ 0`,
+/// integers below `2^53`). `count` is checked against the remaining input
+/// before anything is allocated in proportion to it.
+pub(crate) fn read_qtable(c: &mut Cursor<'_>, count: usize) -> Result<Vec<f64>, PersistError> {
+    match c.u8()? {
+        MODE_RAW => {
+            if count > c.remaining() / 8 {
+                return Err(PersistError::Corrupt("truncated raw table"));
+            }
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let v = c.f64()?;
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(PersistError::Corrupt("table value not a finite length"));
+                }
+                out.push(v);
+            }
+            Ok(out)
+        }
+        MODE_QUANT => {
+            let scale = c.f64()?;
+            if !(scale.is_finite() && scale > 0.0) {
+                return Err(PersistError::Corrupt("invalid quantization scale"));
+            }
+            let offset = c.f64()?;
+            if offset.to_bits() != 0 {
+                return Err(PersistError::Corrupt("unsupported quantization offset"));
+            }
+            if count > c.remaining() {
+                return Err(PersistError::Corrupt("truncated quantized table"));
+            }
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let u = read_varint(c)?;
+                if (u as f64) >= MAX_EXACT {
+                    return Err(PersistError::Corrupt("quantized value exceeds exact range"));
+                }
+                let v = (u as f64) * scale;
+                if !v.is_finite() {
+                    return Err(PersistError::Corrupt("quantized value overflows"));
+                }
+                out.push(v);
+            }
+            Ok(out)
+        }
+        _ => Err(PersistError::Corrupt("unknown table encoding mode")),
+    }
+}
+
+/// Encodes `values` as one self-contained table blob — the standalone
+/// entry point tests and tools use to probe the encoder directly (the
+/// image format embeds the same bytes via internal cursors).
+pub fn encode_values(values: &[f64], compress: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_qtable(&mut out, values, compress);
+    out
+}
+
+/// Decodes a blob written by [`encode_values`], requiring every byte to be
+/// consumed (`count` must match the encoding side).
+pub fn decode_values(bytes: &[u8], count: usize) -> Result<Vec<f64>, PersistError> {
+    let mut c = Cursor { buf: bytes, at: 0 };
+    let out = read_qtable(&mut c, count)?;
+    if c.at != bytes.len() {
+        return Err(PersistError::Corrupt("trailing bytes in table"));
+    }
+    Ok(out)
+}
+
+/// The scale a table blob declares — `None` for raw (lossless) mode.
+pub fn table_scale(bytes: &[u8]) -> Option<f64> {
+    if bytes.first() == Some(&MODE_QUANT) && bytes.len() >= 9 {
+        let mut s = [0u8; 8];
+        s.copy_from_slice(&bytes[1..9]);
+        return Some(f64::from_le_bytes(s));
+    }
+    None
+}
+
+/// Worst-case absolute decode error of a table quantized at `scale`
+/// (`scale / 2`, from round-to-nearest). Raw tables are exact.
+pub fn decode_error_bound(scale: f64) -> f64 {
+    scale / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[f64]) -> Vec<f64> {
+        let b = encode_values(values, true);
+        decode_values(&b, values.len()).unwrap()
+    }
+
+    #[test]
+    fn varint_roundtrips_and_bounds() {
+        let mut out = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            out.clear();
+            write_varint(&mut out, v);
+            assert!(out.len() <= 10);
+            let mut c = Cursor { buf: &out, at: 0 };
+            assert_eq!(read_varint(&mut c).unwrap(), v);
+            assert_eq!(c.at, out.len());
+        }
+        // 11-byte and overflowing encodings are rejected, not wrapped.
+        let long = [0x80u8; 11];
+        let mut c = Cursor { buf: &long, at: 0 };
+        assert!(read_varint(&mut c).is_err());
+        let over = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut c = Cursor { buf: &over, at: 0 };
+        assert!(read_varint(&mut c).is_err());
+    }
+
+    #[test]
+    fn floor_log2_matches_definition() {
+        for (x, want) in [
+            (1.0, 0),
+            (1.5, 0),
+            (2.0, 1),
+            (0.5, -1),
+            (0.75, -1),
+            (3.9, 1),
+            (4.0, 2),
+            (f64::MIN_POSITIVE, -1022),
+            (f64::MIN_POSITIVE / 4.0, -1024), // subnormal
+        ] {
+            assert_eq!(floor_log2(x), want, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn quantized_error_stays_within_the_declared_bound() {
+        let values = [3.25, 10.0, 0.0, 977.5, 3.2500001, 512.0];
+        let b = encode_values(&values, true);
+        let scale = table_scale(&b).expect("table should quantize");
+        let bound = decode_error_bound(scale);
+        let decoded = decode_values(&b, values.len()).unwrap();
+        for (v, d) in values.iter().zip(&decoded) {
+            assert!((v - d).abs() <= bound, "|{v} - {d}| > {bound}");
+            assert!((v - d).abs() <= EPS_QUANT * v, "relative error beyond EPS_QUANT");
+        }
+    }
+
+    #[test]
+    fn encode_decode_encode_is_byte_identical() {
+        // Includes a value engineered to round *up* to the next power of
+        // two (the scale-bump fixed point) and a plain spread.
+        let near_top = 2.0 - 2.0f64.powi(-22);
+        for values in [
+            vec![near_top, 7.0, 123.456],
+            vec![0.0, 1.0, 1e9, 3.5],
+            vec![5.0e-4, 0.125, 88.0],
+            vec![],
+            vec![0.0, 0.0],
+        ] {
+            let b1 = encode_values(&values, true);
+            let d1 = decode_values(&b1, values.len()).unwrap();
+            let b2 = encode_values(&d1, true);
+            assert_eq!(b1, b2, "values {values:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_range_falls_back_to_raw_and_stays_lossless() {
+        // Ratio beyond 2^33 defeats exact integer quantization.
+        let values = [1.0e-12, 1.0e9];
+        let b = encode_values(&values, true);
+        assert_eq!(table_scale(&b), None);
+        assert_eq!(decode_values(&b, 2).unwrap(), values);
+        // Compression off is always raw.
+        let raw = encode_values(&[1.0, 2.0], false);
+        assert_eq!(table_scale(&raw), None);
+    }
+
+    #[test]
+    fn decoded_values_are_exact_multiples_of_the_scale() {
+        let values = [13.37, 42.0, 0.0, 1000.125];
+        let b = encode_values(&values, true);
+        let s = table_scale(&b).unwrap();
+        for d in roundtrip(&values) {
+            assert_eq!((d / s).round() * s, d, "decode must be an exact grid point");
+        }
+    }
+
+    #[test]
+    fn corrupt_tables_are_typed_errors() {
+        let good = encode_values(&[1.0, 2.0, 3.0], true);
+        // Unknown mode byte.
+        let mut bad = good.clone();
+        bad[0] = 9;
+        assert!(decode_values(&bad, 3).is_err());
+        // Non-positive / non-finite scale.
+        for evil in [0.0f64, -1.0, f64::NAN, f64::INFINITY] {
+            let mut bad = good.clone();
+            bad[1..9].copy_from_slice(&evil.to_le_bytes());
+            assert!(decode_values(&bad, 3).is_err());
+        }
+        // Nonzero offset is reserved.
+        let mut bad = good.clone();
+        bad[9..17].copy_from_slice(&1.0f64.to_le_bytes());
+        assert!(matches!(
+            decode_values(&bad, 3),
+            Err(PersistError::Corrupt("unsupported quantization offset"))
+        ));
+        // Truncations.
+        for cut in 0..good.len() {
+            assert!(decode_values(&good[..cut], 3).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -16,6 +16,15 @@
 //! and reassembles the per-shard results in input order, so the output is
 //! independent of the thread count and of scheduling, exactly like the
 //! construction pipeline's determinism contract.
+//!
+//! The one sanctioned exception to "no interior mutability" is the
+//! out-of-core atlas backend ([`crate::tilestore::TileStore`], opened via
+//! [`crate::Atlas::open_out_of_core`]): its LRU residency cache mutates
+//! under queries, but tiles decode to the same bytes no matter when they
+//! are (re)loaded and queries pin the tiles they touch via `Arc`, so
+//! answers remain bit-identical to a fully resident atlas for any budget,
+//! thread count, and eviction schedule. Eviction order uses query-ordinal
+//! ticks, never a clock.
 
 // lint: query-path
 use crate::oracle::SeOracle;

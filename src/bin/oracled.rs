@@ -24,6 +24,10 @@ oracled — serve an oracle image over TCP
 
 USAGE:
   oracled --image <file.seor|file.seat> --addr <host:port>
+          [--resident-budget <bytes>]  serve a .seat atlas out-of-core:
+                                  decode tiles lazily, hold at most this
+                                  many decoded bytes resident (error for
+                                  .seor images, which are monolithic)
           [--max-batch <pairs>]   target pairs per coalesced batch (default 4096)
           [--max-wait-us <us>]    how long an under-full batch waits (default 200)
           [--queue-cap <n>]       request queue bound; overflow answers Busy
@@ -80,17 +84,32 @@ fn parse<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
 }
 
 /// Loads either image kind, dispatching on the magic bytes — the file
-/// never has to be named truthfully.
-fn load_backend(path: &str) -> Result<Backend, String> {
+/// never has to be named truthfully. With a resident budget, a `.seat`
+/// atlas is opened out-of-core (tiles decode lazily under the budget);
+/// a budget on a monolithic `.seor` image is an error.
+fn load_backend(path: &str, resident_budget: Option<usize>) -> Result<Backend, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     match bytes.get(..4) {
         Some(m) if m == ORACLE_MAGIC => {
+            if resident_budget.is_some() {
+                return Err(format!(
+                    "{path}: --resident-budget only applies to atlas (.seat) images; \
+                     a monolithic oracle image loads whole"
+                ));
+            }
             let oracle =
                 SeOracle::load_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?;
             Ok(Backend::Oracle(QueryHandle::new(oracle)))
         }
         Some(m) if m == ATLAS_MAGIC => {
-            let atlas = Atlas::load_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?;
+            let atlas = match resident_budget {
+                Some(budget) => {
+                    drop(bytes);
+                    Atlas::open_out_of_core(std::path::Path::new(path), budget)
+                        .map_err(|e| format!("loading {path}: {e}"))?
+                }
+                None => Atlas::load_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?,
+            };
             Ok(Backend::Atlas(AtlasHandle::new(atlas)))
         }
         _ => Err(format!("{path}: not an oracle (.seor) or atlas (.seat) image")),
@@ -101,6 +120,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut rest = args;
     let image = require(&mut rest, "--image")?;
     let addr = require(&mut rest, "--addr")?;
+    let resident_budget = match take_opt(&mut rest, "--resident-budget") {
+        Some(v) => Some(parse(&v, "--resident-budget")?),
+        None => None,
+    };
     let mut cfg = ServeConfig::default();
     if let Some(v) = take_opt(&mut rest, "--max-batch") {
         cfg.max_batch_pairs = parse(&v, "--max-batch")?;
@@ -118,9 +141,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
     }
     reject_leftovers(&rest)?;
 
-    let backend = load_backend(&image)?;
+    let backend = load_backend(&image, resident_budget)?;
     let kind = match &backend {
         Backend::Oracle(_) => "oracle",
+        Backend::Atlas(h) if h.atlas().tile_store().is_some() => "out-of-core atlas",
         Backend::Atlas(_) => "atlas",
     };
     let server = OracleServer::bind(&*addr, backend, cfg.clone())

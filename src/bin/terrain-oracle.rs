@@ -68,6 +68,9 @@ USAGE:
   terrain-oracle build --mesh <file.off> --pois <file.csv> --eps <f>
                        --out <file.seor> [--engine exact|edge|steiner]
                        [--threads <n>]   (0 = auto-detect; default 0)
+                       [--compress]      (write the compact v2 image:
+                       quantized + delta-coded tables; answers within
+                       (1+eps)(1+EPS_QUANT), EPS_QUANT = 2^-20)
                        [--trace <file.json>]  (write a Chrome trace-event
                        JSON of the build phases; view in chrome://tracing
                        or Perfetto. The built image is byte-identical with
@@ -90,11 +93,17 @@ USAGE:
   terrain-oracle atlas-build --mesh <file.off> --pois <file.csv> --eps <f>
                        --out <file.seat> [--grid <nx>x<ny>] [--overlap <f>]
                        [--portal-spacing <k>] [--engine exact|edge|steiner]
-                       [--threads <n>]   (tiled per-piece oracles + portal
-                       graph; defaults: 2x2 grid, 0.15 overlap, spacing 8)
+                       [--threads <n>] [--compress]   (tiled per-piece
+                       oracles + portal graph; defaults: 2x2 grid, 0.15
+                       overlap, spacing 8; --compress writes the compact
+                       v2 image)
   terrain-oracle atlas-query --atlas <file.seat> [--pairs-file <f>]
                        [--threads <n>]   (pairs from the file or stdin, one
                        '<s> <t>' per line; 0 threads = auto-detect)
+                       [--resident-budget <bytes>]  (serve out-of-core:
+                       decode tiles lazily, hold at most this many decoded
+                       bytes resident; answers are bit-identical to a
+                       fully resident load of the same image)
   terrain-oracle knn   --oracle <file.seor> --site <s> --k <k>
   terrain-oracle gen   --preset bh|ep|sf|sf-small|bh-low --scale <f>
                        --out <file.off>
@@ -109,6 +118,17 @@ fn take_opt(rest: &mut Vec<String>, name: &str) -> Option<String> {
     let v = rest.remove(at + 1);
     rest.remove(at);
     Some(v)
+}
+
+/// Pulls a bare `--name` flag, removing it from `rest`.
+fn take_flag(rest: &mut Vec<String>, name: &str) -> bool {
+    match rest.iter().position(|a| a == name) {
+        Some(at) => {
+            rest.remove(at);
+            true
+        }
+        None => false,
+    }
 }
 
 fn require(rest: &mut Vec<String>, name: &str) -> Result<String, String> {
@@ -184,6 +204,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         require(&mut rest, "--eps")?.parse().map_err(|_| "--eps needs a number".to_string())?;
     let out_path = require(&mut rest, "--out")?;
     let trace_path = take_opt(&mut rest, "--trace");
+    let compress = take_flag(&mut rest, "--compress");
     let engine = parse_engine(&mut rest)?;
     let threads = parse_threads(&mut rest)?;
     reject_leftovers(&rest)?;
@@ -219,7 +240,12 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     );
     let mut f =
         std::fs::File::create(&out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
-    oracle.oracle().save_to(&mut f).map_err(|e| format!("writing {out_path}: {e}"))?;
+    if compress {
+        oracle.oracle().save_to_compact(&mut f, true)
+    } else {
+        oracle.oracle().save_to(&mut f)
+    }
+    .map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("{out_path}");
     Ok(())
 }
@@ -438,6 +464,7 @@ fn cmd_atlas_build(args: &[String]) -> Result<(), String> {
     let eps: f64 =
         require(&mut rest, "--eps")?.parse().map_err(|_| "--eps needs a number".to_string())?;
     let out_path = require(&mut rest, "--out")?;
+    let compress = take_flag(&mut rest, "--compress");
     let engine = parse_engine(&mut rest)?;
     let threads = parse_threads(&mut rest)?;
     let mut grid = TileGridConfig::default();
@@ -490,7 +517,8 @@ fn cmd_atlas_build(args: &[String]) -> Result<(), String> {
     );
     let mut f =
         std::fs::File::create(&out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
-    atlas.save_to(&mut f).map_err(|e| format!("writing {out_path}: {e}"))?;
+    if compress { atlas.save_to_compact(&mut f, true) } else { atlas.save_to(&mut f) }
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("{out_path}");
     Ok(())
 }
@@ -499,11 +527,21 @@ fn cmd_atlas_query(args: &[String]) -> Result<(), String> {
     let mut rest = args.to_vec();
     let path = require(&mut rest, "--atlas")?;
     let pairs_path = take_opt(&mut rest, "--pairs-file");
+    let budget: Option<usize> = match take_opt(&mut rest, "--resident-budget") {
+        Some(b) => Some(b.parse().map_err(|_| "--resident-budget needs a byte count".to_string())?),
+        None => None,
+    };
     let threads = parse_threads(&mut rest)?;
     reject_leftovers(&rest)?;
 
-    let mut f = std::fs::File::open(&path).map_err(|e| format!("opening {path}: {e}"))?;
-    let atlas = Atlas::load_from(&mut f).map_err(|e| format!("loading {path}: {e}"))?;
+    let atlas = match budget {
+        Some(bytes) => Atlas::open_out_of_core(std::path::Path::new(&path), bytes)
+            .map_err(|e| format!("loading {path}: {e}"))?,
+        None => {
+            let mut f = std::fs::File::open(&path).map_err(|e| format!("opening {path}: {e}"))?;
+            Atlas::load_from(&mut f).map_err(|e| format!("loading {path}: {e}"))?
+        }
+    };
     let (text, source) = match &pairs_path {
         Some(p) => {
             (std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?, p.as_str())
@@ -538,6 +576,20 @@ fn cmd_atlas_query(args: &[String]) -> Result<(), String> {
         pairs.len(),
         geodesic::pool::resolve_threads(threads)
     );
+    if let Some(store) = handle.atlas().tile_store() {
+        let s = store.stats();
+        eprintln!(
+            "out-of-core: {} hits / {} misses / {} evictions, {} of {} tiles resident \
+             ({} / {} bytes)",
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.resident_tiles,
+            s.n_tiles,
+            s.resident_bytes,
+            s.budget_bytes
+        );
+    }
     Ok(())
 }
 

@@ -54,7 +54,7 @@ pub mod prelude {
     pub use se_oracle::{
         A2AOracle, Atlas, AtlasConfig, AtlasHandle, BuildConfig, ConstructionMethod, DetourPoi,
         DynamicOracle, EngineKind, Neighbor, P2POracle, PathIndex, ProximityIndex, QueryHandle,
-        SeOracle, SelectionStrategy, ShortestPath,
+        SeOracle, SelectionStrategy, ShortestPath, TileStore, TileStoreStats, EPS_QUANT,
     };
     pub use terrain::gen::{diamond_square, Heightfield, Preset};
     pub use terrain::poi::{

@@ -14,6 +14,19 @@
 //! masks; every truncation point). Level-5 images are larger, so they get
 //! exhaustive coverage of the header and trailer plus a prime-strided
 //! sweep of the interior — same property, sampled.
+//!
+//! Compact (v2) images run the same exhaustive batteries — every byte
+//! flip (including flips inside quantization headers: the qtable
+//! mode/scale/offset fields live in the payload, so the sweep crosses
+//! them) and every truncation, under the same strict allocation bound,
+//! because the frame checksum rejects any payload damage before the
+//! parser runs. A second battery *repairs* the checksum after each flip
+//! so the corrupt bytes actually reach the v2 varint/qtable parsers;
+//! there the outcome may legitimately be `Ok` (a flipped distance is
+//! still a distance) — the contract is no panic and a bounded decode
+//! (v2 varint counts can amplify transiently: a node record decodes to
+//! ~56 resident bytes from a few varint bytes, so this battery gets a
+//! correspondingly wider 32×input+64 KiB bound).
 
 mod common;
 
@@ -106,7 +119,7 @@ fn seat_level5() -> &'static Vec<u8> {
     B.get_or_init(|| build_atlas_bytes(5, 410, 28))
 }
 
-fn build_atlas_bytes(level: u32, seed: u64, n: usize) -> Vec<u8> {
+fn build_atlas(level: u32, seed: u64, n: usize) -> Atlas {
     let (mesh, pois) = mesh_with_pois(level, 0.6, seed, n);
     let (refined, sites) = refine_sites(&mesh, &pois);
     let cfg = AtlasConfig {
@@ -115,7 +128,23 @@ fn build_atlas_bytes(level: u32, seed: u64, n: usize) -> Vec<u8> {
     };
     Atlas::build_over_vertices(Arc::new(refined.mesh), sites, 0.25, EngineKind::EdgeGraph, &cfg)
         .unwrap()
-        .save_bytes()
+}
+
+fn build_atlas_bytes(level: u32, seed: u64, n: usize) -> Vec<u8> {
+    build_atlas(level, seed, n).save_bytes()
+}
+
+/// Compact (v2, compressed) variants of the level-4 fixtures.
+fn seor_level4_v2() -> &'static Vec<u8> {
+    static B: OnceLock<Vec<u8>> = OnceLock::new();
+    B.get_or_init(|| {
+        build_p2p(101, 16, 0.25, EngineKind::EdgeGraph).into_oracle().save_bytes_compact(true)
+    })
+}
+
+fn seat_level4_v2() -> &'static Vec<u8> {
+    static B: OnceLock<Vec<u8>> = OnceLock::new();
+    B.get_or_init(|| build_atlas(4, 409, 24).save_bytes_compact(true))
 }
 
 // ---------------------------------------------------------------------------
@@ -165,6 +194,66 @@ fn exhaustive_truncations(kind: Kind, image: &[u8], tag: &str) {
     for cut in 0..image.len() {
         assert_rejected_bounded(kind, &image[..cut], &format!("{tag}: truncated to {cut}"));
     }
+}
+
+/// FNV-1a, as the frame trailer computes it — lets the fixup battery
+/// repair the checksum after corrupting payload bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Loads an image whose checksum is *valid* but whose payload was
+/// tampered with, asserting containment: no panic, and no allocation
+/// beyond 32×input+64 KiB (wider than the reject bound because a flip
+/// can legitimately parse — varint node records decode ~19× larger than
+/// their wire form, so a successful or nearly-successful decode costs
+/// real memory). The result itself may be `Ok` or any typed error.
+fn assert_parse_contained(kind: Kind, bytes: &[u8], what: &str) {
+    let bound = 32 * bytes.len() + 65536;
+    reset_peak();
+    match kind {
+        Kind::Oracle => drop(SeOracle::load_bytes(bytes)),
+        Kind::Atlas => drop(Atlas::load_bytes(bytes)),
+    }
+    let observed = peak();
+    assert!(
+        observed <= bound,
+        "{what}: allocation of {observed} bytes parsing a {}-byte tampered input",
+        bytes.len()
+    );
+}
+
+/// Flips payload bytes and repairs the frame checksum so the corruption
+/// reaches the kind-specific parser (quantization headers included —
+/// qtable mode/scale/offset fields all live in the payload). Exhaustive
+/// over the first `edge` payload bytes (the structural header region),
+/// prime-strided through the rest.
+fn checksum_fixed_flips(kind: Kind, image: &[u8], tag: &str) {
+    let payload_end = image.len() - 8;
+    let edge = 96.min(payload_end - 16);
+    let mut offsets: Vec<usize> = (16..16 + edge).collect();
+    offsets.extend((16 + edge..payload_end).step_by(31));
+    let mut work = image.to_vec();
+    for &at in &offsets {
+        for mask in [0x01u8, 0xFF] {
+            work[at] ^= mask;
+            let sum = fnv1a(&work[16..payload_end]);
+            work[payload_end..].copy_from_slice(&sum.to_le_bytes());
+            assert_parse_contained(
+                kind,
+                &work,
+                &format!("{tag}: fixed-up flip {mask:#04x} at {at}"),
+            );
+            work[at] ^= mask;
+        }
+    }
+    work[payload_end..].copy_from_slice(&image[payload_end..]);
+    assert_eq!(work, image);
 }
 
 /// Strided variant for the larger level-5 images: full coverage of the
@@ -227,6 +316,48 @@ fn seat_level4_every_truncation_rejected() {
 }
 
 #[test]
+fn seor_v2_level4_loads_clean() {
+    let o = SeOracle::load_bytes(seor_level4_v2()).unwrap();
+    assert!(o.n_sites() > 1);
+}
+
+#[test]
+fn seat_v2_level4_loads_clean() {
+    let a = Atlas::load_bytes(seat_level4_v2()).unwrap();
+    assert!(a.n_sites() > 1);
+}
+
+#[test]
+fn seor_v2_level4_every_byte_flip_rejected() {
+    exhaustive_flips(Kind::Oracle, seor_level4_v2(), "seor-v2-l4");
+}
+
+#[test]
+fn seor_v2_level4_every_truncation_rejected() {
+    exhaustive_truncations(Kind::Oracle, seor_level4_v2(), "seor-v2-l4");
+}
+
+#[test]
+fn seat_v2_level4_every_byte_flip_rejected() {
+    exhaustive_flips(Kind::Atlas, seat_level4_v2(), "seat-v2-l4");
+}
+
+#[test]
+fn seat_v2_level4_every_truncation_rejected() {
+    exhaustive_truncations(Kind::Atlas, seat_level4_v2(), "seat-v2-l4");
+}
+
+#[test]
+fn seor_v2_checksum_fixed_flips_are_contained() {
+    checksum_fixed_flips(Kind::Oracle, seor_level4_v2(), "seor-v2-l4");
+}
+
+#[test]
+fn seat_v2_checksum_fixed_flips_are_contained() {
+    checksum_fixed_flips(Kind::Atlas, seat_level4_v2(), "seat-v2-l4");
+}
+
+#[test]
 fn seor_level5_strided_corruption_rejected() {
     strided_flips_and_truncations(Kind::Oracle, seor_level5(), "seor-l5");
 }
@@ -272,6 +403,8 @@ proptest! {
         for (kind, image) in [
             (Kind::Oracle, seor_level4()),
             (Kind::Atlas, seat_level4()),
+            (Kind::Oracle, seor_level4_v2()),
+            (Kind::Atlas, seat_level4_v2()),
         ] {
             let mut bad = image.clone();
             // Truncate to a pseudo-random prefix (sometimes full length).
